@@ -1,0 +1,90 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+namespace slmob::bench {
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions options;
+  if (const char* env = std::getenv("SLMOB_BENCH_HOURS")) {
+    options.hours = std::atof(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
+      options.hours = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.hours = 4.0;
+    }
+  }
+  if (options.hours <= 0.0) options.hours = 24.0;
+  return options;
+}
+
+const ExperimentResults& land_results(LandArchetype archetype,
+                                      const BenchOptions& options) {
+  struct Key {
+    LandArchetype archetype;
+    double hours;
+    std::uint64_t seed;
+    bool operator<(const Key& o) const {
+      return std::tie(archetype, hours, seed) < std::tie(o.archetype, o.hours, o.seed);
+    }
+  };
+  static std::map<Key, ExperimentResults> cache;
+  const Key key{archetype, options.hours, options.seed};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  ExperimentConfig cfg;
+  cfg.archetype = archetype;
+  cfg.duration = options.hours * kSecondsPerHour;
+  cfg.seed = options.seed;
+  std::fprintf(stderr, "[bench] simulating %s (%.1f h, seed %llu)...\n",
+               archetype_name(archetype).c_str(), options.hours,
+               static_cast<unsigned long long>(options.seed));
+  return cache.emplace(key, run_experiment(cfg)).first->second;
+}
+
+void print_title(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_ccdf_log(const std::string& label, const Ecdf& dist, double lo_floor) {
+  std::printf("# CCDF %s (n=%zu)\n", label.c_str(), dist.size());
+  if (dist.empty()) {
+    std::printf("#   (no samples)\n");
+    return;
+  }
+  for (const auto& p : dist.ccdf_log_series(18, lo_floor)) {
+    std::printf("%-28s %12.2f %10.4f\n", label.c_str(), p.x, p.y);
+  }
+}
+
+void print_cdf(const std::string& label, const Ecdf& dist) {
+  std::printf("# CDF %s (n=%zu)\n", label.c_str(), dist.size());
+  if (dist.empty()) {
+    std::printf("#   (no samples)\n");
+    return;
+  }
+  for (const auto& p : dist.cdf_series(18)) {
+    std::printf("%-28s %12.2f %10.4f\n", label.c_str(), p.x, p.y);
+  }
+}
+
+void print_compare(const std::string& metric, double paper, double measured) {
+  std::printf("%-44s paper=%-10.0f measured=%-10.1f\n", metric.c_str(), paper, measured);
+}
+
+void print_compare(const std::string& metric, const std::string& paper, double measured) {
+  std::printf("%-44s paper=%-10s measured=%-10.1f\n", metric.c_str(), paper.c_str(),
+              measured);
+}
+
+}  // namespace slmob::bench

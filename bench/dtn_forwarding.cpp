@@ -1,0 +1,45 @@
+// Downstream application (paper, abstract & conclusion): trace-driven
+// evaluation of DTN forwarding schemes on the collected mobility traces.
+// Compares epidemic, two-hop relay and direct delivery on each land at the
+// Bluetooth range.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dtn/dtn_simulator.hpp"
+
+using namespace slmob;
+using namespace slmob::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::parse(argc, argv);
+  if (options.hours > 6.0) options.hours = 6.0;
+  print_title("Trace-driven DTN forwarding on Second Life mobility",
+              "La & Michiardi 2008, motivating application (abstract, section 5)");
+
+  std::printf("%-14s %-10s %10s %12s %12s %12s\n", "land", "scheme", "delivery",
+              "delay med", "delay p90", "copies/msg");
+  for (const LandArchetype archetype : kAllArchetypes) {
+    const ExperimentResults& res = land_results(archetype, options);
+    for (const RoutingScheme scheme :
+         {RoutingScheme::kEpidemic, RoutingScheme::kTwoHopRelay,
+          RoutingScheme::kDirectDelivery}) {
+      DtnConfig cfg;
+      cfg.scheme = scheme;
+      cfg.range = kBluetoothRange;
+      cfg.message_count = 300;
+      cfg.seed = options.seed;
+      const DtnResults dtn = simulate_dtn(res.trace, cfg);
+      std::printf("%-14s %-10s %9.1f%% %12.0f %12.0f %12.1f\n",
+                  res.trace.land_name().c_str(), routing_scheme_name(scheme),
+                  dtn.delivery_ratio * 100.0,
+                  dtn.delays.empty() ? 0.0 : dtn.delays.median(),
+                  dtn.delays.empty() ? 0.0 : dtn.delays.quantile(0.9),
+                  dtn.mean_copies_per_message);
+    }
+  }
+  std::printf("\nExpected: epidemic >= two-hop >= direct in delivery ratio; denser\n"
+              "lands (Isle Of View) deliver more and faster; epidemic pays with\n"
+              "many copies. User churn (short sessions) caps even epidemic below\n"
+              "100%%: destinations log out before any relay reaches them.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Performance microbenchmarks (google-benchmark): the hot paths of the
+// pipeline — wire codec, spatial index, contact extraction, graph metrics,
+// LSL interpretation and world stepping.
+#include <benchmark/benchmark.h>
+
+#include "analysis/contacts.hpp"
+#include "analysis/graphs.hpp"
+#include "analysis/spatial_index.hpp"
+#include "lsl/interpreter.hpp"
+#include "net/messages.hpp"
+#include "util/rng.hpp"
+#include "world/archetypes.hpp"
+
+namespace slmob {
+namespace {
+
+Snapshot random_snapshot(std::size_t n, Rng& rng) {
+  Snapshot snap;
+  snap.time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    snap.fixes.push_back({AvatarId{static_cast<std::uint32_t>(i + 1)},
+                          {rng.uniform(0.0, 256.0), rng.uniform(0.0, 256.0), 22.0}});
+  }
+  return snap;
+}
+
+void BM_EncodeCoarseLocationUpdate(benchmark::State& state) {
+  CoarseLocationUpdate update;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    update.entries.push_back({i, 100, 100, 5});
+  }
+  const Message msg{update};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_message(msg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeCoarseLocationUpdate)->Arg(10)->Arg(100);
+
+void BM_DecodeCoarseLocationUpdate(benchmark::State& state) {
+  CoarseLocationUpdate update;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    update.entries.push_back({i, 100, 100, 5});
+  }
+  const auto bytes = encode_message(Message{update});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_message(bytes));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeCoarseLocationUpdate)->Arg(10)->Arg(100);
+
+void BM_SpatialGridPairs(benchmark::State& state) {
+  Rng rng(1);
+  const Snapshot snap = random_snapshot(static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<Vec3> positions;
+  for (const auto& f : snap.fixes) positions.push_back(f.pos);
+  for (auto _ : state) {
+    const SpatialGrid grid(positions, 10.0);
+    benchmark::DoNotOptimize(grid.pairs_within());
+  }
+}
+BENCHMARK(BM_SpatialGridPairs)->Arg(50)->Arg(100)->Arg(400);
+
+void BM_ContactExtraction(benchmark::State& state) {
+  // A 1 h Dance Island ground-truth trace.
+  auto world = make_world(LandArchetype::kDanceIsland, 1);
+  Trace trace("bench", 10.0);
+  for (int t = 0; t < 3600; ++t) {
+    world->tick(t, 1.0);
+    if (t % 10 == 0) {
+      Snapshot snap;
+      snap.time = t;
+      for (const auto& [id, avatar] : world->avatars()) snap.fixes.push_back({id, avatar.pos});
+      trace.add(std::move(snap));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_contacts(trace, 10.0));
+  }
+}
+BENCHMARK(BM_ContactExtraction);
+
+void BM_GraphMetricsPerSnapshot(benchmark::State& state) {
+  Rng rng(2);
+  const Snapshot snap = random_snapshot(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    const LosGraph graph(snap, 20.0);
+    benchmark::DoNotOptimize(graph.largest_component_diameter());
+    benchmark::DoNotOptimize(graph.mean_clustering());
+  }
+}
+BENCHMARK(BM_GraphMetricsPerSnapshot)->Arg(50)->Arg(100);
+
+void BM_WorldTickHour(benchmark::State& state) {
+  for (auto _ : state) {
+    auto world = make_world(LandArchetype::kIsleOfView, 3);
+    for (int t = 0; t < 3600; ++t) world->tick(t, 1.0);
+    benchmark::DoNotOptimize(world->concurrent());
+  }
+}
+BENCHMARK(BM_WorldTickHour)->Unit(benchmark::kMillisecond);
+
+class NullHost : public lsl::LslHost {
+ public:
+  void ll_say(std::int64_t, const std::string&) override {}
+  void ll_owner_say(const std::string&) override {}
+  void ll_set_timer_event(double) override {}
+  void ll_sensor_repeat(const std::string&, const std::string&, std::int64_t, double,
+                        double, double) override {}
+  Vec3 ll_get_pos() override { return {}; }
+  double ll_get_time() override { return 0.0; }
+  std::int64_t ll_get_unix_time() override { return 0; }
+  double ll_frand(double max) override { return max / 2; }
+  std::string ll_http_request(const std::string&, const lsl::List&,
+                              const std::string&) override {
+    return "k";
+  }
+  std::int64_t ll_get_free_memory() override { return 16384; }
+  std::size_t detected_count() const override { return 0; }
+  Vec3 detected_pos(std::size_t) const override { return {}; }
+  std::string detected_key(std::size_t) const override { return {}; }
+  std::string detected_name(std::size_t) const override { return {}; }
+};
+
+void BM_LslFibonacci(benchmark::State& state) {
+  NullHost host;
+  for (auto _ : state) {
+    lsl::Interpreter interp(R"(
+      integer fib(integer n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+      integer g;
+      default { state_entry() { g = fib(15); } }
+    )", host);
+    interp.start();
+    benchmark::DoNotOptimize(interp.global("g"));
+  }
+}
+BENCHMARK(BM_LslFibonacci)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace slmob
+
+BENCHMARK_MAIN();

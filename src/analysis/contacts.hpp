@@ -1,0 +1,56 @@
+// Contact-opportunity analysis (§3.1 of the paper).
+//
+// Given a sampled trace and a communication range r, a contact between two
+// users is a maximal run of consecutive snapshots in which their distance is
+// <= r. Because the trace is sampled every tau seconds, a contact observed
+// in snapshots [t_s .. t_e] is credited duration (t_e - t_s) + tau: a pair
+// seen together exactly once was in range for at least one sampling period.
+//
+// Metrics produced:
+//  * CT  — contact time: duration of each contact interval;
+//  * ICT — inter-contact time: gap between consecutive contacts of the same
+//          pair (start_{k+1} - end_k);
+//  * FT  — first contact time: per user, the wait between its first
+//          appearance in the trace and its first contact with anyone
+//          (users that never have a contact are excluded, i.e. censored).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+// A closed contact interval between a pair of users (a.value < b.value).
+struct ContactInterval {
+  AvatarId a;
+  AvatarId b;
+  Seconds start{0.0};
+  Seconds end{0.0};
+
+  [[nodiscard]] Seconds duration() const { return end - start; }
+};
+
+struct ContactAnalysis {
+  double range{0.0};
+  std::vector<ContactInterval> intervals;  // time-ordered by start
+  Ecdf contact_times;
+  Ecdf inter_contact_times;
+  Ecdf first_contact_times;
+  std::size_t users_seen{0};
+  std::size_t users_with_contact{0};
+};
+
+struct ContactOptions {
+  // A pair unobserved (either user absent from a snapshot) is out of
+  // contact; no gap tolerance is applied — this matches the conservative
+  // reading of the paper's definition.
+};
+
+// Extracts all contacts from `trace` with communication range `range`.
+ContactAnalysis analyze_contacts(const Trace& trace, double range,
+                                 const ContactOptions& options = {});
+
+}  // namespace slmob

@@ -1,0 +1,134 @@
+#include "analysis/graphs.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "analysis/spatial_index.hpp"
+
+namespace slmob {
+
+LosGraph::LosGraph(const Snapshot& snapshot, double range) {
+  adj_.resize(snapshot.fixes.size());
+  std::vector<Vec3> positions;
+  positions.reserve(snapshot.fixes.size());
+  for (const auto& fix : snapshot.fixes) positions.push_back(fix.pos);
+  if (positions.empty()) return;
+  const SpatialGrid grid(positions, range);
+  for (const auto& [i, j] : grid.pairs_within()) {
+    adj_[i].push_back(j);
+    adj_[j].push_back(i);
+  }
+}
+
+std::size_t LosGraph::edge_count() const {
+  std::size_t total = 0;
+  for (const auto& n : adj_) total += n.size();
+  return total / 2;
+}
+
+std::vector<std::vector<std::uint32_t>> LosGraph::components() const {
+  std::vector<std::vector<std::uint32_t>> out;
+  std::vector<char> visited(adj_.size(), 0);
+  for (std::uint32_t start = 0; start < adj_.size(); ++start) {
+    if (visited[start]) continue;
+    std::vector<std::uint32_t> comp;
+    std::deque<std::uint32_t> queue{start};
+    visited[start] = 1;
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop_front();
+      comp.push_back(u);
+      for (const std::uint32_t v : adj_[u]) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+std::size_t LosGraph::eccentricity(std::uint32_t start) const {
+  std::vector<std::int32_t> dist(adj_.size(), -1);
+  std::deque<std::uint32_t> queue{start};
+  dist[start] = 0;
+  std::size_t ecc = 0;
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    ecc = std::max(ecc, static_cast<std::size_t>(dist[u]));
+    for (const std::uint32_t v : adj_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return ecc;
+}
+
+std::size_t LosGraph::largest_component_diameter() const {
+  const auto comps = components();
+  if (comps.empty()) return 0;
+  const auto largest = std::max_element(
+      comps.begin(), comps.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  std::size_t diameter = 0;
+  for (const std::uint32_t u : *largest) {
+    diameter = std::max(diameter, eccentricity(u));
+  }
+  return diameter;
+}
+
+double LosGraph::clustering(std::size_t i) const {
+  const auto& nbrs = adj_.at(i);
+  const std::size_t k = nbrs.size();
+  if (k < 2) return 0.0;
+  std::size_t links = 0;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      const auto& na = adj_[nbrs[a]];
+      if (std::find(na.begin(), na.end(), nbrs[b]) != na.end()) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) / (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double LosGraph::mean_clustering() const {
+  if (adj_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < adj_.size(); ++i) total += clustering(i);
+  return total / static_cast<double>(adj_.size());
+}
+
+GraphMetrics analyze_graphs(const Trace& trace, double range, std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("analyze_graphs: stride must be >= 1");
+  GraphMetrics out;
+  out.range = range;
+  std::size_t isolated = 0;
+  std::size_t degree_samples = 0;
+  const auto& snaps = trace.snapshots();
+  for (std::size_t s = 0; s < snaps.size(); s += stride) {
+    const auto& snap = snaps[s];
+    if (snap.fixes.empty()) continue;
+    const LosGraph graph(snap, range);
+    for (std::size_t i = 0; i < graph.node_count(); ++i) {
+      const auto deg = static_cast<double>(graph.degree(i));
+      out.degrees.add(deg);
+      ++degree_samples;
+      if (graph.degree(i) == 0) ++isolated;
+    }
+    out.diameters.add(static_cast<double>(graph.largest_component_diameter()));
+    out.clustering.add(graph.mean_clustering());
+    ++out.snapshots_analyzed;
+  }
+  out.isolated_fraction =
+      degree_samples == 0 ? 0.0
+                          : static_cast<double>(isolated) / static_cast<double>(degree_samples);
+  return out;
+}
+
+}  // namespace slmob

@@ -1,0 +1,62 @@
+// Line-of-sight network analysis (§3.2 of the paper).
+//
+// For each snapshot, the communication graph has one vertex per avatar and
+// an edge between any two within range r. Aggregated over the measurement
+// period the paper reports:
+//  * node degree CCDF (one sample per avatar per snapshot),
+//  * CDF of the diameter of the largest connected component (one sample per
+//    snapshot),
+//  * CDF of the mean Watts-Strogatz clustering coefficient (one sample per
+//    snapshot: the mean over that snapshot's nodes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+// Adjacency-list graph of one snapshot.
+class LosGraph {
+ public:
+  LosGraph(const Snapshot& snapshot, double range);
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(std::size_t i) const {
+    return adj_.at(i);
+  }
+  [[nodiscard]] std::size_t degree(std::size_t i) const { return adj_.at(i).size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  // Connected components as vectors of node indices.
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> components() const;
+  // Longest shortest path within the largest connected component. 0 for an
+  // empty graph or singleton component.
+  [[nodiscard]] std::size_t largest_component_diameter() const;
+  // Watts-Strogatz clustering coefficient of node i (0 when degree < 2).
+  [[nodiscard]] double clustering(std::size_t i) const;
+  // Mean clustering over all nodes (0 for an empty graph).
+  [[nodiscard]] double mean_clustering() const;
+
+ private:
+  // BFS eccentricity of `start` restricted to its component.
+  [[nodiscard]] std::size_t eccentricity(std::uint32_t start) const;
+  std::vector<std::vector<std::uint32_t>> adj_;
+};
+
+struct GraphMetrics {
+  double range{0.0};
+  Ecdf degrees;     // per (avatar, snapshot)
+  Ecdf diameters;   // per snapshot
+  Ecdf clustering;  // per snapshot (mean over nodes)
+  std::size_t snapshots_analyzed{0};
+  double isolated_fraction{0.0};  // fraction of degree samples equal to 0
+};
+
+// Computes graph metrics over all snapshots with >= 1 avatar. `stride`
+// analyses every stride-th snapshot (1 = all; larger for quick looks).
+GraphMetrics analyze_graphs(const Trace& trace, double range, std::size_t stride = 1);
+
+}  // namespace slmob

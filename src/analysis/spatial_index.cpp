@@ -1,0 +1,66 @@
+#include "analysis/spatial_index.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace slmob {
+
+SpatialGrid::SpatialGrid(const std::vector<Vec3>& positions, double radius)
+    : positions_(positions), radius_(radius), cell_(radius) {
+  if (radius <= 0.0) throw std::invalid_argument("SpatialGrid: radius must be positive");
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    cells_[key_for(positions_[i])].push_back(i);
+  }
+}
+
+SpatialGrid::CellKey SpatialGrid::pack(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+SpatialGrid::CellKey SpatialGrid::key_for(const Vec3& p) const {
+  return pack(static_cast<std::int32_t>(std::floor(p.x / cell_)),
+              static_cast<std::int32_t>(std::floor(p.y / cell_)));
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> SpatialGrid::pairs_within() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
+    const auto cx = static_cast<std::int32_t>(std::floor(positions_[i].x / cell_));
+    const auto cy = static_cast<std::int32_t>(std::floor(positions_[i].y / cell_));
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(pack(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        for (const std::uint32_t j : it->second) {
+          if (j <= i) continue;
+          if (positions_[i].distance2d_to(positions_[j]) <= radius_) {
+            out.emplace_back(i, j);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> SpatialGrid::neighbors_of(std::uint32_t i) const {
+  std::vector<std::uint32_t> out;
+  if (i >= positions_.size()) throw std::out_of_range("SpatialGrid::neighbors_of");
+  const auto cx = static_cast<std::int32_t>(std::floor(positions_[i].x / cell_));
+  const auto cy = static_cast<std::int32_t>(std::floor(positions_[i].y / cell_));
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(pack(cx + dx, cy + dy));
+      if (it == cells_.end()) continue;
+      for (const std::uint32_t j : it->second) {
+        if (j != i && positions_[i].distance2d_to(positions_[j]) <= radius_) {
+          out.push_back(j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace slmob

@@ -1,0 +1,39 @@
+// Uniform-grid spatial index for range queries over one snapshot.
+//
+// Contact extraction and graph construction both need "all pairs within r";
+// the grid reduces that from O(n^2) distance checks to neighbours of the
+// 3x3 cell block around each point. Cell size equals the query radius.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace slmob {
+
+class SpatialGrid {
+ public:
+  // `radius` is the query radius the grid is built for; `positions` indexes
+  // are preserved in query results.
+  SpatialGrid(const std::vector<Vec3>& positions, double radius);
+
+  // All index pairs (i < j) with planar distance <= radius.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_within() const;
+
+  // Indices within radius of positions[i], excluding i itself.
+  [[nodiscard]] std::vector<std::uint32_t> neighbors_of(std::uint32_t i) const;
+
+ private:
+  using CellKey = std::uint64_t;
+  [[nodiscard]] CellKey key_for(const Vec3& p) const;
+  [[nodiscard]] static CellKey pack(std::int32_t cx, std::int32_t cy);
+
+  const std::vector<Vec3>& positions_;
+  double radius_;
+  double cell_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace slmob

@@ -1,0 +1,22 @@
+// Trip analysis (Fig. 4 of the paper): per-user travel length, effective
+// travel time (motion only) and travel/login time, computed from
+// reconstructed sessions.
+#pragma once
+
+#include "stats/ecdf.hpp"
+#include "trace/sessions.hpp"
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+struct TripAnalysis {
+  Ecdf travel_lengths;          // metres, one sample per session
+  Ecdf effective_travel_times;  // seconds
+  Ecdf travel_times;            // seconds (session duration)
+  std::size_t sessions{0};
+};
+
+TripAnalysis analyze_trips(const Trace& trace,
+                           const SessionExtractionOptions& options = {});
+
+}  // namespace slmob

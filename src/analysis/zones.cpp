@@ -1,0 +1,52 @@
+#include "analysis/zones.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slmob {
+
+ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_size) {
+  if (land_size <= 0.0 || cell_size <= 0.0) {
+    throw std::invalid_argument("analyze_zones: bad sizes");
+  }
+  ZoneAnalysis out;
+  out.cell_size = cell_size;
+  const auto side = static_cast<std::size_t>(std::ceil(land_size / cell_size));
+  out.cells_per_side = side;
+  const std::size_t n_cells = side * side;
+  out.mean_per_cell.assign(n_cells, 0.0);
+
+  std::vector<std::uint32_t> counts(n_cells);
+  std::size_t empty_samples = 0;
+  std::size_t total_samples = 0;
+  for (const auto& snap : trace.snapshots()) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const auto& fix : snap.fixes) {
+      auto cx = static_cast<std::size_t>(std::clamp(fix.pos.x, 0.0, land_size - 1e-9) /
+                                         cell_size);
+      auto cy = static_cast<std::size_t>(std::clamp(fix.pos.y, 0.0, land_size - 1e-9) /
+                                         cell_size);
+      cx = std::min(cx, side - 1);
+      cy = std::min(cy, side - 1);
+      ++counts[cy * side + cx];
+    }
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      out.occupancy.add(static_cast<double>(counts[c]));
+      out.mean_per_cell[c] += static_cast<double>(counts[c]);
+      out.max_occupancy = std::max(out.max_occupancy, static_cast<std::size_t>(counts[c]));
+      if (counts[c] == 0) ++empty_samples;
+      ++total_samples;
+    }
+  }
+  if (total_samples > 0) {
+    out.empty_fraction =
+        static_cast<double>(empty_samples) / static_cast<double>(total_samples);
+    for (auto& m : out.mean_per_cell) {
+      m /= static_cast<double>(trace.snapshots().size());
+    }
+  }
+  return out;
+}
+
+}  // namespace slmob

@@ -1,0 +1,28 @@
+// Zone occupation (Fig. 3 of the paper): divide the land into L x L cells
+// (L = 20 m) and look at the distribution of per-cell user counts across
+// all snapshots. Hot-spot lands show a long tail (tens of users in a cell)
+// while most cells are empty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+struct ZoneAnalysis {
+  double cell_size{20.0};
+  std::size_t cells_per_side{0};
+  Ecdf occupancy;                 // one sample per (cell, snapshot)
+  double empty_fraction{0.0};     // fraction of (cell, snapshot) samples == 0
+  std::size_t max_occupancy{0};
+  // Time-averaged occupancy per cell, row-major (heat map of the land).
+  std::vector<double> mean_per_cell;
+};
+
+ZoneAnalysis analyze_zones(const Trace& trace, double land_size = 256.0,
+                           double cell_size = 20.0);
+
+}  // namespace slmob

@@ -1,0 +1,157 @@
+#include "client/metaverse_client.hpp"
+
+#include "util/log.hpp"
+
+namespace slmob {
+
+MetaverseClient::MetaverseClient(SimNetwork& network, NodeId server,
+                                 std::string first_name, std::string last_name)
+    : network_(network),
+      server_(server),
+      first_name_(std::move(first_name)),
+      last_name_(std::move(last_name)) {
+  address_ = network_.register_node(
+      [this](NodeId from, std::span<const std::uint8_t> bytes) {
+        if (from == server_) circuit_->on_datagram(bytes);
+      });
+  circuit_ = std::make_unique<CircuitEndpoint>(network_, address_, server_);
+  circuit_->set_deliver([this](Message msg) { on_message(std::move(msg)); });
+  circuit_->set_on_failure([this] { set_state(ClientState::kKicked); });
+}
+
+void MetaverseClient::set_state(ClientState s) {
+  if (state_ == s) return;
+  state_ = s;
+  if (callbacks_.on_state_change) callbacks_.on_state_change(s);
+}
+
+void MetaverseClient::login() {
+  if (state_ == ClientState::kConnected || state_ == ClientState::kLoggingIn) return;
+  // Reconnects always use a fresh circuit with a new initial sequence
+  // number: a stale server-side session would otherwise drop retried
+  // logins as duplicates of the previous circuit's packets.
+  if (++login_attempts_ > 1 || circuit_->failed()) {
+    const std::uint32_t isn =
+        (0x9e3779b9u * (address_ + 77u * login_attempts_)) % 1000000000u + 1u;
+    circuit_ = std::make_unique<CircuitEndpoint>(network_, address_, server_,
+                                                 CircuitParams{}, isn);
+    circuit_->set_deliver([this](Message msg) { on_message(std::move(msg)); });
+    circuit_->set_on_failure([this] { set_state(ClientState::kKicked); });
+  }
+  login_started_ = now_;
+  // Derive a deterministic circuit code from the client address; real
+  // clients got one from the login XML-RPC server.
+  circuit_code_ = 0x5000 + address_;
+  LoginRequest req;
+  req.first_name = first_name_;
+  req.last_name = last_name_;
+  req.password_hash = 0xfeedfacecafebeefULL;
+  req.circuit_code = circuit_code_;
+  circuit_->send(req, /*reliable=*/true);
+  set_state(ClientState::kLoggingIn);
+}
+
+void MetaverseClient::force_disconnect() { set_state(ClientState::kKicked); }
+
+void MetaverseClient::logout() {
+  if (!connected()) return;
+  LogoutRequest req;
+  req.agent_id = agent_id_;
+  circuit_->send(req, /*reliable=*/true);
+  set_state(ClientState::kDisconnected);
+}
+
+void MetaverseClient::move_to(const Vec3& target, double speed) {
+  if (!connected()) return;
+  AgentUpdate update;
+  update.agent_id = agent_id_;
+  update.target_x = static_cast<float>(target.x);
+  update.target_y = static_cast<float>(target.y);
+  update.target_z = static_cast<float>(target.z);
+  update.speed = static_cast<float>(speed);
+  circuit_->send(update, /*reliable=*/false);
+}
+
+void MetaverseClient::sit() {
+  if (!connected()) return;
+  AgentUpdate update;
+  update.agent_id = agent_id_;
+  update.flags = kAgentFlagSit;
+  circuit_->send(update, /*reliable=*/false);
+}
+
+void MetaverseClient::stand() {
+  if (!connected()) return;
+  AgentUpdate update;
+  update.agent_id = agent_id_;
+  update.flags = kAgentFlagStand;
+  circuit_->send(update, /*reliable=*/false);
+}
+
+void MetaverseClient::say(const std::string& text) {
+  if (!connected()) return;
+  ChatFromViewer chat;
+  chat.agent_id = agent_id_;
+  chat.message = text;
+  chat.channel = 0;
+  circuit_->send(chat, /*reliable=*/false);
+}
+
+void MetaverseClient::on_message(Message msg) {
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, LoginResponse>) {
+          if (!m.ok) {
+            log_info("client", "login refused: " + m.error);
+            set_state(ClientState::kLoginFailed);
+            return;
+          }
+          agent_id_ = m.agent_id;
+          region_name_ = m.region_name;
+          spawn_ = {m.spawn_x, m.spawn_y, m.spawn_z};
+          UseCircuitCode ucc;
+          ucc.circuit_code = circuit_code_;
+          ucc.agent_id = agent_id_;
+          circuit_->send(ucc, /*reliable=*/true);
+          CompleteAgentMovement cam;
+          cam.agent_id = agent_id_;
+          circuit_->send(cam, /*reliable=*/true);
+          set_state(ClientState::kConnected);
+        } else if constexpr (std::is_same_v<T, RegionHandshake>) {
+          region_name_ = m.region_name;
+        } else if constexpr (std::is_same_v<T, CoarseLocationUpdate>) {
+          if (callbacks_.on_coarse) callbacks_.on_coarse(now_, m);
+        } else if constexpr (std::is_same_v<T, ChatFromSimulator>) {
+          if (callbacks_.on_chat) callbacks_.on_chat(m);
+        } else if constexpr (std::is_same_v<T, KickUser>) {
+          set_state(ClientState::kKicked);
+        } else {
+          log_warn("client", "unexpected message type from server");
+        }
+      },
+      std::move(msg));
+}
+
+void MetaverseClient::tick(Seconds now, Seconds dt) {
+  (void)dt;
+  now_ = now;
+  circuit_->tick(now);
+  // Login watchdog: a handshake that stalls (e.g. the server holds a stale
+  // session that eats our packets) is abandoned and retried by the caller.
+  if (state_ == ClientState::kLoggingIn && now - login_started_ > 30.0) {
+    set_state(ClientState::kLoginFailed);
+  }
+  // Keepalive: real viewers stream AgentUpdates continuously; we send a
+  // no-op update often enough that the server's session timeout never
+  // trips on an idle client.
+  if (connected() && now - last_keepalive_ >= 10.0) {
+    last_keepalive_ = now;
+    AgentUpdate update;
+    update.agent_id = agent_id_;
+    update.speed = 0.0f;  // no movement command, just liveness
+    circuit_->send(update, /*reliable=*/false);
+  }
+}
+
+}  // namespace slmob

@@ -1,0 +1,90 @@
+// MetaverseClient: a stripped-down client library in the spirit of
+// libsecondlife — just enough protocol to log in as a normal user, move,
+// chat, and consume the minimap (coarse location) feed. The crawler is a
+// thin application on top of this class.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/circuit.hpp"
+#include "net/messages.hpp"
+#include "net/network.hpp"
+#include "util/time.hpp"
+#include "util/vec3.hpp"
+
+namespace slmob {
+
+enum class ClientState {
+  kDisconnected,
+  kLoggingIn,    // LoginRequest sent
+  kConnected,    // LoginResponse ok + CompleteAgentMovement sent
+  kLoginFailed,  // server refused (e.g. region full)
+  kKicked,       // circuit failure or KickUser
+};
+
+struct ClientCallbacks {
+  // Fired for every CoarseLocationUpdate received (the raw minimap feed).
+  std::function<void(Seconds now, const CoarseLocationUpdate&)> on_coarse;
+  std::function<void(const ChatFromSimulator&)> on_chat;
+  std::function<void(ClientState)> on_state_change;
+};
+
+class MetaverseClient {
+ public:
+  MetaverseClient(SimNetwork& network, NodeId server, std::string first_name,
+                  std::string last_name);
+
+  // Begins the login handshake; completion is observed via state().
+  void login();
+  void logout();
+  // Drops the connection client-side (e.g. the application noticed the
+  // server feed went silent); login() can then reconnect.
+  void force_disconnect();
+
+  // Movement command: walk toward `target` at `speed` m/s.
+  void move_to(const Vec3& target, double speed);
+  void sit();
+  void stand();
+  // Says `text` on the local chat channel.
+  void say(const std::string& text);
+
+  void set_callbacks(ClientCallbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  // Engine hook (kPriorityClient).
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] ClientState state() const { return state_; }
+  [[nodiscard]] bool connected() const { return state_ == ClientState::kConnected; }
+  [[nodiscard]] std::uint32_t agent_id() const { return agent_id_; }
+  [[nodiscard]] const std::string& region_name() const { return region_name_; }
+  [[nodiscard]] Vec3 spawn_position() const { return spawn_; }
+  [[nodiscard]] NodeId address() const { return address_; }
+  [[nodiscard]] const CircuitStats& circuit_stats() const { return circuit_->stats(); }
+
+ private:
+  void on_message(Message msg);
+  void set_state(ClientState s);
+
+  SimNetwork& network_;
+  NodeId server_;
+  NodeId address_;
+  std::string first_name_;
+  std::string last_name_;
+  std::unique_ptr<CircuitEndpoint> circuit_;
+  ClientState state_{ClientState::kDisconnected};
+  std::uint32_t agent_id_{0};
+  std::uint32_t circuit_code_{0};
+  std::string region_name_;
+  Vec3 spawn_;
+  Seconds now_{0.0};
+  Seconds last_keepalive_{-1e9};
+  Seconds login_started_{0.0};
+  std::uint32_t login_attempts_{0};
+  ClientCallbacks callbacks_;
+};
+
+}  // namespace slmob

@@ -1,0 +1,53 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+namespace slmob {
+
+ExperimentResults run_experiment(const ExperimentConfig& config) {
+  TestbedConfig tb = config.testbed;
+  tb.archetype = config.archetype;
+  tb.seed = config.seed;
+  if (config.analyze_ground_truth) tb.with_ground_truth = true;
+
+  Testbed bed(tb);
+  bed.run_until(config.duration);
+
+  Trace trace;
+  if (config.analyze_ground_truth) {
+    trace = bed.ground_truth()->take_trace();
+  } else if (bed.crawler() != nullptr) {
+    trace = bed.crawler()->take_trace();
+  } else if (bed.ground_truth() != nullptr) {
+    trace = bed.ground_truth()->take_trace();
+  } else {
+    throw std::logic_error("run_experiment: no trace source configured");
+  }
+  trace.strip_sitting_fixes();
+
+  ExperimentResults results =
+      analyze_trace(std::move(trace), config.ranges, bed.world().land().size());
+  results.world_stats = bed.world().stats();
+  if (bed.crawler() != nullptr) results.crawler_stats = bed.crawler()->stats();
+  results.network_stats = bed.network().stats();
+  if (!config.analyze_ground_truth && bed.ground_truth() != nullptr) {
+    results.ground_truth = bed.ground_truth()->take_trace();
+  }
+  return results;
+}
+
+ExperimentResults analyze_trace(Trace trace, const std::vector<double>& ranges,
+                                double land_size) {
+  ExperimentResults results;
+  results.summary = trace.summary();
+  for (const double r : ranges) {
+    results.contacts.emplace(r, analyze_contacts(trace, r));
+    results.graphs.emplace(r, analyze_graphs(trace, r));
+  }
+  results.zones = analyze_zones(trace, land_size);
+  results.trips = analyze_trips(trace);
+  results.trace = std::move(trace);
+  return results;
+}
+
+}  // namespace slmob

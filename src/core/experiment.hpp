@@ -1,0 +1,61 @@
+// Experiment: the one-call public API.
+//
+// Reproduces the paper's full methodology: run a 24 h (configurable)
+// crawler measurement on a target land, then compute every metric of §3 —
+// contact opportunities (CT/ICT/FT) at the Bluetooth and WiFi ranges,
+// line-of-sight graph properties, zone occupation and trip statistics.
+//
+//   ExperimentConfig cfg;
+//   cfg.archetype = LandArchetype::kDanceIsland;
+//   cfg.duration = 24 * kSecondsPerHour;
+//   ExperimentResults res = run_experiment(cfg);
+//   res.contacts.at(kBluetoothRange).contact_times.median();
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "analysis/contacts.hpp"
+#include "analysis/graphs.hpp"
+#include "analysis/trips.hpp"
+#include "analysis/zones.hpp"
+#include "core/testbed.hpp"
+
+namespace slmob {
+
+// The paper's two communication ranges: Bluetooth and 802.11a WiFi.
+inline constexpr double kBluetoothRange = 10.0;
+inline constexpr double kWifiRange = 80.0;
+
+struct ExperimentConfig {
+  LandArchetype archetype{LandArchetype::kIsleOfView};
+  Seconds duration{kSecondsPerDay};
+  std::uint64_t seed{42};
+  std::vector<double> ranges{kBluetoothRange, kWifiRange};
+  TestbedConfig testbed;  // archetype/seed fields here are overwritten
+  // Analyse the ground-truth trace instead of the crawler's (for
+  // architecture-comparison studies).
+  bool analyze_ground_truth{false};
+};
+
+struct ExperimentResults {
+  Trace trace;  // the analysed trace
+  TraceSummary summary;
+  std::map<double, ContactAnalysis> contacts;  // keyed by range
+  std::map<double, GraphMetrics> graphs;       // keyed by range
+  ZoneAnalysis zones;
+  TripAnalysis trips;
+  WorldStats world_stats;
+  CrawlerStats crawler_stats;   // zero-initialised when crawler disabled
+  NetworkStats network_stats;
+  std::optional<Trace> ground_truth;
+};
+
+// Runs the testbed for cfg.duration and computes all analyses.
+ExperimentResults run_experiment(const ExperimentConfig& config);
+
+// Runs only the analyses on an existing trace (e.g. loaded from disk).
+ExperimentResults analyze_trace(Trace trace, const std::vector<double>& ranges,
+                                double land_size = kDefaultLandSize);
+
+}  // namespace slmob

@@ -1,0 +1,111 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace slmob {
+namespace {
+
+std::string fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+void quantile_row(std::ostringstream& os, const std::string& name, const Ecdf& dist,
+                  int decimals = 0) {
+  if (dist.empty()) {
+    os << "| " << name << " | 0 | - | - | - | - |\n";
+    return;
+  }
+  os << "| " << name << " | " << dist.size() << " | " << fmt(dist.quantile(0.1), decimals)
+     << " | " << fmt(dist.median(), decimals) << " | " << fmt(dist.quantile(0.9), decimals)
+     << " | " << fmt(dist.max(), decimals) << " |\n";
+}
+
+void series_table(std::ostringstream& os, const std::string& name, const Ecdf& dist,
+                  std::size_t points) {
+  if (dist.empty()) return;
+  os << "\n<details><summary>" << name << " CCDF</summary>\n\n";
+  os << "| x | 1 - F(x) |\n|---|---|\n";
+  for (const auto& p : dist.ccdf_log_series(points, 1.0)) {
+    os << "| " << fmt(p.x, 1) << " | " << fmt(p.y, 4) << " |\n";
+  }
+  os << "\n</details>\n";
+}
+
+}  // namespace
+
+std::string render_report(const ExperimentResults& results, const ReportOptions& options) {
+  std::ostringstream os;
+  const TraceSummary& s = results.summary;
+
+  os << "# Mobility measurement report: " << results.trace.land_name() << "\n\n";
+  os << "## Trace\n\n";
+  os << "| quantity | value |\n|---|---|\n";
+  os << "| duration | " << fmt(s.duration / kSecondsPerHour, 2) << " h |\n";
+  os << "| snapshots | " << s.snapshot_count << " (every "
+     << fmt(results.trace.sampling_interval(), 0) << " s) |\n";
+  os << "| unique visitors | " << s.unique_users << " |\n";
+  os << "| avg concurrent | " << fmt(s.avg_concurrent) << " |\n";
+  os << "| max concurrent | " << s.max_concurrent << " |\n";
+  os << "| logins (world) | " << results.world_stats.total_logins << " ("
+     << results.world_stats.rejected_logins << " rejected at capacity) |\n";
+  if (results.crawler_stats.snapshots_taken > 0) {
+    os << "| crawler re-logins | " << results.crawler_stats.relogins << " |\n";
+  }
+
+  os << "\n## Contact opportunities\n\n";
+  os << "| metric | n | p10 | median | p90 | max |\n|---|---|---|---|---|---|\n";
+  for (const auto& [range, contacts] : results.contacts) {
+    const std::string tag = " (r=" + fmt(range, 0) + "m, s)";
+    quantile_row(os, "contact time" + tag, contacts.contact_times);
+    quantile_row(os, "inter-contact time" + tag, contacts.inter_contact_times);
+    quantile_row(os, "first contact time" + tag, contacts.first_contact_times);
+  }
+
+  os << "\n## Line-of-sight networks\n\n";
+  os << "| metric | n | p10 | median | p90 | max |\n|---|---|---|---|---|---|\n";
+  for (const auto& [range, graphs] : results.graphs) {
+    const std::string tag = " (r=" + fmt(range, 0) + "m)";
+    quantile_row(os, "node degree" + tag, graphs.degrees);
+    quantile_row(os, "diameter" + tag, graphs.diameters);
+    quantile_row(os, "clustering" + tag, graphs.clustering, 2);
+  }
+  for (const auto& [range, graphs] : results.graphs) {
+    os << "- isolated users at r=" << fmt(range, 0) << "m: "
+       << fmt(graphs.isolated_fraction * 100.0) << "%\n";
+  }
+
+  os << "\n## Space and trips\n\n";
+  os << "- empty " << fmt(results.zones.cell_size, 0)
+     << "m cells: " << fmt(results.zones.empty_fraction * 100.0) << "%\n";
+  os << "- busiest cell: " << results.zones.max_occupancy << " users\n\n";
+  os << "| metric | n | p10 | median | p90 | max |\n|---|---|---|---|---|---|\n";
+  quantile_row(os, "travel length (m)", results.trips.travel_lengths);
+  quantile_row(os, "effective travel time (s)", results.trips.effective_travel_times);
+  quantile_row(os, "travel/login time (s)", results.trips.travel_times);
+
+  if (options.include_series) {
+    os << "\n## Distributions\n";
+    for (const auto& [range, contacts] : results.contacts) {
+      const std::string tag = " r=" + fmt(range, 0) + "m";
+      series_table(os, "contact time" + tag, contacts.contact_times,
+                   options.series_points);
+      series_table(os, "inter-contact time" + tag, contacts.inter_contact_times,
+                   options.series_points);
+    }
+  }
+  return os.str();
+}
+
+void write_report(const ExperimentResults& results, const std::string& path,
+                  const ReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_report: cannot open " + path);
+  out << render_report(results, options);
+  if (!out) throw std::runtime_error("write_report: write failed for " + path);
+}
+
+}  // namespace slmob

@@ -1,0 +1,28 @@
+// Markdown report generation: renders an ExperimentResults as the
+// human-readable companion of a measurement run (summary, all §3 metrics,
+// distribution quantiles) — what the paper's web application showed its
+// users.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace slmob {
+
+struct ReportOptions {
+  // Include the log-spaced CCDF tables for CT/ICT/FT.
+  bool include_series{false};
+  std::size_t series_points{12};
+};
+
+// Renders the results as Markdown.
+std::string render_report(const ExperimentResults& results,
+                          const ReportOptions& options = {});
+
+// Convenience: render and write to `path` (throws std::runtime_error on
+// I/O failure).
+void write_report(const ExperimentResults& results, const std::string& path,
+                  const ReportOptions& options = {});
+
+}  // namespace slmob

@@ -1,0 +1,46 @@
+#include "core/testbed.hpp"
+
+namespace slmob {
+
+Testbed::Testbed(const TestbedConfig& config)
+    : config_(config),
+      engine_(config.tick_length),
+      world_(make_world(config.archetype, config.seed)),
+      network_(config.network, config.seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (config_.curiosity) world_->set_curiosity(*config_.curiosity);
+
+  server_ = std::make_unique<SimServer>(network_, *world_, config_.server);
+
+  engine_.add(kPriorityWorld,
+              [this](Seconds now, Seconds dt) { world_->tick(now, dt); });
+  engine_.add(kPriorityServer,
+              [this](Seconds now, Seconds dt) { server_->tick(now, dt); });
+  engine_.add(kPriorityNetwork,
+              [this](Seconds now, Seconds dt) { network_.tick(now, dt); });
+
+  if (config_.with_crawler) {
+    client_ = std::make_unique<MetaverseClient>(network_, server_->address(), "slmob",
+                                                "crawler");
+    crawler_ = std::make_unique<Crawler>(*client_, config_.crawler, config_.seed ^ 0xabcd);
+    engine_.add(kPriorityClient,
+                [this](Seconds now, Seconds dt) { client_->tick(now, dt); });
+    engine_.add(kPriorityMonitor,
+                [this](Seconds now, Seconds dt) { crawler_->tick(now, dt); });
+  }
+  if (config_.with_ground_truth) {
+    ground_truth_ =
+        std::make_unique<GroundTruthRecorder>(*world_, config_.ground_truth_interval);
+    engine_.add(kPriorityMonitor,
+                [this](Seconds now, Seconds dt) { ground_truth_->tick(now, dt); });
+  }
+}
+
+void Testbed::run_until(Seconds until) {
+  if (!started_) {
+    started_ = true;
+    if (crawler_) crawler_->start();
+  }
+  engine_.run_until(until);
+}
+
+}  // namespace slmob

@@ -1,0 +1,128 @@
+#include "crawler/crawler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace slmob {
+
+Crawler::Crawler(MetaverseClient& client, CrawlerConfig config, std::uint64_t seed)
+    : client_(client),
+      config_(config),
+      rng_(seed),
+      trace_("", config.sample_interval) {
+  ClientCallbacks callbacks;
+  callbacks.on_coarse = [this](Seconds now, const CoarseLocationUpdate& update) {
+    on_coarse(now, update);
+  };
+  client_.set_callbacks(std::move(callbacks));
+}
+
+void Crawler::start() {
+  running_ = true;
+  client_.login();
+}
+
+void Crawler::stop() {
+  running_ = false;
+  client_.logout();
+}
+
+void Crawler::on_coarse(Seconds now, const CoarseLocationUpdate& update) {
+  ++stats_.coarse_updates_seen;
+  latest_entries_ = update.entries;
+  latest_entries_time_ = now;
+}
+
+void Crawler::act_human(Seconds now) {
+  if (!config_.mimicry.enabled) return;
+  if (now >= next_move_) {
+    const double step = rng_.uniform(config_.mimicry.step_min, config_.mimicry.step_max);
+    const double theta = rng_.uniform(0.0, 6.283185307179586);
+    // Random walk anchored at the spawn area; clamping keeps it in-land.
+    const Vec3 base = client_.spawn_position();
+    const Vec3 target{
+        std::clamp(base.x + step * std::cos(theta) * rng_.uniform(0.5, 3.0), 1.0,
+                   config_.land_size - 1.0),
+        std::clamp(base.y + step * std::sin(theta) * rng_.uniform(0.5, 3.0), 1.0,
+                   config_.land_size - 1.0),
+        base.z};
+    client_.move_to(target, 2.0);
+    ++stats_.moves_made;
+    next_move_ = now + rng_.exponential(config_.mimicry.move_period);
+  }
+  if (now >= next_chat_) {
+    const auto& phrases = config_.mimicry.phrases;
+    if (!phrases.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(phrases.size()) - 1));
+      client_.say(phrases[idx]);
+      ++stats_.chat_lines_sent;
+    }
+    next_chat_ = now + rng_.exponential(config_.mimicry.chat_period);
+  }
+}
+
+void Crawler::tick(Seconds now, Seconds dt) {
+  (void)dt;
+  if (!running_) return;
+
+  if (trace_.land_name().empty() && !client_.region_name().empty()) {
+    trace_ = Trace(client_.region_name(), config_.sample_interval);
+  }
+
+  switch (client_.state()) {
+    case ClientState::kKicked:
+    case ClientState::kLoginFailed:
+      // Paced re-login: the server holds the dead session until its circuit
+      // timeout expires, so hammering login would only be dropped as
+      // duplicates.
+      if (config_.auto_relogin && now >= next_login_retry_) {
+        next_login_retry_ = now + 15.0;
+        ++stats_.relogins;
+        log_info("crawler", "circuit lost; re-logging in");
+        client_.login();
+      }
+      return;
+    case ClientState::kLoggingIn:
+    case ClientState::kDisconnected:
+      return;
+    case ClientState::kConnected:
+      break;
+  }
+
+  // Feed liveness: a connected client that stops receiving the minimap feed
+  // has lost its session (however that happened); reconnect.
+  if (latest_entries_time_ >= 0.0 && now - latest_entries_time_ > 60.0) {
+    log_info("crawler", "minimap feed went silent; reconnecting");
+    latest_entries_time_ = -1.0;
+    client_.force_disconnect();
+    return;
+  }
+
+  act_human(now);
+
+  if (now >= next_sample_) {
+    next_sample_ = now + config_.sample_interval;
+    // Stale minimap data (older than one sampling interval) means we just
+    // reconnected; skip rather than record outdated positions.
+    if (latest_entries_time_ < 0.0 ||
+        now - latest_entries_time_ > config_.sample_interval) {
+      ++stats_.empty_snapshots;
+      return;
+    }
+    Snapshot snap;
+    snap.time = now;
+    snap.fixes.reserve(latest_entries_.size());
+    for (const auto& entry : latest_entries_) {
+      if (entry.agent_id == client_.agent_id()) continue;  // exclude ourselves
+      const CoarsePosition p = dequantize_coarse(entry);
+      snap.fixes.push_back({AvatarId{entry.agent_id}, Vec3{p.x, p.y, p.z}});
+    }
+    trace_.add(std::move(snap));
+    ++stats_.snapshots_taken;
+  }
+}
+
+}  // namespace slmob

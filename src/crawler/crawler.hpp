@@ -1,0 +1,94 @@
+// Crawler: the measurement instrument of the paper.
+//
+// It logs into the target land as a normal user (so private lands are no
+// obstacle) and records, every `sample_interval` (tau = 10 s in the paper),
+// a snapshot of the position of every avatar on the land, taken from the
+// CoarseLocationUpdate minimap feed. Its own avatar is excluded from the
+// trace.
+//
+// Mimicry: a motionless, silent avatar is conspicuous — the paper reports
+// users steadily converging on their first crawler. With mimicry enabled
+// the crawler wanders randomly across the land and broadcasts canned chat
+// phrases, which suppresses the world's curiosity perturbation.
+//
+// Robustness: if the circuit dies (packet loss bursts — the paper blames
+// libsecondlife instabilities for interrupted long traces), the crawler
+// re-logs-in automatically and the trace simply has a short gap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "client/metaverse_client.hpp"
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+struct MimicryConfig {
+  bool enabled{true};
+  // Mean interval between wander moves / chat lines (exponentially jittered).
+  Seconds move_period{45.0};
+  Seconds chat_period{120.0};
+  // Wander step length range (m).
+  double step_min{5.0};
+  double step_max{40.0};
+  std::vector<std::string> phrases{
+      "hi :)", "nice place!", "anyone from germany?", "lol",
+      "how do i dance?", "brb", "cool build", "this party rocks",
+  };
+};
+
+struct CrawlerConfig {
+  Seconds sample_interval{10.0};  // the paper's tau
+  MimicryConfig mimicry;
+  bool auto_relogin{true};
+  double land_size{256.0};
+};
+
+struct CrawlerStats {
+  std::uint64_t snapshots_taken{0};
+  std::uint64_t coarse_updates_seen{0};
+  std::uint64_t relogins{0};
+  std::uint64_t chat_lines_sent{0};
+  std::uint64_t moves_made{0};
+  std::uint64_t empty_snapshots{0};  // no coarse data fresh enough
+};
+
+class Crawler {
+ public:
+  Crawler(MetaverseClient& client, CrawlerConfig config, std::uint64_t seed = 7);
+
+  // Starts the login handshake; sampling begins once connected.
+  void start();
+  void stop();
+
+  // Engine hook (kPriorityMonitor). Assumes client.tick runs earlier in the
+  // same engine tick (kPriorityClient).
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace take_trace() { return std::move(trace_); }
+  [[nodiscard]] const CrawlerStats& stats() const { return stats_; }
+
+ private:
+  void on_coarse(Seconds now, const CoarseLocationUpdate& update);
+  void act_human(Seconds now);
+
+  MetaverseClient& client_;
+  CrawlerConfig config_;
+  Rng rng_;
+  Trace trace_;
+  bool running_{false};
+
+  // Latest minimap state.
+  std::vector<CoarseEntry> latest_entries_;
+  Seconds latest_entries_time_{-1.0};
+
+  Seconds next_sample_{0.0};
+  Seconds next_move_{0.0};
+  Seconds next_chat_{0.0};
+  Seconds next_login_retry_{0.0};
+  CrawlerStats stats_;
+};
+
+}  // namespace slmob

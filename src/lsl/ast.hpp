@@ -1,0 +1,114 @@
+// AST for the LSL subset.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slmob::lsl {
+
+enum class LslType { kInteger, kFloat, kString, kVector, kList, kKey, kVoid };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kVectorLiteral,  // <x, y, z>
+  kListLiteral,    // [a, b, c]
+  kVariable,
+  kMember,     // expr . x|y|z
+  kUnary,      // -expr, !expr
+  kBinary,     // + - * / % == != < > <= >= && ||
+  kAssign,     // name = expr, name += expr, name -= expr, member = expr
+  kCall,       // f(args)
+  kCast,       // (type) expr
+  kIncrement,  // name++ / name-- (post) or ++name / --name (pre)
+};
+
+struct Expr {
+  ExprKind kind{};
+  int line{0};
+  // literals
+  long long int_value{0};
+  double float_value{0.0};
+  std::string string_value;
+  // variable / call / member / assign target
+  std::string name;
+  char member{'x'};
+  // operator text for unary/binary/assign ("+", "==", "+=", ...)
+  std::string op;
+  // children: unary/cast -> [0]; binary/assign -> [0],[1];
+  // vector literal -> [0..2]; list literal / call args -> all.
+  std::vector<ExprPtr> children;
+  // cast target
+  LslType cast_type{LslType::kVoid};
+  // assign-to-member: name.member = value
+  bool target_is_member{false};
+  bool is_prefix{false};  // for kIncrement
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  kExpr,
+  kDecl,       // type name = init;
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBlock,
+  kStateChange,  // state foo;
+};
+
+struct Stmt {
+  StmtKind kind{};
+  int line{0};
+  ExprPtr expr;  // kExpr, kReturn (nullable), kIf condition, kWhile condition
+  // decl
+  LslType decl_type{LslType::kVoid};
+  std::string name;  // decl name or target state name
+  ExprPtr init;
+  // if/while/for bodies
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  // for
+  ExprPtr for_init;
+  ExprPtr for_cond;
+  ExprPtr for_step;
+};
+
+struct GlobalVar {
+  LslType type{LslType::kVoid};
+  std::string name;
+  ExprPtr init;  // may be null
+};
+
+struct Function {
+  LslType return_type{LslType::kVoid};
+  std::string name;
+  std::vector<std::pair<LslType, std::string>> params;
+  std::vector<StmtPtr> body;
+};
+
+struct EventHandler {
+  std::string name;  // state_entry, timer, sensor, no_sensor, http_response...
+  std::vector<std::pair<LslType, std::string>> params;
+  std::vector<StmtPtr> body;
+};
+
+struct StateDef {
+  std::string name;  // "default" or user state name
+  std::vector<EventHandler> handlers;
+};
+
+struct Script {
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+  std::vector<StateDef> states;
+};
+
+}  // namespace slmob::lsl

@@ -1,0 +1,259 @@
+#include "lsl/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace slmob::lsl {
+
+LslError::LslError(const std::string& message, int line_, int column_)
+    : std::runtime_error("LSL:" + std::to_string(line_) + ":" + std::to_string(column_) +
+                         ": " + message),
+      line(line_),
+      column(column_) {}
+
+namespace {
+
+const std::map<std::string, TokenType, std::less<>>& keywords() {
+  static const std::map<std::string, TokenType, std::less<>> kw = {
+      {"integer", TokenType::kInteger}, {"float", TokenType::kFloat},
+      {"string", TokenType::kString},   {"vector", TokenType::kVector},
+      {"list", TokenType::kList},       {"key", TokenType::kKey},
+      {"default", TokenType::kDefault}, {"state", TokenType::kState},
+      {"if", TokenType::kIf},           {"else", TokenType::kElse},
+      {"while", TokenType::kWhile},     {"for", TokenType::kFor},
+      {"return", TokenType::kReturn},   {"jump", TokenType::kJump},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_whitespace_and_comments();
+      if (at_end()) break;
+      tokens.push_back(next_token());
+    }
+    Token eof;
+    eof.type = TokenType::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(eof);
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace_and_comments() {
+    for (;;) {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+      if (peek() == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        const int start_line = line_;
+        const int start_col = column_;
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (at_end()) throw LslError("unterminated block comment", start_line, start_col);
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(TokenType type, std::string text) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  Token next_token() {
+    const int start_line = line_;
+    const int start_col = column_;
+    const char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return identifier();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return number();
+    }
+    if (c == '"') return string_literal();
+
+    advance();
+    const auto two = [&](char second, TokenType with, TokenType without) {
+      if (peek() == second) {
+        advance();
+        return make(with, std::string{c, second});
+      }
+      return make(without, std::string{c});
+    };
+    switch (c) {
+      case '{':
+        return make(TokenType::kLBrace, "{");
+      case '}':
+        return make(TokenType::kRBrace, "}");
+      case '(':
+        return make(TokenType::kLParen, "(");
+      case ')':
+        return make(TokenType::kRParen, ")");
+      case '[':
+        return make(TokenType::kLBracket, "[");
+      case ']':
+        return make(TokenType::kRBracket, "]");
+      case ';':
+        return make(TokenType::kSemicolon, ";");
+      case ',':
+        return make(TokenType::kComma, ",");
+      case '.':
+        return make(TokenType::kDot, ".");
+      case '%':
+        return make(TokenType::kPercent, "%");
+      case '*':
+        return make(TokenType::kStar, "*");
+      case '/':
+        return make(TokenType::kSlash, "/");
+      case '+':
+        if (peek() == '+') {
+          advance();
+          return make(TokenType::kPlusPlus, "++");
+        }
+        return two('=', TokenType::kPlusAssign, TokenType::kPlus);
+      case '-':
+        if (peek() == '-') {
+          advance();
+          return make(TokenType::kMinusMinus, "--");
+        }
+        return two('=', TokenType::kMinusAssign, TokenType::kMinus);
+      case '=':
+        return two('=', TokenType::kEq, TokenType::kAssign);
+      case '!':
+        return two('=', TokenType::kNe, TokenType::kNot);
+      case '<':
+        return two('=', TokenType::kLe, TokenType::kLt);
+      case '>':
+        return two('=', TokenType::kGe, TokenType::kGt);
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(TokenType::kAndAnd, "&&");
+        }
+        throw LslError("bitwise '&' is not supported", start_line, start_col);
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(TokenType::kOrOr, "||");
+        }
+        throw LslError("bitwise '|' is not supported", start_line, start_col);
+      default:
+        throw LslError(std::string("unexpected character '") + c + "'", start_line,
+                       start_col);
+    }
+  }
+
+  Token identifier() {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      text.push_back(advance());
+    }
+    const auto it = keywords().find(text);
+    if (it != keywords().end()) return make(it->second, std::move(text));
+    return make(TokenType::kIdentifier, std::move(text));
+  }
+
+  Token number() {
+    std::string text;
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_float = true;
+      text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      text.push_back(advance());
+      if (peek() == '+' || peek() == '-') text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+    }
+    Token t = make(is_float ? TokenType::kFloatLiteral : TokenType::kIntegerLiteral, text);
+    if (is_float) {
+      t.float_value = std::stod(text);
+    } else {
+      t.int_value = std::stoll(text);
+    }
+    return t;
+  }
+
+  Token string_literal() {
+    const int start_line = line_;
+    const int start_col = column_;
+    advance();  // opening quote
+    std::string text;
+    for (;;) {
+      if (at_end()) throw LslError("unterminated string literal", start_line, start_col);
+      const char c = advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (at_end()) throw LslError("unterminated escape", line_, column_);
+        const char esc = advance();
+        switch (esc) {
+          case 'n':
+            text.push_back('\n');
+            break;
+          case 't':
+            text.push_back('\t');
+            break;
+          case '"':
+            text.push_back('"');
+            break;
+          case '\\':
+            text.push_back('\\');
+            break;
+          default:
+            throw LslError(std::string("unknown escape '\\") + esc + "'", line_, column_);
+        }
+      } else {
+        text.push_back(c);
+      }
+    }
+    return make(TokenType::kStringLiteral, std::move(text));
+  }
+
+  std::string_view src_;
+  std::size_t pos_{0};
+  int line_{1};
+  int column_{1};
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace slmob::lsl

@@ -1,0 +1,26 @@
+// LSL lexer: source text -> token stream. Supports line and block comments,
+// decimal integer/float literals, and double-quoted strings with the
+// escapes \n, \t, backslash and double-quote.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lsl/token.hpp"
+
+namespace slmob::lsl {
+
+class LslError : public std::runtime_error {
+ public:
+  LslError(const std::string& message, int line, int column);
+  int line;
+  int column;
+};
+
+// Tokenises the whole input; the last token is always kEof. Throws LslError
+// on malformed input (unterminated string/comment, unknown character).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace slmob::lsl

@@ -1,0 +1,433 @@
+#include "lsl/parser.hpp"
+
+namespace slmob::lsl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Script run() {
+    Script script;
+    while (!check(TokenType::kEof)) {
+      if (check(TokenType::kDefault) || check(TokenType::kState)) {
+        script.states.push_back(state_def());
+      } else if (is_type_token(peek().type) || check(TokenType::kIdentifier)) {
+        parse_global(script);
+      } else {
+        throw error("expected global declaration, function or state");
+      }
+    }
+    if (script.states.empty()) throw error("script has no states (need 'default')");
+    return script;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  [[nodiscard]] bool check(TokenType type) const { return peek().type == type; }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool match(TokenType type) {
+    if (!check(type)) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(TokenType type, const char* what) {
+    if (!check(type)) throw error(std::string("expected ") + what);
+    return advance();
+  }
+  [[nodiscard]] LslError error(const std::string& message) const {
+    return LslError(message + " (got '" + peek().text + "')", peek().line, peek().column);
+  }
+
+  static bool is_type_token(TokenType t) {
+    return t == TokenType::kInteger || t == TokenType::kFloat || t == TokenType::kString ||
+           t == TokenType::kVector || t == TokenType::kList || t == TokenType::kKey;
+  }
+
+  LslType type_from_token(const Token& t) {
+    switch (t.type) {
+      case TokenType::kInteger:
+        return LslType::kInteger;
+      case TokenType::kFloat:
+        return LslType::kFloat;
+      case TokenType::kString:
+        return LslType::kString;
+      case TokenType::kVector:
+        return LslType::kVector;
+      case TokenType::kList:
+        return LslType::kList;
+      case TokenType::kKey:
+        return LslType::kKey;
+      default:
+        throw LslError("expected type name", t.line, t.column);
+    }
+  }
+
+  // --- declarations --------------------------------------------------------
+  void parse_global(Script& script) {
+    // Either: <type> name ( ... ) { }  -> function
+    //         <type> name [= expr] ;   -> global variable
+    //         name ( ... ) { }         -> void function
+    if (check(TokenType::kIdentifier)) {
+      Function fn;
+      fn.return_type = LslType::kVoid;
+      fn.name = advance().text;
+      expect(TokenType::kLParen, "'(' after function name");
+      parse_params(fn.params);
+      fn.body = block();
+      script.functions.push_back(std::move(fn));
+      return;
+    }
+    const LslType type = type_from_token(advance());
+    const std::string name = expect(TokenType::kIdentifier, "name").text;
+    if (match(TokenType::kLParen)) {
+      Function fn;
+      fn.return_type = type;
+      fn.name = name;
+      parse_params(fn.params);
+      fn.body = block();
+      script.functions.push_back(std::move(fn));
+      return;
+    }
+    GlobalVar var;
+    var.type = type;
+    var.name = name;
+    if (match(TokenType::kAssign)) var.init = expression();
+    expect(TokenType::kSemicolon, "';'");
+    script.globals.push_back(std::move(var));
+  }
+
+  void parse_params(std::vector<std::pair<LslType, std::string>>& params) {
+    if (match(TokenType::kRParen)) return;
+    do {
+      const LslType type = type_from_token(advance());
+      params.emplace_back(type, expect(TokenType::kIdentifier, "parameter name").text);
+    } while (match(TokenType::kComma));
+    expect(TokenType::kRParen, "')'");
+  }
+
+  StateDef state_def() {
+    StateDef state;
+    if (match(TokenType::kDefault)) {
+      state.name = "default";
+    } else {
+      expect(TokenType::kState, "'state'");
+      state.name = expect(TokenType::kIdentifier, "state name").text;
+    }
+    expect(TokenType::kLBrace, "'{'");
+    while (!match(TokenType::kRBrace)) {
+      EventHandler handler;
+      handler.name = expect(TokenType::kIdentifier, "event name").text;
+      expect(TokenType::kLParen, "'('");
+      parse_params(handler.params);
+      handler.body = block();
+      state.handlers.push_back(std::move(handler));
+    }
+    return state;
+  }
+
+  // --- statements ----------------------------------------------------------
+  std::vector<StmtPtr> block() {
+    expect(TokenType::kLBrace, "'{'");
+    std::vector<StmtPtr> stmts;
+    while (!match(TokenType::kRBrace)) stmts.push_back(statement());
+    return stmts;
+  }
+
+  StmtPtr statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+
+    if (check(TokenType::kLBrace)) {
+      stmt->kind = StmtKind::kBlock;
+      stmt->body = block();
+      return stmt;
+    }
+    if (is_type_token(peek().type)) {
+      stmt->kind = StmtKind::kDecl;
+      stmt->decl_type = type_from_token(advance());
+      stmt->name = expect(TokenType::kIdentifier, "variable name").text;
+      if (match(TokenType::kAssign)) stmt->init = expression();
+      expect(TokenType::kSemicolon, "';'");
+      return stmt;
+    }
+    if (match(TokenType::kIf)) {
+      stmt->kind = StmtKind::kIf;
+      expect(TokenType::kLParen, "'('");
+      stmt->expr = expression();
+      expect(TokenType::kRParen, "')'");
+      stmt->body.push_back(statement());
+      if (match(TokenType::kElse)) stmt->else_body.push_back(statement());
+      return stmt;
+    }
+    if (match(TokenType::kWhile)) {
+      stmt->kind = StmtKind::kWhile;
+      expect(TokenType::kLParen, "'('");
+      stmt->expr = expression();
+      expect(TokenType::kRParen, "')'");
+      stmt->body.push_back(statement());
+      return stmt;
+    }
+    if (match(TokenType::kFor)) {
+      stmt->kind = StmtKind::kFor;
+      expect(TokenType::kLParen, "'('");
+      if (!check(TokenType::kSemicolon)) stmt->for_init = expression();
+      expect(TokenType::kSemicolon, "';'");
+      if (!check(TokenType::kSemicolon)) stmt->for_cond = expression();
+      expect(TokenType::kSemicolon, "';'");
+      if (!check(TokenType::kRParen)) stmt->for_step = expression();
+      expect(TokenType::kRParen, "')'");
+      stmt->body.push_back(statement());
+      return stmt;
+    }
+    if (match(TokenType::kReturn)) {
+      stmt->kind = StmtKind::kReturn;
+      if (!check(TokenType::kSemicolon)) stmt->expr = expression();
+      expect(TokenType::kSemicolon, "';'");
+      return stmt;
+    }
+    if (check(TokenType::kState)) {
+      advance();
+      stmt->kind = StmtKind::kStateChange;
+      if (match(TokenType::kDefault)) {
+        stmt->name = "default";
+      } else {
+        stmt->name = expect(TokenType::kIdentifier, "state name").text;
+      }
+      expect(TokenType::kSemicolon, "';'");
+      return stmt;
+    }
+    if (check(TokenType::kJump)) throw error("'jump' is not supported by this subset");
+
+    stmt->kind = StmtKind::kExpr;
+    stmt->expr = expression();
+    expect(TokenType::kSemicolon, "';'");
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) -----------------------------------
+  ExprPtr expression() { return assignment(); }
+
+  ExprPtr assignment() {
+    ExprPtr lhs = logical_or();
+    if (check(TokenType::kAssign) || check(TokenType::kPlusAssign) ||
+        check(TokenType::kMinusAssign)) {
+      const Token& op = advance();
+      if (lhs->kind != ExprKind::kVariable && lhs->kind != ExprKind::kMember) {
+        throw LslError("invalid assignment target", op.line, op.column);
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kAssign;
+      node->line = op.line;
+      node->op = op.text;
+      if (lhs->kind == ExprKind::kMember) {
+        node->target_is_member = true;
+        node->member = lhs->member;
+        if (lhs->children.at(0)->kind != ExprKind::kVariable) {
+          throw LslError("can only assign to members of variables", op.line, op.column);
+        }
+        node->name = lhs->children.at(0)->name;
+      } else {
+        node->name = lhs->name;
+      }
+      node->children.push_back(assignment());
+      return node;
+    }
+    return lhs;
+  }
+
+  ExprPtr binary_helper(ExprPtr (Parser::*next)(), std::initializer_list<TokenType> ops) {
+    ExprPtr lhs = (this->*next)();
+    for (;;) {
+      bool matched = false;
+      for (const TokenType t : ops) {
+        if (check(t)) {
+          const Token& op = advance();
+          auto node = std::make_unique<Expr>();
+          node->kind = ExprKind::kBinary;
+          node->line = op.line;
+          node->op = op.text;
+          node->children.push_back(std::move(lhs));
+          node->children.push_back((this->*next)());
+          lhs = std::move(node);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr logical_or() { return binary_helper(&Parser::logical_and, {TokenType::kOrOr}); }
+  ExprPtr logical_and() { return binary_helper(&Parser::equality, {TokenType::kAndAnd}); }
+  ExprPtr equality() {
+    return binary_helper(&Parser::relational, {TokenType::kEq, TokenType::kNe});
+  }
+  ExprPtr relational() {
+    // NOTE: '<' only opens a vector literal in primary position, so using it
+    // as a relational operator here is unambiguous.
+    return binary_helper(&Parser::additive, {TokenType::kLt, TokenType::kGt, TokenType::kLe,
+                                             TokenType::kGe});
+  }
+  ExprPtr additive() {
+    return binary_helper(&Parser::multiplicative, {TokenType::kPlus, TokenType::kMinus});
+  }
+  ExprPtr multiplicative() {
+    return binary_helper(&Parser::unary,
+                         {TokenType::kStar, TokenType::kSlash, TokenType::kPercent});
+  }
+
+  ExprPtr unary() {
+    if (check(TokenType::kMinus) || check(TokenType::kNot)) {
+      const Token& op = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->line = op.line;
+      node->op = op.text;
+      node->children.push_back(unary());
+      return node;
+    }
+    if (check(TokenType::kPlusPlus) || check(TokenType::kMinusMinus)) {
+      const Token& op = advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kIncrement;
+      node->line = op.line;
+      node->op = op.text;
+      node->is_prefix = true;
+      node->name = expect(TokenType::kIdentifier, "variable after ++/--").text;
+      return node;
+    }
+    // Cast: (type) expr
+    if (check(TokenType::kLParen) && is_type_token(peek(1).type) &&
+        peek(2).type == TokenType::kRParen) {
+      const Token& op = advance();  // (
+      const LslType type = type_from_token(advance());
+      advance();  // )
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kCast;
+      node->line = op.line;
+      node->cast_type = type;
+      node->children.push_back(unary());
+      return node;
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr node = primary();
+    for (;;) {
+      if (check(TokenType::kDot)) {
+        const Token& op = advance();
+        const Token& member = expect(TokenType::kIdentifier, "member name (x/y/z)");
+        if (member.text != "x" && member.text != "y" && member.text != "z") {
+          throw LslError("vector members are x, y, z", member.line, member.column);
+        }
+        auto access = std::make_unique<Expr>();
+        access->kind = ExprKind::kMember;
+        access->line = op.line;
+        access->member = member.text[0];
+        access->children.push_back(std::move(node));
+        node = std::move(access);
+      } else if ((check(TokenType::kPlusPlus) || check(TokenType::kMinusMinus)) &&
+                 node->kind == ExprKind::kVariable) {
+        const Token& op = advance();
+        auto inc = std::make_unique<Expr>();
+        inc->kind = ExprKind::kIncrement;
+        inc->line = op.line;
+        inc->op = op.text;
+        inc->is_prefix = false;
+        inc->name = node->name;
+        node = std::move(inc);
+      } else {
+        return node;
+      }
+    }
+  }
+
+  ExprPtr primary() {
+    const Token& t = peek();
+    auto node = std::make_unique<Expr>();
+    node->line = t.line;
+
+    switch (t.type) {
+      case TokenType::kIntegerLiteral:
+        advance();
+        node->kind = ExprKind::kIntLiteral;
+        node->int_value = t.int_value;
+        return node;
+      case TokenType::kFloatLiteral:
+        advance();
+        node->kind = ExprKind::kFloatLiteral;
+        node->float_value = t.float_value;
+        return node;
+      case TokenType::kStringLiteral:
+        advance();
+        node->kind = ExprKind::kStringLiteral;
+        node->string_value = t.text;
+        return node;
+      case TokenType::kLt: {  // vector literal <x, y, z>
+        advance();
+        node->kind = ExprKind::kVectorLiteral;
+        // Components parse at additive precedence so the closing '>' is not
+        // swallowed as a relational operator — the same disambiguation rule
+        // real LSL uses.
+        node->children.push_back(additive());
+        expect(TokenType::kComma, "','");
+        node->children.push_back(additive());
+        expect(TokenType::kComma, "','");
+        node->children.push_back(additive());
+        expect(TokenType::kGt, "'>'");
+        return node;
+      }
+      case TokenType::kLBracket: {  // list literal
+        advance();
+        node->kind = ExprKind::kListLiteral;
+        if (!match(TokenType::kRBracket)) {
+          do {
+            node->children.push_back(expression());
+          } while (match(TokenType::kComma));
+          expect(TokenType::kRBracket, "']'");
+        }
+        return node;
+      }
+      case TokenType::kLParen: {
+        advance();
+        ExprPtr inner = expression();
+        expect(TokenType::kRParen, "')'");
+        return inner;
+      }
+      case TokenType::kIdentifier: {
+        advance();
+        if (match(TokenType::kLParen)) {
+          node->kind = ExprKind::kCall;
+          node->name = t.text;
+          if (!match(TokenType::kRParen)) {
+            do {
+              node->children.push_back(expression());
+            } while (match(TokenType::kComma));
+            expect(TokenType::kRParen, "')'");
+          }
+          return node;
+        }
+        node->kind = ExprKind::kVariable;
+        node->name = t.text;
+        return node;
+      }
+      default:
+        throw error("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_{0};
+};
+
+}  // namespace
+
+Script parse(std::string_view source) { return Parser(tokenize(source)).run(); }
+
+}  // namespace slmob::lsl

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the LSL subset: source -> Script AST.
+// Throws LslError with line/column context on syntax errors.
+#pragma once
+
+#include <string_view>
+
+#include "lsl/ast.hpp"
+#include "lsl/lexer.hpp"
+
+namespace slmob::lsl {
+
+Script parse(std::string_view source);
+
+}  // namespace slmob::lsl

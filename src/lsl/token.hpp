@@ -1,0 +1,74 @@
+// Token definitions for the LSL (Linden Scripting Language) subset.
+//
+// The paper's first monitoring architecture programs in-world sensor
+// objects "using a proprietary scripting language" (LSL). slmob embeds a
+// compact LSL interpreter so sensor behaviour is expressed in the same
+// language the authors used, limits and all.
+#pragma once
+
+#include <string>
+
+namespace slmob::lsl {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,
+  kIntegerLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // keywords
+  kInteger,
+  kFloat,
+  kString,
+  kVector,
+  kList,
+  kKey,
+  kDefault,
+  kState,
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kReturn,
+  kJump,   // parsed and rejected with a clear error (unsupported)
+  // punctuation / operators
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kDot,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kNot,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kPlusPlus,
+  kMinusMinus,
+};
+
+struct Token {
+  TokenType type{TokenType::kEof};
+  std::string text;
+  long long int_value{0};
+  double float_value{0.0};
+  int line{0};
+  int column{0};
+};
+
+}  // namespace slmob::lsl

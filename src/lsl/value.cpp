@@ -1,0 +1,84 @@
+#include "lsl/value.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace slmob::lsl {
+
+std::int64_t Value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(data);
+  if (is_float()) return static_cast<std::int64_t>(std::get<double>(data));
+  throw std::runtime_error("LSL: expected integer value");
+}
+
+double Value::as_float() const {
+  if (is_float()) return std::get<double>(data);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(data));
+  throw std::runtime_error("LSL: expected numeric value");
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw std::runtime_error("LSL: expected string value");
+  return std::get<std::string>(data);
+}
+
+const slmob::Vec3& Value::as_vector() const {
+  if (!is_vector()) throw std::runtime_error("LSL: expected vector value");
+  return std::get<slmob::Vec3>(data);
+}
+
+const List& Value::as_list() const {
+  if (!is_list()) throw std::runtime_error("LSL: expected list value");
+  return std::get<List>(data);
+}
+
+bool Value::truthy() const {
+  if (is_int()) return std::get<std::int64_t>(data) != 0;
+  if (is_float()) return std::get<double>(data) != 0.0;
+  if (is_string()) return !std::get<std::string>(data).empty();
+  if (is_vector()) {
+    const auto& v = std::get<slmob::Vec3>(data);
+    return v.x != 0.0 || v.y != 0.0 || v.z != 0.0;
+  }
+  return !std::get<List>(data).empty();
+}
+
+std::string Value::to_string() const {
+  if (is_int()) return std::to_string(std::get<std::int64_t>(data));
+  if (is_float()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", std::get<double>(data));
+    return buf;
+  }
+  if (is_string()) return std::get<std::string>(data);
+  if (is_vector()) {
+    const auto& v = std::get<slmob::Vec3>(data);
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "<%.5f, %.5f, %.5f>", v.x, v.y, v.z);
+    return buf;
+  }
+  std::string out;
+  for (const auto& item : std::get<List>(data)) out += item.to_string();
+  return out;
+}
+
+Value Value::default_for(LslType type) {
+  switch (type) {
+    case LslType::kInteger:
+      return Value(std::int64_t{0});
+    case LslType::kFloat:
+      return Value(0.0);
+    case LslType::kString:
+    case LslType::kKey:
+      return Value(std::string{});
+    case LslType::kVector:
+      return Value(slmob::Vec3{});
+    case LslType::kList:
+      return Value(List{});
+    case LslType::kVoid:
+      return Value();
+  }
+  return Value();
+}
+
+}  // namespace slmob::lsl

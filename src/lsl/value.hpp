@@ -1,0 +1,53 @@
+// Runtime values for the LSL interpreter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lsl/ast.hpp"
+#include "util/vec3.hpp"
+
+namespace slmob::lsl {
+
+struct Value;
+using List = std::vector<Value>;
+
+struct Value {
+  // integer, float, string (also "key"), vector, list
+  std::variant<std::int64_t, double, std::string, slmob::Vec3, List> data{std::int64_t{0}};
+
+  Value() = default;
+  explicit Value(std::int64_t v) : data(v) {}
+  explicit Value(double v) : data(v) {}
+  explicit Value(std::string v) : data(std::move(v)) {}
+  explicit Value(slmob::Vec3 v) : data(v) {}
+  explicit Value(List v) : data(std::move(v)) {}
+
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(data); }
+  [[nodiscard]] bool is_float() const { return std::holds_alternative<double>(data); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data); }
+  [[nodiscard]] bool is_vector() const { return std::holds_alternative<slmob::Vec3>(data); }
+  [[nodiscard]] bool is_list() const { return std::holds_alternative<List>(data); }
+
+  // Numeric accessors with int->float promotion; throw LslError-compatible
+  // std::runtime_error when the value has the wrong type.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_float() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const slmob::Vec3& as_vector() const;
+  [[nodiscard]] const List& as_list() const;
+
+  // LSL truthiness: nonzero number, non-empty string/list, nonzero vector.
+  [[nodiscard]] bool truthy() const;
+
+  // String rendering, matching LSL (string) cast conventions: floats with 6
+  // decimals, vectors as "<x, y, z>".
+  [[nodiscard]] std::string to_string() const;
+
+  // Default value for a declared type.
+  static Value default_for(LslType type);
+};
+
+}  // namespace slmob::lsl

@@ -1,0 +1,124 @@
+#include "net/circuit.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace slmob {
+
+CircuitEndpoint::CircuitEndpoint(SimNetwork& network, NodeId self, NodeId peer,
+                                 CircuitParams params, std::uint32_t initial_seq)
+    : network_(network), self_(self), peer_(peer), params_(params) {
+  next_seq_ = initial_seq == 0 ? 1 : initial_seq;
+}
+
+std::vector<std::uint8_t> CircuitEndpoint::build_packet(
+    std::uint32_t seq, std::uint8_t flags, std::span<const std::uint8_t> body) {
+  ByteWriter w;
+  w.u8(kCircuitVersion);
+  w.u32(seq);
+  w.u8(flags);
+  const std::size_t n_acks = std::min<std::size_t>(acks_to_send_.size(), 255);
+  w.u8(static_cast<std::uint8_t>(n_acks));
+  for (std::size_t i = 0; i < n_acks; ++i) w.u32(acks_to_send_[i]);
+  stats_.acks_sent += n_acks;
+  acks_to_send_.erase(acks_to_send_.begin(),
+                      acks_to_send_.begin() + static_cast<std::ptrdiff_t>(n_acks));
+  w.raw(body);
+  return w.take();
+}
+
+void CircuitEndpoint::transmit(std::span<const std::uint8_t> packet) {
+  ++stats_.packets_sent;
+  network_.send(self_, peer_, {packet.begin(), packet.end()});
+}
+
+void CircuitEndpoint::send(const Message& msg, bool reliable) {
+  if (failed_) return;
+  const auto body = encode_message(msg);
+  const std::uint32_t seq = next_seq_++;
+  const std::uint8_t flags = reliable ? kPacketFlagReliable : 0;
+  auto packet = build_packet(seq, flags, body);
+  transmit(packet);
+  if (reliable) {
+    unacked_.emplace(seq, Pending{seq, std::move(packet), now_ + params_.rto,
+                                  params_.max_retries});
+  }
+}
+
+void CircuitEndpoint::on_datagram(std::span<const std::uint8_t> bytes) {
+  if (failed_) return;
+  ++stats_.packets_received;
+  try {
+    ByteReader r(bytes);
+    const std::uint8_t version = r.u8();
+    if (version != kCircuitVersion) throw DecodeError("circuit: bad version");
+    const std::uint32_t seq = r.u32();
+    const std::uint8_t flags = r.u8();
+    const std::uint8_t n_acks = r.u8();
+    for (std::uint8_t i = 0; i < n_acks; ++i) {
+      const std::uint32_t acked = r.u32();
+      ++stats_.acks_received;
+      unacked_.erase(acked);
+    }
+    if (r.at_end()) return;  // pure-ack packet
+
+    const bool reliable = (flags & kPacketFlagReliable) != 0;
+    if (reliable) {
+      acks_to_send_.push_back(seq);
+      if (!seen_reliable_.insert(seq).second) {
+        ++stats_.duplicates_dropped;
+        flush_acks(true);  // the retransmit means our previous ack was lost
+        return;
+      }
+      // Bound the dedupe window (old seqs can never be retransmitted once
+      // the sender runs out of retries).
+      if (seen_reliable_.size() > 4096) {
+        seen_reliable_.erase(seen_reliable_.begin(),
+                             std::next(seen_reliable_.begin(), 2048));
+      }
+    }
+    const auto remaining = r.raw(r.remaining());
+    Message msg = decode_message(remaining);
+    // Ack promptly: a sender on a clean link must never hit its RTO.
+    flush_acks(true);
+    if (deliver_) deliver_(std::move(msg));
+  } catch (const DecodeError& e) {
+    log_warn("circuit", std::string("dropping malformed packet: ") + e.what());
+  }
+}
+
+void CircuitEndpoint::flush_acks(bool force) {
+  if (acks_to_send_.empty()) return;
+  if (!force && acks_to_send_.size() < params_.ack_batch) return;
+  auto packet = build_packet(next_seq_++, 0, {});
+  transmit(packet);
+}
+
+void CircuitEndpoint::tick(Seconds now) {
+  now_ = now;
+  if (failed_) return;
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    Pending& p = it->second;
+    if (now >= p.next_retry) {
+      if (p.retries_left <= 0) {
+        ++stats_.reliable_failures;
+        failed_ = true;
+        it = unacked_.erase(it);
+        if (on_failure_) on_failure_();
+        return;
+      }
+      ++stats_.retransmits;
+      transmit(p.packet);
+      --p.retries_left;
+      p.next_retry = now + params_.rto;
+    }
+    ++it;
+  }
+  // Don't let acks linger more than a tick.
+  flush_acks(true);
+}
+
+}  // namespace slmob

@@ -1,0 +1,104 @@
+// Circuit: the reliability layer between one client and one sim server,
+// modelled on the Second Life UDP circuit. Each packet carries a sequence
+// number; packets flagged reliable are retransmitted until acked (acks are
+// piggybacked onto outgoing traffic or flushed standalone). Receivers
+// de-duplicate retransmissions by sequence number.
+//
+// Packet layout: u8 version | u32 seq | u8 flags | u8 n_acks | u32 acks[n]
+// | message bytes (absent for pure-ack packets).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/messages.hpp"
+#include "net/network.hpp"
+#include "util/time.hpp"
+
+namespace slmob {
+
+inline constexpr std::uint8_t kCircuitVersion = 1;
+inline constexpr std::uint8_t kPacketFlagReliable = 0x01;
+
+struct CircuitStats {
+  std::uint64_t packets_sent{0};
+  std::uint64_t packets_received{0};
+  std::uint64_t retransmits{0};
+  std::uint64_t duplicates_dropped{0};
+  std::uint64_t acks_sent{0};
+  std::uint64_t acks_received{0};
+  std::uint64_t reliable_failures{0};  // gave up after max retries
+};
+
+struct CircuitParams {
+  Seconds rto{3.0};          // retransmission timeout (SL used ~3-4 s)
+  int max_retries{8};        // reliable sends abandoned after this many RTOs
+  std::size_t ack_batch{32}; // flush a standalone ack packet at this backlog
+};
+
+// One directional endpoint of a circuit. The owner (client or server) feeds
+// incoming datagrams from the peer into `on_datagram` and calls `tick`
+// regularly; decoded messages are handed to the delivery callback.
+class CircuitEndpoint {
+ public:
+  using DeliverFn = std::function<void(Message)>;
+  // Invoked when a reliable message exhausts its retries (circuit dead).
+  using FailureFn = std::function<void()>;
+
+  // `initial_seq` is the first sequence number used (like a TCP ISN): a
+  // reconnecting endpoint must pick a fresh value, or a stale peer session
+  // would discard its packets as duplicates.
+  CircuitEndpoint(SimNetwork& network, NodeId self, NodeId peer,
+                  CircuitParams params = {}, std::uint32_t initial_seq = 1);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
+
+  // Sends a message; reliable messages are retransmitted until acked.
+  void send(const Message& msg, bool reliable);
+
+  // Feeds one datagram received from the peer.
+  void on_datagram(std::span<const std::uint8_t> bytes);
+
+  // Drives retransmissions and ack flushing.
+  void tick(Seconds now);
+
+  [[nodiscard]] const CircuitStats& stats() const { return stats_; }
+  [[nodiscard]] NodeId peer() const { return peer_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  struct Pending {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> packet;  // full packet bytes as first sent
+    Seconds next_retry;
+    int retries_left;
+  };
+
+  std::vector<std::uint8_t> build_packet(std::uint32_t seq, std::uint8_t flags,
+                                         std::span<const std::uint8_t> body);
+  void flush_acks(bool force);
+  void transmit(std::span<const std::uint8_t> packet);
+
+  SimNetwork& network_;
+  NodeId self_;
+  NodeId peer_;
+  CircuitParams params_;
+  DeliverFn deliver_;
+  FailureFn on_failure_;
+
+  std::uint32_t next_seq_{1};
+  std::map<std::uint32_t, Pending> unacked_;
+  std::vector<std::uint32_t> acks_to_send_;
+  std::set<std::uint32_t> seen_reliable_;
+  Seconds now_{0.0};
+  bool failed_{false};
+  CircuitStats stats_;
+};
+
+}  // namespace slmob

@@ -1,0 +1,139 @@
+// Message catalogue of the metaverse wire protocol.
+//
+// The vocabulary mirrors the subset of the 2008 Second Life UDP protocol
+// that libsecondlife used for map crawling: circuit setup, agent movement,
+// chat, and CoarseLocationUpdate — the minimap feed carrying the quantised
+// position of every avatar in the region, which is the crawler's raw data.
+//
+// Wire form: u8 message type, then the message body (little-endian, see
+// util/bytes.hpp). Messages ride inside circuit packets (net/circuit.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace slmob {
+
+enum class MessageType : std::uint8_t {
+  kLoginRequest = 1,
+  kLoginResponse = 2,
+  kUseCircuitCode = 3,
+  kRegionHandshake = 4,
+  kCompleteAgentMovement = 5,
+  kAgentUpdate = 6,
+  kCoarseLocationUpdate = 7,
+  kChatFromViewer = 8,
+  kChatFromSimulator = 9,
+  kLogoutRequest = 10,
+  kKickUser = 11,
+};
+
+struct LoginRequest {
+  std::string first_name;
+  std::string last_name;
+  std::uint64_t password_hash{0};
+  std::uint32_t circuit_code{0};
+};
+
+struct LoginResponse {
+  bool ok{false};
+  std::uint32_t agent_id{0};
+  std::string region_name;
+  float spawn_x{0.0f};
+  float spawn_y{0.0f};
+  float spawn_z{0.0f};
+  std::string error;  // set when !ok (e.g. "region full")
+};
+
+struct UseCircuitCode {
+  std::uint32_t circuit_code{0};
+  std::uint32_t agent_id{0};
+};
+
+struct RegionHandshake {
+  std::string region_name;
+  float region_size{256.0f};
+  std::uint32_t capacity{100};
+};
+
+struct CompleteAgentMovement {
+  std::uint32_t agent_id{0};
+};
+
+// Agent movement command. Flag bit 0: sit; bit 1: stand.
+struct AgentUpdate {
+  std::uint32_t agent_id{0};
+  float target_x{0.0f};
+  float target_y{0.0f};
+  float target_z{0.0f};
+  float speed{0.0f};
+  std::uint8_t flags{0};
+};
+inline constexpr std::uint8_t kAgentFlagSit = 0x01;
+inline constexpr std::uint8_t kAgentFlagStand = 0x02;
+
+// One avatar in the minimap feed. Positions are quantised exactly like the
+// historical protocol: x/y to whole metres in a u8 (region is 256 m), z
+// divided by 4 ("z4"). A sitting avatar reports (0, 0, 0) — the quirk §3 of
+// the paper calls out.
+struct CoarseEntry {
+  std::uint32_t agent_id{0};
+  std::uint8_t x{0};
+  std::uint8_t y{0};
+  std::uint8_t z4{0};
+};
+
+struct CoarseLocationUpdate {
+  std::vector<CoarseEntry> entries;
+};
+
+struct ChatFromViewer {
+  std::uint32_t agent_id{0};
+  std::string message;
+  std::uint8_t channel{0};
+};
+
+struct ChatFromSimulator {
+  std::uint32_t from_agent{0};
+  std::string from_name;
+  std::string message;
+};
+
+struct LogoutRequest {
+  std::uint32_t agent_id{0};
+};
+
+struct KickUser {
+  std::string reason;
+};
+
+using Message =
+    std::variant<LoginRequest, LoginResponse, UseCircuitCode, RegionHandshake,
+                 CompleteAgentMovement, AgentUpdate, CoarseLocationUpdate, ChatFromViewer,
+                 ChatFromSimulator, LogoutRequest, KickUser>;
+
+[[nodiscard]] MessageType message_type(const Message& msg);
+
+// Serialises type byte + body.
+std::vector<std::uint8_t> encode_message(const Message& msg);
+
+// Parses a message; throws DecodeError on malformed input.
+Message decode_message(std::span<const std::uint8_t> bytes);
+
+// Quantisation helpers shared by server (encode) and analyses (tests).
+[[nodiscard]] CoarseEntry quantize_coarse(std::uint32_t agent_id, double x, double y,
+                                          double z, bool sitting);
+// Decoded coarse position (metre resolution; z recovered as z4 * 4).
+struct CoarsePosition {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+};
+[[nodiscard]] CoarsePosition dequantize_coarse(const CoarseEntry& entry);
+
+}  // namespace slmob

@@ -1,0 +1,58 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace slmob {
+
+SimNetwork::SimNetwork(NetworkParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params.latency_min < 0.0 || params.latency_max < params.latency_min) {
+    throw std::invalid_argument("SimNetwork: bad latency range");
+  }
+  if (params.loss_rate < 0.0 || params.loss_rate > 1.0) {
+    throw std::invalid_argument("SimNetwork: loss_rate must be in [0,1]");
+  }
+}
+
+NodeId SimNetwork::register_node(ReceiveFn on_receive) {
+  handlers_.push_back(std::move(on_receive));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void SimNetwork::set_handler(NodeId node, ReceiveFn on_receive) {
+  handlers_.at(node) = std::move(on_receive);
+}
+
+void SimNetwork::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
+  ++stats_.sent;
+  if (to >= handlers_.size()) {
+    throw std::invalid_argument("SimNetwork::send: unknown destination node");
+  }
+  if (payload.size() > params_.mtu) {
+    ++stats_.oversize_dropped;
+    log_warn("net", "dropping oversize datagram");
+    return;
+  }
+  if (rng_.bernoulli(params_.loss_rate)) {
+    ++stats_.lost;
+    return;
+  }
+  const Seconds latency = rng_.uniform(params_.latency_min, params_.latency_max);
+  in_flight_.push({clock_ + latency, order_++, from, to, std::move(payload)});
+}
+
+void SimNetwork::tick(Seconds now, Seconds dt) {
+  clock_ = now + dt;
+  while (!in_flight_.empty() && in_flight_.top().arrival <= clock_) {
+    // priority_queue::top is const; copy-out is fine (packets are small).
+    InFlight pkt = in_flight_.top();
+    in_flight_.pop();
+    ++stats_.delivered;
+    auto& handler = handlers_.at(pkt.to);
+    if (handler) handler(pkt.from, pkt.payload);
+  }
+}
+
+}  // namespace slmob

@@ -1,0 +1,80 @@
+// SimNetwork: an in-process datagram network.
+//
+// Models the UDP path between the crawler host, the sim servers and the
+// sensor web collector: configurable one-way latency (uniform in a range,
+// which also yields reordering), i.i.d. loss, and an MTU. Deterministic
+// given the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace slmob {
+
+using NodeId = std::uint32_t;
+
+struct NetworkParams {
+  Seconds latency_min{0.02};
+  Seconds latency_max{0.08};
+  double loss_rate{0.0};
+  std::size_t mtu{1400};  // datagrams larger than this are dropped (logged)
+};
+
+struct NetworkStats {
+  std::uint64_t sent{0};
+  std::uint64_t delivered{0};
+  std::uint64_t lost{0};
+  std::uint64_t oversize_dropped{0};
+};
+
+class SimNetwork {
+ public:
+  // Handler invoked on delivery: (source node, payload bytes).
+  using ReceiveFn = std::function<void(NodeId from, std::span<const std::uint8_t>)>;
+
+  explicit SimNetwork(NetworkParams params = {}, std::uint64_t seed = 1);
+
+  NodeId register_node(ReceiveFn on_receive);
+  // Replaces a node's handler (used when a component is built after its
+  // address must be known).
+  void set_handler(NodeId node, ReceiveFn on_receive);
+
+  // Queues a datagram; it is delivered (or dropped) during a later tick.
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
+
+  // Delivers every packet whose arrival time is <= now + dt.
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+  void set_params(NetworkParams params) { params_ = params; }
+
+ private:
+  struct InFlight {
+    Seconds arrival;
+    std::uint64_t order;  // tie-break for determinism
+    NodeId from;
+    NodeId to;
+    std::vector<std::uint8_t> payload;
+    bool operator>(const InFlight& o) const {
+      if (arrival != o.arrival) return arrival > o.arrival;
+      return order > o.order;
+    }
+  };
+
+  NetworkParams params_;
+  Rng rng_;
+  std::vector<ReceiveFn> handlers_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;
+  std::uint64_t order_{0};
+  Seconds clock_{0.0};
+  NetworkStats stats_;
+};
+
+}  // namespace slmob

@@ -1,0 +1,80 @@
+#include "sensors/collector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace slmob {
+
+HttpCollector::HttpCollector(SimNetwork& network, std::string land_name)
+    : network_(network), land_name_(std::move(land_name)) {
+  address_ = network_.register_node(
+      [this](NodeId from, std::span<const std::uint8_t> bytes) { on_datagram(from, bytes); });
+}
+
+void HttpCollector::on_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
+  const auto message = reassembler_.feed(from, bytes);
+  if (!message) return;
+  stats_.bytes_received += message->size();
+  const auto request = parse_http_request(*message);
+  if (!request) {
+    ++stats_.bad_requests;
+    return;
+  }
+  handle_request(from, *request);
+  reassembler_.gc();
+}
+
+void HttpCollector::handle_request(NodeId from, const HttpRequest& request) {
+  ++stats_.requests;
+  for (const auto& line : split(request.body, '\n')) {
+    if (trim(line).empty()) continue;
+    const auto fields = split(line, ',');
+    bool ok = fields.size() == 5 && starts_with(fields[1], "avatar-");
+    if (ok) {
+      try {
+        Record rec{};
+        rec.time = std::stod(fields[0]);
+        rec.avatar = static_cast<std::uint32_t>(std::stoul(fields[1].substr(7)));
+        rec.pos = {std::stod(fields[2]), std::stod(fields[3]), std::stod(fields[4])};
+        records_.push_back(rec);
+        ++stats_.records;
+      } catch (...) {
+        ok = false;
+      }
+    }
+    if (!ok) ++stats_.malformed_records;
+  }
+
+  HttpResponse response;
+  response.status = 200;
+  response.reason = "OK";
+  if (const auto key = request.header("X-Request-Key")) {
+    response.headers.push_back({"X-Request-Key", *key});
+  }
+  response.body = "ok";
+  for (auto& frag : fragment_http_message(next_response_id_++, response.serialize())) {
+    network_.send(address_, from, std::move(frag));
+  }
+}
+
+Trace HttpCollector::build_trace(Seconds interval) const {
+  // Bin records, dedupe avatars within a bin.
+  std::map<std::int64_t, std::map<std::uint32_t, Vec3>> bins;
+  for (const auto& rec : records_) {
+    const auto bin = static_cast<std::int64_t>(std::floor(rec.time / interval));
+    bins[bin].try_emplace(rec.avatar, rec.pos);
+  }
+  Trace trace(land_name_, interval);
+  for (const auto& [bin, avatars] : bins) {
+    Snapshot snap;
+    snap.time = static_cast<double>(bin) * interval;
+    for (const auto& [id, pos] : avatars) snap.fixes.push_back({AvatarId{id}, pos});
+    trace.add(std::move(snap));
+  }
+  return trace;
+}
+
+}  // namespace slmob

@@ -1,0 +1,60 @@
+// HttpCollector: the paper's external web server. Sensors flush their
+// caches to it via HTTP POST; the collector parses the position records and
+// can render them as a Trace comparable to the crawler's.
+//
+// Record format (one per line in the POST body):
+//   <unix_time>,avatar-<id>,<x>,<y>,<z>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sensors/http.hpp"
+#include "sensors/http_transport.hpp"
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+struct CollectorStats {
+  std::uint64_t requests{0};
+  std::uint64_t bad_requests{0};
+  std::uint64_t records{0};
+  std::uint64_t malformed_records{0};
+  std::uint64_t bytes_received{0};
+};
+
+class HttpCollector {
+ public:
+  explicit HttpCollector(SimNetwork& network, std::string land_name = "sensor-trace");
+
+  [[nodiscard]] NodeId address() const { return address_; }
+  [[nodiscard]] const CollectorStats& stats() const { return stats_; }
+
+  // Builds a snapshot trace by binning records into `interval`-second bins;
+  // an avatar reported by several overlapping sensors in one bin appears
+  // once (first report wins).
+  [[nodiscard]] Trace build_trace(Seconds interval = 10.0) const;
+
+  struct Record {
+    double time;
+    std::uint32_t avatar;
+    Vec3 pos;
+  };
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+ private:
+  void on_datagram(NodeId from, std::span<const std::uint8_t> bytes);
+  void handle_request(NodeId from, const HttpRequest& request);
+
+  SimNetwork& network_;
+  NodeId address_{};
+  std::string land_name_;
+  HttpReassembler reassembler_;
+  std::uint32_t next_response_id_{1};
+  std::vector<Record> records_;
+  CollectorStats stats_;
+};
+
+}  // namespace slmob

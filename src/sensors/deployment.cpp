@@ -1,0 +1,136 @@
+#include "sensors/deployment.hpp"
+
+namespace slmob {
+
+std::string default_sensor_script(Seconds sweep_rate) {
+  // Kept small: every sweep appends CSV records to gCache; once the cache
+  // outgrows FLUSH_AT the script flushes to the collector. A failed flush
+  // (throttle 499, timeout 408) is retried by prepending the in-flight
+  // payload back onto the cache; records are dropped only when the 16 KB
+  // script memory would be exceeded (counted via gDropped).
+  std::string script = R"LSL(
+string gCache = "";
+string gInflight = "";
+integer gFlushing = FALSE;
+integer gDropped = 0;
+integer FLUSH_AT = 9000;
+
+flush() {
+    if (gFlushing) return;
+    if (llStringLength(gCache) == 0) return;
+    gInflight = gCache;
+    gCache = "";
+    gFlushing = TRUE;
+    llHTTPRequest("http://collector.example/report", [], gInflight);
+}
+
+default {
+    state_entry() {
+        llSensorRepeat("", "", AGENT, 96.0, PI, %RATE%);
+        llSetTimerEvent(30.0);
+    }
+    sensor(integer n) {
+        integer i;
+        string t = (string)llGetUnixTime();
+        for (i = 0; i < n; i = i + 1) {
+            vector p = llDetectedPos(i);
+            string rec = t + "," + llDetectedKey(i) + "," + (string)p.x + "," +
+                (string)p.y + "," + (string)p.z + "\n";
+            if (llGetFreeMemory() > llStringLength(rec) + 2048) {
+                gCache += rec;
+            } else {
+                gDropped = gDropped + 1;
+            }
+        }
+        if (llStringLength(gCache) > FLUSH_AT) {
+            flush();
+        }
+    }
+    no_sensor() {
+    }
+    timer() {
+        flush();
+    }
+    http_response(key k, integer status, list meta, string body) {
+        gFlushing = FALSE;
+        if (status != 200) {
+            if (llGetFreeMemory() > llStringLength(gInflight) + 2048) {
+                gCache = gInflight + gCache;
+            } else {
+                gDropped = gDropped + 1;
+            }
+        }
+        gInflight = "";
+    }
+}
+)LSL";
+  const std::string token = "%RATE%";
+  script.replace(script.find(token), token.size(), std::to_string(sweep_rate));
+  return script;
+}
+
+SensorGridDeployment::SensorGridDeployment(ObjectRuntime& runtime, const Land& land,
+                                           NodeId collector, SensorGridConfig config)
+    : runtime_(runtime), collector_(collector), config_(config) {
+  script_ = default_sensor_script(config_.sweep_rate);
+  const double step = land.size() / static_cast<double>(config_.grid_side);
+  for (std::size_t gy = 0; gy < config_.grid_side; ++gy) {
+    for (std::size_t gx = 0; gx < config_.grid_side; ++gx) {
+      positions_.push_back(land.clamp({(static_cast<double>(gx) + 0.5) * step,
+                                       (static_cast<double>(gy) + 0.5) * step,
+                                       land.ground_z()}));
+    }
+  }
+  current_.assign(positions_.size(), ObjectId{0});
+}
+
+std::size_t SensorGridDeployment::deploy_all(Seconds now) {
+  std::size_t deployed = 0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    ObjectId id;
+    const DeployResult result =
+        runtime_.deploy(positions_[i], script_, collector_, now, config_.limits,
+                        config_.authorized, &id);
+    if (result == DeployResult::kOk) {
+      current_[i] = id;
+      ++deployed;
+    } else {
+      ++stats_.failed_deployments;
+    }
+  }
+  return deployed;
+}
+
+std::size_t SensorGridDeployment::live_sensors() const {
+  std::size_t live = 0;
+  for (const auto id : current_) {
+    if (id.value != 0 && runtime_.alive(id)) ++live;
+  }
+  return live;
+}
+
+void SensorGridDeployment::tick(Seconds now, Seconds dt) {
+  (void)dt;
+  if (now < next_check_) return;
+  next_check_ = now + config_.replication_interval;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const bool dead =
+        current_[i].value == 0 || !runtime_.alive(current_[i]);
+    // Also replace sensors whose script crashed (memory exhaustion).
+    const SensorObject* object =
+        current_[i].value == 0 ? nullptr : runtime_.find(current_[i]);
+    if (!dead && object != nullptr && !object->failed()) continue;
+    ObjectId id;
+    const DeployResult result =
+        runtime_.deploy(positions_[i], script_, collector_, now, config_.limits,
+                        config_.authorized, &id);
+    if (result == DeployResult::kOk) {
+      current_[i] = id;
+      ++stats_.redeployments;
+    } else {
+      ++stats_.failed_deployments;
+    }
+  }
+}
+
+}  // namespace slmob

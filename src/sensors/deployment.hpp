@@ -1,0 +1,63 @@
+// SensorGridDeployment: covers a land with virtual sensors and keeps the
+// grid alive by re-deploying replacements when objects expire — the
+// "replicates all sensors in the same position at regular time intervals"
+// strategy of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sensors/collector.hpp"
+#include "sensors/object_runtime.hpp"
+
+namespace slmob {
+
+// The stock sensor script: sweep every SWEEP_RATE seconds, append
+// "time,key,x,y,z" records to the in-script cache, flush over HTTP before
+// the 16 KB script memory is exhausted, retry failed flushes.
+// %URL% is substituted with the collector URL before deployment.
+std::string default_sensor_script(Seconds sweep_rate = 10.0);
+
+struct SensorGridConfig {
+  // Sensors per side (2 => 2x2 grid; 96 m range covers a 256 m land).
+  std::size_t grid_side{2};
+  Seconds sweep_rate{10.0};
+  SensorLimits limits;
+  // How often to check for expired sensors and re-deploy.
+  Seconds replication_interval{60.0};
+  bool authorized{false};  // owner permission on private land
+};
+
+struct SensorGridStats {
+  std::uint64_t redeployments{0};
+  std::uint64_t failed_deployments{0};
+};
+
+class SensorGridDeployment {
+ public:
+  SensorGridDeployment(ObjectRuntime& runtime, const Land& land, NodeId collector,
+                       SensorGridConfig config);
+
+  // Initial deployment; returns the number of sensors successfully placed
+  // (0 on private land without authorisation).
+  std::size_t deploy_all(Seconds now);
+
+  // Re-deploys replacements for expired sensors (kPriorityMonitor).
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] const SensorGridStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_sensors() const;
+  [[nodiscard]] const std::vector<Vec3>& positions() const { return positions_; }
+
+ private:
+  ObjectRuntime& runtime_;
+  NodeId collector_;
+  SensorGridConfig config_;
+  std::vector<Vec3> positions_;
+  std::vector<ObjectId> current_;  // parallel to positions_; id 0 = none
+  std::string script_;
+  Seconds next_check_{0.0};
+  SensorGridStats stats_;
+};
+
+}  // namespace slmob

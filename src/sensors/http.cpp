@@ -1,0 +1,107 @@
+#include "sensors/http.hpp"
+
+#include "util/strings.hpp"
+
+namespace slmob {
+namespace {
+
+std::string serialize_headers(const std::vector<HttpHeader>& headers,
+                              std::size_t body_size) {
+  std::string out;
+  bool have_length = false;
+  for (const auto& h : headers) {
+    out += h.name + ": " + h.value + "\r\n";
+    if (iequals(h.name, "Content-Length")) have_length = true;
+  }
+  if (!have_length) out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  out += "\r\n";
+  return out;
+}
+
+// Parses headers + body starting after the start line; returns false on
+// malformed framing.
+bool parse_rest(std::string_view text, std::size_t header_start,
+                std::vector<HttpHeader>& headers, std::string& body) {
+  std::size_t pos = header_start;
+  for (;;) {
+    const std::size_t eol = text.find("\r\n", pos);
+    if (eol == std::string_view::npos) return false;
+    if (eol == pos) {  // blank line: end of headers
+      pos = eol + 2;
+      break;
+    }
+    const std::string_view line = text.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    headers.push_back({std::string(trim(line.substr(0, colon))),
+                       std::string(trim(line.substr(colon + 1)))});
+    pos = eol + 2;
+  }
+  body.assign(text.substr(pos));
+  for (const auto& h : headers) {
+    if (iequals(h.name, "Content-Length")) {
+      const long long n = parse_non_negative_int(h.value);
+      if (n < 0 || static_cast<std::size_t>(n) > body.size()) return false;
+      body.resize(static_cast<std::size_t>(n));
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> find_header(const std::vector<HttpHeader>& headers,
+                                       std::string_view name) {
+  for (const auto& h : headers) {
+    if (iequals(h.name, name)) return h.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  return method + " " + path + " HTTP/1.0\r\n" + serialize_headers(headers, body.size()) +
+         body;
+}
+
+std::optional<std::string> HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpResponse::serialize() const {
+  return "HTTP/1.0 " + std::to_string(status) + " " + reason + "\r\n" +
+         serialize_headers(headers, body.size()) + body;
+}
+
+std::optional<std::string> HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::optional<HttpRequest> parse_http_request(std::string_view text) {
+  const std::size_t eol = text.find("\r\n");
+  if (eol == std::string_view::npos) return std::nullopt;
+  const auto parts = split(text.substr(0, eol), ' ');
+  if (parts.size() != 3 || !starts_with(parts[2], "HTTP/")) return std::nullopt;
+  HttpRequest req;
+  req.method = parts[0];
+  req.path = parts[1];
+  if (!parse_rest(text, eol + 2, req.headers, req.body)) return std::nullopt;
+  return req;
+}
+
+std::optional<HttpResponse> parse_http_response(std::string_view text) {
+  const std::size_t eol = text.find("\r\n");
+  if (eol == std::string_view::npos) return std::nullopt;
+  const std::string_view line = text.substr(0, eol);
+  if (!starts_with(line, "HTTP/")) return std::nullopt;
+  const auto parts = split(line, ' ');
+  if (parts.size() < 2) return std::nullopt;
+  HttpResponse resp;
+  const long long status = parse_non_negative_int(parts[1]);
+  if (status < 100 || status > 599) return std::nullopt;
+  resp.status = static_cast<int>(status);
+  resp.reason = parts.size() > 2 ? parts[2] : "";
+  if (!parse_rest(text, eol + 2, resp.headers, resp.body)) return std::nullopt;
+  return resp;
+}
+
+}  // namespace slmob

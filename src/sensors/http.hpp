@@ -1,0 +1,43 @@
+// Minimal HTTP/1.0 message framing.
+//
+// The sensor architecture reports to an external web server over HTTP (the
+// paper §2). We implement just enough of HTTP to make that path honest:
+// request line, headers, Content-Length body; status line for responses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slmob {
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+struct HttpRequest {
+  std::string method{"POST"};
+  std::string path{"/"};
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status{200};
+  std::string reason{"OK"};
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] std::optional<std::string> header(std::string_view name) const;
+};
+
+// Parsers return nullopt on malformed input.
+std::optional<HttpRequest> parse_http_request(std::string_view text);
+std::optional<HttpResponse> parse_http_response(std::string_view text);
+
+}  // namespace slmob

@@ -1,0 +1,65 @@
+#include "sensors/http_transport.hpp"
+
+#include "util/bytes.hpp"
+
+namespace slmob {
+
+std::vector<std::vector<std::uint8_t>> fragment_http_message(std::uint32_t message_id,
+                                                             std::string_view message) {
+  std::vector<std::vector<std::uint8_t>> out;
+  const std::size_t count =
+      message.empty() ? 1 : (message.size() + kHttpFragmentPayload - 1) / kHttpFragmentPayload;
+  if (count > 0xffff) throw std::length_error("fragment_http_message: message too large");
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t offset = i * kHttpFragmentPayload;
+    const std::size_t len = std::min(kHttpFragmentPayload, message.size() - offset);
+    ByteWriter w;
+    w.u32(message_id);
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u16(static_cast<std::uint16_t>(count));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(message.data() + offset);
+    w.raw({p, len});
+    out.push_back(w.take());
+  }
+  return out;
+}
+
+std::optional<std::string> HttpReassembler::feed(NodeId from,
+                                                 std::span<const std::uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    const std::uint32_t id = r.u32();
+    const std::uint16_t index = r.u16();
+    const std::uint16_t count = r.u16();
+    if (count == 0 || index >= count) {
+      ++malformed_;
+      return std::nullopt;
+    }
+    const auto payload = r.raw(r.remaining());
+    auto& partial = partial_[{from, id}];
+    if (partial.pieces.empty()) partial.pieces.resize(count);
+    if (partial.pieces.size() != count) {
+      ++malformed_;
+      partial_.erase({from, id});
+      return std::nullopt;
+    }
+    if (partial.pieces[index].empty()) {
+      partial.pieces[index].assign(payload.begin(), payload.end());
+      ++partial.received;
+    }
+    if (partial.received < count) return std::nullopt;
+    std::string message;
+    for (const auto& piece : partial.pieces) message += piece;
+    partial_.erase({from, id});
+    return message;
+  } catch (const DecodeError&) {
+    ++malformed_;
+    return std::nullopt;
+  }
+}
+
+void HttpReassembler::gc(std::size_t max_partial) {
+  while (partial_.size() > max_partial) partial_.erase(partial_.begin());
+}
+
+}  // namespace slmob

@@ -1,0 +1,51 @@
+// Datagram transport for HTTP messages with fragmentation/reassembly.
+//
+// SimNetwork delivers datagrams up to one MTU; an HTTP message (a sensor
+// cache flush approaches 16 KB) is split into numbered fragments and
+// reassembled at the receiver, like a minimal TCP segment stream. There is
+// no retransmission: a lost fragment loses the message, and the requester
+// times out (status 408) — the sensor script is responsible for retrying.
+//
+// Fragment layout: u32 message id | u16 index | u16 count | payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace slmob {
+
+inline constexpr std::size_t kHttpFragmentPayload = 1200;
+
+// Splits `message` into fragments ready for SimNetwork::send.
+std::vector<std::vector<std::uint8_t>> fragment_http_message(std::uint32_t message_id,
+                                                             std::string_view message);
+
+// Stateful reassembler; feed fragments, get completed messages.
+class HttpReassembler {
+ public:
+  // Returns the full message when `bytes` completes one; nullopt otherwise.
+  // Malformed fragments are dropped (counted).
+  std::optional<std::string> feed(NodeId from, std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::uint64_t malformed() const { return malformed_; }
+  // Drops partial messages older than one tick-cycle; call occasionally to
+  // bound memory (lost fragments would otherwise leak buffers).
+  void gc(std::size_t max_partial = 256);
+
+ private:
+  struct Partial {
+    std::vector<std::string> pieces;
+    std::size_t received{0};
+  };
+  std::map<std::pair<NodeId, std::uint32_t>, Partial> partial_;
+  std::uint64_t malformed_{0};
+};
+
+}  // namespace slmob

@@ -1,0 +1,75 @@
+#include "sensors/object_runtime.hpp"
+
+#include <algorithm>
+
+#include "lsl/lexer.hpp"
+#include "util/log.hpp"
+
+namespace slmob {
+
+ObjectRuntime::ObjectRuntime(const World& world, SimNetwork& network, std::uint64_t seed)
+    : world_(world), network_(network), rng_(seed) {}
+
+Seconds ObjectRuntime::lifetime_for_land() const {
+  const Land& land = world_.land();
+  switch (land.access()) {
+    case LandAccess::kPrivate:
+      return 1e18;  // authorised objects persist
+    case LandAccess::kPublic:
+      return land.object_lifetime();
+    case LandAccess::kSandbox:
+      return std::min(land.object_lifetime(), 600.0);
+  }
+  return land.object_lifetime();
+}
+
+DeployResult ObjectRuntime::deploy(Vec3 position, std::string_view script,
+                                   NodeId collector, Seconds now,
+                                   const SensorLimits& limits, bool authorized,
+                                   ObjectId* out_id) {
+  if (world_.land().access() == LandAccess::kPrivate && !authorized) {
+    ++stats_.rejected;
+    return DeployResult::kForbiddenPrivateLand;
+  }
+  const ObjectId id{next_object_id_++};
+  try {
+    auto object = std::make_unique<SensorObject>(id, world_, network_, collector, position,
+                                                 script, now, limits, rng_.next());
+    objects_.push_back(std::move(object));
+    expiry_.push_back(now + lifetime_for_land());
+  } catch (const lsl::LslError& e) {
+    ++stats_.rejected;
+    log_warn("objects", std::string("script rejected: ") + e.what());
+    return DeployResult::kBadScript;
+  }
+  ++stats_.deployed;
+  if (out_id != nullptr) *out_id = id;
+  return DeployResult::kOk;
+}
+
+SensorObject* ObjectRuntime::find(ObjectId id) {
+  for (auto& object : objects_) {
+    if (object->id() == id) return object.get();
+  }
+  return nullptr;
+}
+
+bool ObjectRuntime::alive(ObjectId id) const {
+  return std::any_of(objects_.begin(), objects_.end(),
+                     [&](const auto& object) { return object->id() == id; });
+}
+
+void ObjectRuntime::tick(Seconds now, Seconds dt) {
+  for (std::size_t i = 0; i < objects_.size();) {
+    if (now >= expiry_[i]) {
+      ++stats_.expired;
+      objects_.erase(objects_.begin() + static_cast<std::ptrdiff_t>(i));
+      expiry_.erase(expiry_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  for (auto& object : objects_) object->tick(now, dt);
+}
+
+}  // namespace slmob

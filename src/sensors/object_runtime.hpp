@@ -1,0 +1,61 @@
+// ObjectRuntime: server-side hosting of in-world scripted objects.
+//
+// Enforces the land policies the paper describes:
+//  * deployment on private lands is forbidden without authorisation;
+//  * objects on public/sandbox land expire after the land's object
+//    lifetime (sandboxes aggressively), and are removed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sensors/sensor_object.hpp"
+
+namespace slmob {
+
+enum class DeployResult {
+  kOk,
+  kForbiddenPrivateLand,
+  kBadScript,
+};
+
+struct ObjectRuntimeStats {
+  std::uint64_t deployed{0};
+  std::uint64_t rejected{0};
+  std::uint64_t expired{0};
+};
+
+class ObjectRuntime {
+ public:
+  ObjectRuntime(const World& world, SimNetwork& network, std::uint64_t seed = 99);
+
+  // Deploys a scripted sensor at `position`. `authorized` models owner
+  // permission on private land. On success `out_id` receives the object id.
+  DeployResult deploy(Vec3 position, std::string_view script, NodeId collector,
+                      Seconds now, const SensorLimits& limits, bool authorized,
+                      ObjectId* out_id = nullptr);
+
+  // Expires due objects and ticks the rest (kPriorityServer).
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<SensorObject>>& objects() const {
+    return objects_;
+  }
+  [[nodiscard]] SensorObject* find(ObjectId id);
+  [[nodiscard]] bool alive(ObjectId id) const;
+  [[nodiscard]] const ObjectRuntimeStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] Seconds lifetime_for_land() const;
+
+  const World& world_;
+  SimNetwork& network_;
+  Rng rng_;
+  std::uint32_t next_object_id_{1};
+  std::vector<std::unique_ptr<SensorObject>> objects_;
+  std::vector<Seconds> expiry_;  // parallel to objects_
+  ObjectRuntimeStats stats_;
+};
+
+}  // namespace slmob

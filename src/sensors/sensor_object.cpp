@@ -1,0 +1,235 @@
+#include "sensors/sensor_object.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace slmob {
+namespace {
+
+std::size_t value_bytes(const lsl::Value& v) {
+  if (v.is_string()) return 16 + v.as_string().size();
+  if (v.is_list()) {
+    std::size_t total = 16;
+    for (const auto& item : v.as_list()) total += value_bytes(item);
+    return total;
+  }
+  return 16;
+}
+
+}  // namespace
+
+SensorObject::SensorObject(ObjectId id, const World& world, SimNetwork& network,
+                           NodeId collector, Vec3 position, std::string_view script,
+                           Seconds now, SensorLimits limits, std::uint64_t seed)
+    : id_(id),
+      world_(world),
+      network_(network),
+      collector_(collector),
+      position_(world.land().clamp(position)),
+      limits_(limits),
+      rng_(seed),
+      created_at_(now),
+      now_(now) {
+  address_ = network_.register_node(
+      [this](NodeId from, std::span<const std::uint8_t> bytes) {
+        if (from == collector_) on_datagram(bytes);
+      });
+  interp_ = std::make_unique<lsl::Interpreter>(script, *this);
+  guarded([&] { interp_->start(); });
+}
+
+SensorObject::~SensorObject() {
+  // Deregister by installing a null handler; SimNetwork keeps the slot.
+  network_.set_handler(address_, nullptr);
+}
+
+template <typename Fn>
+void SensorObject::guarded(Fn&& fn) {
+  if (failed_) return;
+  try {
+    fn();
+    enforce_memory_limit();
+  } catch (const std::exception& e) {
+    fail_script(e.what());
+  }
+}
+
+void SensorObject::fail_script(const std::string& what) {
+  failed_ = true;
+  last_error_ = what;
+  ++stats_.script_errors;
+  log_warn("sensor", "script failed: " + what);
+}
+
+std::size_t SensorObject::memory_usage() const {
+  std::size_t total = 0;
+  for (const auto& [name, value] : interp_->globals()) total += value_bytes(value);
+  return total;
+}
+
+void SensorObject::enforce_memory_limit() {
+  if (memory_usage() > limits_.script_memory) {
+    // Real LSL crashes the script with a stack-heap collision.
+    throw lsl::LslError("stack-heap collision (script memory exceeded)", 0, 0);
+  }
+}
+
+std::int64_t SensorObject::ll_get_free_memory() {
+  const std::size_t used = memory_usage();
+  return used >= limits_.script_memory
+             ? 0
+             : static_cast<std::int64_t>(limits_.script_memory - used);
+}
+
+void SensorObject::ll_say(std::int64_t channel, const std::string& text) {
+  (void)channel;
+  (void)text;  // nobody listens to sensors; kept for script debugging
+}
+
+void SensorObject::ll_owner_say(const std::string& text) {
+  if (Logger::instance().enabled(LogLevel::kDebug)) {
+    log_debug("sensor", "owner say: " + text);
+  }
+}
+
+void SensorObject::ll_set_timer_event(double period_seconds) {
+  timer_period_ = period_seconds;
+  next_timer_ = period_seconds > 0.0 ? now_ + period_seconds : 0.0;
+}
+
+void SensorObject::ll_sensor_repeat(const std::string& name, const std::string& key,
+                                    std::int64_t type, double range, double arc,
+                                    double rate) {
+  (void)name;
+  (void)key;
+  (void)type;  // only AGENT scans are meaningful here
+  (void)arc;   // sensors are omnidirectional
+  sensor_active_ = rate > 0.0;
+  sensor_range_ = std::min(range, limits_.max_range);
+  sensor_rate_ = std::max(rate, 1.0);
+  next_sweep_ = now_ + sensor_rate_;
+}
+
+std::string SensorObject::ll_http_request(const std::string& url, const lsl::List& params,
+                                          const std::string& body) {
+  (void)params;
+  const std::string key = "http-" + std::to_string(id_.value) + "-" +
+                          std::to_string(next_request_id_);
+  const std::uint32_t message_id = next_request_id_++;
+
+  // Rate limiting (the platform restriction the paper calls out).
+  while (!recent_http_.empty() && now_ - recent_http_.front() > 60.0) {
+    recent_http_.pop_front();
+  }
+  if (recent_http_.size() >= limits_.http_requests_per_minute) {
+    ++stats_.http_throttled;
+    queued_responses_.emplace_back(now_ + 1.0, key, 499, "throttled");
+    return key;
+  }
+  recent_http_.push_back(now_);
+  ++stats_.http_requests;
+
+  HttpRequest req;
+  req.method = "POST";
+  // Path part of the URL; the host part is implied (the collector node).
+  const std::size_t scheme = url.find("//");
+  const std::size_t slash =
+      url.find('/', scheme == std::string::npos ? 0 : scheme + 2);
+  req.path = slash == std::string::npos ? "/" : url.substr(slash);
+  req.headers.push_back({"X-Request-Key", key});
+  req.headers.push_back({"X-Sensor-Id", std::to_string(id_.value)});
+  req.body = body;
+  for (auto& frag : fragment_http_message(message_id, req.serialize())) {
+    network_.send(address_, collector_, std::move(frag));
+  }
+  pending_http_.push_back({key, now_ + limits_.http_timeout});
+  return key;
+}
+
+void SensorObject::on_datagram(std::span<const std::uint8_t> bytes) {
+  const auto message = reassembler_.feed(collector_, bytes);
+  if (!message) return;
+  const auto resp = parse_http_response(*message);
+  if (!resp) return;
+  const auto key = resp->header("X-Request-Key");
+  if (!key) return;
+  deliver_response(*key, resp->status, resp->body);
+}
+
+void SensorObject::deliver_response(const std::string& key, std::int64_t status,
+                                    const std::string& body) {
+  const auto it = std::find_if(pending_http_.begin(), pending_http_.end(),
+                               [&](const PendingHttp& p) { return p.key == key; });
+  if (it != pending_http_.end()) pending_http_.erase(it);
+  guarded([&] { interp_->fire_http_response(key, status, body); });
+}
+
+void SensorObject::sweep(Seconds now) {
+  ++stats_.sweeps;
+  // Nearest-first detection, capped at max_detected — llSensor semantics.
+  std::vector<Detection> in_range;
+  for (const auto& [id, avatar] : world_.avatars()) {
+    const double d = position_.distance2d_to(avatar.pos);
+    if (d <= sensor_range_) in_range.push_back({id, avatar.pos});
+  }
+  std::sort(in_range.begin(), in_range.end(), [&](const Detection& a, const Detection& b) {
+    return position_.distance2d_to(a.pos) < position_.distance2d_to(b.pos);
+  });
+  if (in_range.size() > limits_.max_detected) {
+    stats_.detections_truncated += in_range.size() - limits_.max_detected;
+    in_range.resize(limits_.max_detected);
+  }
+  detected_ = std::move(in_range);
+  stats_.detections += detected_.size();
+  guarded([&] {
+    if (detected_.empty()) {
+      interp_->fire_no_sensor();
+    } else {
+      interp_->fire_sensor(static_cast<std::int64_t>(detected_.size()));
+    }
+  });
+  detected_.clear();
+  (void)now;
+}
+
+void SensorObject::tick(Seconds now, Seconds dt) {
+  (void)dt;
+  now_ = now;
+  if (failed_) return;
+
+  // Synthetic (throttle) responses due.
+  for (std::size_t i = 0; i < queued_responses_.size();) {
+    if (std::get<0>(queued_responses_[i]) <= now) {
+      auto [due, key, status, body] = std::move(queued_responses_[i]);
+      queued_responses_.erase(queued_responses_.begin() + static_cast<std::ptrdiff_t>(i));
+      deliver_response(key, status, body);
+    } else {
+      ++i;
+    }
+  }
+  // HTTP timeouts (lost fragments, dead collector).
+  for (std::size_t i = 0; i < pending_http_.size();) {
+    if (pending_http_[i].deadline <= now) {
+      const std::string key = pending_http_[i].key;
+      pending_http_.erase(pending_http_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++stats_.http_timeouts;
+      guarded([&] { interp_->fire_http_response(key, 408, "timeout"); });
+    } else {
+      ++i;
+    }
+  }
+  if (failed_) return;
+
+  if (timer_period_ > 0.0 && now >= next_timer_) {
+    next_timer_ = now + timer_period_;
+    guarded([&] { interp_->fire_timer(); });
+  }
+  if (sensor_active_ && now >= next_sweep_) {
+    next_sweep_ = now + sensor_rate_;
+    sweep(now);
+  }
+  reassembler_.gc();
+}
+
+}  // namespace slmob

@@ -1,0 +1,150 @@
+// SensorObject: one in-world scripted object (the paper's "virtual sensor").
+//
+// A sensor is an LSL-scripted object subject to the platform limits the
+// paper §2 documents:
+//  * llSensorRepeat detects at most 16 agents per sweep, within 96 m;
+//  * script memory is 16 KB — the cache the paper mentions;
+//  * llHTTPRequest is rate-limited; throttled requests fail with status 499;
+//  * objects on public land expire after a land-dependent lifetime
+//    (enforced by ObjectRuntime, not here).
+//
+// The object implements LslHost: all world access of the script goes
+// through the limits enforced here.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "lsl/interpreter.hpp"
+#include "net/network.hpp"
+#include "sensors/http.hpp"
+#include "sensors/http_transport.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "world/world.hpp"
+
+namespace slmob {
+
+struct SensorLimits {
+  std::size_t max_detected{16};
+  double max_range{96.0};
+  std::size_t script_memory{16 * 1024};
+  std::size_t http_requests_per_minute{20};
+  Seconds http_timeout{10.0};
+};
+
+struct SensorObjectStats {
+  std::uint64_t sweeps{0};
+  std::uint64_t detections{0};
+  std::uint64_t detections_truncated{0};  // avatars in range beyond the cap
+  std::uint64_t http_requests{0};
+  std::uint64_t http_throttled{0};
+  std::uint64_t http_timeouts{0};
+  std::uint64_t script_errors{0};
+};
+
+class SensorObject final : public lsl::LslHost {
+ public:
+  // `script` is LSL source; throws LslError if it does not parse.
+  SensorObject(ObjectId id, const World& world, SimNetwork& network, NodeId collector,
+               Vec3 position, std::string_view script, Seconds now, SensorLimits limits,
+               std::uint64_t seed);
+  ~SensorObject() override;
+
+  SensorObject(const SensorObject&) = delete;
+  SensorObject& operator=(const SensorObject&) = delete;
+
+  // Runs timers, sensor sweeps and HTTP timeouts. Call every engine tick.
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] ObjectId id() const { return id_; }
+  [[nodiscard]] Vec3 position() const { return position_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  [[nodiscard]] const SensorObjectStats& stats() const { return stats_; }
+  [[nodiscard]] NodeId address() const { return address_; }
+  // Approximate script memory in use (limits enforcement + llGetFreeMemory).
+  [[nodiscard]] std::size_t memory_usage() const;
+
+  // --- LslHost -------------------------------------------------------------
+  void ll_say(std::int64_t channel, const std::string& text) override;
+  void ll_owner_say(const std::string& text) override;
+  void ll_set_timer_event(double period_seconds) override;
+  void ll_sensor_repeat(const std::string& name, const std::string& key, std::int64_t type,
+                        double range, double arc, double rate) override;
+  Vec3 ll_get_pos() override { return position_; }
+  double ll_get_time() override { return now_ - created_at_; }
+  std::int64_t ll_get_unix_time() override { return static_cast<std::int64_t>(now_); }
+  double ll_frand(double max) override { return rng_.uniform(0.0, max); }
+  std::string ll_http_request(const std::string& url, const lsl::List& params,
+                              const std::string& body) override;
+  std::int64_t ll_get_free_memory() override;
+
+  std::size_t detected_count() const override { return detected_.size(); }
+  Vec3 detected_pos(std::size_t i) const override { return detected_.at(i).pos; }
+  std::string detected_key(std::size_t i) const override {
+    return "avatar-" + std::to_string(detected_.at(i).id.value);
+  }
+  std::string detected_name(std::size_t i) const override {
+    return "Resident " + std::to_string(detected_.at(i).id.value);
+  }
+
+ private:
+  struct Detection {
+    AvatarId id;
+    Vec3 pos;
+  };
+  struct PendingHttp {
+    std::string key;
+    Seconds deadline;
+  };
+
+  void sweep(Seconds now);
+  void fail_script(const std::string& what);
+  void enforce_memory_limit();
+  void deliver_response(const std::string& key, std::int64_t status,
+                        const std::string& body);
+  void on_datagram(std::span<const std::uint8_t> bytes);
+  template <typename Fn>
+  void guarded(Fn&& fn);
+
+  ObjectId id_;
+  const World& world_;
+  SimNetwork& network_;
+  NodeId collector_;
+  NodeId address_;
+  Vec3 position_;
+  SensorLimits limits_;
+  Rng rng_;
+  Seconds created_at_;
+  Seconds now_;
+
+  std::unique_ptr<lsl::Interpreter> interp_;
+  bool failed_{false};
+  std::string last_error_;
+
+  // timer event
+  double timer_period_{0.0};
+  Seconds next_timer_{0.0};
+  // sensor repeat
+  bool sensor_active_{false};
+  double sensor_range_{0.0};
+  double sensor_rate_{0.0};
+  Seconds next_sweep_{0.0};
+  std::vector<Detection> detected_;
+
+  // HTTP state
+  std::uint32_t next_request_id_{1};
+  std::deque<Seconds> recent_http_;  // send timestamps for rate limiting
+  std::vector<PendingHttp> pending_http_;
+  // Responses scheduled for synthetic delivery (throttle failures).
+  std::vector<std::tuple<Seconds, std::string, std::int64_t, std::string>> queued_responses_;
+  HttpReassembler reassembler_;
+
+  SensorObjectStats stats_;
+};
+
+}  // namespace slmob

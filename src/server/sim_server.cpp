@@ -1,0 +1,181 @@
+#include "server/sim_server.hpp"
+
+#include "util/log.hpp"
+
+namespace slmob {
+
+SimServer::SimServer(SimNetwork& network, World& world, SimServerParams params)
+    : network_(network), world_(world), params_(params) {
+  address_ = network_.register_node(
+      [this](NodeId from, std::span<const std::uint8_t> bytes) { on_datagram(from, bytes); });
+}
+
+CircuitEndpoint& SimServer::circuit_for(NodeId from) {
+  auto it = clients_.find(from);
+  if (it == clients_.end()) {
+    ClientSession session;
+    session.circuit =
+        std::make_unique<CircuitEndpoint>(network_, address_, from, params_.circuit);
+    session.circuit->set_deliver(
+        [this, from](Message msg) { handle_message(from, std::move(msg)); });
+    it = clients_.emplace(from, std::move(session)).first;
+  }
+  return *it->second.circuit;
+}
+
+void SimServer::on_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
+  circuit_for(from).on_datagram(bytes);
+  if (const auto it = clients_.find(from); it != clients_.end()) {
+    it->second.last_receive = now_;
+  }
+}
+
+void SimServer::handle_message(NodeId from, Message msg) {
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, LoginRequest>) {
+          handle_login(from, m);
+        } else if constexpr (std::is_same_v<T, UseCircuitCode>) {
+          // Circuit confirmation; nothing else to do in-sim.
+        } else if constexpr (std::is_same_v<T, CompleteAgentMovement>) {
+          auto it = clients_.find(from);
+          if (it != clients_.end()) it->second.movement_complete = true;
+        } else if constexpr (std::is_same_v<T, AgentUpdate>) {
+          handle_agent_update(from, m);
+        } else if constexpr (std::is_same_v<T, ChatFromViewer>) {
+          handle_chat(from, m);
+        } else if constexpr (std::is_same_v<T, LogoutRequest>) {
+          handle_logout(from);
+        } else {
+          log_warn("server", "unexpected message type from client");
+        }
+      },
+      std::move(msg));
+}
+
+void SimServer::handle_login(NodeId from, const LoginRequest& req) {
+  auto& session = clients_.at(from);  // circuit_for created it
+  session.circuit_code = req.circuit_code;
+
+  const auto& spawns = world_.land().spawn_points();
+  const Vec3 spawn = spawns.front();
+  const auto avatar_id = world_.add_external_avatar(now_, spawn);
+
+  LoginResponse resp;
+  if (!avatar_id) {
+    ++stats_.logins_rejected;
+    resp.ok = false;
+    resp.error = "region full";
+    session.circuit->send(resp, /*reliable=*/true);
+    return;
+  }
+  ++stats_.logins_accepted;
+  session.avatar = *avatar_id;
+  resp.ok = true;
+  resp.agent_id = avatar_id->value;
+  resp.region_name = world_.land().name();
+  const Vec3 pos = world_.find(*avatar_id)->pos;
+  resp.spawn_x = static_cast<float>(pos.x);
+  resp.spawn_y = static_cast<float>(pos.y);
+  resp.spawn_z = static_cast<float>(pos.z);
+  session.circuit->send(resp, /*reliable=*/true);
+
+  RegionHandshake handshake;
+  handshake.region_name = world_.land().name();
+  handshake.region_size = static_cast<float>(world_.land().size());
+  handshake.capacity = static_cast<std::uint32_t>(world_.land().capacity());
+  session.circuit->send(handshake, /*reliable=*/true);
+}
+
+void SimServer::handle_agent_update(NodeId from, const AgentUpdate& update) {
+  const auto it = clients_.find(from);
+  if (it == clients_.end() || it->second.avatar.value != update.agent_id) {
+    // Traffic for a session we no longer hold (e.g. dropped by the circuit
+    // timeout while the client still believes it is connected): tell the
+    // client so it can re-login instead of feeding a zombie session.
+    if (it != clients_.end() && it->second.avatar.value == 0) {
+      KickUser kick;
+      kick.reason = "no session";
+      it->second.circuit->send(kick, /*reliable=*/false);
+    }
+    return;
+  }
+  const AvatarId id = it->second.avatar;
+  if ((update.flags & kAgentFlagSit) != 0) world_.set_sitting(id, true);
+  if ((update.flags & kAgentFlagStand) != 0) world_.set_sitting(id, false);
+  if (update.speed > 0.0f) {
+    world_.steer_external(now_, id,
+                          {update.target_x, update.target_y, update.target_z},
+                          update.speed);
+  }
+}
+
+void SimServer::handle_chat(NodeId from, const ChatFromViewer& chat) {
+  const auto it = clients_.find(from);
+  if (it == clients_.end() || it->second.avatar.value != chat.agent_id) return;
+  ++stats_.chat_messages;
+  const AvatarId speaker = it->second.avatar;
+  world_.mark_social_activity(now_, speaker);
+  const Avatar* speaker_avatar = world_.find(speaker);
+  if (speaker_avatar == nullptr) return;
+
+  ChatFromSimulator out;
+  out.from_agent = speaker.value;
+  out.from_name = "agent-" + std::to_string(speaker.value);
+  out.message = chat.message;
+  for (auto& [node, session] : clients_) {
+    if (node == from || !session.movement_complete) continue;
+    const Avatar* listener = world_.find(session.avatar);
+    if (listener == nullptr) continue;
+    if (listener->pos.distance2d_to(speaker_avatar->pos) <= params_.chat_range) {
+      session.circuit->send(out, /*reliable=*/false);
+    }
+  }
+}
+
+void SimServer::handle_logout(NodeId from) {
+  const auto it = clients_.find(from);
+  if (it == clients_.end()) return;
+  ++stats_.logouts;
+  world_.remove_external_avatar(now_, it->second.avatar);
+  clients_.erase(it);
+}
+
+void SimServer::broadcast_coarse_locations() {
+  CoarseLocationUpdate update;
+  update.entries.reserve(world_.avatars().size());
+  for (const auto& [id, avatar] : world_.avatars()) {
+    update.entries.push_back(
+        quantize_coarse(id.value, avatar.pos.x, avatar.pos.y, avatar.pos.z, avatar.sitting));
+  }
+  for (auto& [node, session] : clients_) {
+    if (!session.movement_complete) continue;
+    session.circuit->send(update, /*reliable=*/false);
+    ++stats_.coarse_updates_sent;
+  }
+}
+
+void SimServer::tick(Seconds now, Seconds dt) {
+  (void)dt;
+  now_ = now;
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    it->second.circuit->tick(now);
+    const bool dead = it->second.circuit->failed();
+    const bool timed_out = now - it->second.last_receive > params_.session_timeout;
+    if (dead || timed_out) {
+      // Dead or silent circuit: drop the session and its avatar so the
+      // client can re-login on a fresh circuit.
+      world_.remove_external_avatar(now, it->second.avatar);
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (now - last_coarse_ >= params_.coarse_interval) {
+    broadcast_coarse_locations();
+    last_coarse_ = now;
+  }
+}
+
+}  // namespace slmob

@@ -1,0 +1,87 @@
+// SimServer: hosts one region (one World) and speaks the wire protocol.
+//
+// Responsibilities, mirroring what the 2008 SL simulator did for a
+// libsecondlife client:
+//  * login handshake: LoginRequest -> LoginResponse + RegionHandshake,
+//    admitting the agent into the world (subject to region capacity);
+//  * movement: AgentUpdate steers the agent's avatar (and sit/stand flags);
+//  * chat: ChatFromViewer is echoed as ChatFromSimulator to every connected
+//    client whose avatar is within earshot, and registered with the world as
+//    social activity (this is what makes crawler mimicry effective);
+//  * minimap feed: every `coarse_interval`, a CoarseLocationUpdate with the
+//    quantised position of every avatar on the land is sent to each client;
+//  * logout: LogoutRequest removes the agent.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/circuit.hpp"
+#include "net/messages.hpp"
+#include "net/network.hpp"
+#include "world/world.hpp"
+
+namespace slmob {
+
+struct SimServerParams {
+  // How often the minimap (coarse location) feed is pushed to clients. The
+  // real service pushed every few seconds; the crawler samples every 10 s.
+  Seconds coarse_interval{5.0};
+  // Chat audibility radius in metres (SL "say" range was 20 m).
+  double chat_range{20.0};
+  // A session with no datagrams for this long is dropped (circuit timeout),
+  // so a client whose circuit died can eventually re-login.
+  Seconds session_timeout{60.0};
+  CircuitParams circuit;
+};
+
+struct SimServerStats {
+  std::uint64_t logins_accepted{0};
+  std::uint64_t logins_rejected{0};
+  std::uint64_t coarse_updates_sent{0};
+  std::uint64_t chat_messages{0};
+  std::uint64_t logouts{0};
+};
+
+class SimServer {
+ public:
+  SimServer(SimNetwork& network, World& world, SimServerParams params = {});
+
+  [[nodiscard]] NodeId address() const { return address_; }
+  [[nodiscard]] const SimServerStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t connected_clients() const { return clients_.size(); }
+  [[nodiscard]] World& world() { return world_; }
+
+  // Engine hook (kPriorityServer).
+  void tick(Seconds now, Seconds dt);
+
+ private:
+  struct ClientSession {
+    std::unique_ptr<CircuitEndpoint> circuit;
+    std::uint32_t circuit_code{0};
+    AvatarId avatar;
+    bool movement_complete{false};
+    Seconds last_receive{0.0};
+  };
+
+  void on_datagram(NodeId from, std::span<const std::uint8_t> bytes);
+  void handle_message(NodeId from, Message msg);
+  void handle_login(NodeId from, const LoginRequest& req);
+  void handle_agent_update(NodeId from, const AgentUpdate& update);
+  void handle_chat(NodeId from, const ChatFromViewer& chat);
+  void handle_logout(NodeId from);
+  void broadcast_coarse_locations();
+  CircuitEndpoint& circuit_for(NodeId from);
+
+  SimNetwork& network_;
+  World& world_;
+  SimServerParams params_;
+  NodeId address_;
+  Seconds now_{0.0};
+  Seconds last_coarse_{-1e18};
+  std::map<NodeId, ClientSession> clients_;
+  SimServerStats stats_;
+};
+
+}  // namespace slmob

@@ -1,0 +1,61 @@
+// Empirical distributions.
+//
+// Every figure in the paper is a CDF or CCDF of some per-user or per-pair
+// metric; Ecdf is the single representation behind all of them. Samples are
+// kept sorted; evaluation is O(log n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace slmob {
+
+struct EcdfPoint {
+  double x{0.0};
+  double y{0.0};  // F(x) for CDF output, 1 - F(x) for CCDF output
+};
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double sample);
+  // Re-sorts after a batch of add() calls; called lazily by accessors.
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  // F(x) = P[X <= x].
+  [[nodiscard]] double cdf(double x) const;
+  // 1 - F(x) = P[X > x].
+  [[nodiscard]] double ccdf(double x) const;
+  // q-quantile for q in [0, 1]; q=0.5 is the median. Uses the lower
+  // (inverse-CDF) convention. Throws std::logic_error when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  // Sorted view of the samples.
+  [[nodiscard]] std::span<const double> sorted() const;
+
+  // Evaluates the CDF on `n` points linearly spaced over [min, max].
+  [[nodiscard]] std::vector<EcdfPoint> cdf_series(std::size_t n) const;
+  // Evaluates the CCDF on `n` points log-spaced over [max(min, lo_floor), max],
+  // matching the paper's log-x CCDF plots.
+  [[nodiscard]] std::vector<EcdfPoint> ccdf_log_series(std::size_t n, double lo_floor = 1.0) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+};
+
+// Renders a series as "x<TAB>y" lines, used by bench binaries to emit
+// figure data in a gnuplot-friendly form.
+std::string format_series(const std::vector<EcdfPoint>& series);
+
+}  // namespace slmob

@@ -1,0 +1,110 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace slmob {
+namespace {
+
+// Combined model CCDF: power law on [xmin, crossover), scaled exponential
+// beyond. Continuous at the crossover.
+double model_ccdf(double x, const TwoPhaseFit& fit) {
+  if (x < fit.head.xmin) return 1.0;
+  if (x < fit.crossover) return std::pow(x / fit.head.xmin, -fit.head.alpha);
+  const double at_cross = std::pow(fit.crossover / fit.head.xmin, -fit.head.alpha);
+  return at_cross * std::exp(-fit.tail.rate * (x - fit.crossover));
+}
+
+}  // namespace
+
+PowerLawFit fit_power_law(std::span<const double> samples, double xmin) {
+  PowerLawFit fit;
+  fit.xmin = xmin;
+  double sum_log = 0.0;
+  std::size_t n = 0;
+  for (const double x : samples) {
+    if (x >= xmin && x > 0.0) {
+      sum_log += std::log(x / xmin);
+      ++n;
+    }
+  }
+  fit.n = n;
+  if (n >= 2 && sum_log > 0.0) {
+    fit.alpha = static_cast<double>(n) / sum_log;
+  }
+  return fit;
+}
+
+ExponentialTailFit fit_exponential_tail(std::span<const double> samples, double threshold) {
+  ExponentialTailFit fit;
+  fit.threshold = threshold;
+  double sum_excess = 0.0;
+  std::size_t n = 0;
+  for (const double x : samples) {
+    if (x >= threshold) {
+      sum_excess += x - threshold;
+      ++n;
+    }
+  }
+  fit.n = n;
+  if (n >= 2 && sum_excess > 0.0) {
+    fit.rate = static_cast<double>(n) / sum_excess;
+  }
+  return fit;
+}
+
+TwoPhaseFit fit_two_phase(std::span<const double> samples, double xmin, double q_lo,
+                          double q_hi) {
+  TwoPhaseFit best;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() < 10) return best;
+
+  const auto quant = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+
+  constexpr int kCandidates = 24;
+  for (int c = 0; c < kCandidates; ++c) {
+    const double q = q_lo + (q_hi - q_lo) * static_cast<double>(c) /
+                                static_cast<double>(kCandidates - 1);
+    const double crossover = quant(q);
+    if (crossover <= xmin) continue;
+
+    TwoPhaseFit cand;
+    cand.crossover = crossover;
+    // Head: samples in [xmin, crossover). Restrict the power-law fit window.
+    std::vector<double> head;
+    for (const double x : sorted) {
+      if (x >= xmin && x < crossover) head.push_back(x);
+    }
+    cand.head = fit_power_law(head, xmin);
+    cand.tail = fit_exponential_tail(sorted, crossover);
+    if (cand.head.n < 5 || cand.tail.n < 5 || cand.head.alpha <= 0.0 || cand.tail.rate <= 0.0) {
+      continue;
+    }
+
+    // KS distance over the empirical support above xmin.
+    double ks = 0.0;
+    std::size_t count_above = 0;
+    for (const double x : sorted) {
+      if (x >= xmin) ++count_above;
+    }
+    if (count_above == 0) continue;
+    std::size_t seen = 0;
+    for (const double x : sorted) {
+      if (x < xmin) continue;
+      ++seen;
+      const double emp_ccdf =
+          1.0 - static_cast<double>(seen) / static_cast<double>(count_above);
+      ks = std::max(ks, std::abs(emp_ccdf - model_ccdf(x, cand)));
+    }
+    cand.ks = ks;
+    if (cand.ks < best.ks) best = cand;
+  }
+  return best;
+}
+
+}  // namespace slmob

@@ -1,0 +1,47 @@
+// Distribution-shape diagnostics.
+//
+// The paper's headline statistical claim is that CT and ICT distributions
+// have "a first power-law phase and an exponential cut-off phase". These
+// helpers quantify that claim on measured samples:
+//  * power-law exponent of the head via the Hill/MLE estimator,
+//  * exponential rate of the tail via MLE on the excess over a threshold,
+//  * a TwoPhaseFit that picks the crossover by minimising the combined
+//    Kolmogorov-Smirnov distance.
+#pragma once
+
+#include <span>
+
+namespace slmob {
+
+struct PowerLawFit {
+  double alpha{0.0};   // CCDF slope exponent: P[X > x] ~ x^-alpha
+  double xmin{0.0};    // lower cutoff used for the fit
+  std::size_t n{0};    // samples used
+};
+
+struct ExponentialTailFit {
+  double rate{0.0};       // P[X > x] ~ exp(-rate * (x - threshold))
+  double threshold{0.0};  // tail threshold used
+  std::size_t n{0};
+};
+
+struct TwoPhaseFit {
+  PowerLawFit head;
+  ExponentialTailFit tail;
+  double crossover{0.0};  // x at which the model switches phase
+  double ks{1.0};         // KS distance of the combined model
+};
+
+// MLE (Hill) estimate of the power-law exponent for samples >= xmin.
+// Returns alpha = 0 when fewer than 2 samples qualify.
+PowerLawFit fit_power_law(std::span<const double> samples, double xmin);
+
+// MLE exponential fit to the excess of samples above `threshold`.
+ExponentialTailFit fit_exponential_tail(std::span<const double> samples, double threshold);
+
+// Fits the two-phase (power-law head + exponential tail) model, scanning
+// candidate crossovers between the q_lo and q_hi sample quantiles.
+TwoPhaseFit fit_two_phase(std::span<const double> samples, double xmin,
+                          double q_lo = 0.3, double q_hi = 0.95);
+
+}  // namespace slmob

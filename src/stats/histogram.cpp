@@ -1,0 +1,86 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace slmob {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(lo < hi) || bins == 0) throw std::invalid_argument("Histogram: bad range/bins");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins) {
+  if (!(0.0 < lo && lo < hi) || bins == 0) {
+    throw std::invalid_argument("LogHistogram: need 0 < lo < hi, bins > 0");
+  }
+  log_lo_ = std::log10(lo);
+  log_hi_ = std::log10(hi);
+  counts_.resize(bins, 0);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (x <= 0.0) {
+    ++counts_.front();
+    return;
+  }
+  const double lx = std::log10(x);
+  const double t = (lx - log_lo_) / (log_hi_ - log_lo_);
+  if (t < 0.0) {
+    ++counts_.front();
+    return;
+  }
+  auto bin = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+double LogHistogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("LogHistogram::bin_lo");
+  const double t = static_cast<double>(bin) / static_cast<double>(counts_.size());
+  return std::pow(10.0, log_lo_ + t * (log_hi_ - log_lo_));
+}
+
+double LogHistogram::bin_hi(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("LogHistogram::bin_hi");
+  const double t = static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+  return std::pow(10.0, log_lo_ + t * (log_hi_ - log_lo_));
+}
+
+double LogHistogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  const double width = bin_hi(bin) - bin_lo(bin);
+  return static_cast<double>(count(bin)) / (static_cast<double>(total_) * width);
+}
+
+}  // namespace slmob

@@ -1,0 +1,59 @@
+// Fixed-width and logarithmic histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slmob {
+
+// Histogram over [lo, hi) with uniform bin width. Out-of-range samples are
+// clamped into the first/last bin and counted in underflow/overflow tallies.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  // Center x-value of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  // Fraction of all samples in this bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+  std::uint64_t underflow_{0};
+  std::uint64_t overflow_{0};
+};
+
+// Histogram with log-spaced bin edges over [lo, hi), lo > 0. Used for the
+// power-law-shaped contact time distributions.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  // Empirical density within the bin: fraction / bin-width.
+  [[nodiscard]] double density(std::size_t bin) const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace slmob

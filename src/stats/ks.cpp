@@ -1,0 +1,30 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/ecdf.hpp"
+
+namespace slmob {
+
+double ks_distance(const Ecdf& a, const Ecdf& b) {
+  double d = 0.0;
+  for (const double x : a.sorted()) d = std::max(d, std::abs(a.cdf(x) - b.cdf(x)));
+  for (const double x : b.sorted()) d = std::max(d, std::abs(a.cdf(x) - b.cdf(x)));
+  return d;
+}
+
+double ks_distance(const Ecdf& a, const std::function<double(double)>& cdf) {
+  double d = 0.0;
+  const auto samples = a.sorted();
+  const auto n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double model = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(model - lo), std::abs(model - hi)});
+  }
+  return d;
+}
+
+}  // namespace slmob

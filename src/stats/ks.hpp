@@ -1,0 +1,18 @@
+// Kolmogorov-Smirnov distances, used to compare measured distributions
+// against calibration targets and between monitoring architectures.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace slmob {
+
+class Ecdf;
+
+// Two-sample KS distance: sup_x |F1(x) - F2(x)|.
+double ks_distance(const Ecdf& a, const Ecdf& b);
+
+// One-sample KS distance against an analytic CDF.
+double ks_distance(const Ecdf& a, const std::function<double(double)>& cdf);
+
+}  // namespace slmob

@@ -1,0 +1,34 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace slmob {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> v(samples.begin(), samples.end());
+  std::sort(v.begin(), v.end());
+  s.count = v.size();
+  s.mean = std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+  double var = 0.0;
+  for (const double x : v) var += (x - s.mean) * (x - s.mean);
+  s.stddev = v.size() > 1 ? std::sqrt(var / static_cast<double>(v.size() - 1)) : 0.0;
+  s.min = v.front();
+  s.max = v.back();
+  const auto q = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        std::min(std::ceil(p * static_cast<double>(v.size())) - 1.0,
+                 static_cast<double>(v.size() - 1)));
+    return v[std::max<std::size_t>(idx, 0)];
+  };
+  s.p10 = q(0.10);
+  s.median = q(0.50);
+  s.p90 = q(0.90);
+  return s;
+}
+
+}  // namespace slmob

@@ -1,0 +1,22 @@
+// Summary statistics over a sample vector.
+#pragma once
+
+#include <span>
+
+namespace slmob {
+
+struct Summary {
+  std::size_t count{0};
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double p10{0.0};
+  double median{0.0};
+  double p90{0.0};
+  double max{0.0};
+};
+
+// Computes the summary; all-zero summary when the input is empty.
+Summary summarize(std::span<const double> samples);
+
+}  // namespace slmob

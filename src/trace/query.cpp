@@ -1,0 +1,81 @@
+#include "trace/query.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace slmob {
+
+TraceQuery& TraceQuery::between(Seconds t0, Seconds t1) {
+  if (t1 < t0) throw std::invalid_argument("TraceQuery::between: t1 < t0");
+  time_range_ = {t0, t1};
+  return *this;
+}
+
+TraceQuery& TraceQuery::within(RegionBox box) {
+  if (box.x1 < box.x0 || box.y1 < box.y0) {
+    throw std::invalid_argument("TraceQuery::within: malformed box");
+  }
+  box_ = box;
+  return *this;
+}
+
+TraceQuery& TraceQuery::avatars(std::set<AvatarId> ids) {
+  avatars_ = std::move(ids);
+  return *this;
+}
+
+TraceQuery& TraceQuery::stride(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("TraceQuery::stride: n must be >= 1");
+  stride_ = n;
+  return *this;
+}
+
+TraceQuery& TraceQuery::drop_empty(bool enabled) {
+  drop_empty_ = enabled;
+  return *this;
+}
+
+Trace TraceQuery::run(const Trace& input) const {
+  Trace out(input.land_name(), input.sampling_interval() * static_cast<double>(stride_));
+  const auto& snaps = input.snapshots();
+  for (std::size_t i = 0; i < snaps.size(); i += stride_) {
+    const Snapshot& snap = snaps[i];
+    if (time_range_ && (snap.time < time_range_->first || snap.time >= time_range_->second)) {
+      continue;
+    }
+    Snapshot filtered;
+    filtered.time = snap.time;
+    for (const auto& fix : snap.fixes) {
+      if (box_ && !box_->contains(fix.pos)) continue;
+      if (avatars_ && !avatars_->contains(fix.id)) continue;
+      filtered.fixes.push_back(fix);
+    }
+    if (drop_empty_ && filtered.fixes.empty()) continue;
+    out.add(std::move(filtered));
+  }
+  return out;
+}
+
+std::set<AvatarId> TraceQuery::visitors_of(const Trace& trace, const RegionBox& box) {
+  std::set<AvatarId> out;
+  for (const auto& snap : trace.snapshots()) {
+    for (const auto& fix : snap.fixes) {
+      if (box.contains(fix.pos)) out.insert(fix.id);
+    }
+  }
+  return out;
+}
+
+std::map<AvatarId, double> TraceQuery::presence(const Trace& trace) {
+  std::map<AvatarId, double> out;
+  if (trace.empty()) return out;
+  for (const auto& snap : trace.snapshots()) {
+    for (const auto& fix : snap.fixes) out[fix.id] += 1.0;
+  }
+  const auto n = static_cast<double>(trace.size());
+  for (auto& [id, count] : out) count /= n;
+  return out;
+}
+
+}  // namespace slmob

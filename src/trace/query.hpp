@@ -1,0 +1,61 @@
+// Trace querying: the slice-and-dice layer the paper's web application
+// provided over its measurement database ("measurement data is stored in a
+// database that can be queried through an interactive web application").
+//
+// A TraceQuery is a composable filter over snapshots and fixes; running it
+// yields a derived Trace that every analysis accepts.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "trace/trace.hpp"
+#include "util/vec3.hpp"
+
+namespace slmob {
+
+// Axis-aligned ground rectangle [x0,x1) x [y0,y1).
+struct RegionBox {
+  double x0{0.0};
+  double y0{0.0};
+  double x1{256.0};
+  double y1{256.0};
+
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+};
+
+class TraceQuery {
+ public:
+  // Keep only snapshots with time in [t0, t1).
+  TraceQuery& between(Seconds t0, Seconds t1);
+  // Keep only fixes inside the box.
+  TraceQuery& within(RegionBox box);
+  // Keep only the given avatars.
+  TraceQuery& avatars(std::set<AvatarId> ids);
+  // Thin to every n-th snapshot.
+  TraceQuery& stride(std::size_t n);
+  // Drop snapshots left without any fix after filtering.
+  TraceQuery& drop_empty(bool enabled = true);
+
+  [[nodiscard]] Trace run(const Trace& input) const;
+
+  // Convenience: avatars ever observed inside `box` (e.g. "who visited the
+  // dance floor?").
+  static std::set<AvatarId> visitors_of(const Trace& trace, const RegionBox& box);
+
+  // Presence matrix: for each avatar, the fraction of snapshots in which it
+  // appears (trace-wide attendance).
+  static std::map<AvatarId, double> presence(const Trace& trace);
+
+ private:
+  std::optional<std::pair<Seconds, Seconds>> time_range_;
+  std::optional<RegionBox> box_;
+  std::optional<std::set<AvatarId>> avatars_;
+  std::size_t stride_{1};
+  bool drop_empty_{false};
+};
+
+}  // namespace slmob

@@ -1,0 +1,126 @@
+#include "trace/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace slmob {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'L', 'T', 'R'};
+constexpr std::uint16_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trace(const Trace& trace) {
+  ByteWriter w;
+  w.raw(kMagic);
+  w.u16(kVersion);
+  w.str(trace.land_name());
+  w.f64(trace.sampling_interval());
+  w.u32(static_cast<std::uint32_t>(trace.snapshots().size()));
+  for (const auto& snap : trace.snapshots()) {
+    w.f64(snap.time);
+    w.u32(static_cast<std::uint32_t>(snap.fixes.size()));
+    for (const auto& fix : snap.fixes) {
+      w.u32(fix.id.value);
+      w.f32(static_cast<float>(fix.pos.x));
+      w.f32(static_cast<float>(fix.pos.y));
+      w.f32(static_cast<float>(fix.pos.z));
+    }
+  }
+  return w.take();
+}
+
+Trace decode_trace(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto magic = r.raw(4);
+  if (!std::equal(magic.begin(), magic.end(), kMagic)) {
+    throw DecodeError("decode_trace: bad magic");
+  }
+  const auto version = r.u16();
+  if (version != kVersion) throw DecodeError("decode_trace: unsupported version");
+  const std::string land = r.str();
+  const double interval = r.f64();
+  Trace trace(land, interval);
+  const std::uint32_t snap_count = r.u32();
+  for (std::uint32_t i = 0; i < snap_count; ++i) {
+    Snapshot snap;
+    snap.time = r.f64();
+    const std::uint32_t fix_count = r.u32();
+    snap.fixes.reserve(fix_count);
+    for (std::uint32_t j = 0; j < fix_count; ++j) {
+      AvatarFix fix;
+      fix.id = AvatarId{r.u32()};
+      fix.pos.x = r.f32();
+      fix.pos.y = r.f32();
+      fix.pos.z = r.f32();
+      snap.fixes.push_back(fix);
+    }
+    trace.add(std::move(snap));
+  }
+  if (!r.at_end()) throw DecodeError("decode_trace: trailing bytes");
+  return trace;
+}
+
+std::string trace_to_csv(const Trace& trace) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"time", "avatar", "x", "y", "z"});
+  for (const auto& snap : trace.snapshots()) {
+    for (const auto& fix : snap.fixes) {
+      w.row({std::to_string(snap.time), std::to_string(fix.id.value),
+             std::to_string(fix.pos.x), std::to_string(fix.pos.y),
+             std::to_string(fix.pos.z)});
+    }
+  }
+  return os.str();
+}
+
+Trace trace_from_csv(std::string_view text, std::string land_name,
+                     Seconds sampling_interval) {
+  Trace trace(std::move(land_name), sampling_interval);
+  const auto rows = parse_csv(text);
+  Snapshot current;
+  bool have_current = false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (i == 0 && !row.empty() && row[0] == "time") continue;  // header
+    if (row.size() != 5) throw DecodeError("trace_from_csv: row must have 5 fields");
+    const double t = std::stod(row[0]);
+    const auto id = AvatarId{static_cast<std::uint32_t>(std::stoul(row[1]))};
+    const Vec3 pos{std::stod(row[2]), std::stod(row[3]), std::stod(row[4])};
+    if (!have_current || t != current.time) {
+      if (have_current) trace.add(std::move(current));
+      current = Snapshot{};
+      current.time = t;
+      have_current = true;
+    }
+    current.fixes.push_back({id, pos});
+  }
+  if (have_current) trace.add(std::move(current));
+  return trace;
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  const auto bytes = encode_trace(trace);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return decode_trace(bytes);
+}
+
+}  // namespace slmob

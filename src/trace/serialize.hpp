@@ -1,0 +1,37 @@
+// Trace persistence.
+//
+// Two formats:
+//  * binary (".slt"): compact, versioned, exact round-trip — the working
+//    format for saving/replaying experiments;
+//  * CSV: one row per fix (time,avatar,x,y,z) — for external tools (R,
+//    gnuplot, the DTN simulators the paper's traces were published for).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+// Binary encoding. Layout: magic "SLTR", u16 version, land name, f64
+// sampling interval, u32 snapshot count, then per snapshot: f64 time, u32 fix
+// count, per fix: u32 avatar id, 3x f32 position.
+std::vector<std::uint8_t> encode_trace(const Trace& trace);
+
+// Decodes a binary trace; throws DecodeError on malformed input or
+// unsupported version.
+Trace decode_trace(std::span<const std::uint8_t> bytes);
+
+// CSV with header "time,avatar,x,y,z".
+std::string trace_to_csv(const Trace& trace);
+Trace trace_from_csv(std::string_view text, std::string land_name,
+                     Seconds sampling_interval);
+
+// File helpers (binary format). Throw std::runtime_error on I/O failure.
+void save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path);
+
+}  // namespace slmob

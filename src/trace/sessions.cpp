@@ -1,0 +1,59 @@
+#include "trace/sessions.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace slmob {
+
+std::vector<Session> extract_sessions(const Trace& trace,
+                                      const SessionExtractionOptions& options) {
+  // Open sessions per avatar.
+  std::map<AvatarId, Session> open;
+  std::vector<Session> done;
+
+  for (const auto& snap : trace.snapshots()) {
+    // Close sessions whose avatar has been absent too long.
+    for (auto it = open.begin(); it != open.end();) {
+      if (snap.time - it->second.times.back() > options.absence_threshold) {
+        done.push_back(std::move(it->second));
+        it = open.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& fix : snap.fixes) {
+      auto [it, inserted] = open.try_emplace(fix.id);
+      Session& s = it->second;
+      if (inserted) {
+        s.avatar = fix.id;
+        s.login = snap.time;
+      }
+      s.logout = snap.time;
+      s.times.push_back(snap.time);
+      s.positions.push_back(fix.pos);
+    }
+  }
+  for (auto& [id, s] : open) done.push_back(std::move(s));
+
+  std::sort(done.begin(), done.end(), [](const Session& a, const Session& b) {
+    if (a.avatar != b.avatar) return a.avatar < b.avatar;
+    return a.login < b.login;
+  });
+  return done;
+}
+
+TripMetrics trip_metrics(const Session& session, double movement_epsilon) {
+  TripMetrics m;
+  m.avatar = session.avatar;
+  m.travel_time = session.duration();
+  for (std::size_t i = 1; i < session.positions.size(); ++i) {
+    const double step = session.positions[i].distance_to(session.positions[i - 1]);
+    if (step > movement_epsilon) {
+      m.travel_length += step;
+      m.effective_travel_time += session.times[i] - session.times[i - 1];
+    }
+  }
+  return m;
+}
+
+}  // namespace slmob

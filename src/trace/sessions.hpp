@@ -1,0 +1,53 @@
+// Session (login-to-logout) extraction from a sampled trace.
+//
+// The crawler only sees periodic snapshots, so sessions are reconstructed:
+// an avatar absent for more than `absence_threshold` is considered logged
+// out, and a later reappearance starts a new session. The paper's "travel
+// time" (Fig. 4c) is the session duration; "travel length" (4a) the path
+// length over the session; "effective travel time" (4b) the time spent
+// moving (pauses excluded).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+// One reconstructed visit of one avatar.
+struct Session {
+  AvatarId avatar;
+  Seconds login{0.0};
+  Seconds logout{0.0};
+  // Position fixes (time-ordered) observed during the session.
+  std::vector<Seconds> times;
+  std::vector<Vec3> positions;
+
+  [[nodiscard]] Seconds duration() const { return logout - login; }
+};
+
+struct SessionExtractionOptions {
+  // An avatar unseen for strictly more than this is logged out. Default: 3
+  // sampling intervals at tau = 10 s.
+  Seconds absence_threshold{30.0};
+  // Displacements below this (between consecutive fixes) count as standing
+  // still for travel purposes. Coarse positions are quantised to whole
+  // metres, so steps must clear the quantisation noise floor.
+  double movement_epsilon{1.5};
+};
+
+// Extracts all sessions, ordered by (avatar, login time).
+std::vector<Session> extract_sessions(const Trace& trace,
+                                      const SessionExtractionOptions& options = {});
+
+// Trip metrics of one session.
+struct TripMetrics {
+  AvatarId avatar;
+  double travel_length{0.0};       // summed displacement over the session (m)
+  Seconds effective_travel_time{0.0};  // time in motion
+  Seconds travel_time{0.0};        // session duration (paper: login time)
+};
+
+TripMetrics trip_metrics(const Session& session, double movement_epsilon = 0.5);
+
+}  // namespace slmob

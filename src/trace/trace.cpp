@@ -1,0 +1,70 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace slmob {
+
+std::optional<Vec3> Snapshot::find(AvatarId id) const {
+  for (const auto& fix : fixes) {
+    if (fix.id == id) return fix.pos;
+  }
+  return std::nullopt;
+}
+
+void Trace::add(Snapshot snapshot) {
+  if (!snapshots_.empty() && snapshot.time < snapshots_.back().time) {
+    throw std::invalid_argument("Trace::add: snapshots must be time-ordered");
+  }
+  snapshots_.push_back(std::move(snapshot));
+}
+
+TraceSummary Trace::summary() const {
+  TraceSummary s;
+  s.snapshot_count = snapshots_.size();
+  if (snapshots_.empty()) return s;
+  std::set<AvatarId> unique;
+  std::size_t total_fixes = 0;
+  for (const auto& snap : snapshots_) {
+    total_fixes += snap.fixes.size();
+    s.max_concurrent = std::max(s.max_concurrent, snap.fixes.size());
+    for (const auto& fix : snap.fixes) unique.insert(fix.id);
+  }
+  s.unique_users = unique.size();
+  s.avg_concurrent = static_cast<double>(total_fixes) / static_cast<double>(snapshots_.size());
+  s.duration = snapshots_.back().time - snapshots_.front().time;
+  return s;
+}
+
+std::vector<AvatarId> Trace::unique_avatars() const {
+  std::set<AvatarId> unique;
+  for (const auto& snap : snapshots_) {
+    for (const auto& fix : snap.fixes) unique.insert(fix.id);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+Trace Trace::slice(Seconds t0, Seconds t1) const {
+  Trace out(land_name_, sampling_interval_);
+  for (const auto& snap : snapshots_) {
+    if (snap.time >= t0 && snap.time < t1) out.add(snap);
+  }
+  return out;
+}
+
+std::size_t Trace::strip_sitting_fixes() {
+  std::size_t dropped = 0;
+  for (auto& snap : snapshots_) {
+    const auto is_origin = [](const AvatarFix& f) {
+      return f.pos.x == 0.0 && f.pos.y == 0.0 && f.pos.z == 0.0;
+    };
+    const auto before = snap.fixes.size();
+    snap.fixes.erase(std::remove_if(snap.fixes.begin(), snap.fixes.end(), is_origin),
+                     snap.fixes.end());
+    dropped += before - snap.fixes.size();
+  }
+  return dropped;
+}
+
+}  // namespace slmob

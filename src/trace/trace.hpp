@@ -1,0 +1,77 @@
+// Mobility traces.
+//
+// A Trace is what the crawler produces and what every analysis consumes: a
+// time-ordered sequence of snapshots, each listing the position of every
+// avatar seen on the target land at that instant. This mirrors the paper's
+// methodology (snapshot every tau = 10 s of all users on the land).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+#include "util/vec3.hpp"
+
+namespace slmob {
+
+// One avatar position fix inside a snapshot.
+struct AvatarFix {
+  AvatarId id;
+  Vec3 pos;
+};
+
+// All avatars observed on the land at one instant.
+struct Snapshot {
+  Seconds time{0.0};
+  std::vector<AvatarFix> fixes;
+
+  // Position of `id` in this snapshot, if present.
+  [[nodiscard]] std::optional<Vec3> find(AvatarId id) const;
+};
+
+struct TraceSummary {
+  std::size_t unique_users{0};
+  double avg_concurrent{0.0};
+  std::size_t max_concurrent{0};
+  Seconds duration{0.0};
+  std::size_t snapshot_count{0};
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string land_name, Seconds sampling_interval)
+      : land_name_(std::move(land_name)), sampling_interval_(sampling_interval) {}
+
+  // Appends a snapshot; snapshots must arrive in non-decreasing time order
+  // (throws std::invalid_argument otherwise).
+  void add(Snapshot snapshot);
+
+  [[nodiscard]] const std::string& land_name() const { return land_name_; }
+  [[nodiscard]] Seconds sampling_interval() const { return sampling_interval_; }
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+  [[nodiscard]] bool empty() const { return snapshots_.empty(); }
+  [[nodiscard]] std::size_t size() const { return snapshots_.size(); }
+
+  [[nodiscard]] TraceSummary summary() const;
+
+  // All distinct avatar ids observed anywhere in the trace, ascending.
+  [[nodiscard]] std::vector<AvatarId> unique_avatars() const;
+
+  // Returns a copy restricted to snapshots with time in [t0, t1).
+  [[nodiscard]] Trace slice(Seconds t0, Seconds t1) const;
+
+  // Removes fixes at the origin {0,0,0}. The SL protocol reports sitting
+  // avatars at the origin (a quirk the paper §3 documents); analyses must
+  // not interpret those as positions. Returns the number of fixes dropped.
+  std::size_t strip_sitting_fixes();
+
+ private:
+  std::string land_name_;
+  Seconds sampling_interval_{10.0};
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace slmob

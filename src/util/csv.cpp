@@ -1,0 +1,35 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace slmob {
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f.find_first_of(",\"\n\r") != std::string::npos) {
+      throw std::invalid_argument("CsvWriter: field needs quoting, which is unsupported: " + f);
+    }
+    if (i > 0) out_ << ',';
+    out_ << f;
+  }
+  out_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string_view line = text.substr(start, i - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!trim(line).empty()) rows.push_back(split(line, ','));
+      start = i + 1;
+    }
+  }
+  return rows;
+}
+
+}  // namespace slmob

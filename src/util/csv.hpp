@@ -1,0 +1,28 @@
+// Minimal CSV reading/writing for trace import/export and bench output.
+// Fields never contain commas or quotes in our formats, so no quoting layer
+// is implemented; the writer rejects fields that would need it.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slmob {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  // Writes one row; throws std::invalid_argument if a field contains a comma,
+  // quote or newline.
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+// Parses CSV text into rows of fields. Blank lines are skipped.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace slmob

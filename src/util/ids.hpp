@@ -1,0 +1,42 @@
+// Strongly-typed integer identifiers.
+//
+// Avatars, circuits and sensors all have numeric ids; tagging them prevents
+// accidentally mixing id spaces (an AvatarId is not a CircuitId).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace slmob {
+
+template <typename Tag>
+struct Id {
+  std::uint32_t value{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+  constexpr bool operator==(const Id&) const = default;
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+struct AvatarTag {};
+struct CircuitTag {};
+struct SensorTag {};
+struct ObjectTag {};
+
+// A unique, never-reused identifier for an avatar/user across a whole
+// experiment (the paper's notion of a "unique visitor").
+using AvatarId = Id<AvatarTag>;
+// A protocol connection between one client and one sim server.
+using CircuitId = Id<CircuitTag>;
+using SensorId = Id<SensorTag>;
+using ObjectId = Id<ObjectTag>;
+
+}  // namespace slmob
+
+template <typename Tag>
+struct std::hash<slmob::Id<Tag>> {
+  std::size_t operator()(const slmob::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

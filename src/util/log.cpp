@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace slmob {
+namespace {
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::capture_to_buffer(bool capture) {
+  capture_ = capture;
+  if (!capture) buffer_.str({});
+}
+
+std::string Logger::captured() const { return buffer_.str(); }
+
+void Logger::clear_captured() { buffer_.str({}); }
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  if (!enabled(level)) return;
+  if (capture_) {
+    buffer_ << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+  } else {
+    std::cerr << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+  }
+}
+
+void log_debug(std::string_view component, std::string_view message) {
+  Logger::instance().log(LogLevel::kDebug, component, message);
+}
+void log_info(std::string_view component, std::string_view message) {
+  Logger::instance().log(LogLevel::kInfo, component, message);
+}
+void log_warn(std::string_view component, std::string_view message) {
+  Logger::instance().log(LogLevel::kWarn, component, message);
+}
+void log_error(std::string_view component, std::string_view message) {
+  Logger::instance().log(LogLevel::kError, component, message);
+}
+
+}  // namespace slmob

@@ -1,0 +1,46 @@
+// Tiny leveled logger.
+//
+// The simulator is a library first: logging defaults to warnings-and-above on
+// stderr and is globally configurable. No macros; call sites pay the cost of
+// argument formatting only when the level is enabled (check `enabled` first
+// in hot paths).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace slmob {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  // Global logger used by the whole library.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  // Redirects output to an internal buffer (for tests); empty sink restores
+  // stderr.
+  void capture_to_buffer(bool capture);
+  [[nodiscard]] std::string captured() const;
+  void clear_captured();
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::kWarn};
+  bool capture_{false};
+  std::ostringstream buffer_;
+};
+
+void log_debug(std::string_view component, std::string_view message);
+void log_info(std::string_view component, std::string_view message);
+void log_warn(std::string_view component, std::string_view message);
+void log_error(std::string_view component, std::string_view message);
+
+}  // namespace slmob

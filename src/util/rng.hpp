@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the simulator draws from an Rng that is
+// seeded explicitly, so a whole experiment is reproducible from a single
+// 64-bit seed. The generator is xoshiro256**, seeded through SplitMix64 as
+// its authors recommend; it is much faster than std::mt19937_64 and has no
+// observable bias for our use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace slmob {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+  // Standard normal via Box-Muller (cached second variate).
+  double normal();
+  double normal(double mean, double stddev);
+  // Exponential with the given mean (not rate). Requires mean > 0.
+  double exponential(double mean);
+
+  // Derives an independent child generator; used to give each subsystem its
+  // own stream so adding draws in one subsystem does not perturb another.
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_{0.0};
+  bool has_cached_normal_{false};
+};
+
+}  // namespace slmob

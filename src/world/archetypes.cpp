@@ -1,0 +1,170 @@
+#include "world/archetypes.hpp"
+
+#include <stdexcept>
+
+namespace slmob {
+
+std::string archetype_name(LandArchetype archetype) {
+  switch (archetype) {
+    case LandArchetype::kApfelLand:
+      return "Apfelland";
+    case LandArchetype::kDanceIsland:
+      return "Dance";
+    case LandArchetype::kIsleOfView:
+      return "Isle Of View";
+  }
+  throw std::invalid_argument("archetype_name: unknown archetype");
+}
+
+Land make_land(LandArchetype archetype) {
+  switch (archetype) {
+    case LandArchetype::kApfelLand: {
+      // Out-door arena for newbies: sandbox stations, info kiosks and
+      // freebie shops spread across the whole region. Sparse by design.
+      Land land("Apfelland");
+      land.set_access(LandAccess::kPublic);
+      land.set_object_lifetime(3600.0);
+      const struct {
+        double x, y, r, w;
+      } pois[] = {
+          {40, 40, 9, 2.0},    {128, 30, 8, 0.9},   {216, 44, 9, 0.85},
+          {32, 128, 8, 0.8},   {120, 120, 10, 2.4}, {210, 130, 8, 0.8},
+          {48, 210, 8, 0.75},  {140, 216, 9, 1.8},  {224, 220, 8, 0.7},
+          {80, 80, 7, 0.6},    {176, 176, 7, 0.6},  {72, 176, 7, 0.5},
+          {184, 72, 7, 0.5},   {128, 176, 7, 0.55},
+      };
+      for (const auto& p : pois) {
+        land.add_poi({"station", {p.x, p.y, land.ground_z()}, p.r, p.w});
+      }
+      land.add_spawn_point({16.0, 128.0, land.ground_z()});
+      land.add_spawn_point({128.0, 16.0, land.ground_z()});
+      land.add_spawn_point({240.0, 128.0, land.ground_z()});
+      land.add_spawn_point({128.0, 240.0, land.ground_z()});
+      return land;
+    }
+    case LandArchetype::kDanceIsland: {
+      // In-door discotheque: nearly everyone is on the dance floor or at
+      // the bar. The two hot-spots are > 80 m apart, so even the WiFi range
+      // cannot bridge them — which is what makes the paper's ICT similar at
+      // both radii.
+      Land land("Dance");
+      land.set_access(LandAccess::kPrivate);
+      land.add_poi({"dance floor", {150.0, 150.0, land.ground_z()}, 8.0, 0.72});
+      land.add_poi({"bar", {78.0, 168.0, land.ground_z()}, 6.0, 0.20});
+      land.add_poi({"chill lounge", {92.0, 92.0, land.ground_z()}, 8.0, 0.08});
+      land.add_spawn_point({196.0, 76.0, land.ground_z()});  // teleport landing
+      return land;
+    }
+    case LandArchetype::kIsleOfView: {
+      // St. Valentine's event: a stage with a dense crowd, themed booths
+      // along a path, photo spots. Crowded everywhere near the event.
+      Land land("Isle Of View");
+      land.set_access(LandAccess::kPublic);
+      land.set_object_lifetime(1800.0);
+      land.add_poi({"event stage", {128.0, 140.0, land.ground_z()}, 24.0, 1.6});
+      land.add_poi({"kissing booth", {62.0, 110.0, land.ground_z()}, 10.0, 0.5});
+      land.add_poi({"photo spot", {194.0, 110.0, land.ground_z()}, 10.0, 0.45});
+      land.add_poi({"gift shop", {100.0, 208.0, land.ground_z()}, 12.0, 0.4});
+      land.add_poi({"rose garden", {190.0, 190.0, land.ground_z()}, 14.0, 0.35});
+      land.add_spawn_point({128.0, 36.0, land.ground_z()});
+      land.add_spawn_point({36.0, 128.0, land.ground_z()});
+      return land;
+    }
+  }
+  throw std::invalid_argument("make_land: unknown archetype");
+}
+
+PopulationParams make_population(LandArchetype archetype) {
+  // Session medians/sigmas are solved from Little's law against the paper's
+  // unique-visitor and average-concurrency figures (DESIGN.md §5):
+  // avg_concurrent = (unique / day) * mean_session, mean = median*exp(s^2/2).
+  PopulationParams p;
+  p.horizon = kSecondsPerDay;
+  switch (archetype) {
+    case LandArchetype::kApfelLand:
+      p.target_unique_users = 1568.0;
+      p.revisit_probability = 0.35;
+      p.session_median = 282.0;  // 434 * (1 - p_revisit): Little's law
+      p.session_sigma = 1.0;
+      p.diurnal_depth = 0.35;
+      return p;
+    case LandArchetype::kDanceIsland:
+      p.target_unique_users = 3347.0;
+      p.revisit_probability = 0.45;
+      p.session_median = 263.0;  // 479 * (1 - p_revisit)
+      p.session_sigma = 1.1;
+      p.diurnal_depth = 0.40;
+      return p;
+    case LandArchetype::kIsleOfView:
+      // Event visitors stay much longer (mean ~35 min).
+      p.target_unique_users = 2656.0;
+      p.revisit_probability = 0.45;
+      p.session_median = 1026.0;  // 1866 * (1 - p_revisit)
+      p.explorer_session_multiplier = 2.2;
+      p.session_sigma = 0.5;
+      p.diurnal_depth = 0.30;
+      return p;
+  }
+  throw std::invalid_argument("make_population: unknown archetype");
+}
+
+PoiGravityParams make_mobility_params(LandArchetype archetype) {
+  PoiGravityParams m;
+  switch (archetype) {
+    case LandArchetype::kApfelLand:
+      // Newbies wander between many stations; encounters are mostly
+      // transient, hence a higher switch rate and shorter pauses.
+      m.p_switch_poi = 0.18;
+      m.p_return_home = 0.40;
+      m.pause_xm = 40.0;
+      m.pause_alpha = 1.15;
+      m.pause_cap = 1200.0;
+      m.jitter_rate = 0.002;
+      m.idler_fraction = 0.12;
+      m.explorer_fraction = 0.12;  // a chunk of the arena population roams
+      m.p_explore_far = 0.70;
+      m.explorer_pause_cap = 150.0;
+      m.p_login_wander = 0.30;
+      m.speed_min = 1.0;  // newbies walk, they don't run
+      m.speed_max = 2.2;
+      return m;
+    case LandArchetype::kDanceIsland:
+      // Dancers hold the floor for long stretches; switching to the bar is
+      // rare, which stretches inter-contact times.
+      m.p_switch_poi = 0.16;
+      m.p_return_home = 0.60;
+      m.pause_xm = 120.0;
+      m.pause_alpha = 1.1;
+      m.pause_cap = 2400.0;
+      m.jitter_scale = 0.30;
+      m.jitter_rate = 0.0005;
+      m.dwell_step_scale = 0.08;
+      m.idler_fraction = 0.06;
+      m.explorer_fraction = 0.005;
+      return m;
+    case LandArchetype::kIsleOfView:
+      // Event crowd drifts between the stage and the booths; a small
+      // explorer population roams the whole island (the >2 km travellers).
+      m.p_switch_poi = 0.13;
+      m.p_return_home = 0.50;
+      m.pause_xm = 45.0;
+      m.pause_alpha = 1.2;
+      m.pause_cap = 1800.0;
+      m.jitter_rate = 0.002;
+      m.dwell_step_scale = 0.12;
+      m.idler_fraction = 0.08;
+      m.explorer_fraction = 0.04;
+      m.p_explore_far = 0.6;
+      return m;
+  }
+  throw std::invalid_argument("make_mobility_params: unknown archetype");
+}
+
+std::unique_ptr<World> make_world(LandArchetype archetype, std::uint64_t seed) {
+  Land land = make_land(archetype);
+  auto model = std::make_unique<PoiGravityModel>(land, make_mobility_params(archetype));
+  return std::make_unique<World>(std::move(land), std::move(model),
+                                 make_population(archetype), seed);
+}
+
+}  // namespace slmob

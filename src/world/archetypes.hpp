@@ -1,0 +1,44 @@
+// Land archetypes: the three target lands the paper measured, rebuilt as
+// calibrated world configurations.
+//
+//  * Apfel Land     — a German-speaking out-door arena for newbies: many
+//                     spread-out POIs, sparse population (1568 unique
+//                     visitors / 13 avg concurrent).
+//  * Dance Island   — a virtual discotheque (in-door): nearly all activity
+//                     on a tiny dance floor and bar (3347 / 34).
+//  * Isle of View   — land hosting a St. Valentine's event: dense crowd
+//                     around the event stage (2656 / 65).
+//
+// Each archetype bundles the land geometry, the population process and the
+// POI-gravity parameters that together reproduce the paper's per-land
+// statistics (see DESIGN.md §5 for targets, EXPERIMENTS.md for results).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "world/land.hpp"
+#include "world/poi_gravity.hpp"
+#include "world/population.hpp"
+#include "world/world.hpp"
+
+namespace slmob {
+
+enum class LandArchetype { kApfelLand, kDanceIsland, kIsleOfView };
+
+// Human-readable name matching the paper's figures ("Apfelland", "Dance",
+// "Isle Of View").
+std::string archetype_name(LandArchetype archetype);
+
+// All archetypes, in the order the paper lists them.
+inline constexpr LandArchetype kAllArchetypes[] = {
+    LandArchetype::kApfelLand, LandArchetype::kDanceIsland, LandArchetype::kIsleOfView};
+
+Land make_land(LandArchetype archetype);
+PopulationParams make_population(LandArchetype archetype);
+PoiGravityParams make_mobility_params(LandArchetype archetype);
+
+// Convenience: a fully wired World for the archetype.
+std::unique_ptr<World> make_world(LandArchetype archetype, std::uint64_t seed);
+
+}  // namespace slmob

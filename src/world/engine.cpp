@@ -1,0 +1,37 @@
+#include "world/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slmob {
+
+SimEngine::SimEngine(Seconds tick_length) : tick_length_(tick_length) {
+  if (tick_length <= 0.0) throw std::invalid_argument("SimEngine: bad tick length");
+}
+
+void SimEngine::add(int priority, TickFn fn) {
+  if (!fn) throw std::invalid_argument("SimEngine::add: null callback");
+  entries_.push_back({priority, std::move(fn)});
+  sorted_ = false;
+}
+
+void SimEngine::step() {
+  if (!sorted_) {
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const Entry& a, const Entry& b) { return a.priority < b.priority; });
+    sorted_ = true;
+  }
+  const Seconds t = now();
+  for (auto& e : entries_) e.fn(t, tick_length_);
+  ++tick_;
+}
+
+void SimEngine::run_until(Seconds until) {
+  while (now() + tick_length_ <= until + 1e-9) step();
+}
+
+void SimEngine::run_ticks(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) step();
+}
+
+}  // namespace slmob

@@ -1,0 +1,41 @@
+// GroundTruthRecorder: samples the world state directly (no protocol, no
+// quantisation, no loss). Used as the reference against which monitoring
+// architectures (crawler, sensor grid) are evaluated, and by tests.
+#pragma once
+
+#include "trace/trace.hpp"
+#include "world/world.hpp"
+
+namespace slmob {
+
+class GroundTruthRecorder {
+ public:
+  GroundTruthRecorder(const World& world, Seconds sample_interval)
+      : world_(world), trace_(world.land().name(), sample_interval),
+        interval_(sample_interval) {}
+
+  // Engine hook (kPriorityMonitor).
+  void tick(Seconds now, Seconds dt) {
+    (void)dt;
+    if (now < next_sample_) return;
+    next_sample_ = now + interval_;
+    Snapshot snap;
+    snap.time = now;
+    for (const auto& [id, avatar] : world_.avatars()) {
+      if (avatar.externally_controlled) continue;  // instruments are not users
+      snap.fixes.push_back({id, avatar.pos});
+    }
+    trace_.add(std::move(snap));
+  }
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace take_trace() { return std::move(trace_); }
+
+ private:
+  const World& world_;
+  Trace trace_;
+  Seconds interval_;
+  Seconds next_sample_{0.0};
+};
+
+}  // namespace slmob

@@ -1,0 +1,35 @@
+#include "world/land.hpp"
+
+#include <algorithm>
+
+namespace slmob {
+
+Land::Land(std::string name, double size) : name_(std::move(name)), size_(size) {
+  if (size <= 0.0) throw std::invalid_argument("Land: size must be positive");
+}
+
+void Land::add_poi(Poi poi) {
+  if (poi.radius <= 0.0 || poi.weight < 0.0) {
+    throw std::invalid_argument("Land::add_poi: bad radius/weight");
+  }
+  if (!contains(clamp(poi.center))) {
+    throw std::invalid_argument("Land::add_poi: POI outside land");
+  }
+  pois_.push_back(std::move(poi));
+}
+
+void Land::add_spawn_point(Vec3 p) { spawn_points_.push_back(clamp(p)); }
+
+Vec3 Land::clamp(Vec3 p) const {
+  const double margin = 0.5;
+  p.x = std::clamp(p.x, 0.0 + margin, size_ - margin);
+  p.y = std::clamp(p.y, 0.0 + margin, size_ - margin);
+  p.z = ground_z_;
+  return p;
+}
+
+bool Land::contains(const Vec3& p) const {
+  return p.x >= 0.0 && p.x < size_ && p.y >= 0.0 && p.y < size_;
+}
+
+}  // namespace slmob

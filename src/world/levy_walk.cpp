@@ -1,0 +1,24 @@
+#include "world/levy_walk.hpp"
+
+#include <cmath>
+
+namespace slmob {
+
+LevyWalkModel::LevyWalkModel(LevyWalkParams params)
+    : params_(params),
+      flight_(params.flight_xm, params.flight_alpha, params.flight_cap),
+      pause_(params.pause_xm, params.pause_alpha, params.pause_cap) {}
+
+MobilityDecision LevyWalkModel::next(const Avatar& avatar, const Land& land, Rng& rng) {
+  MobilityDecision d;
+  const double length = flight_.sample(rng);
+  const double theta = rng.uniform(0.0, 6.283185307179586);
+  d.waypoint = land.clamp({avatar.pos.x + length * std::cos(theta),
+                           avatar.pos.y + length * std::sin(theta), land.ground_z()});
+  d.speed = rng.uniform(params_.speed_min, params_.speed_max);
+  d.pause = pause_.sample(rng);
+  d.jitter_radius = 0.0;
+  return d;
+}
+
+}  // namespace slmob

@@ -1,0 +1,38 @@
+// Levy walk mobility: flight lengths and pause times follow truncated
+// power laws (Rhee et al., "On the Levy-walk nature of human mobility",
+// INFOCOM 2008 — reference [8] of the paper). Second baseline for the
+// mobility-model ablation.
+#pragma once
+
+#include "stats/samplers.hpp"
+#include "world/mobility.hpp"
+
+namespace slmob {
+
+struct LevyWalkParams {
+  double flight_xm{1.0};      // minimum flight length (m)
+  double flight_alpha{1.6};   // flight length power-law exponent
+  double flight_cap{300.0};   // truncation (land-scale)
+  double pause_xm{2.0};       // minimum pause (s)
+  double pause_alpha{1.4};
+  double pause_cap{1800.0};
+  double speed_min{1.4};
+  double speed_max{3.4};
+};
+
+class LevyWalkModel final : public MobilityModel {
+ public:
+  explicit LevyWalkModel(LevyWalkParams params = {});
+
+  MobilityDecision on_login(const Avatar& avatar, const Land& land, Rng& rng) override {
+    return next(avatar, land, rng);
+  }
+  MobilityDecision next(const Avatar& avatar, const Land& land, Rng& rng) override;
+
+ private:
+  LevyWalkParams params_;
+  BoundedParetoSampler flight_;
+  BoundedParetoSampler pause_;
+};
+
+}  // namespace slmob

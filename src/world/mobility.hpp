@@ -1,0 +1,53 @@
+// MobilityModel: the decision layer above avatar kinematics.
+//
+// The engine asks the model for a decision whenever a synthetic avatar
+// finishes a pause. Three implementations are provided:
+//  * PoiGravityModel — the calibrated model reproducing the paper's traces
+//    (users revolve around points of interest, travel short distances);
+//  * RandomWaypointModel — the classical baseline;
+//  * LevyWalkModel — heavy-tailed flights (Rhee et al., cited by the paper).
+#pragma once
+
+#include <memory>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "world/avatar.hpp"
+#include "world/land.hpp"
+
+namespace slmob {
+
+// What an avatar does next: walk to `waypoint` at `speed`, then pause for
+// `pause` seconds; while paused, optionally jitter within `jitter_radius` of
+// the waypoint (dancing, browsing a shop, ...).
+struct MobilityDecision {
+  Vec3 waypoint;
+  double speed{1.5};
+  Seconds pause{10.0};
+  double jitter_radius{0.0};
+  // Per-second probability of taking a jitter step while paused. In SL,
+  // "dancing" is an animation, not movement — dwelling avatars reposition
+  // only occasionally.
+  double jitter_rate{0.02};
+  int poi_index{-1};  // POI this decision targets, -1 if free-roaming
+};
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  // Called once when the avatar logs in; may adjust kind-specific state.
+  // `avatar.pos` is already set to a spawn point.
+  virtual MobilityDecision on_login(const Avatar& avatar, const Land& land, Rng& rng) = 0;
+
+  // Called whenever a pause ends.
+  virtual MobilityDecision next(const Avatar& avatar, const Land& land, Rng& rng) = 0;
+
+  // Fraction of logins assigned each avatar kind; models may ignore kinds.
+  [[nodiscard]] virtual AvatarKind assign_kind(Rng& rng) const {
+    (void)rng;
+    return AvatarKind::kRegular;
+  }
+};
+
+}  // namespace slmob

@@ -1,0 +1,147 @@
+#include "world/poi_gravity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slmob {
+
+PoiGravityModel::PoiGravityModel(const Land& land, PoiGravityParams params)
+    : params_(params) {
+  if (land.pois().empty()) {
+    throw std::invalid_argument("PoiGravityModel: land has no POIs");
+  }
+  std::vector<double> weights;
+  weights.reserve(land.pois().size());
+  for (const auto& poi : land.pois()) weights.push_back(poi.weight);
+  poi_sampler_.emplace(std::move(weights));
+  pause_sampler_.emplace(params_.pause_xm, params_.pause_alpha, params_.pause_cap);
+}
+
+AvatarKind PoiGravityModel::assign_kind(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < params_.explorer_fraction) return AvatarKind::kExplorer;
+  if (u < params_.explorer_fraction + params_.idler_fraction) return AvatarKind::kIdler;
+  return AvatarKind::kRegular;
+}
+
+int PoiGravityModel::pick_poi(Rng& rng, int exclude) const {
+  if (poi_sampler_->size() == 1) return 0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto k = static_cast<int>(poi_sampler_->sample(rng));
+    if (k != exclude) return k;
+  }
+  return static_cast<int>(poi_sampler_->sample(rng));
+}
+
+Vec3 PoiGravityModel::point_in_poi(const Land& land, int index, Rng& rng) const {
+  const Poi& poi = land.pois().at(static_cast<std::size_t>(index));
+  // Uniform in disc via sqrt radius.
+  const double r = poi.radius * std::sqrt(rng.uniform());
+  const double theta = rng.uniform(0.0, 6.283185307179586);
+  return land.clamp({poi.center.x + r * std::cos(theta),
+                     poi.center.y + r * std::sin(theta), land.ground_z()});
+}
+
+MobilityDecision PoiGravityModel::hop_to(int poi, const Land& land, Rng& rng) const {
+  MobilityDecision d;
+  d.poi_index = poi;
+  d.waypoint = point_in_poi(land, poi, rng);
+  d.speed = rng.uniform(params_.speed_min, params_.speed_max);
+  d.pause = pause_sampler_->sample(rng);
+  d.jitter_radius = land.pois().at(static_cast<std::size_t>(poi)).radius * params_.jitter_scale;
+  d.jitter_rate = params_.jitter_rate;
+  return d;
+}
+
+MobilityDecision PoiGravityModel::dwell_step(const Avatar& avatar, const Land& land,
+                                             Rng& rng) const {
+  // Stay at the current POI: reposition locally around the current spot
+  // (not across the whole POI disc — people hold their patch of floor),
+  // which keeps neighbourhoods stable between decisions.
+  MobilityDecision d;
+  d.poi_index = avatar.current_poi;
+  if (avatar.current_poi >= 0) {
+    const Poi& poi = land.pois().at(static_cast<std::size_t>(avatar.current_poi));
+    const double local = poi.radius * params_.dwell_step_scale;
+    const double r = local * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 6.283185307179586);
+    Vec3 target{avatar.pos.x + r * std::cos(theta), avatar.pos.y + r * std::sin(theta),
+                land.ground_z()};
+    // Drift back toward the POI centre if the local step strayed outside.
+    if (target.distance2d_to(poi.center) > poi.radius) {
+      target = poi.center + (target - poi.center) * (poi.radius / target.distance2d_to(poi.center));
+    }
+    d.waypoint = land.clamp(target);
+    d.jitter_radius = poi.radius * params_.jitter_scale;
+  } else {
+    // Free-roaming avatar pausing in place: wander a couple of metres.
+    d.waypoint = land.clamp({avatar.pos.x + rng.uniform(-2.0, 2.0),
+                             avatar.pos.y + rng.uniform(-2.0, 2.0), land.ground_z()});
+    d.jitter_radius = 2.0;
+  }
+  d.speed = rng.uniform(params_.speed_min, params_.speed_max);
+  d.pause = pause_sampler_->sample(rng);
+  d.jitter_rate = params_.jitter_rate;
+  return d;
+}
+
+MobilityDecision PoiGravityModel::on_login(const Avatar& avatar, const Land& land,
+                                           Rng& rng) {
+  (void)avatar;
+  if (rng.bernoulli(params_.p_login_wander)) {
+    // Look around first: a free leg to a uniform point, then settle.
+    MobilityDecision d;
+    d.poi_index = -1;
+    d.waypoint = land.clamp(
+        {rng.uniform(0.0, land.size()), rng.uniform(0.0, land.size()), land.ground_z()});
+    d.speed = rng.uniform(params_.speed_min, params_.speed_max);
+    d.pause = pause_sampler_->sample(rng);
+    d.jitter_radius = 0.0;
+    d.jitter_rate = params_.jitter_rate;
+    return d;
+  }
+  // Walk from the spawn point to a first POI.
+  return hop_to(pick_poi(rng), land, rng);
+}
+
+MobilityDecision PoiGravityModel::next(const Avatar& avatar, const Land& land, Rng& rng) {
+  switch (avatar.kind) {
+    case AvatarKind::kIdler: {
+      // Idlers stay put with very long pauses and no jitter.
+      MobilityDecision d;
+      d.poi_index = avatar.current_poi;
+      d.waypoint = avatar.pos;
+      d.speed = params_.speed_min;
+      d.pause = pause_sampler_->sample(rng) * 6.0;
+      d.jitter_radius = 0.0;
+      return d;
+    }
+    case AvatarKind::kExplorer: {
+      if (rng.bernoulli(params_.p_explore_far)) {
+        MobilityDecision d;
+        d.poi_index = -1;
+        d.waypoint = land.clamp(
+            {rng.uniform(0.0, land.size()), rng.uniform(0.0, land.size()), land.ground_z()});
+        d.speed = rng.uniform(params_.speed_min, params_.speed_max);
+        // Explorers keep moving: long flights chained with short stops.
+        d.pause = std::min(pause_sampler_->sample(rng), params_.explorer_pause_cap);
+        d.jitter_radius = 0.0;
+        return d;
+      }
+      return hop_to(pick_poi(rng, avatar.current_poi), land, rng);
+    }
+    case AvatarKind::kRegular:
+      break;
+  }
+  if (avatar.current_poi < 0 || rng.bernoulli(params_.p_switch_poi)) {
+    if (avatar.home_poi >= 0 && avatar.home_poi != avatar.current_poi &&
+        rng.bernoulli(params_.p_return_home)) {
+      return hop_to(avatar.home_poi, land, rng);
+    }
+    return hop_to(pick_poi(rng, avatar.current_poi), land, rng);
+  }
+  return dwell_step(avatar, land, rng);
+}
+
+}  // namespace slmob

@@ -1,0 +1,90 @@
+// The POI-gravity mobility model.
+//
+// Core empirical findings of the paper this model is built to reproduce:
+//  * "users in Second Life revolve around several points of interest,
+//    traveling in general short distances";
+//  * zone occupation is extremely skewed (hot-spots, most cells empty);
+//  * CT/ICT distributions show a power-law head with exponential cut-off.
+//
+// Mechanics: at login an avatar walks from a spawn point to a POI drawn by
+// popularity weight. At each decision epoch it either (a) keeps dwelling at
+// its POI — taking a small jitter step within the POI disc — or (b) hops to
+// a different POI. Pause durations are bounded-Pareto, which produces the
+// power-law CT head; the session cap produces the exponential cut-off.
+// Idler avatars barely move; explorer avatars take long excursions to
+// uniform points of the land (the >2 km travellers of Fig. 4a).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stats/samplers.hpp"
+#include "world/mobility.hpp"
+
+namespace slmob {
+
+struct PoiGravityParams {
+  // Probability that a decision hops to a different POI (vs dwelling).
+  double p_switch_poi{0.08};
+  // When hopping while away from the home POI: probability of returning
+  // home rather than picking a fresh POI. Home-returns manufacture the
+  // long inter-contact gaps (excursion-and-return) the paper observes.
+  double p_return_home{0.4};
+  // Pause duration distribution while dwelling (bounded Pareto, seconds).
+  double pause_xm{8.0};
+  double pause_alpha{1.3};
+  double pause_cap{1800.0};
+  // Walking speed range (m/s). SL avatars walk ~3.2 m/s, run ~5 m/s.
+  double speed_min{1.4};
+  double speed_max{3.4};
+  // Fraction of avatars of each special kind.
+  double idler_fraction{0.10};
+  double explorer_fraction{0.02};
+  // Explorers: probability an explorer decision targets a uniform point of
+  // the land instead of a POI.
+  double p_explore_far{0.6};
+  // Pause cap between explorer flights (small = restless tour-taker).
+  Seconds explorer_pause_cap{30.0};
+  // Probability that a fresh login starts with a free wander leg before
+  // settling at a POI (out-door lands: newbies look around first). This is
+  // what stretches the first-contact time on sparse lands.
+  double p_login_wander{0.0};
+  // Jitter radius multiplier relative to the POI radius (1.0 = anywhere in
+  // the POI disc). Jitter is anchored at the avatar's chosen spot, so small
+  // values keep a dweller near one place.
+  double jitter_scale{0.35};
+  // Per-second probability of a jitter step while dwelling.
+  double jitter_rate{0.015};
+  // Local repositioning radius at a dwell decision, as a fraction of the
+  // POI radius (people hold their patch; they do not re-roll the whole POI).
+  double dwell_step_scale{0.3};
+  // Zipf skew for POI popularity when POI weights are equal; POI weights are
+  // used directly when they differ.
+  double zipf_s{1.0};
+};
+
+class PoiGravityModel final : public MobilityModel {
+ public:
+  PoiGravityModel(const Land& land, PoiGravityParams params);
+
+  MobilityDecision on_login(const Avatar& avatar, const Land& land, Rng& rng) override;
+  MobilityDecision next(const Avatar& avatar, const Land& land, Rng& rng) override;
+  AvatarKind assign_kind(Rng& rng) const override;
+
+  [[nodiscard]] const PoiGravityParams& params() const { return params_; }
+
+ private:
+  // Draws a POI index by popularity, optionally excluding `exclude`.
+  [[nodiscard]] int pick_poi(Rng& rng, int exclude = -1) const;
+  // Uniform point within the disc of POI `index`.
+  [[nodiscard]] Vec3 point_in_poi(const Land& land, int index, Rng& rng) const;
+  [[nodiscard]] MobilityDecision dwell_step(const Avatar& avatar, const Land& land,
+                                            Rng& rng) const;
+  [[nodiscard]] MobilityDecision hop_to(int poi, const Land& land, Rng& rng) const;
+
+  PoiGravityParams params_;
+  std::optional<CategoricalSampler> poi_sampler_;
+  std::optional<BoundedParetoSampler> pause_sampler_;
+};
+
+}  // namespace slmob

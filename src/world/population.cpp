@@ -1,0 +1,53 @@
+#include "world/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slmob {
+
+PopulationProcess::PopulationProcess(PopulationParams params)
+    : params_(params), session_(params.session_median, params.session_sigma) {
+  if (params.target_unique_users <= 0.0 || params.horizon <= 0.0) {
+    throw std::invalid_argument("PopulationProcess: bad target/horizon");
+  }
+  if (params.diurnal_depth < 0.0 || params.diurnal_depth >= 1.0) {
+    throw std::invalid_argument("PopulationProcess: diurnal_depth must be in [0,1)");
+  }
+  if (params.revisit_probability < 0.0 || params.revisit_probability >= 1.0) {
+    throw std::invalid_argument("PopulationProcess: revisit_probability must be in [0,1)");
+  }
+  // Only (1 - p_revisit) of arrivals introduce a new distinct visitor, so
+  // the total arrival rate is scaled up to hit the distinct-visitor target.
+  base_rate_ =
+      params.target_unique_users / (params.horizon * (1.0 - params.revisit_probability));
+}
+
+double PopulationProcess::rate(Seconds t) const {
+  const double two_pi = 6.283185307179586;
+  return base_rate_ *
+         (1.0 + params_.diurnal_depth *
+                    std::sin(two_pi * t / kSecondsPerDay + params_.diurnal_phase));
+}
+
+std::size_t PopulationProcess::arrivals(Seconds now, Seconds dt, Rng& rng) const {
+  // Poisson thinning with the rate evaluated at the interval start; dt is a
+  // simulation tick (~1 s), far below the diurnal timescale.
+  const double mean = rate(now) * dt;
+  // Knuth sampling is fine: mean << 1 for our rates.
+  double l = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+Seconds PopulationProcess::session_duration(Rng& rng) const {
+  const Seconds raw = session_.sample(rng);
+  return std::clamp(raw, params_.session_min, params_.session_cap);
+}
+
+}  // namespace slmob

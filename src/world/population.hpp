@@ -1,0 +1,60 @@
+// Avatar population process: who logs in when, and for how long.
+//
+// Arrivals are a non-homogeneous Poisson process with a diurnal modulation;
+// session durations are log-normal with a hard cap, calibrated so the trace
+// reproduces the paper's aggregates (90% of sessions < 1 h, longest ~4 h,
+// and each land's unique-visitor and average-concurrency figures).
+#pragma once
+
+#include <cstdint>
+
+#include "stats/samplers.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace slmob {
+
+struct PopulationParams {
+  // Expected *distinct* visitors over `horizon`.
+  double target_unique_users{2000.0};
+  Seconds horizon{kSecondsPerDay};
+  // Probability that an arrival is a returning visitor (same avatar id as an
+  // earlier session) rather than a first-time one. Re-visits are what
+  // populate the multi-hour tail of the inter-contact time distribution.
+  double revisit_probability{0.3};
+  // Session duration distribution.
+  double session_median{600.0};
+  double session_sigma{1.0};
+  Seconds session_cap{4.0 * kSecondsPerHour};
+  Seconds session_min{20.0};
+  // Explorers (tour-takers) stay longer than the base population; their
+  // session draw is scaled by this factor (still subject to session_cap).
+  double explorer_session_multiplier{1.0};
+  // Diurnal modulation depth in [0, 1): rate(t) = base * (1 + depth *
+  // sin(2 pi t / day + phase)). 0 disables modulation.
+  double diurnal_depth{0.35};
+  double diurnal_phase{0.0};
+};
+
+class PopulationProcess {
+ public:
+  explicit PopulationProcess(PopulationParams params);
+
+  // Number of logins to inject during (now, now+dt]. Draws from `rng`.
+  [[nodiscard]] std::size_t arrivals(Seconds now, Seconds dt, Rng& rng) const;
+
+  // Draws one session duration.
+  [[nodiscard]] Seconds session_duration(Rng& rng) const;
+
+  // Instantaneous arrival rate (logins per second) at time t.
+  [[nodiscard]] double rate(Seconds t) const;
+
+  [[nodiscard]] const PopulationParams& params() const { return params_; }
+
+ private:
+  PopulationParams params_;
+  LogNormalSampler session_;
+  double base_rate_;
+};
+
+}  // namespace slmob

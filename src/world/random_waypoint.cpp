@@ -1,0 +1,17 @@
+#include "world/random_waypoint.hpp"
+
+namespace slmob {
+
+MobilityDecision RandomWaypointModel::next(const Avatar& avatar, const Land& land,
+                                           Rng& rng) {
+  (void)avatar;
+  MobilityDecision d;
+  d.waypoint = land.clamp(
+      {rng.uniform(0.0, land.size()), rng.uniform(0.0, land.size()), land.ground_z()});
+  d.speed = rng.uniform(params_.speed_min, params_.speed_max);
+  d.pause = rng.uniform(params_.pause_min, params_.pause_max);
+  d.jitter_radius = 0.0;
+  return d;
+}
+
+}  // namespace slmob

@@ -1,0 +1,31 @@
+// Random Waypoint: the classical synthetic mobility baseline. Each decision
+// picks a uniform point of the land, a uniform speed and a uniform pause.
+// Used by the ablation bench to show that RWP does not reproduce the
+// paper's hot-spot spatial distribution or two-phase contact times.
+#pragma once
+
+#include "world/mobility.hpp"
+
+namespace slmob {
+
+struct RandomWaypointParams {
+  double speed_min{1.4};
+  double speed_max{3.4};
+  Seconds pause_min{0.0};
+  Seconds pause_max{120.0};
+};
+
+class RandomWaypointModel final : public MobilityModel {
+ public:
+  explicit RandomWaypointModel(RandomWaypointParams params = {}) : params_(params) {}
+
+  MobilityDecision on_login(const Avatar& avatar, const Land& land, Rng& rng) override {
+    return next(avatar, land, rng);
+  }
+  MobilityDecision next(const Avatar& avatar, const Land& land, Rng& rng) override;
+
+ private:
+  RandomWaypointParams params_;
+};
+
+}  // namespace slmob

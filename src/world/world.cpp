@@ -1,0 +1,249 @@
+#include "world/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace slmob {
+
+World::World(Land land, std::unique_ptr<MobilityModel> model, PopulationParams population,
+             std::uint64_t seed)
+    : land_(std::move(land)),
+      model_(std::move(model)),
+      population_(population),
+      rng_(seed) {
+  if (!model_) throw std::invalid_argument("World: null mobility model");
+  if (land_.spawn_points().empty()) {
+    throw std::invalid_argument("World: land has no spawn points");
+  }
+}
+
+const Avatar* World::find(AvatarId id) const {
+  const auto it = avatars_.find(id);
+  return it == avatars_.end() ? nullptr : &it->second;
+}
+
+AvatarId World::next_id() { return AvatarId{next_id_++}; }
+
+void World::tick(Seconds now, Seconds dt) {
+  process_departures(now);
+  process_arrivals(now, dt);
+
+  for (auto& [id, avatar] : avatars_) {
+    if (avatar.externally_controlled) {
+      step_kinematics(avatar, dt);
+      if (avatar.state == AvatarState::kTravelling &&
+          avatar.pos.distance_to(avatar.waypoint) < 1e-9) {
+        avatar.state = AvatarState::kPaused;
+        avatar.pause_until = now + 1e18;  // waits for the next steer command
+      }
+      continue;
+    }
+    if (avatar.state == AvatarState::kPaused) {
+      if (now >= avatar.pause_until) {
+        decide(now, avatar);
+      } else if (avatar.jitter_radius > 0.0 && rng_.bernoulli(avatar.jitter_rate * dt)) {
+        // In-POI fidgeting: short step within the jitter disc (dancing,
+        // stepping to the bar). Does not end the pause.
+        const double r = avatar.jitter_radius * std::sqrt(rng_.uniform());
+        const double theta = rng_.uniform(0.0, 6.283185307179586);
+        avatar.waypoint = land_.clamp({avatar.anchor.x + r * std::cos(theta),
+                                       avatar.anchor.y + r * std::sin(theta),
+                                       land_.ground_z()});
+        avatar.state = AvatarState::kTravelling;
+      }
+    }
+    if (avatar.state == AvatarState::kTravelling) {
+      const bool arrived = step_kinematics(avatar, dt);
+      if (arrived) {
+        avatar.state = AvatarState::kPaused;
+        // Jitter steps keep the existing pause deadline; fresh decisions set
+        // pause_until in apply_decision before we get here.
+        if (avatar.pause_until < now) avatar.pause_until = now;
+      }
+    }
+  }
+}
+
+void World::process_arrivals(Seconds now, Seconds dt) {
+  const std::size_t n = population_.arrivals(now, dt, rng_);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (avatars_.size() >= land_.capacity()) {
+      ++stats_.rejected_logins;
+      continue;
+    }
+    Avatar avatar;
+    const double p_revisit = population_.params().revisit_probability;
+    if (!departed_pool_.empty() && rng_.bernoulli(p_revisit)) {
+      // Returning visitor: reuse a departed identity (and their home POI).
+      const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(departed_pool_.size()) - 1));
+      const DepartedUser user = departed_pool_[idx];
+      departed_pool_[idx] = departed_pool_.back();
+      departed_pool_.pop_back();
+      avatar.id = user.id;
+      avatar.kind = user.kind;
+      avatar.home_poi = user.home_poi;
+    } else {
+      avatar.id = next_id();
+      avatar.kind = model_->assign_kind(rng_);
+    }
+    const auto& spawns = land_.spawn_points();
+    avatar.pos = spawns[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(spawns.size()) - 1))];
+    avatar.login_time = now;
+    Seconds session = population_.session_duration(rng_);
+    if (avatar.kind == AvatarKind::kExplorer) {
+      session = std::min(session * population_.params().explorer_session_multiplier,
+                         population_.params().session_cap);
+    }
+    avatar.logout_at = now + session;
+    avatar.last_intentional_move = now;
+
+    const MobilityDecision d = model_->on_login(avatar, land_, rng_);
+    apply_decision(now, avatar, d);
+
+    ++stats_.total_logins;
+    open_visits_[avatar.id] = visit_log_.size();
+    visit_log_.push_back({avatar.id, now, -1.0});
+    avatars_.emplace(avatar.id, avatar);
+  }
+}
+
+void World::process_departures(Seconds now) {
+  for (auto it = avatars_.begin(); it != avatars_.end();) {
+    Avatar& avatar = it->second;
+    if (!avatar.externally_controlled && now >= avatar.logout_at) {
+      if (const auto open = open_visits_.find(avatar.id); open != open_visits_.end()) {
+        visit_log_[open->second].logout = now;
+        open_visits_.erase(open);
+      }
+      ++stats_.total_logouts;
+      if (!avatar.debug_pinned) {
+        departed_pool_.push_back({avatar.id, avatar.kind, avatar.home_poi});
+      }
+      it = avatars_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void World::decide(Seconds now, Avatar& avatar) {
+  // Curiosity perturbation: a bot-looking avatar may hijack this decision.
+  if (const auto target = attractor(now);
+      target && rng_.bernoulli(curiosity_.approach_probability)) {
+    ++stats_.curiosity_approaches;
+    MobilityDecision d;
+    const double r = curiosity_.approach_radius * std::sqrt(rng_.uniform());
+    const double theta = rng_.uniform(0.0, 6.283185307179586);
+    d.waypoint = land_.clamp(
+        {target->x + r * std::cos(theta), target->y + r * std::sin(theta), land_.ground_z()});
+    d.speed = 2.0;
+    d.pause = rng_.uniform(20.0, 90.0);  // users linger, poke at the bot, leave
+    d.jitter_radius = 0.0;
+    d.poi_index = -1;
+    apply_decision(now, avatar, d);
+    return;
+  }
+  apply_decision(now, avatar, model_->next(avatar, land_, rng_));
+}
+
+void World::apply_decision(Seconds now, Avatar& avatar, const MobilityDecision& d) {
+  avatar.waypoint = land_.clamp(d.waypoint);
+  avatar.speed = std::max(0.1, d.speed);
+  avatar.state = AvatarState::kTravelling;
+  avatar.pause_until = now + avatar.pos.distance_to(avatar.waypoint) / avatar.speed + d.pause;
+  avatar.anchor = avatar.waypoint;
+  avatar.jitter_radius = d.jitter_radius;
+  avatar.jitter_rate = d.jitter_rate;
+  avatar.current_poi = d.poi_index;
+  if (avatar.home_poi < 0 && d.poi_index >= 0) avatar.home_poi = d.poi_index;
+  avatar.last_intentional_move = now;
+}
+
+std::optional<Vec3> World::attractor(Seconds now) const {
+  if (!curiosity_.enabled) return std::nullopt;
+  for (const auto& [id, avatar] : avatars_) {
+    if (!avatar.externally_controlled) continue;
+    const auto social = last_social_activity_.find(id);
+    const Seconds last_social =
+        social == last_social_activity_.end() ? avatar.login_time : social->second;
+    const Seconds last_activity = std::max(avatar.last_intentional_move, last_social);
+    if (now - last_activity > curiosity_.idle_threshold) return avatar.pos;
+  }
+  return std::nullopt;
+}
+
+std::optional<AvatarId> World::add_external_avatar(Seconds now, Vec3 pos) {
+  if (avatars_.size() >= land_.capacity()) {
+    ++stats_.rejected_logins;
+    return std::nullopt;
+  }
+  Avatar avatar;
+  avatar.id = next_id();
+  avatar.externally_controlled = true;
+  avatar.pos = land_.clamp(pos);
+  avatar.state = AvatarState::kPaused;
+  avatar.pause_until = now + 1e18;
+  avatar.login_time = now;
+  avatar.logout_at = now + 1e18;
+  avatar.last_intentional_move = now;
+  ++stats_.total_logins;
+  open_visits_[avatar.id] = visit_log_.size();
+  visit_log_.push_back({avatar.id, now, -1.0});
+  avatars_.emplace(avatar.id, avatar);
+  return avatar.id;
+}
+
+void World::remove_external_avatar(Seconds now, AvatarId id) {
+  const auto it = avatars_.find(id);
+  if (it == avatars_.end() || !it->second.externally_controlled) return;
+  if (const auto open = open_visits_.find(id); open != open_visits_.end()) {
+    visit_log_[open->second].logout = now;
+    open_visits_.erase(open);
+  }
+  ++stats_.total_logouts;
+  last_social_activity_.erase(id);
+  avatars_.erase(it);
+}
+
+void World::steer_external(Seconds now, AvatarId id, Vec3 waypoint, double speed) {
+  const auto it = avatars_.find(id);
+  if (it == avatars_.end() || !it->second.externally_controlled) return;
+  Avatar& avatar = it->second;
+  avatar.waypoint = land_.clamp(waypoint);
+  avatar.speed = std::max(0.1, speed);
+  avatar.state = AvatarState::kTravelling;
+  avatar.last_intentional_move = now;
+}
+
+void World::mark_social_activity(Seconds now, AvatarId id) {
+  if (avatars_.contains(id)) last_social_activity_[id] = now;
+}
+
+void World::set_sitting(AvatarId id, bool sitting) {
+  const auto it = avatars_.find(id);
+  if (it != avatars_.end()) it->second.sitting = sitting;
+}
+
+AvatarId World::debug_add_synthetic(Seconds now, Vec3 pos, Seconds logout_at) {
+  Avatar avatar;
+  avatar.id = next_id();
+  avatar.pos = land_.clamp(pos);
+  avatar.state = AvatarState::kPaused;
+  avatar.pause_until = 1e18;  // debug avatars hold their position
+  avatar.debug_pinned = true;
+  avatar.login_time = now;
+  avatar.logout_at = logout_at;
+  avatar.last_intentional_move = now;
+  ++stats_.total_logins;
+  open_visits_[avatar.id] = visit_log_.size();
+  visit_log_.push_back({avatar.id, now, -1.0});
+  avatars_.emplace(avatar.id, avatar);
+  return avatar.id;
+}
+
+}  // namespace slmob

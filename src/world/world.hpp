@@ -1,0 +1,116 @@
+// World: one land plus its live avatar population.
+//
+// The world owns the ground truth the monitoring architectures try to
+// measure. Synthetic avatars arrive via the PopulationProcess and move per
+// the MobilityModel; externally controlled avatars (protocol clients, e.g.
+// the crawler) are added/steered by the sim server.
+//
+// The world also implements the "curiosity" perturbation the paper reports:
+// a visibly idle, silent avatar (a naive crawler) becomes an attractor that
+// nearby users walk up to, biasing the very mobility being measured.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+#include "world/avatar.hpp"
+#include "world/land.hpp"
+#include "world/mobility.hpp"
+#include "world/population.hpp"
+
+namespace slmob {
+
+// One completed (or still open) visit, recorded by the world as ground
+// truth. logout < 0 means the avatar is still online.
+struct VisitRecord {
+  AvatarId avatar;
+  Seconds login{0.0};
+  Seconds logout{-1.0};
+};
+
+struct CuriosityParams {
+  bool enabled{true};
+  // An externally controlled avatar idle and silent for longer than this is
+  // deemed a bot and starts attracting users.
+  Seconds idle_threshold{120.0};
+  // Per-decision probability that a synthetic avatar targets the attractor.
+  double approach_probability{0.25};
+  // Users approach to within this distance of the attractor.
+  double approach_radius{4.0};
+};
+
+struct WorldStats {
+  std::uint64_t total_logins{0};
+  std::uint64_t rejected_logins{0};  // region at capacity
+  std::uint64_t total_logouts{0};
+  std::uint64_t curiosity_approaches{0};
+};
+
+class World {
+ public:
+  World(Land land, std::unique_ptr<MobilityModel> model, PopulationParams population,
+        std::uint64_t seed);
+
+  // Advances virtual time by dt: processes logouts, arrivals, decisions and
+  // kinematics. `now` is the time at the *start* of the tick.
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] const Land& land() const { return land_; }
+  [[nodiscard]] const std::map<AvatarId, Avatar>& avatars() const { return avatars_; }
+  [[nodiscard]] std::size_t concurrent() const { return avatars_.size(); }
+  [[nodiscard]] const Avatar* find(AvatarId id) const;
+  [[nodiscard]] const WorldStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<VisitRecord>& visit_log() const { return visit_log_; }
+
+  // --- external (protocol-controlled) avatars -----------------------------
+  // Adds an avatar steered from outside; returns nullopt when the region is
+  // full. The avatar never logs out on its own.
+  std::optional<AvatarId> add_external_avatar(Seconds now, Vec3 pos);
+  void remove_external_avatar(Seconds now, AvatarId id);
+  // Steers an external avatar toward a waypoint.
+  void steer_external(Seconds now, AvatarId id, Vec3 waypoint, double speed);
+  // Marks activity that makes the avatar look human (chatting).
+  void mark_social_activity(Seconds now, AvatarId id);
+  void set_sitting(AvatarId id, bool sitting);
+
+  void set_curiosity(CuriosityParams params) { curiosity_ = params; }
+  [[nodiscard]] const CuriosityParams& curiosity() const { return curiosity_; }
+
+  // Test hook: force-inject a synthetic avatar with a fixed session.
+  AvatarId debug_add_synthetic(Seconds now, Vec3 pos, Seconds logout_at);
+
+ private:
+  void process_arrivals(Seconds now, Seconds dt);
+  void process_departures(Seconds now);
+  void decide(Seconds now, Avatar& avatar);
+  void apply_decision(Seconds now, Avatar& avatar, const MobilityDecision& d);
+  // Currently active attractor position (a bot-looking external avatar).
+  [[nodiscard]] std::optional<Vec3> attractor(Seconds now) const;
+  AvatarId next_id();
+
+  Land land_;
+  std::unique_ptr<MobilityModel> model_;
+  PopulationProcess population_;
+  Rng rng_;
+  std::map<AvatarId, Avatar> avatars_;
+  // Previously seen visitors available for re-visits (same identity).
+  struct DepartedUser {
+    AvatarId id;
+    AvatarKind kind;
+    int home_poi;
+  };
+  std::vector<DepartedUser> departed_pool_;
+  std::map<AvatarId, Seconds> last_social_activity_;
+  std::uint32_t next_id_{1};
+  CuriosityParams curiosity_;
+  WorldStats stats_;
+  std::vector<VisitRecord> visit_log_;
+  std::map<AvatarId, std::size_t> open_visits_;  // avatar -> index in visit_log_
+};
+
+}  // namespace slmob

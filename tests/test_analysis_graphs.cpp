@@ -1,0 +1,185 @@
+#include "analysis/graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace slmob {
+namespace {
+
+Snapshot line_of_users(std::size_t n, double spacing) {
+  Snapshot s;
+  s.time = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.fixes.push_back(
+        {AvatarId{static_cast<std::uint32_t>(i + 1)}, {static_cast<double>(i) * spacing, 0.0, 22.0}});
+  }
+  return s;
+}
+
+TEST(LosGraph, EmptySnapshot) {
+  const Snapshot s{};
+  const LosGraph g(s, 10.0);
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.largest_component_diameter(), 0u);
+  EXPECT_EQ(g.mean_clustering(), 0.0);
+}
+
+TEST(LosGraph, PathGraphMetrics) {
+  // 5 users spaced 8 m apart with r=10: a path graph P5.
+  const LosGraph g(line_of_users(5, 8.0), 10.0);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.largest_component_diameter(), 4u);
+  EXPECT_EQ(g.components().size(), 1u);
+  // Path graphs have zero clustering.
+  EXPECT_DOUBLE_EQ(g.mean_clustering(), 0.0);
+}
+
+TEST(LosGraph, CliqueMetrics) {
+  // 4 users within 10 m of each other: K4.
+  Snapshot s;
+  s.time = 0.0;
+  s.fixes = {{AvatarId{1}, {0.0, 0.0, 22.0}},
+             {AvatarId{2}, {3.0, 0.0, 22.0}},
+             {AvatarId{3}, {0.0, 3.0, 22.0}},
+             {AvatarId{4}, {3.0, 3.0, 22.0}}};
+  const LosGraph g(s, 10.0);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.largest_component_diameter(), 1u);
+  EXPECT_DOUBLE_EQ(g.mean_clustering(), 1.0);
+}
+
+TEST(LosGraph, DisconnectedComponents) {
+  // Two pairs far apart.
+  Snapshot s;
+  s.time = 0.0;
+  s.fixes = {{AvatarId{1}, {0.0, 0.0, 22.0}},
+             {AvatarId{2}, {5.0, 0.0, 22.0}},
+             {AvatarId{3}, {200.0, 200.0, 22.0}},
+             {AvatarId{4}, {205.0, 200.0, 22.0}},
+             {AvatarId{5}, {100.0, 100.0, 22.0}}};
+  const LosGraph g(s, 10.0);
+  EXPECT_EQ(g.components().size(), 3u);
+  EXPECT_EQ(g.largest_component_diameter(), 1u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(LosGraph, TrianglePlusTailClustering) {
+  // Nodes 0-1-2 form a triangle; node 3 hangs off node 2 (positions chosen
+  // so only 2-3 are within range).
+  Snapshot s;
+  s.time = 0.0;
+  s.fixes = {{AvatarId{1}, {0.0, 0.0, 22.0}},
+             {AvatarId{2}, {6.0, 0.0, 22.0}},
+             {AvatarId{3}, {3.0, 5.0, 22.0}},
+             {AvatarId{4}, {3.0, 14.0, 22.0}}};
+  const LosGraph g(s, 10.0);
+  ASSERT_EQ(g.edge_count(), 4u);
+  // Clustering: node0=1, node1=1, node2=1/3 (3 neighbors, 1 link), node3=0.
+  EXPECT_NEAR(g.clustering(0), 1.0, 1e-12);
+  EXPECT_NEAR(g.clustering(1), 1.0, 1e-12);
+  EXPECT_NEAR(g.clustering(2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(g.clustering(3), 0.0, 1e-12);
+  EXPECT_NEAR(g.mean_clustering(), (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(LosGraph, SingletonDiameterZero) {
+  Snapshot s;
+  s.time = 0.0;
+  s.fixes = {{AvatarId{1}, {10.0, 10.0, 22.0}}};
+  const LosGraph g(s, 10.0);
+  EXPECT_EQ(g.largest_component_diameter(), 0u);
+}
+
+TEST(AnalyzeGraphs, AggregatesOverSnapshots) {
+  Trace t("x", 10.0);
+  t.add(line_of_users(3, 8.0));   // P3: diameter 2
+  Snapshot s2 = line_of_users(2, 5.0);  // P2: diameter 1
+  s2.time = 10.0;
+  t.add(std::move(s2));
+  const GraphMetrics m = analyze_graphs(t, 10.0);
+  EXPECT_EQ(m.snapshots_analyzed, 2u);
+  EXPECT_EQ(m.degrees.size(), 5u);  // 3 + 2 degree samples
+  EXPECT_EQ(m.diameters.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.diameters.max(), 2.0);
+  EXPECT_DOUBLE_EQ(m.diameters.min(), 1.0);
+}
+
+TEST(AnalyzeGraphs, IsolatedFraction) {
+  Trace t("x", 10.0);
+  Snapshot s;
+  s.time = 0.0;
+  s.fixes = {{AvatarId{1}, {0.0, 0.0, 22.0}},
+             {AvatarId{2}, {5.0, 0.0, 22.0}},
+             {AvatarId{3}, {100.0, 100.0, 22.0}}};
+  t.add(std::move(s));
+  const GraphMetrics m = analyze_graphs(t, 10.0);
+  EXPECT_NEAR(m.isolated_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(AnalyzeGraphs, EmptySnapshotsSkipped) {
+  Trace t("x", 10.0);
+  t.add(Snapshot{0.0, {}});
+  t.add(line_of_users(2, 5.0));
+  const GraphMetrics m = analyze_graphs(t, 10.0);
+  EXPECT_EQ(m.snapshots_analyzed, 1u);
+}
+
+TEST(AnalyzeGraphs, StrideSkipsSnapshots) {
+  Trace t("x", 10.0);
+  for (int i = 0; i < 10; ++i) {
+    Snapshot s = line_of_users(2, 5.0);
+    s.time = i * 10.0;
+    t.add(std::move(s));
+  }
+  EXPECT_EQ(analyze_graphs(t, 10.0, 1).snapshots_analyzed, 10u);
+  EXPECT_EQ(analyze_graphs(t, 10.0, 3).snapshots_analyzed, 4u);
+  EXPECT_THROW((void)analyze_graphs(t, 10.0, 0), std::invalid_argument);
+}
+
+TEST(AnalyzeGraphs, DiameterShrinksWithLargerRange) {
+  // The paper's Fig 2(b)/(e): larger radio range, smaller diameter (for a
+  // connected population).
+  Trace t("x", 10.0);
+  t.add(line_of_users(10, 9.0));
+  const GraphMetrics small_r = analyze_graphs(t, 10.0);
+  const GraphMetrics large_r = analyze_graphs(t, 80.0);
+  EXPECT_GT(small_r.diameters.max(), large_r.diameters.max());
+}
+
+// Property: invariants over random snapshots.
+class GraphProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphProperty, Invariants) {
+  Rng rng(GetParam());
+  Snapshot s;
+  s.time = 0.0;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 80));
+  for (std::size_t i = 0; i < n; ++i) {
+    s.fixes.push_back({AvatarId{static_cast<std::uint32_t>(i + 1)},
+                       {rng.uniform(0.0, 256.0), rng.uniform(0.0, 256.0), 22.0}});
+  }
+  const LosGraph g(s, 20.0);
+  // Diameter < n; clustering in [0,1]; degree sum = 2*edges; components
+  // partition the nodes.
+  EXPECT_LT(g.largest_component_diameter(), n);
+  std::size_t degree_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    degree_sum += g.degree(i);
+    const double c = g.clustering(i);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+  EXPECT_EQ(degree_sum, 2 * g.edge_count());
+  std::size_t covered = 0;
+  for (const auto& comp : g.components()) covered += comp.size();
+  EXPECT_EQ(covered, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,101 @@
+#include "analysis/relations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+ContactInterval contact(std::uint32_t a, std::uint32_t b, Seconds start, Seconds end) {
+  return {AvatarId{std::min(a, b)}, AvatarId{std::max(a, b)}, start, end};
+}
+
+TEST(Relations, EmptyInput) {
+  const RelationGraph graph({});
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.user_count(), 0u);
+  EXPECT_DOUBLE_EQ(graph.acquaintance_fraction(), 0.0);
+}
+
+TEST(Relations, SingleEncounterIsNotAcquaintance) {
+  const RelationGraph graph({contact(1, 2, 0.0, 30.0)});
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(graph.acquaintance_fraction(), 0.0);
+}
+
+TEST(Relations, RepeatedEncountersFormRelation) {
+  const RelationGraph graph({
+      contact(1, 2, 0.0, 30.0),
+      contact(1, 2, 100.0, 160.0),
+      contact(1, 2, 500.0, 520.0),
+  });
+  ASSERT_EQ(graph.edge_count(), 1u);
+  const Relation& rel = graph.relations()[0];
+  EXPECT_EQ(rel.encounters, 3u);
+  EXPECT_DOUBLE_EQ(rel.total_contact, 30.0 + 60.0 + 20.0);
+  EXPECT_DOUBLE_EQ(rel.first_met, 0.0);
+  EXPECT_DOUBLE_EQ(rel.last_seen_together, 520.0);
+  EXPECT_DOUBLE_EQ(rel.mean_recontact_gap(), 260.0);
+  EXPECT_EQ(graph.degree(AvatarId{1}), 1u);
+  EXPECT_EQ(graph.degree(AvatarId{2}), 1u);
+  EXPECT_EQ(graph.degree(AvatarId{3}), 0u);
+}
+
+TEST(Relations, AcquaintanceFraction) {
+  const RelationGraph graph({
+      contact(1, 2, 0.0, 10.0),
+      contact(1, 2, 50.0, 60.0),   // pair (1,2): acquaintance
+      contact(1, 3, 0.0, 10.0),    // pair (1,3): single encounter
+      contact(2, 3, 0.0, 10.0),    // pair (2,3): single encounter
+  });
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_NEAR(graph.acquaintance_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Relations, MinEncountersOption) {
+  RelationGraphOptions options;
+  options.min_encounters = 1;
+  const RelationGraph graph({contact(1, 2, 0.0, 10.0)}, options);
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(graph.acquaintance_fraction(), 1.0);
+}
+
+TEST(Relations, StrongestRanksByContactTime) {
+  const RelationGraph graph({
+      contact(1, 2, 0.0, 10.0), contact(1, 2, 50.0, 60.0),     // strength 20
+      contact(3, 4, 0.0, 100.0), contact(3, 4, 200.0, 400.0),  // strength 300
+      contact(5, 6, 0.0, 50.0), contact(5, 6, 60.0, 80.0),     // strength 70
+  });
+  const auto top = graph.strongest(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].a.value, 3u);
+  EXPECT_DOUBLE_EQ(top[0].total_contact, 300.0);
+  EXPECT_EQ(top[1].a.value, 5u);
+}
+
+TEST(Relations, DistributionsMatchEdges) {
+  const RelationGraph graph({
+      contact(1, 2, 0.0, 10.0), contact(1, 2, 50.0, 60.0),
+      contact(1, 3, 0.0, 20.0), contact(1, 3, 90.0, 120.0),
+  });
+  ASSERT_EQ(graph.edge_count(), 2u);
+  EXPECT_EQ(graph.encounter_counts().size(), 2u);
+  EXPECT_DOUBLE_EQ(graph.encounter_counts().median(), 2.0);
+  EXPECT_EQ(graph.tie_strengths().size(), 2u);
+  // User 1 has two acquaintances; users 2 and 3 one each.
+  EXPECT_DOUBLE_EQ(graph.acquaintance_degrees().max(), 2.0);
+  EXPECT_EQ(graph.user_count(), 3u);
+}
+
+TEST(Relations, PairOrderCanonical) {
+  const RelationGraph graph({
+      contact(9, 4, 0.0, 10.0),
+      contact(4, 9, 50.0, 60.0),  // same pair, reversed order
+  });
+  ASSERT_EQ(graph.edge_count(), 1u);
+  EXPECT_EQ(graph.relations()[0].a.value, 4u);
+  EXPECT_EQ(graph.relations()[0].b.value, 9u);
+  EXPECT_EQ(graph.relations()[0].encounters, 2u);
+}
+
+}  // namespace
+}  // namespace slmob

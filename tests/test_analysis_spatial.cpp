@@ -1,0 +1,103 @@
+#include "analysis/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace slmob {
+namespace {
+
+using Pair = std::pair<std::uint32_t, std::uint32_t>;
+
+std::set<Pair> brute_force_pairs(const std::vector<Vec3>& positions, double r) {
+  std::set<Pair> out;
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < positions.size(); ++j) {
+      if (positions[i].distance2d_to(positions[j]) <= r) out.insert({i, j});
+    }
+  }
+  return out;
+}
+
+TEST(SpatialGrid, EmptyInput) {
+  const std::vector<Vec3> positions;
+  const SpatialGrid grid(positions, 10.0);
+  EXPECT_TRUE(grid.pairs_within().empty());
+}
+
+TEST(SpatialGrid, SimpleKnownPairs) {
+  const std::vector<Vec3> positions{
+      {0.0, 0.0, 0.0}, {5.0, 0.0, 0.0}, {100.0, 100.0, 0.0}};
+  const SpatialGrid grid(positions, 10.0);
+  const auto pairs = grid.pairs_within();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (Pair{0, 1}));
+}
+
+TEST(SpatialGrid, BoundaryInclusive) {
+  const std::vector<Vec3> positions{{0.0, 0.0, 0.0}, {10.0, 0.0, 0.0}};
+  const SpatialGrid grid(positions, 10.0);
+  EXPECT_EQ(grid.pairs_within().size(), 1u);
+}
+
+TEST(SpatialGrid, IgnoresAltitude) {
+  const std::vector<Vec3> positions{{0.0, 0.0, 0.0}, {3.0, 0.0, 500.0}};
+  const SpatialGrid grid(positions, 10.0);
+  EXPECT_EQ(grid.pairs_within().size(), 1u);
+}
+
+TEST(SpatialGrid, NeighborsOfMatchesPairs) {
+  Rng rng(3);
+  std::vector<Vec3> positions;
+  for (int i = 0; i < 100; ++i) {
+    positions.push_back({rng.uniform(0.0, 256.0), rng.uniform(0.0, 256.0), 22.0});
+  }
+  const SpatialGrid grid(positions, 15.0);
+  const auto expected = brute_force_pairs(positions, 15.0);
+  for (std::uint32_t i = 0; i < positions.size(); ++i) {
+    auto neighbors = grid.neighbors_of(i);
+    std::sort(neighbors.begin(), neighbors.end());
+    std::vector<std::uint32_t> expected_neighbors;
+    for (const auto& [a, b] : expected) {
+      if (a == i) expected_neighbors.push_back(b);
+      if (b == i) expected_neighbors.push_back(a);
+    }
+    std::sort(expected_neighbors.begin(), expected_neighbors.end());
+    EXPECT_EQ(neighbors, expected_neighbors) << "node " << i;
+  }
+}
+
+TEST(SpatialGrid, ThrowsOnBadInput) {
+  const std::vector<Vec3> positions{{0, 0, 0}};
+  EXPECT_THROW(SpatialGrid(positions, 0.0), std::invalid_argument);
+  const SpatialGrid grid(positions, 5.0);
+  EXPECT_THROW((void)grid.neighbors_of(7), std::out_of_range);
+}
+
+class SpatialGridProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double, int>> {};
+
+TEST_P(SpatialGridProperty, MatchesBruteForce) {
+  const auto [seed, radius, count] = GetParam();
+  Rng rng(seed);
+  std::vector<Vec3> positions;
+  for (int i = 0; i < count; ++i) {
+    positions.push_back({rng.uniform(-50.0, 300.0), rng.uniform(-50.0, 300.0), 22.0});
+  }
+  const SpatialGrid grid(positions, radius);
+  auto pairs = grid.pairs_within();
+  std::set<Pair> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got.size(), pairs.size()) << "duplicate pairs reported";
+  EXPECT_EQ(got, brute_force_pairs(positions, radius));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpatialGridProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4), ::testing::Values(1.0, 10.0, 80.0),
+                       ::testing::Values(2, 25, 150)));
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,65 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace slmob {
+namespace {
+
+ExperimentResults quick_results() {
+  ExperimentConfig cfg;
+  cfg.archetype = LandArchetype::kDanceIsland;
+  cfg.duration = 0.5 * kSecondsPerHour;
+  cfg.seed = 8;
+  return run_experiment(cfg);
+}
+
+TEST(Report, ContainsAllSections) {
+  const std::string report = render_report(quick_results());
+  EXPECT_NE(report.find("# Mobility measurement report: Dance"), std::string::npos);
+  EXPECT_NE(report.find("## Trace"), std::string::npos);
+  EXPECT_NE(report.find("## Contact opportunities"), std::string::npos);
+  EXPECT_NE(report.find("## Line-of-sight networks"), std::string::npos);
+  EXPECT_NE(report.find("## Space and trips"), std::string::npos);
+  EXPECT_NE(report.find("contact time (r=10m, s)"), std::string::npos);
+  EXPECT_NE(report.find("contact time (r=80m, s)"), std::string::npos);
+  EXPECT_NE(report.find("travel length (m)"), std::string::npos);
+}
+
+TEST(Report, SeriesOptIn) {
+  const ExperimentResults res = quick_results();
+  EXPECT_EQ(render_report(res).find("<details>"), std::string::npos);
+  ReportOptions options;
+  options.include_series = true;
+  EXPECT_NE(render_report(res, options).find("<details>"), std::string::npos);
+}
+
+TEST(Report, HandlesEmptyResults) {
+  // An empty trace analysed directly must not crash the renderer.
+  ExperimentResults res = analyze_trace(Trace("empty", 10.0), {10.0});
+  const std::string report = render_report(res);
+  EXPECT_NE(report.find("| unique visitors | 0 |"), std::string::npos);
+  EXPECT_NE(report.find("| contact time (r=10m, s) | 0 | - |"), std::string::npos);
+}
+
+TEST(Report, WriteToFile) {
+  const std::string path = ::testing::TempDir() + "/slmob_report_test.md";
+  write_report(quick_results(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("# Mobility measurement report"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteToBadPathThrows) {
+  EXPECT_THROW(write_report(quick_results(), "/nonexistent/dir/report.md"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,107 @@
+#include "crawler/crawler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+
+namespace slmob {
+namespace {
+
+TestbedConfig quick_config() {
+  TestbedConfig cfg;
+  cfg.archetype = LandArchetype::kDanceIsland;
+  cfg.seed = 5;
+  cfg.with_ground_truth = true;
+  return cfg;
+}
+
+TEST(Crawler, ProducesSnapshotsAtTau) {
+  Testbed bed(quick_config());
+  bed.run_until(600.0);
+  const Trace& trace = bed.crawler()->trace();
+  // ~1 snapshot per 10 s minus login transient.
+  EXPECT_GE(trace.size(), 55u);
+  EXPECT_LE(trace.size(), 61u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace.snapshots()[i].time - trace.snapshots()[i - 1].time, 10.0, 1e-9);
+  }
+}
+
+TEST(Crawler, ExcludesItselfFromTrace) {
+  Testbed bed(quick_config());
+  bed.run_until(600.0);
+  const auto own_id = bed.client()->agent_id();
+  ASSERT_GT(own_id, 0u);
+  for (const auto& snap : bed.crawler()->trace().snapshots()) {
+    for (const auto& fix : snap.fixes) {
+      EXPECT_NE(fix.id.value, own_id);
+    }
+  }
+}
+
+TEST(Crawler, TraceNamedAfterRegion) {
+  Testbed bed(quick_config());
+  bed.run_until(120.0);
+  EXPECT_EQ(bed.crawler()->trace().land_name(), "Dance");
+}
+
+TEST(Crawler, MimicryActs) {
+  Testbed bed(quick_config());
+  bed.run_until(1800.0);
+  EXPECT_GT(bed.crawler()->stats().moves_made, 5u);
+  EXPECT_GT(bed.crawler()->stats().chat_lines_sent, 2u);
+}
+
+TEST(Crawler, MimicryDisabled) {
+  TestbedConfig cfg = quick_config();
+  cfg.crawler.mimicry.enabled = false;
+  Testbed bed(cfg);
+  bed.run_until(1800.0);
+  EXPECT_EQ(bed.crawler()->stats().moves_made, 0u);
+  EXPECT_EQ(bed.crawler()->stats().chat_lines_sent, 0u);
+}
+
+TEST(Crawler, MatchesGroundTruthClosely) {
+  Testbed bed(quick_config());
+  bed.run_until(1800.0);
+  const TraceSummary crawled = bed.crawler()->trace().summary();
+  const TraceSummary truth = bed.ground_truth()->trace().summary();
+  // The crawler sees the same population (within the login transient and
+  // metre-level quantisation).
+  EXPECT_NEAR(static_cast<double>(crawled.unique_users),
+              static_cast<double>(truth.unique_users), 3.0);
+  EXPECT_NEAR(crawled.avg_concurrent, truth.avg_concurrent, 2.0);
+}
+
+TEST(Crawler, PositionsAreQuantisedToWholeMetres) {
+  Testbed bed(quick_config());
+  bed.run_until(300.0);
+  for (const auto& snap : bed.crawler()->trace().snapshots()) {
+    for (const auto& fix : snap.fixes) {
+      EXPECT_DOUBLE_EQ(fix.pos.x, std::floor(fix.pos.x));
+      EXPECT_DOUBLE_EQ(fix.pos.y, std::floor(fix.pos.y));
+    }
+  }
+}
+
+TEST(Crawler, SurvivesLossyNetworkViaRelogin) {
+  TestbedConfig cfg = quick_config();
+  cfg.network.loss_rate = 0.55;  // brutal: circuits will die
+  Testbed bed(cfg);
+  bed.run_until(3600.0);
+  const auto& stats = bed.crawler()->stats();
+  // The crawler must keep collecting data across reconnects.
+  EXPECT_GT(stats.snapshots_taken, 50u);
+}
+
+TEST(Crawler, StopEndsSampling) {
+  Testbed bed(quick_config());
+  bed.run_until(300.0);
+  const std::size_t before = bed.crawler()->trace().size();
+  bed.crawler()->stop();
+  bed.run_until(600.0);
+  EXPECT_EQ(bed.crawler()->trace().size(), before);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,87 @@
+// Integration: both monitoring architectures observing the same world,
+// scored against protocol-free ground truth — the §2 comparison as a test.
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "sensors/collector.hpp"
+#include "sensors/deployment.hpp"
+#include "sensors/object_runtime.hpp"
+
+namespace slmob {
+namespace {
+
+struct DualRig {
+  explicit DualRig(LandArchetype archetype, Seconds duration)
+      : bed(make_config(archetype)) {
+    collector = std::make_unique<HttpCollector>(bed.network(), "sensed");
+    runtime = std::make_unique<ObjectRuntime>(bed.world(), bed.network(), 5);
+    SensorGridConfig grid_cfg;
+    grid_cfg.grid_side = 2;
+    grid = std::make_unique<SensorGridDeployment>(*runtime, bed.world().land(),
+                                                  collector->address(), grid_cfg);
+    deployed = grid->deploy_all(0.0);
+    bed.engine().add(kPriorityServer,
+                     [this](Seconds now, Seconds dt) { runtime->tick(now, dt); });
+    bed.engine().add(kPriorityMonitor,
+                     [this](Seconds now, Seconds dt) { grid->tick(now, dt); });
+    bed.run_until(duration);
+  }
+
+  static TestbedConfig make_config(LandArchetype archetype) {
+    TestbedConfig cfg;
+    cfg.archetype = archetype;
+    cfg.seed = 77;
+    cfg.with_ground_truth = true;
+    return cfg;
+  }
+
+  Testbed bed;
+  std::unique_ptr<HttpCollector> collector;
+  std::unique_ptr<ObjectRuntime> runtime;
+  std::unique_ptr<SensorGridDeployment> grid;
+  std::size_t deployed{0};
+};
+
+TEST(DualInstruments, PublicLandBothInstrumentsAgreeWithTruth) {
+  DualRig rig(LandArchetype::kApfelLand, 1800.0);
+  ASSERT_EQ(rig.deployed, 4u);
+
+  const TraceSummary truth = rig.bed.ground_truth()->trace().summary();
+  const TraceSummary crawled = rig.bed.crawler()->trace().summary();
+  const Trace sensed_trace = rig.collector->build_trace(10.0);
+  const TraceSummary sensed = sensed_trace.summary();
+
+  ASSERT_GT(truth.unique_users, 10u);
+  // Crawler: complete coverage.
+  EXPECT_NEAR(static_cast<double>(crawled.unique_users),
+              static_cast<double>(truth.unique_users), 2.0);
+  // Sensors on a sparse land: nearly complete (16-cap rarely binds).
+  EXPECT_GE(sensed.unique_users + 2, truth.unique_users);
+}
+
+TEST(DualInstruments, PrivateLandOnlyCrawlerWorks) {
+  DualRig rig(LandArchetype::kDanceIsland, 900.0);
+  EXPECT_EQ(rig.deployed, 0u);  // deployment refused on private land
+  EXPECT_EQ(rig.collector->stats().records, 0u);
+  EXPECT_GT(rig.bed.crawler()->trace().summary().unique_users, 10u);
+}
+
+TEST(DualInstruments, CrowdedLandSensorsUndercount) {
+  DualRig rig(LandArchetype::kIsleOfView, 1800.0);
+  ASSERT_EQ(rig.deployed, 4u);
+  std::uint64_t truncated = 0;
+  for (const auto& obj : rig.runtime->objects()) {
+    truncated += obj->stats().detections_truncated;
+  }
+  // The 16-avatar sweep cap must actually bind in the event crowd.
+  EXPECT_GT(truncated, 100u);
+
+  // And the crawler still sees everyone the world saw.
+  const TraceSummary truth = rig.bed.ground_truth()->trace().summary();
+  const TraceSummary crawled = rig.bed.crawler()->trace().summary();
+  EXPECT_NEAR(static_cast<double>(crawled.unique_users),
+              static_cast<double>(truth.unique_users), 2.0);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,159 @@
+// Coverage for the extended LSL built-in library (string/list utilities).
+#include "lsl/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob::lsl {
+namespace {
+
+class NullHost : public LslHost {
+ public:
+  void ll_say(std::int64_t, const std::string&) override {}
+  void ll_owner_say(const std::string&) override {}
+  void ll_set_timer_event(double) override {}
+  void ll_sensor_repeat(const std::string&, const std::string&, std::int64_t, double,
+                        double, double) override {}
+  Vec3 ll_get_pos() override { return {}; }
+  double ll_get_time() override { return 0.0; }
+  std::int64_t ll_get_unix_time() override { return 0; }
+  double ll_frand(double max) override { return max / 2.0; }
+  std::string ll_http_request(const std::string&, const List&,
+                              const std::string&) override {
+    return "k";
+  }
+  std::int64_t ll_get_free_memory() override { return 16384; }
+  std::size_t detected_count() const override { return 0; }
+  Vec3 detected_pos(std::size_t) const override { return {}; }
+  std::string detected_key(std::size_t) const override { return {}; }
+  std::string detected_name(std::size_t) const override { return {}; }
+};
+
+// Runs a script whose state_entry assigns to global `g`, returns g.
+Value run_g(const std::string& body_and_globals) {
+  static NullHost host;
+  Interpreter interp(body_and_globals, host);
+  interp.start();
+  const Value* g = interp.global("g");
+  EXPECT_NE(g, nullptr);
+  return g != nullptr ? *g : Value();
+}
+
+TEST(LslBuiltins, ToUpperLower) {
+  EXPECT_EQ(run_g("string g; default { state_entry() { g = llToUpper(\"aBc9\"); } }")
+                .as_string(),
+            "ABC9");
+  EXPECT_EQ(run_g("string g; default { state_entry() { g = llToLower(\"AbC9\"); } }")
+                .as_string(),
+            "abc9");
+}
+
+TEST(LslBuiltins, StringTrim) {
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llStringTrim(\"  x  \", STRING_TRIM); } }")
+                .as_string(),
+            "x");
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llStringTrim(\"  x  \", STRING_TRIM_HEAD); } }")
+                .as_string(),
+            "x  ");
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llStringTrim(\"  x  \", STRING_TRIM_TAIL); } }")
+                .as_string(),
+            "  x");
+}
+
+TEST(LslBuiltins, InsertDeleteSubString) {
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llInsertString(\"abef\", 2, \"cd\"); } }")
+                .as_string(),
+            "abcdef");
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDeleteSubString(\"abcdef\", 1, 3); } }")
+                .as_string(),
+            "aef");
+  // Negative indices count from the end.
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDeleteSubString(\"abcdef\", -2, -1); } }")
+                .as_string(),
+            "abcd");
+}
+
+TEST(LslBuiltins, ParseString2List) {
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDumpList2String(llParseString2List(\"a,b,,c\", [\",\"], []), \"|\"); } }")
+                .as_string(),
+            "a|b|c");  // empty fields dropped, LSL semantics
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDumpList2String("
+                  "llParseString2List(\"1+2=3\", [\"=\"], [\"+\"]), \"|\"); } }")
+                .as_string(),
+            "1|+|2|3");  // spacers kept as tokens
+}
+
+TEST(LslBuiltins, CsvRoundTrip) {
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llList2CSV([1, \"two\", 3]); } }")
+                .as_string(),
+            "1, two, 3");
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDumpList2String(llCSV2List(\"a, b,c\"), \"|\"); } }")
+                .as_string(),
+            "a|b|c");
+}
+
+TEST(LslBuiltins, List2IntegerAndFloat) {
+  EXPECT_EQ(run_g("integer g; default { state_entry() { "
+                  "g = llList2Integer([\"7\", 8, 9.9], 0); } }")
+                .as_int(),
+            7);
+  EXPECT_EQ(run_g("integer g; default { state_entry() { "
+                  "g = llList2Integer([\"7\", 8, 9.9], -2); } }")
+                .as_int(),
+            8);
+  EXPECT_EQ(run_g("integer g; default { state_entry() { "
+                  "g = llList2Integer([1], 5); } }")
+                .as_int(),
+            0);  // out of range -> 0
+  EXPECT_DOUBLE_EQ(run_g("float g; default { state_entry() { "
+                         "g = llList2Float([\"2.5\"], 0); } }")
+                       .as_float(),
+                   2.5);
+}
+
+TEST(LslBuiltins, ListSortAscendingDescending) {
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDumpList2String(llListSort([3, 1, 2], 1, TRUE), \"\"); } }")
+                .as_string(),
+            "123");
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDumpList2String(llListSort([3, 1, 2], 1, FALSE), \"\"); } }")
+                .as_string(),
+            "321");
+}
+
+TEST(LslBuiltins, ListSortWithStrideKeepsPairs) {
+  // (name, score) pairs sorted by name.
+  EXPECT_EQ(run_g("string g; default { state_entry() { "
+                  "g = llDumpList2String("
+                  "llListSort([\"b\", 2, \"a\", 1], 2, TRUE), \"|\"); } }")
+                .as_string(),
+            "a|1|b|2");
+}
+
+TEST(LslBuiltins, ListFindList) {
+  EXPECT_EQ(run_g("integer g; default { state_entry() { "
+                  "g = llListFindList([1, 2, 3, 4], [3, 4]); } }")
+                .as_int(),
+            2);
+  EXPECT_EQ(run_g("integer g; default { state_entry() { "
+                  "g = llListFindList([1, 2], [9]); } }")
+                .as_int(),
+            -1);
+  EXPECT_EQ(run_g("integer g; default { state_entry() { "
+                  "g = llListFindList([1, 2], []); } }")
+                .as_int(),
+            0);
+}
+
+}  // namespace
+}  // namespace slmob::lsl

@@ -1,0 +1,341 @@
+#include "lsl/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slmob::lsl {
+namespace {
+
+// Test host recording all world-facing calls.
+class FakeHost : public LslHost {
+ public:
+  void ll_say(std::int64_t channel, const std::string& text) override {
+    says.emplace_back(channel, text);
+  }
+  void ll_owner_say(const std::string& text) override { owner_says.push_back(text); }
+  void ll_set_timer_event(double period) override { timer_period = period; }
+  void ll_sensor_repeat(const std::string&, const std::string&, std::int64_t,
+                        double range, double, double rate) override {
+    sensor_range = range;
+    sensor_rate = rate;
+  }
+  Vec3 ll_get_pos() override { return {64.0, 128.0, 22.0}; }
+  double ll_get_time() override { return 123.0; }
+  std::int64_t ll_get_unix_time() override { return 1000; }
+  double ll_frand(double max) override { return max / 2.0; }
+  std::string ll_http_request(const std::string& url, const List&,
+                              const std::string& body) override {
+    http_requests.emplace_back(url, body);
+    return "req-" + std::to_string(http_requests.size());
+  }
+  std::int64_t ll_get_free_memory() override { return 9999; }
+  std::size_t detected_count() const override { return detected.size(); }
+  Vec3 detected_pos(std::size_t i) const override { return detected.at(i); }
+  std::string detected_key(std::size_t i) const override {
+    return "avatar-" + std::to_string(i + 1);
+  }
+  std::string detected_name(std::size_t i) const override {
+    return "Resident " + std::to_string(i + 1);
+  }
+
+  std::vector<std::pair<std::int64_t, std::string>> says;
+  std::vector<std::string> owner_says;
+  std::vector<std::pair<std::string, std::string>> http_requests;
+  double timer_period{0.0};
+  double sensor_range{0.0};
+  double sensor_rate{0.0};
+  std::vector<Vec3> detected;
+};
+
+struct Fixture {
+  FakeHost host;
+};
+
+TEST(LslInterp, StateEntryRunsOnStart) {
+  FakeHost host;
+  Interpreter interp("default { state_entry() { llSay(0, \"hello\"); } }", host);
+  interp.start();
+  ASSERT_EQ(host.says.size(), 1u);
+  EXPECT_EQ(host.says[0].second, "hello");
+}
+
+TEST(LslInterp, GlobalInitialisersEvaluate) {
+  FakeHost host;
+  Interpreter interp(R"(
+    integer gA = 2 + 3 * 4;
+    float gB = 10.0 / 4.0;
+    string gC = "x" + "y";
+    default { state_entry() { } }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.global("gA")->as_int(), 14);
+  EXPECT_DOUBLE_EQ(interp.global("gB")->as_float(), 2.5);
+  EXPECT_EQ(interp.global("gC")->as_string(), "xy");
+}
+
+TEST(LslInterp, IntegerDivisionTruncates) {
+  FakeHost host;
+  Interpreter interp("integer g = 7 / 2; integer h = 7 % 2;"
+                     "default { state_entry() { } }", host);
+  interp.start();
+  EXPECT_EQ(interp.global("g")->as_int(), 3);
+  EXPECT_EQ(interp.global("h")->as_int(), 1);
+}
+
+TEST(LslInterp, DivisionByZeroFails) {
+  FakeHost host;
+  Interpreter interp("integer g;"
+                     "default { state_entry() { g = 1 / 0; } }", host);
+  EXPECT_THROW(interp.start(), LslError);
+}
+
+TEST(LslInterp, ControlFlowLoops) {
+  FakeHost host;
+  Interpreter interp(R"(
+    integer gSum = 0;
+    default { state_entry() {
+      integer i;
+      for (i = 1; i <= 10; i = i + 1) { gSum += i; }
+      while (gSum > 50) { gSum = gSum - 1; }
+      if (gSum == 50) { gSum = 100; } else { gSum = -1; }
+    } }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.global("gSum")->as_int(), 100);
+}
+
+TEST(LslInterp, UserFunctionsAndRecursion) {
+  FakeHost host;
+  Interpreter interp(R"(
+    integer fib(integer n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    integer gResult = 0;
+    default { state_entry() { gResult = fib(12); } }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.global("gResult")->as_int(), 144);
+}
+
+TEST(LslInterp, RunawayRecursionCaught) {
+  FakeHost host;
+  Interpreter interp(R"(
+    boom() { boom(); }
+    default { state_entry() { boom(); } }
+  )", host);
+  EXPECT_THROW(interp.start(), LslError);
+}
+
+TEST(LslInterp, InstructionBudgetStopsInfiniteLoop) {
+  FakeHost host;
+  Interpreter interp("default { state_entry() { while (1) { } } }", host);
+  interp.set_instruction_budget(10000);
+  EXPECT_THROW(interp.start(), LslError);
+}
+
+TEST(LslInterp, VectorOperations) {
+  FakeHost host;
+  Interpreter interp(R"(
+    vector gV = <1.0, 2.0, 3.0>;
+    float gDot = 0.0;
+    float gX = 0.0;
+    default { state_entry() {
+      vector w = gV + <1.0, 1.0, 1.0>;
+      gX = w.x;
+      gDot = gV * <2.0, 0.0, 0.0>;
+      gV.z = 9.0;
+    } }
+  )", host);
+  interp.start();
+  EXPECT_DOUBLE_EQ(interp.global("gX")->as_float(), 2.0);
+  EXPECT_DOUBLE_EQ(interp.global("gDot")->as_float(), 2.0);
+  EXPECT_DOUBLE_EQ(interp.global("gV")->as_vector().z, 9.0);
+}
+
+TEST(LslInterp, StringBuiltinsAndCasts) {
+  FakeHost host;
+  Interpreter interp(R"(
+    string gS = "";
+    integer gLen = 0;
+    integer gIdx = 0;
+    string gSub = "";
+    default { state_entry() {
+      gS = (string)42 + "," + (string)2;
+      gLen = llStringLength(gS);
+      gIdx = llSubStringIndex(gS, ",");
+      gSub = llGetSubString(gS, 0, 1);
+    } }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.global("gS")->as_string(), "42,2");
+  EXPECT_EQ(interp.global("gLen")->as_int(), 4);
+  EXPECT_EQ(interp.global("gIdx")->as_int(), 2);
+  EXPECT_EQ(interp.global("gSub")->as_string(), "42");
+}
+
+TEST(LslInterp, ListBuiltins) {
+  FakeHost host;
+  Interpreter interp(R"(
+    list gL = [1, "two", 3.0];
+    integer gN = 0;
+    string gJoined = "";
+    string gItem = "";
+    default { state_entry() {
+      gL += 4;
+      gN = llGetListLength(gL);
+      gJoined = llDumpList2String([1, 2, 3], "|");
+      gItem = llList2String(gL, 1);
+    } }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.global("gN")->as_int(), 4);
+  EXPECT_EQ(interp.global("gJoined")->as_string(), "1|2|3");
+  EXPECT_EQ(interp.global("gItem")->as_string(), "two");
+}
+
+TEST(LslInterp, MathBuiltins) {
+  FakeHost host;
+  Interpreter interp(R"(
+    integer gF = 0; integer gC = 0; integer gR = 0; float gQ = 0.0; float gD = 0.0;
+    default { state_entry() {
+      gF = llFloor(3.7);
+      gC = llCeil(3.2);
+      gR = llRound(3.5);
+      gQ = llSqrt(16.0);
+      gD = llVecDist(<0,0,0>, <3,4,0>);
+    } }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.global("gF")->as_int(), 3);
+  EXPECT_EQ(interp.global("gC")->as_int(), 4);
+  EXPECT_EQ(interp.global("gR")->as_int(), 4);
+  EXPECT_DOUBLE_EQ(interp.global("gQ")->as_float(), 4.0);
+  EXPECT_DOUBLE_EQ(interp.global("gD")->as_float(), 5.0);
+}
+
+TEST(LslInterp, ConstantsAvailable) {
+  FakeHost host;
+  Interpreter interp(R"(
+    float gPi = 0.0; integer gT = 0;
+    default { state_entry() { gPi = PI; gT = TRUE; } }
+  )", host);
+  interp.start();
+  EXPECT_NEAR(interp.global("gPi")->as_float(), 3.14159265, 1e-6);
+  EXPECT_EQ(interp.global("gT")->as_int(), 1);
+}
+
+TEST(LslInterp, TimerAndSensorEvents) {
+  FakeHost host;
+  Interpreter interp(R"(
+    integer gTimers = 0;
+    integer gSeen = 0;
+    default {
+      state_entry() { llSetTimerEvent(5.0); llSensorRepeat("", "", AGENT, 96.0, PI, 10.0); }
+      timer() { gTimers = gTimers + 1; }
+      sensor(integer n) { gSeen += n; }
+      no_sensor() { gSeen = gSeen - 1; }
+    }
+  )", host);
+  interp.start();
+  EXPECT_DOUBLE_EQ(host.timer_period, 5.0);
+  EXPECT_DOUBLE_EQ(host.sensor_range, 96.0);
+  interp.fire_timer();
+  interp.fire_timer();
+  EXPECT_EQ(interp.global("gTimers")->as_int(), 2);
+  host.detected = {{1, 1, 1}, {2, 2, 2}};
+  interp.fire_sensor(2);
+  EXPECT_EQ(interp.global("gSeen")->as_int(), 2);
+  interp.fire_no_sensor();
+  EXPECT_EQ(interp.global("gSeen")->as_int(), 1);
+}
+
+TEST(LslInterp, DetectedAccessors) {
+  FakeHost host;
+  host.detected = {{10.0, 20.0, 30.0}};
+  Interpreter interp(R"(
+    vector gP; string gK;
+    default {
+      state_entry() { }
+      sensor(integer n) { gP = llDetectedPos(0); gK = llDetectedKey(0); }
+    }
+  )", host);
+  interp.start();
+  interp.fire_sensor(1);
+  EXPECT_EQ(interp.global("gP")->as_vector(), (Vec3{10.0, 20.0, 30.0}));
+  EXPECT_EQ(interp.global("gK")->as_string(), "avatar-1");
+}
+
+TEST(LslInterp, HttpRequestAndResponse) {
+  FakeHost host;
+  Interpreter interp(R"(
+    key gReq; integer gStatus = -1; string gBody;
+    default {
+      state_entry() { gReq = llHTTPRequest("http://x/y", [], "payload"); }
+      http_response(key k, integer status, list meta, string body) {
+        gStatus = status;
+        gBody = body;
+      }
+    }
+  )", host);
+  interp.start();
+  ASSERT_EQ(host.http_requests.size(), 1u);
+  EXPECT_EQ(host.http_requests[0].second, "payload");
+  interp.fire_http_response("req-1", 200, "ok");
+  EXPECT_EQ(interp.global("gStatus")->as_int(), 200);
+  EXPECT_EQ(interp.global("gBody")->as_string(), "ok");
+}
+
+TEST(LslInterp, StateTransitionFiresStateEntry) {
+  FakeHost host;
+  Interpreter interp(R"(
+    integer gPhase = 0;
+    default {
+      state_entry() { gPhase = 1; state armed; }
+    }
+    state armed {
+      state_entry() { gPhase = 2; }
+      timer() { gPhase = 3; }
+    }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.current_state(), "armed");
+  EXPECT_EQ(interp.global("gPhase")->as_int(), 2);
+  interp.fire_timer();
+  EXPECT_EQ(interp.global("gPhase")->as_int(), 3);
+}
+
+TEST(LslInterp, EventsWithoutHandlersAreIgnored) {
+  FakeHost host;
+  Interpreter interp("default { state_entry() { } }", host);
+  interp.start();
+  EXPECT_NO_THROW(interp.fire_timer());
+  EXPECT_NO_THROW(interp.fire_sensor(3));
+  EXPECT_NO_THROW(interp.fire_http_response("k", 200, ""));
+  EXPECT_TRUE(interp.has_handler("state_entry"));
+  EXPECT_FALSE(interp.has_handler("timer"));
+}
+
+TEST(LslInterp, UndefinedVariableFails) {
+  FakeHost host;
+  Interpreter interp("default { state_entry() { integer a = nope; } }", host);
+  EXPECT_THROW(interp.start(), LslError);
+}
+
+TEST(LslInterp, IncrementSemantics) {
+  FakeHost host;
+  Interpreter interp(R"(
+    integer gPost = 0; integer gPre = 0; integer i = 5;
+    default { state_entry() {
+      gPost = i++;
+      gPre = ++i;
+    } }
+  )", host);
+  interp.start();
+  EXPECT_EQ(interp.global("gPost")->as_int(), 5);
+  EXPECT_EQ(interp.global("gPre")->as_int(), 7);
+}
+
+}  // namespace
+}  // namespace slmob::lsl

@@ -1,0 +1,87 @@
+#include "lsl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob::lsl {
+namespace {
+
+std::vector<TokenType> types_of(std::string_view src) {
+  std::vector<TokenType> out;
+  for (const auto& t : tokenize(src)) out.push_back(t.type);
+  return out;
+}
+
+TEST(LslLexer, EmptyInputYieldsEof) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LslLexer, KeywordsAndIdentifiers) {
+  const auto tokens = tokenize("integer foo default state while");
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].type, TokenType::kDefault);
+  EXPECT_EQ(tokens[3].type, TokenType::kState);
+  EXPECT_EQ(tokens[4].type, TokenType::kWhile);
+}
+
+TEST(LslLexer, NumericLiterals) {
+  const auto tokens = tokenize("42 3.5 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+}
+
+TEST(LslLexer, StringLiteralWithEscapes) {
+  const auto tokens = tokenize(R"("a\nb\"c\\d")");
+  ASSERT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "a\nb\"c\\d");
+}
+
+TEST(LslLexer, UnterminatedStringThrows) {
+  EXPECT_THROW((void)tokenize("\"oops"), LslError);
+}
+
+TEST(LslLexer, CommentsAreSkipped) {
+  const auto types = types_of("1 // line comment\n 2 /* block\ncomment */ 3");
+  EXPECT_EQ(types, (std::vector<TokenType>{TokenType::kIntegerLiteral,
+                                           TokenType::kIntegerLiteral,
+                                           TokenType::kIntegerLiteral, TokenType::kEof}));
+}
+
+TEST(LslLexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW((void)tokenize("/* never ends"), LslError);
+}
+
+TEST(LslLexer, OperatorsSingleAndDouble) {
+  const auto types = types_of("= == != < <= > >= + += ++ - -= -- && || !");
+  const std::vector<TokenType> expected{
+      TokenType::kAssign, TokenType::kEq,        TokenType::kNe,
+      TokenType::kLt,     TokenType::kLe,        TokenType::kGt,
+      TokenType::kGe,     TokenType::kPlus,      TokenType::kPlusAssign,
+      TokenType::kPlusPlus, TokenType::kMinus,   TokenType::kMinusAssign,
+      TokenType::kMinusMinus, TokenType::kAndAnd, TokenType::kOrOr,
+      TokenType::kNot,    TokenType::kEof};
+  EXPECT_EQ(types, expected);
+}
+
+TEST(LslLexer, LineAndColumnTracking) {
+  const auto tokens = tokenize("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_GT(tokens[1].column, 2);
+}
+
+TEST(LslLexer, UnknownCharacterThrows) {
+  EXPECT_THROW((void)tokenize("a @ b"), LslError);
+  EXPECT_THROW((void)tokenize("a & b"), LslError);  // single & unsupported
+}
+
+}  // namespace
+}  // namespace slmob::lsl

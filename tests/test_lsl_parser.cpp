@@ -1,0 +1,169 @@
+#include "lsl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob::lsl {
+namespace {
+
+TEST(LslParser, MinimalScript) {
+  const Script s = parse("default { state_entry() { } }");
+  ASSERT_EQ(s.states.size(), 1u);
+  EXPECT_EQ(s.states[0].name, "default");
+  ASSERT_EQ(s.states[0].handlers.size(), 1u);
+  EXPECT_EQ(s.states[0].handlers[0].name, "state_entry");
+}
+
+TEST(LslParser, GlobalsWithInitializers) {
+  const Script s = parse(R"(
+    integer gCount = 0;
+    string gName = "sensor";
+    float gRate;
+    vector gHome;
+    default { state_entry() { } }
+  )");
+  ASSERT_EQ(s.globals.size(), 4u);
+  EXPECT_EQ(s.globals[0].name, "gCount");
+  EXPECT_NE(s.globals[0].init, nullptr);
+  EXPECT_EQ(s.globals[2].init, nullptr);
+  EXPECT_EQ(s.globals[3].type, LslType::kVector);
+}
+
+TEST(LslParser, UserFunctions) {
+  const Script s = parse(R"(
+    integer add(integer a, integer b) { return a + b; }
+    flush() { }
+    default { state_entry() { } }
+  )");
+  ASSERT_EQ(s.functions.size(), 2u);
+  EXPECT_EQ(s.functions[0].return_type, LslType::kInteger);
+  ASSERT_EQ(s.functions[0].params.size(), 2u);
+  EXPECT_EQ(s.functions[1].return_type, LslType::kVoid);
+}
+
+TEST(LslParser, MultipleStatesAndTransitions) {
+  const Script s = parse(R"(
+    default { state_entry() { state running; } }
+    state running { timer() { state default; } }
+  )");
+  ASSERT_EQ(s.states.size(), 2u);
+  EXPECT_EQ(s.states[1].name, "running");
+  ASSERT_EQ(s.states[0].handlers[0].body.size(), 1u);
+  EXPECT_EQ(s.states[0].handlers[0].body[0]->kind, StmtKind::kStateChange);
+  EXPECT_EQ(s.states[0].handlers[0].body[0]->name, "running");
+}
+
+TEST(LslParser, VectorLiteralAndMemberAccess) {
+  const Script s = parse(R"(
+    default { state_entry() {
+      vector v = <1.0, 2.0, 3.0>;
+      float x = v.x;
+      v.y = 5.0;
+    } }
+  )");
+  const auto& body = s.states[0].handlers[0].body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->init->kind, ExprKind::kVectorLiteral);
+  EXPECT_EQ(body[1]->init->kind, ExprKind::kMember);
+  ASSERT_EQ(body[2]->kind, StmtKind::kExpr);
+  EXPECT_EQ(body[2]->expr->kind, ExprKind::kAssign);
+  EXPECT_TRUE(body[2]->expr->target_is_member);
+}
+
+TEST(LslParser, ControlFlow) {
+  const Script s = parse(R"(
+    default { timer() {
+      integer i;
+      for (i = 0; i < 10; i = i + 1) { }
+      while (i > 0) { i = i - 1; }
+      if (i == 0) { } else { }
+    } }
+  )");
+  const auto& body = s.states[0].handlers[0].body;
+  ASSERT_EQ(body.size(), 4u);
+  EXPECT_EQ(body[1]->kind, StmtKind::kFor);
+  EXPECT_EQ(body[2]->kind, StmtKind::kWhile);
+  EXPECT_EQ(body[3]->kind, StmtKind::kIf);
+  EXPECT_FALSE(body[3]->else_body.empty());
+}
+
+TEST(LslParser, CastExpression) {
+  const Script s = parse(R"(
+    default { state_entry() { string t = (string)42; } }
+  )");
+  const auto& init = s.states[0].handlers[0].body[0]->init;
+  ASSERT_EQ(init->kind, ExprKind::kCast);
+  EXPECT_EQ(init->cast_type, LslType::kString);
+}
+
+TEST(LslParser, RelationalVsVectorLiteralDisambiguation) {
+  // 'a < b' must parse as comparison, '<1,2,3>' as vector literal.
+  const Script s = parse(R"(
+    default { state_entry() {
+      integer a = 1;
+      integer b = 2;
+      if (a < b) { }
+      vector v = <1, 2, 3>;
+    } }
+  )");
+  const auto& body = s.states[0].handlers[0].body;
+  EXPECT_EQ(body[2]->expr->op, "<");
+  EXPECT_EQ(body[3]->init->kind, ExprKind::kVectorLiteral);
+}
+
+TEST(LslParser, ListLiteral) {
+  const Script s = parse("default { state_entry() { list l = [1, \"a\", 2.0]; } }");
+  const auto& init = s.states[0].handlers[0].body[0]->init;
+  ASSERT_EQ(init->kind, ExprKind::kListLiteral);
+  EXPECT_EQ(init->children.size(), 3u);
+}
+
+TEST(LslParser, SyntaxErrorsThrow) {
+  EXPECT_THROW((void)parse("default { state_entry() { }"), LslError);   // missing }
+  EXPECT_THROW((void)parse("integer x = ;\ndefault { }"), LslError);    // bad init
+  EXPECT_THROW((void)parse("default { state_entry() { 1 = 2; } }"), LslError);
+  EXPECT_THROW((void)parse(""), LslError);  // no states
+  EXPECT_THROW((void)parse("default { timer() { jump foo; } }"), LslError);
+}
+
+TEST(LslParser, EventParameters) {
+  const Script s = parse(R"(
+    default {
+      sensor(integer n) { }
+      http_response(key k, integer status, list meta, string body) { }
+    }
+  )");
+  ASSERT_EQ(s.states[0].handlers.size(), 2u);
+  EXPECT_EQ(s.states[0].handlers[0].params.size(), 1u);
+  EXPECT_EQ(s.states[0].handlers[1].params.size(), 4u);
+  EXPECT_EQ(s.states[0].handlers[1].params[0].first, LslType::kKey);
+}
+
+TEST(LslParser, IncrementDecrement) {
+  const Script s = parse("default { timer() { integer i; i++; --i; } }");
+  const auto& body = s.states[0].handlers[0].body;
+  EXPECT_EQ(body[1]->expr->kind, ExprKind::kIncrement);
+  EXPECT_FALSE(body[1]->expr->is_prefix);
+  EXPECT_TRUE(body[2]->expr->is_prefix);
+}
+
+TEST(LslParser, DefaultSensorScriptParses) {
+  // The stock sensor script must always parse.
+  EXPECT_NO_THROW((void)parse(R"(
+string gCache = "";
+flush() { llHTTPRequest("http://c/r", [], gCache); gCache = ""; }
+default {
+  state_entry() { llSensorRepeat("", "", AGENT, 96.0, PI, 10.0); }
+  sensor(integer n) {
+    integer i;
+    for (i = 0; i < n; i = i + 1) {
+      vector p = llDetectedPos(i);
+      gCache += (string)p.x;
+    }
+  }
+  no_sensor() { }
+}
+)"));
+}
+
+}  // namespace
+}  // namespace slmob::lsl

@@ -1,0 +1,63 @@
+#include "lsl/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob::lsl {
+namespace {
+
+TEST(LslValue, DefaultIsIntegerZero) {
+  const Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 0);
+  EXPECT_FALSE(v.truthy());
+}
+
+TEST(LslValue, NumericPromotion) {
+  const Value i{std::int64_t{7}};
+  EXPECT_DOUBLE_EQ(i.as_float(), 7.0);
+  const Value f{2.9};
+  EXPECT_EQ(f.as_int(), 2);  // truncation, as in LSL casts
+}
+
+TEST(LslValue, TypeErrorsThrow) {
+  const Value s{std::string("x")};
+  EXPECT_THROW((void)s.as_int(), std::runtime_error);
+  EXPECT_THROW((void)s.as_vector(), std::runtime_error);
+  const Value i{std::int64_t{1}};
+  EXPECT_THROW((void)i.as_string(), std::runtime_error);
+  EXPECT_THROW((void)i.as_list(), std::runtime_error);
+}
+
+TEST(LslValue, Truthiness) {
+  EXPECT_FALSE(Value{std::int64_t{0}}.truthy());
+  EXPECT_TRUE(Value{std::int64_t{-1}}.truthy());
+  EXPECT_FALSE(Value{0.0}.truthy());
+  EXPECT_TRUE(Value{0.001}.truthy());
+  EXPECT_FALSE(Value{std::string{}}.truthy());
+  EXPECT_TRUE(Value{std::string("a")}.truthy());
+  EXPECT_FALSE(Value{Vec3{}}.truthy());
+  EXPECT_TRUE((Value{Vec3{0.0, 1.0, 0.0}}.truthy()));
+  EXPECT_FALSE(Value{List{}}.truthy());
+  EXPECT_TRUE(Value{List{Value{}}}.truthy());
+}
+
+TEST(LslValue, ToStringConventions) {
+  EXPECT_EQ(Value{std::int64_t{42}}.to_string(), "42");
+  EXPECT_EQ(Value{1.5}.to_string(), "1.500000");  // 6 decimals, like LSL
+  EXPECT_EQ(Value{std::string("hi")}.to_string(), "hi");
+  EXPECT_EQ((Value{Vec3{1.0, 2.0, 3.0}}.to_string()), "<1.00000, 2.00000, 3.00000>");
+  const List list{Value{std::int64_t{1}}, Value{std::string("x")}};
+  EXPECT_EQ(Value{list}.to_string(), "1x");
+}
+
+TEST(LslValue, DefaultsPerType) {
+  EXPECT_TRUE(Value::default_for(LslType::kInteger).is_int());
+  EXPECT_TRUE(Value::default_for(LslType::kFloat).is_float());
+  EXPECT_TRUE(Value::default_for(LslType::kString).is_string());
+  EXPECT_TRUE(Value::default_for(LslType::kKey).is_string());
+  EXPECT_TRUE(Value::default_for(LslType::kVector).is_vector());
+  EXPECT_TRUE(Value::default_for(LslType::kList).is_list());
+}
+
+}  // namespace
+}  // namespace slmob::lsl

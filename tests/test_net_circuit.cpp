@@ -1,0 +1,159 @@
+#include "net/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace slmob {
+namespace {
+
+// Wires two circuit endpoints through a SimNetwork and pumps ticks.
+struct CircuitPair {
+  explicit CircuitPair(NetworkParams params = {}, std::uint64_t seed = 1)
+      : net(params, seed) {
+    a_addr = net.register_node(nullptr);
+    b_addr = net.register_node(nullptr);
+    a = std::make_unique<CircuitEndpoint>(net, a_addr, b_addr);
+    b = std::make_unique<CircuitEndpoint>(net, b_addr, a_addr);
+    net.set_handler(a_addr, [this](NodeId, std::span<const std::uint8_t> bytes) {
+      a->on_datagram(bytes);
+    });
+    net.set_handler(b_addr, [this](NodeId, std::span<const std::uint8_t> bytes) {
+      b->on_datagram(bytes);
+    });
+    a->set_deliver([this](Message m) { at_a.push_back(std::move(m)); });
+    b->set_deliver([this](Message m) { at_b.push_back(std::move(m)); });
+  }
+
+  void pump(Seconds from, Seconds to, Seconds dt = 1.0) {
+    for (Seconds t = from; t < to; t += dt) {
+      a->tick(t);
+      b->tick(t);
+      net.tick(t, dt);
+    }
+  }
+
+  SimNetwork net;
+  NodeId a_addr{};
+  NodeId b_addr{};
+  std::unique_ptr<CircuitEndpoint> a;
+  std::unique_ptr<CircuitEndpoint> b;
+  std::vector<Message> at_a;
+  std::vector<Message> at_b;
+};
+
+ChatFromViewer chat(const std::string& text) {
+  ChatFromViewer m;
+  m.agent_id = 1;
+  m.message = text;
+  return m;
+}
+
+TEST(Circuit, UnreliableDelivery) {
+  CircuitPair pair;
+  pair.a->send(Message{chat("hello")}, /*reliable=*/false);
+  pair.pump(0.0, 2.0);
+  ASSERT_EQ(pair.at_b.size(), 1u);
+  EXPECT_EQ(std::get<ChatFromViewer>(pair.at_b[0]).message, "hello");
+}
+
+TEST(Circuit, ReliableDeliveredOnLossyLink) {
+  NetworkParams params;
+  params.loss_rate = 0.25;
+  CircuitPair pair(params, 3);
+  for (int i = 0; i < 50; ++i) {
+    pair.a->send(Message{chat("msg-" + std::to_string(i))}, /*reliable=*/true);
+  }
+  pair.pump(0.0, 120.0);
+  EXPECT_EQ(pair.at_b.size(), 50u);  // all delivered despite 25% loss
+  EXPECT_GT(pair.a->stats().retransmits, 0u);
+  EXPECT_FALSE(pair.a->failed());
+}
+
+TEST(Circuit, DuplicatesSuppressed) {
+  NetworkParams params;
+  params.loss_rate = 0.25;
+  CircuitPair pair(params, 7);
+  for (int i = 0; i < 30; ++i) {
+    pair.a->send(Message{chat(std::to_string(i))}, /*reliable=*/true);
+  }
+  pair.pump(0.0, 120.0);
+  // Retransmissions happen, but each message is delivered exactly once.
+  // Retransmitted packets may arrive out of order, so compare as sets.
+  ASSERT_EQ(pair.at_b.size(), 30u);
+  std::set<std::string> got;
+  for (const auto& m : pair.at_b) got.insert(std::get<ChatFromViewer>(m).message);
+  ASSERT_EQ(got.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_TRUE(got.contains(std::to_string(i)));
+}
+
+TEST(Circuit, UnreliableLostOnLossyLinkStaysLost) {
+  NetworkParams params;
+  params.loss_rate = 1.0;  // everything dropped
+  CircuitPair pair(params, 5);
+  pair.a->send(Message{chat("gone")}, /*reliable=*/false);
+  pair.pump(0.0, 5.0);
+  EXPECT_TRUE(pair.at_b.empty());
+  EXPECT_FALSE(pair.a->failed());  // unreliable sends don't kill the circuit
+}
+
+TEST(Circuit, ReliableFailsAfterMaxRetries) {
+  NetworkParams params;
+  params.loss_rate = 1.0;
+  CircuitPair pair(params, 5);
+  bool failure_reported = false;
+  pair.a->set_on_failure([&] { failure_reported = true; });
+  pair.a->send(Message{chat("x")}, /*reliable=*/true);
+  pair.pump(0.0, 30.0);
+  EXPECT_TRUE(pair.a->failed());
+  EXPECT_TRUE(failure_reported);
+  EXPECT_GT(pair.a->stats().reliable_failures, 0u);
+}
+
+TEST(Circuit, AcksAreExchanged) {
+  CircuitPair pair;
+  pair.a->send(Message{chat("x")}, /*reliable=*/true);
+  pair.pump(0.0, 5.0);
+  EXPECT_GT(pair.b->stats().acks_sent, 0u);
+  EXPECT_GT(pair.a->stats().acks_received, 0u);
+  EXPECT_EQ(pair.a->stats().retransmits, 0u);  // acked before RTO on clean link
+}
+
+TEST(Circuit, MalformedDatagramIgnored) {
+  CircuitPair pair;
+  const std::vector<std::uint8_t> garbage{0x99, 0x01, 0x02};
+  pair.b->on_datagram(garbage);
+  EXPECT_TRUE(pair.at_b.empty());
+  EXPECT_FALSE(pair.b->failed());
+}
+
+TEST(Circuit, BidirectionalTraffic) {
+  CircuitPair pair;
+  pair.a->send(Message{chat("ping")}, true);
+  pair.b->send(Message{chat("pong")}, true);
+  pair.pump(0.0, 5.0);
+  ASSERT_EQ(pair.at_b.size(), 1u);
+  ASSERT_EQ(pair.at_a.size(), 1u);
+  EXPECT_EQ(std::get<ChatFromViewer>(pair.at_a[0]).message, "pong");
+}
+
+TEST(Circuit, OrderingPreservedOnCleanLink) {
+  // Latency range is narrower than the send spacing, so order holds.
+  NetworkParams params;
+  params.latency_min = 0.01;
+  params.latency_max = 0.02;
+  CircuitPair pair(params, 9);
+  for (int i = 0; i < 10; ++i) {
+    pair.a->send(Message{chat(std::to_string(i))}, false);
+    pair.pump(i * 1.0, (i + 1) * 1.0);
+  }
+  ASSERT_EQ(pair.at_b.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(std::get<ChatFromViewer>(pair.at_b[static_cast<std::size_t>(i)]).message,
+              std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace slmob

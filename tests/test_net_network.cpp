@@ -1,0 +1,121 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slmob {
+namespace {
+
+TEST(Network, DeliversWithinLatencyBound) {
+  NetworkParams params;
+  params.latency_min = 0.01;
+  params.latency_max = 0.05;
+  SimNetwork net(params, 1);
+  std::vector<std::vector<std::uint8_t>> received;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node([&](NodeId, std::span<const std::uint8_t> bytes) {
+    received.emplace_back(bytes.begin(), bytes.end());
+  });
+  net.send(a, b, {1, 2, 3});
+  net.tick(0.0, 1.0);  // latency < 1 tick: must arrive
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Network, NotDeliveredBeforeLatency) {
+  NetworkParams params;
+  params.latency_min = 5.0;
+  params.latency_max = 6.0;
+  SimNetwork net(params, 1);
+  int received = 0;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node(
+      [&](NodeId, std::span<const std::uint8_t>) { ++received; });
+  net.send(a, b, {1});
+  net.tick(0.0, 1.0);
+  EXPECT_EQ(received, 0);
+  for (Seconds t = 1.0; t < 8.0; t += 1.0) net.tick(t, 1.0);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, LossDropsApproximatelyAtRate) {
+  NetworkParams params;
+  params.loss_rate = 0.3;
+  SimNetwork net(params, 2);
+  int received = 0;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node(
+      [&](NodeId, std::span<const std::uint8_t>) { ++received; });
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) net.send(a, b, {1});
+  net.tick(0.0, 5.0);
+  EXPECT_NEAR(received / static_cast<double>(kN), 0.7, 0.02);
+  EXPECT_EQ(net.stats().lost + net.stats().delivered, static_cast<std::uint64_t>(kN));
+}
+
+TEST(Network, OversizeDatagramDropped) {
+  NetworkParams params;
+  params.mtu = 100;
+  SimNetwork net(params, 3);
+  int received = 0;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node(
+      [&](NodeId, std::span<const std::uint8_t>) { ++received; });
+  net.send(a, b, std::vector<std::uint8_t>(101, 0));
+  net.tick(0.0, 1.0);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().oversize_dropped, 1u);
+}
+
+TEST(Network, UnknownDestinationThrows) {
+  SimNetwork net({}, 4);
+  const NodeId a = net.register_node(nullptr);
+  EXPECT_THROW(net.send(a, 42, {1}), std::invalid_argument);
+}
+
+TEST(Network, SourceNodeIsReported) {
+  SimNetwork net({}, 5);
+  NodeId seen_from = 999;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node(
+      [&](NodeId from, std::span<const std::uint8_t>) { seen_from = from; });
+  net.send(a, b, {1});
+  net.tick(0.0, 1.0);
+  EXPECT_EQ(seen_from, a);
+}
+
+TEST(Network, DeterministicForSeed) {
+  NetworkParams params;
+  params.loss_rate = 0.5;
+  SimNetwork n1(params, 77);
+  SimNetwork n2(params, 77);
+  std::vector<int> got1;
+  std::vector<int> got2;
+  const NodeId a1 = n1.register_node(nullptr);
+  const NodeId b1 = n1.register_node(
+      [&](NodeId, std::span<const std::uint8_t> p) { got1.push_back(p[0]); });
+  const NodeId a2 = n2.register_node(nullptr);
+  const NodeId b2 = n2.register_node(
+      [&](NodeId, std::span<const std::uint8_t> p) { got2.push_back(p[0]); });
+  for (int i = 0; i < 100; ++i) {
+    n1.send(a1, b1, {static_cast<std::uint8_t>(i)});
+    n2.send(a2, b2, {static_cast<std::uint8_t>(i)});
+  }
+  n1.tick(0.0, 1.0);
+  n2.tick(0.0, 1.0);
+  EXPECT_EQ(got1, got2);
+}
+
+TEST(Network, RejectsBadParams) {
+  NetworkParams params;
+  params.loss_rate = 1.5;
+  EXPECT_THROW(SimNetwork(params, 1), std::invalid_argument);
+  params = {};
+  params.latency_min = 0.5;
+  params.latency_max = 0.1;
+  EXPECT_THROW(SimNetwork(params, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,141 @@
+#include "sensors/http.hpp"
+#include "sensors/http_transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+TEST(Http, RequestSerializeParseRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/report";
+  req.headers.push_back({"X-Request-Key", "abc"});
+  req.body = "line1\nline2\n";
+  const auto parsed = parse_http_request(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->path, "/report");
+  EXPECT_EQ(parsed->header("x-request-key"), "abc");
+  EXPECT_EQ(parsed->body, "line1\nline2\n");
+}
+
+TEST(Http, ResponseSerializeParseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 499;
+  resp.reason = "Throttled";
+  resp.body = "slow down";
+  const auto parsed = parse_http_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 499);
+  EXPECT_EQ(parsed->reason, "Throttled");
+  EXPECT_EQ(parsed->body, "slow down");
+}
+
+TEST(Http, ContentLengthBoundsBody) {
+  const std::string raw =
+      "HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nabXtrailing";
+  const auto parsed = parse_http_response(raw);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->body, "ab");
+}
+
+TEST(Http, MalformedInputsRejected) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("GET /\r\n\r\n").has_value());       // no version
+  EXPECT_FALSE(parse_http_request("GET / HTTP/1.0\r\nbadheader\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("NOTHTTP 200 OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 9999 X\r\n\r\n").has_value());
+  // Content-Length larger than available body.
+  EXPECT_FALSE(
+      parse_http_response("HTTP/1.0 200 OK\r\nContent-Length: 50\r\n\r\nshort").has_value());
+}
+
+TEST(Http, EmptyBodyAllowed) {
+  HttpResponse resp;
+  const auto parsed = parse_http_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(Transport, SingleFragmentRoundTrip) {
+  const auto frags = fragment_http_message(1, "hello");
+  ASSERT_EQ(frags.size(), 1u);
+  HttpReassembler r;
+  const auto message = r.feed(0, frags[0]);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, "hello");
+}
+
+TEST(Transport, MultiFragmentRoundTrip) {
+  std::string big(kHttpFragmentPayload * 3 + 100, 'x');
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>('a' + i % 26);
+  const auto frags = fragment_http_message(7, big);
+  ASSERT_EQ(frags.size(), 4u);
+  HttpReassembler r;
+  std::optional<std::string> message;
+  for (const auto& f : frags) message = r.feed(3, f);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, big);
+}
+
+TEST(Transport, OutOfOrderFragmentsReassemble) {
+  const std::string big(kHttpFragmentPayload * 2 + 10, 'q');
+  auto frags = fragment_http_message(9, big);
+  ASSERT_EQ(frags.size(), 3u);
+  HttpReassembler r;
+  EXPECT_FALSE(r.feed(1, frags[2]).has_value());
+  EXPECT_FALSE(r.feed(1, frags[0]).has_value());
+  const auto message = r.feed(1, frags[1]);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, big);
+}
+
+TEST(Transport, MissingFragmentNeverCompletes) {
+  const std::string big(kHttpFragmentPayload * 2, 'z');
+  const auto frags = fragment_http_message(11, big);
+  HttpReassembler r;
+  EXPECT_FALSE(r.feed(1, frags[0]).has_value());
+  // Fragment 1 lost: nothing completes, gc() keeps memory bounded.
+  r.gc(0);
+  // Re-sending fragment 0 alone still does not complete.
+  EXPECT_FALSE(r.feed(1, frags[0]).has_value());
+}
+
+TEST(Transport, InterleavedSendersKeptApart) {
+  const std::string m1(kHttpFragmentPayload + 1, 'a');
+  const std::string m2(kHttpFragmentPayload + 1, 'b');
+  const auto f1 = fragment_http_message(5, m1);
+  const auto f2 = fragment_http_message(5, m2);  // same id, different sender
+  HttpReassembler r;
+  EXPECT_FALSE(r.feed(1, f1[0]).has_value());
+  EXPECT_FALSE(r.feed(2, f2[0]).has_value());
+  EXPECT_EQ(r.feed(2, f2[1]), m2);
+  EXPECT_EQ(r.feed(1, f1[1]), m1);
+}
+
+TEST(Transport, DuplicateFragmentIdempotent) {
+  const std::string big(kHttpFragmentPayload * 2, 'd');
+  const auto frags = fragment_http_message(2, big);
+  HttpReassembler r;
+  EXPECT_FALSE(r.feed(1, frags[0]).has_value());
+  EXPECT_FALSE(r.feed(1, frags[0]).has_value());  // dup
+  EXPECT_EQ(r.feed(1, frags[1]), big);
+}
+
+TEST(Transport, MalformedFragmentCounted) {
+  HttpReassembler r;
+  const std::vector<std::uint8_t> junk{1, 2};
+  EXPECT_FALSE(r.feed(1, junk).has_value());
+  EXPECT_EQ(r.malformed(), 1u);
+}
+
+TEST(Transport, EmptyMessageStillOneFragment) {
+  const auto frags = fragment_http_message(3, "");
+  ASSERT_EQ(frags.size(), 1u);
+  HttpReassembler r;
+  EXPECT_EQ(r.feed(1, frags[0]), "");
+}
+
+}  // namespace
+}  // namespace slmob

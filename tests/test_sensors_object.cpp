@@ -1,0 +1,189 @@
+#include "sensors/sensor_object.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sensors/collector.hpp"
+#include "sensors/deployment.hpp"
+#include "world/archetypes.hpp"
+
+namespace slmob {
+namespace {
+
+struct SensorRig {
+  // populated=true uses the full Isle Of View population; false gives an
+  // empty land where only debug avatars exist (for precise assertions).
+  explicit SensorRig(bool populated = true)
+      : world(populated ? make_world(LandArchetype::kIsleOfView, 1) : empty_world()),
+        net({}, 2),
+        collector(net, "Isle Of View") {}
+
+  static std::unique_ptr<World> empty_world() {
+    Land land = make_land(LandArchetype::kIsleOfView);
+    auto model = std::make_unique<PoiGravityModel>(land, PoiGravityParams{});
+    PopulationParams pop;
+    pop.target_unique_users = 1e-6;  // effectively no arrivals
+    pop.revisit_probability = 0.0;
+    return std::make_unique<World>(std::move(land), std::move(model), pop, 1);
+  }
+
+  SensorObject& make_sensor(Vec3 pos, std::string_view script, SensorLimits limits = {}) {
+    sensors.push_back(std::make_unique<SensorObject>(
+        ObjectId{static_cast<std::uint32_t>(sensors.size() + 1)}, *world, net,
+        collector.address(), pos, script, now, limits, 42));
+    return *sensors.back();
+  }
+
+  void pump(Seconds duration) {
+    const Seconds until = now + duration;
+    for (; now < until; now += 1.0) {
+      world->tick(now, 1.0);
+      for (auto& s : sensors) s->tick(now, 1.0);
+      net.tick(now, 1.0);
+    }
+  }
+
+  std::unique_ptr<World> world;
+  SimNetwork net;
+  HttpCollector collector;
+  std::vector<std::unique_ptr<SensorObject>> sensors;
+  Seconds now{0.0};
+};
+
+TEST(SensorObject, DefaultScriptCollectsAndFlushes) {
+  SensorRig rig;
+  rig.make_sensor({128.0, 128.0, 22.0}, default_sensor_script(10.0));
+  rig.pump(600.0);
+  EXPECT_GT(rig.collector.stats().requests, 0u);
+  EXPECT_GT(rig.collector.stats().records, 0u);
+  EXPECT_EQ(rig.collector.stats().malformed_records, 0u);
+  EXPECT_FALSE(rig.sensors[0]->failed());
+}
+
+TEST(SensorObject, DetectionCapSixteen) {
+  SensorRig rig;
+  // Pack 30 synthetic avatars around one point.
+  for (int i = 0; i < 30; ++i) {
+    rig.world->debug_add_synthetic(0.0, {128.0 + i * 0.1, 128.0, 22.0}, 1e9);
+  }
+  auto& sensor = rig.make_sensor({128.0, 128.0, 22.0}, default_sensor_script(10.0));
+  rig.pump(25.0);
+  EXPECT_GT(sensor.stats().sweeps, 0u);
+  EXPECT_GT(sensor.stats().detections_truncated, 0u);
+  // Every sweep reports at most 16.
+  EXPECT_LE(sensor.stats().detections, sensor.stats().sweeps * 16);
+}
+
+TEST(SensorObject, RangeLimitEnforced) {
+  SensorRig rig(/*populated=*/false);
+  rig.world->debug_add_synthetic(0.0, {10.0, 10.0, 22.0}, 1e9);   // far corner
+  rig.world->debug_add_synthetic(0.0, {130.0, 128.0, 22.0}, 1e9);  // near
+  auto& sensor = rig.make_sensor({128.0, 128.0, 22.0}, R"(
+integer gSeen = 0;
+default {
+  state_entry() { llSensorRepeat("", "", AGENT, 500.0, PI, 10.0); }
+  sensor(integer n) { gSeen = n; }
+}
+)");
+  rig.pump(25.0);
+  // Requested 500 m, but the platform caps at 96 m: only the near avatar.
+  EXPECT_EQ(sensor.stats().detections, sensor.stats().sweeps * 1);
+}
+
+TEST(SensorObject, HttpThrottleKicksIn) {
+  SensorRig rig;
+  SensorLimits limits;
+  limits.http_requests_per_minute = 3;
+  auto& sensor = rig.make_sensor({128.0, 128.0, 22.0}, R"(
+integer gFails = 0;
+default {
+  state_entry() { llSetTimerEvent(1.0); }
+  timer() { llHTTPRequest("http://c/r", [], "x"); }
+  http_response(key k, integer status, list meta, string body) {
+    if (status == 499) gFails = gFails + 1;
+  }
+}
+)", limits);
+  rig.pump(30.0);
+  EXPECT_EQ(sensor.stats().http_requests, 3u);  // only 3 allowed per minute
+  EXPECT_GT(sensor.stats().http_throttled, 10u);
+}
+
+TEST(SensorObject, MemoryExhaustionCrashesScript) {
+  SensorRig rig;
+  SensorLimits limits;
+  limits.script_memory = 1024;  // tiny
+  auto& sensor = rig.make_sensor({128.0, 128.0, 22.0}, R"(
+string gCache = "";
+default {
+  state_entry() { llSetTimerEvent(1.0); }
+  timer() { gCache += "0123456789abcdef0123456789abcdef"; }
+}
+)", limits);
+  rig.pump(120.0);
+  EXPECT_TRUE(sensor.failed());
+  EXPECT_NE(sensor.last_error().find("stack-heap"), std::string::npos);
+}
+
+TEST(SensorObject, DefensiveScriptSurvivesMemoryPressure) {
+  SensorRig rig;
+  SensorLimits limits;
+  limits.script_memory = 2048;
+  limits.http_requests_per_minute = 0;  // flushes always throttled: cache only grows
+  auto& sensor = rig.make_sensor({128.0, 128.0, 22.0}, R"(
+string gCache = "";
+integer gDropped = 0;
+default {
+  state_entry() { llSetTimerEvent(1.0); }
+  timer() {
+    if (llGetFreeMemory() > 128) {
+      gCache += "0123456789abcdef";
+    } else {
+      gDropped = gDropped + 1;
+    }
+  }
+}
+)", limits);
+  rig.pump(300.0);
+  EXPECT_FALSE(sensor.failed());  // checks llGetFreeMemory, so never crashes
+  EXPECT_GT(sensor.memory_usage(), 1024u);
+}
+
+TEST(SensorObject, TimeoutWhenCollectorUnreachable) {
+  SensorRig rig;
+  NetworkParams lossy;
+  lossy.loss_rate = 1.0;
+  rig.net.set_params(lossy);
+  SensorLimits limits;
+  limits.http_timeout = 5.0;
+  auto& sensor = rig.make_sensor({128.0, 128.0, 22.0}, R"(
+integer gTimeouts = 0;
+default {
+  state_entry() { llSetTimerEvent(10.0); }
+  timer() { llHTTPRequest("http://c/r", [], "x"); }
+  http_response(key k, integer status, list meta, string body) {
+    if (status == 408) gTimeouts = gTimeouts + 1;
+  }
+}
+)", limits);
+  rig.pump(60.0);
+  EXPECT_GT(sensor.stats().http_timeouts, 0u);
+}
+
+TEST(SensorObject, CollectorTraceMatchesGroundTruthPositions) {
+  SensorRig rig(/*populated=*/false);
+  rig.world->debug_add_synthetic(0.0, {100.0, 140.0, 22.0}, 1e9);
+  rig.make_sensor({128.0, 128.0, 22.0}, default_sensor_script(10.0));
+  rig.pump(400.0);
+  const Trace trace = rig.collector.build_trace(10.0);
+  ASSERT_FALSE(trace.empty());
+  bool found = false;
+  for (const auto& snap : trace.snapshots()) {
+    for (const auto& fix : snap.fixes) {
+      if (fix.pos.distance2d_to({100.0, 140.0, 22.0}) < 1.0) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace slmob

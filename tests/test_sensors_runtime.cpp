@@ -1,0 +1,131 @@
+#include "sensors/object_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sensors/collector.hpp"
+#include "sensors/deployment.hpp"
+#include "world/archetypes.hpp"
+
+namespace slmob {
+namespace {
+
+struct RuntimeRig {
+  explicit RuntimeRig(LandArchetype archetype)
+      : world(make_world(archetype, 1)),
+        net({}, 2),
+        collector(net, "test"),
+        runtime(*world, net) {}
+
+  void pump(Seconds duration) {
+    const Seconds until = now + duration;
+    for (; now < until; now += 1.0) {
+      world->tick(now, 1.0);
+      runtime.tick(now, 1.0);
+      net.tick(now, 1.0);
+    }
+  }
+
+  std::unique_ptr<World> world;
+  SimNetwork net;
+  HttpCollector collector;
+  ObjectRuntime runtime;
+  Seconds now{0.0};
+};
+
+TEST(ObjectRuntime, DeployOnPublicLandSucceeds) {
+  RuntimeRig rig(LandArchetype::kApfelLand);
+  ObjectId id;
+  const auto result = rig.runtime.deploy({64.0, 64.0, 22.0}, default_sensor_script(),
+                                         rig.collector.address(), 0.0, {}, false, &id);
+  EXPECT_EQ(result, DeployResult::kOk);
+  EXPECT_TRUE(rig.runtime.alive(id));
+  EXPECT_EQ(rig.runtime.stats().deployed, 1u);
+}
+
+TEST(ObjectRuntime, PrivateLandForbidsUnauthorizedDeployment) {
+  RuntimeRig rig(LandArchetype::kDanceIsland);  // private land
+  const auto result = rig.runtime.deploy({64.0, 64.0, 22.0}, default_sensor_script(),
+                                         rig.collector.address(), 0.0, {}, false);
+  EXPECT_EQ(result, DeployResult::kForbiddenPrivateLand);
+  EXPECT_EQ(rig.runtime.stats().rejected, 1u);
+  EXPECT_TRUE(rig.runtime.objects().empty());
+}
+
+TEST(ObjectRuntime, PrivateLandAllowsAuthorizedDeployment) {
+  RuntimeRig rig(LandArchetype::kDanceIsland);
+  const auto result = rig.runtime.deploy({64.0, 64.0, 22.0}, default_sensor_script(),
+                                         rig.collector.address(), 0.0, {}, true);
+  EXPECT_EQ(result, DeployResult::kOk);
+}
+
+TEST(ObjectRuntime, BadScriptRejected) {
+  RuntimeRig rig(LandArchetype::kApfelLand);
+  const auto result = rig.runtime.deploy({64.0, 64.0, 22.0}, "this is not lsl",
+                                         rig.collector.address(), 0.0, {}, false);
+  EXPECT_EQ(result, DeployResult::kBadScript);
+}
+
+TEST(ObjectRuntime, ObjectsExpireOnPublicLand) {
+  RuntimeRig rig(LandArchetype::kApfelLand);  // lifetime 3600 s
+  ObjectId id;
+  ASSERT_EQ(rig.runtime.deploy({64.0, 64.0, 22.0}, default_sensor_script(),
+                               rig.collector.address(), 0.0, {}, false, &id),
+            DeployResult::kOk);
+  rig.pump(3500.0);
+  EXPECT_TRUE(rig.runtime.alive(id));
+  rig.pump(200.0);
+  EXPECT_FALSE(rig.runtime.alive(id));
+  EXPECT_EQ(rig.runtime.stats().expired, 1u);
+}
+
+TEST(SensorGrid, CoversLandAndCollects) {
+  RuntimeRig rig(LandArchetype::kApfelLand);
+  SensorGridConfig cfg;
+  cfg.grid_side = 2;
+  SensorGridDeployment grid(rig.runtime, rig.world->land(), rig.collector.address(), cfg);
+  EXPECT_EQ(grid.deploy_all(0.0), 4u);
+  EXPECT_EQ(grid.live_sensors(), 4u);
+  // Every point of the land is within 96 m of some sensor.
+  for (double x = 0.0; x < 256.0; x += 16.0) {
+    for (double y = 0.0; y < 256.0; y += 16.0) {
+      double best = 1e9;
+      for (const auto& p : grid.positions()) {
+        best = std::min(best, p.distance2d_to({x, y, 22.0}));
+      }
+      EXPECT_LE(best, 96.0) << "uncovered point " << x << "," << y;
+    }
+  }
+  rig.pump(1200.0);
+  EXPECT_GT(rig.collector.stats().records, 0u);
+}
+
+TEST(SensorGrid, ReplicationSurvivesExpiry) {
+  RuntimeRig rig(LandArchetype::kApfelLand);
+  SensorGridConfig cfg;
+  cfg.grid_side = 2;
+  cfg.replication_interval = 60.0;
+  SensorGridDeployment grid(rig.runtime, rig.world->land(), rig.collector.address(), cfg);
+  grid.deploy_all(0.0);
+  // Pump past the 3600 s object lifetime with the grid's tick running.
+  const Seconds until = 2.0 * 3600.0;
+  for (; rig.now < until; rig.now += 1.0) {
+    rig.world->tick(rig.now, 1.0);
+    rig.runtime.tick(rig.now, 1.0);
+    grid.tick(rig.now, 1.0);
+    rig.net.tick(rig.now, 1.0);
+  }
+  EXPECT_GT(rig.runtime.stats().expired, 0u);
+  EXPECT_GT(grid.stats().redeployments, 0u);
+  EXPECT_EQ(grid.live_sensors(), 4u);  // the grid healed itself
+}
+
+TEST(SensorGrid, FailsEntirelyOnPrivateLand) {
+  RuntimeRig rig(LandArchetype::kDanceIsland);
+  SensorGridConfig cfg;
+  SensorGridDeployment grid(rig.runtime, rig.world->land(), rig.collector.address(), cfg);
+  EXPECT_EQ(grid.deploy_all(0.0), 0u);
+  EXPECT_EQ(grid.stats().failed_deployments, 4u);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,102 @@
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slmob {
+namespace {
+
+TEST(Histogram, BinsAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, CountsFallInRightBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowClampedAndCounted) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, FractionSumsToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.fraction(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, BadArgsThrow) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.bin_center(2), std::out_of_range);
+}
+
+TEST(LogHistogram, EdgesAreGeometric) {
+  LogHistogram h(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_lo(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(1), 100.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(2), 1000.0, 1e-9);
+}
+
+TEST(LogHistogram, NonPositiveGoesToFirstBin) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.add(0.0);
+  h.add(-3.0);
+  EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(LogHistogram, DensityNormalises) {
+  LogHistogram h(1.0, 100.0, 2);
+  h.add(5.0);
+  h.add(50.0);
+  // Each bin holds half the mass; density = 0.5 / width.
+  EXPECT_NEAR(h.density(0) * (h.bin_hi(0) - h.bin_lo(0)), 0.5, 1e-12);
+  EXPECT_NEAR(h.density(1) * (h.bin_hi(1) - h.bin_lo(1)), 0.5, 1e-12);
+}
+
+TEST(LogHistogram, BadArgsThrow) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 2), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 2), std::invalid_argument);
+}
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+}  // namespace
+}  // namespace slmob

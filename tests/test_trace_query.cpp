@@ -1,0 +1,109 @@
+#include "trace/query.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+Trace sample_trace() {
+  Trace t("q", 10.0);
+  for (int i = 0; i < 6; ++i) {
+    Snapshot s;
+    s.time = i * 10.0;
+    s.fixes.push_back({AvatarId{1}, {10.0, 10.0, 22.0}});                 // stays NW
+    s.fixes.push_back({AvatarId{2}, {200.0, 200.0, 22.0}});               // stays SE
+    if (i >= 3) s.fixes.push_back({AvatarId{3}, {10.0 + i, 10.0, 22.0}});  // joins late NW
+    t.add(std::move(s));
+  }
+  return t;
+}
+
+TEST(TraceQuery, NoFiltersIsIdentity) {
+  const Trace t = sample_trace();
+  const Trace out = TraceQuery{}.run(t);
+  EXPECT_EQ(out.size(), t.size());
+  EXPECT_EQ(out.summary().unique_users, t.summary().unique_users);
+}
+
+TEST(TraceQuery, TimeRangeHalfOpen) {
+  const Trace out = TraceQuery{}.between(10.0, 30.0).run(sample_trace());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.snapshots().front().time, 10.0);
+  EXPECT_DOUBLE_EQ(out.snapshots().back().time, 20.0);
+}
+
+TEST(TraceQuery, RegionBoxFiltersFixes) {
+  RegionBox nw;
+  nw.x0 = 0.0;
+  nw.y0 = 0.0;
+  nw.x1 = 128.0;
+  nw.y1 = 128.0;
+  const Trace out = TraceQuery{}.within(nw).run(sample_trace());
+  for (const auto& snap : out.snapshots()) {
+    for (const auto& fix : snap.fixes) {
+      EXPECT_LT(fix.pos.x, 128.0);
+      EXPECT_NE(fix.id.value, 2u);
+    }
+  }
+  EXPECT_EQ(out.summary().unique_users, 2u);  // avatars 1 and 3
+}
+
+TEST(TraceQuery, AvatarFilter) {
+  const Trace out = TraceQuery{}.avatars({AvatarId{2}}).run(sample_trace());
+  EXPECT_EQ(out.summary().unique_users, 1u);
+  for (const auto& snap : out.snapshots()) {
+    for (const auto& fix : snap.fixes) EXPECT_EQ(fix.id.value, 2u);
+  }
+}
+
+TEST(TraceQuery, StrideThins) {
+  const Trace out = TraceQuery{}.stride(2).run(sample_trace());
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.sampling_interval(), 20.0);
+}
+
+TEST(TraceQuery, DropEmpty) {
+  RegionBox nowhere;
+  nowhere.x0 = 250.0;
+  nowhere.y0 = 250.0;
+  nowhere.x1 = 251.0;
+  nowhere.y1 = 251.0;
+  EXPECT_EQ(TraceQuery{}.within(nowhere).run(sample_trace()).size(), 6u);
+  EXPECT_EQ(TraceQuery{}.within(nowhere).drop_empty().run(sample_trace()).size(), 0u);
+}
+
+TEST(TraceQuery, Composition) {
+  RegionBox nw;
+  nw.x1 = 128.0;
+  nw.y1 = 128.0;
+  const Trace out =
+      TraceQuery{}.between(30.0, 60.0).within(nw).avatars({AvatarId{3}}).run(sample_trace());
+  EXPECT_EQ(out.summary().unique_users, 1u);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(TraceQuery, BadArgsThrow) {
+  EXPECT_THROW(TraceQuery{}.between(10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(TraceQuery{}.stride(0), std::invalid_argument);
+  RegionBox bad;
+  bad.x1 = -1.0;
+  EXPECT_THROW(TraceQuery{}.within(bad), std::invalid_argument);
+}
+
+TEST(TraceQuery, VisitorsOf) {
+  RegionBox se;
+  se.x0 = 128.0;
+  se.y0 = 128.0;
+  const auto visitors = TraceQuery::visitors_of(sample_trace(), se);
+  ASSERT_EQ(visitors.size(), 1u);
+  EXPECT_TRUE(visitors.contains(AvatarId{2}));
+}
+
+TEST(TraceQuery, Presence) {
+  const auto presence = TraceQuery::presence(sample_trace());
+  EXPECT_DOUBLE_EQ(presence.at(AvatarId{1}), 1.0);
+  EXPECT_DOUBLE_EQ(presence.at(AvatarId{3}), 0.5);
+}
+
+}  // namespace
+}  // namespace slmob

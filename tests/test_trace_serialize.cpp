@@ -1,0 +1,107 @@
+#include "trace/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace slmob {
+namespace {
+
+Trace make_random_trace(std::uint64_t seed, std::size_t snapshots) {
+  Rng rng(seed);
+  Trace t("Test Land", 10.0);
+  for (std::size_t i = 0; i < snapshots; ++i) {
+    Snapshot snap;
+    snap.time = static_cast<double>(i) * 10.0;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 20));
+    for (std::size_t j = 0; j < n; ++j) {
+      snap.fixes.push_back({AvatarId{static_cast<std::uint32_t>(rng.uniform_int(1, 100))},
+                            {rng.uniform(0.0, 256.0), rng.uniform(0.0, 256.0), 22.0}});
+    }
+    t.add(std::move(snap));
+  }
+  return t;
+}
+
+void expect_traces_equal(const Trace& a, const Trace& b, double tol) {
+  EXPECT_EQ(a.land_name(), b.land_name());
+  EXPECT_DOUBLE_EQ(a.sampling_interval(), b.sampling_interval());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& sa = a.snapshots()[i];
+    const auto& sb = b.snapshots()[i];
+    EXPECT_DOUBLE_EQ(sa.time, sb.time);
+    ASSERT_EQ(sa.fixes.size(), sb.fixes.size());
+    for (std::size_t j = 0; j < sa.fixes.size(); ++j) {
+      EXPECT_EQ(sa.fixes[j].id, sb.fixes[j].id);
+      EXPECT_NEAR(sa.fixes[j].pos.x, sb.fixes[j].pos.x, tol);
+      EXPECT_NEAR(sa.fixes[j].pos.y, sb.fixes[j].pos.y, tol);
+      EXPECT_NEAR(sa.fixes[j].pos.z, sb.fixes[j].pos.z, tol);
+    }
+  }
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeRoundTrip, Binary) {
+  const Trace original = make_random_trace(GetParam(), 30);
+  const auto bytes = encode_trace(original);
+  const Trace decoded = decode_trace(bytes);
+  expect_traces_equal(original, decoded, 1e-4);  // f32 storage
+}
+
+TEST_P(SerializeRoundTrip, Csv) {
+  const Trace original = make_random_trace(GetParam(), 10);
+  const std::string csv = trace_to_csv(original);
+  const Trace decoded = trace_from_csv(csv, original.land_name(), 10.0);
+  // CSV drops empty snapshots (no rows to carry them); compare non-empty.
+  Trace filtered(original.land_name(), original.sampling_interval());
+  for (const auto& s : original.snapshots()) {
+    if (!s.fixes.empty()) filtered.add(s);
+  }
+  expect_traces_equal(filtered, decoded, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip, ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(Serialize, BadMagicThrows) {
+  std::vector<std::uint8_t> bytes{'X', 'X', 'X', 'X', 0, 0};
+  EXPECT_THROW((void)decode_trace(bytes), DecodeError);
+}
+
+TEST(Serialize, TruncatedThrows) {
+  const Trace t = make_random_trace(9, 5);
+  auto bytes = encode_trace(t);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)decode_trace(bytes), DecodeError);
+}
+
+TEST(Serialize, TrailingBytesThrow) {
+  const Trace t = make_random_trace(9, 2);
+  auto bytes = encode_trace(t);
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_trace(bytes), DecodeError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Trace original = make_random_trace(77, 12);
+  const std::string path = ::testing::TempDir() + "/slmob_trace_test.slt";
+  save_trace(original, path);
+  const Trace loaded = load_trace(path);
+  expect_traces_equal(original, loaded, 1e-4);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/dir/file.slt"), std::runtime_error);
+}
+
+TEST(Serialize, CsvMalformedRowThrows) {
+  EXPECT_THROW((void)trace_from_csv("time,avatar,x,y,z\n1,2,3\n", "x", 10.0), DecodeError);
+}
+
+}  // namespace
+}  // namespace slmob

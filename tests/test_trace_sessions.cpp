@@ -1,0 +1,112 @@
+#include "trace/sessions.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+Trace make_trace(std::initializer_list<std::pair<Seconds, std::vector<std::uint32_t>>> data) {
+  Trace t("x", 10.0);
+  for (const auto& [time, ids] : data) {
+    Snapshot s;
+    s.time = time;
+    for (const auto id : ids) {
+      s.fixes.push_back({AvatarId{id}, {static_cast<double>(id), 0.0, 0.0}});
+    }
+    t.add(std::move(s));
+  }
+  return t;
+}
+
+TEST(Sessions, SingleContinuousSession) {
+  const Trace t = make_trace({{0.0, {1}}, {10.0, {1}}, {20.0, {1}}});
+  const auto sessions = extract_sessions(t);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].avatar.value, 1u);
+  EXPECT_DOUBLE_EQ(sessions[0].login, 0.0);
+  EXPECT_DOUBLE_EQ(sessions[0].logout, 20.0);
+  EXPECT_DOUBLE_EQ(sessions[0].duration(), 20.0);
+  EXPECT_EQ(sessions[0].positions.size(), 3u);
+}
+
+TEST(Sessions, GapSplitsSessions) {
+  // Absent for 40 s > threshold 30 s: two sessions.
+  const Trace t = make_trace({{0.0, {1}}, {10.0, {1}}, {50.0, {1}}, {60.0, {1}}});
+  const auto sessions = extract_sessions(t);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_DOUBLE_EQ(sessions[0].logout, 10.0);
+  EXPECT_DOUBLE_EQ(sessions[1].login, 50.0);
+}
+
+TEST(Sessions, ShortGapIsBridged) {
+  // Absent for 20 s <= threshold 30 s: one session.
+  const Trace t = make_trace({{0.0, {1}}, {10.0, {1}}, {30.0, {1}}});
+  const auto sessions = extract_sessions(t);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_DOUBLE_EQ(sessions[0].duration(), 30.0);
+}
+
+TEST(Sessions, MultipleAvatarsIndependent) {
+  const Trace t = make_trace({{0.0, {1, 2}}, {10.0, {1}}, {20.0, {1, 2}}});
+  const auto sessions = extract_sessions(t);
+  // Avatar 1: one session. Avatar 2: gap of 20 <= 30 -> one session too.
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].avatar.value, 1u);
+  EXPECT_EQ(sessions[1].avatar.value, 2u);
+}
+
+TEST(Sessions, CustomThreshold) {
+  SessionExtractionOptions opts;
+  opts.absence_threshold = 10.0;
+  const Trace t = make_trace({{0.0, {1}}, {20.0, {1}}});
+  const auto sessions = extract_sessions(t, opts);
+  ASSERT_EQ(sessions.size(), 2u);
+}
+
+TEST(TripMetrics, StationaryUserHasZeroTravel) {
+  Session s;
+  s.avatar = AvatarId{1};
+  s.login = 0.0;
+  s.logout = 30.0;
+  for (int i = 0; i <= 3; ++i) {
+    s.times.push_back(i * 10.0);
+    s.positions.push_back({100.0, 100.0, 22.0});
+  }
+  const TripMetrics m = trip_metrics(s);
+  EXPECT_DOUBLE_EQ(m.travel_length, 0.0);
+  EXPECT_DOUBLE_EQ(m.effective_travel_time, 0.0);
+  EXPECT_DOUBLE_EQ(m.travel_time, 30.0);
+}
+
+TEST(TripMetrics, MovementBelowEpsilonIgnored) {
+  Session s;
+  s.avatar = AvatarId{1};
+  s.login = 0.0;
+  s.logout = 10.0;
+  s.times = {0.0, 10.0};
+  s.positions = {{100.0, 100.0, 22.0}, {100.4, 100.0, 22.0}};  // 0.4 m < 0.5
+  const TripMetrics m = trip_metrics(s, 0.5);
+  EXPECT_DOUBLE_EQ(m.travel_length, 0.0);
+  EXPECT_DOUBLE_EQ(m.effective_travel_time, 0.0);
+}
+
+TEST(TripMetrics, PathLengthAndEffectiveTime) {
+  Session s;
+  s.avatar = AvatarId{1};
+  s.login = 0.0;
+  s.logout = 30.0;
+  s.times = {0.0, 10.0, 20.0, 30.0};
+  s.positions = {{0.0, 0.0, 0.0}, {30.0, 0.0, 0.0}, {30.0, 0.0, 0.0}, {30.0, 40.0, 0.0}};
+  const TripMetrics m = trip_metrics(s, 0.5);
+  EXPECT_DOUBLE_EQ(m.travel_length, 70.0);        // 30 + 0 + 40
+  EXPECT_DOUBLE_EQ(m.effective_travel_time, 20.0);  // two moving intervals
+  EXPECT_DOUBLE_EQ(m.travel_time, 30.0);
+}
+
+TEST(Sessions, EmptyTraceNoSessions) {
+  const Trace t("x", 10.0);
+  EXPECT_TRUE(extract_sessions(t).empty());
+}
+
+}  // namespace
+}  // namespace slmob

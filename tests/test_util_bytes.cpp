@@ -1,0 +1,86 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f32(1.5f);
+  w.f64(-2.25);
+  w.str("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f32(), 1.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0x02);
+  EXPECT_EQ(w.bytes()[1], 0x01);
+}
+
+TEST(Bytes, EmptyString) {
+  ByteWriter w;
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_THROW((void)r.u32(), DecodeError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  // Length prefix says 10 bytes but only 2 follow.
+  std::vector<std::uint8_t> data{10, 0, 'a', 'b'};
+  ByteReader r(data);
+  EXPECT_THROW((void)r.str(), DecodeError);
+}
+
+TEST(Bytes, RawRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.raw(payload);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.raw(5), payload);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, RemainingCountsDown) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(Bytes, OversizeStringThrows) {
+  ByteWriter w;
+  const std::string big(70000, 'x');
+  EXPECT_THROW(w.str(big), std::length_error);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,63 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().capture_to_buffer(true);
+    Logger::instance().clear_captured();
+    saved_level_ = Logger::instance().level();
+  }
+  void TearDown() override {
+    Logger::instance().capture_to_buffer(false);
+    Logger::instance().set_level(saved_level_);
+  }
+  LogLevel saved_level_{LogLevel::kWarn};
+};
+
+TEST_F(LogTest, LevelsFilter) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("t", "debug message");
+  log_info("t", "info message");
+  log_warn("t", "warn message");
+  log_error("t", "error message");
+  const std::string captured = Logger::instance().captured();
+  EXPECT_EQ(captured.find("debug message"), std::string::npos);
+  EXPECT_EQ(captured.find("info message"), std::string::npos);
+  EXPECT_NE(captured.find("warn message"), std::string::npos);
+  EXPECT_NE(captured.find("error message"), std::string::npos);
+}
+
+TEST_F(LogTest, DebugLevelPassesEverything) {
+  Logger::instance().set_level(LogLevel::kDebug);
+  log_debug("component", "hello");
+  const std::string captured = Logger::instance().captured();
+  EXPECT_NE(captured.find("[DEBUG] component: hello"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesAll) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("t", "nope");
+  EXPECT_TRUE(Logger::instance().captured().empty());
+}
+
+TEST_F(LogTest, EnabledQuery) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, ClearCaptured) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_warn("t", "one");
+  Logger::instance().clear_captured();
+  EXPECT_TRUE(Logger::instance().captured().empty());
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,125 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace slmob {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo = saw_lo || v == 2;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.15);
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  Rng a(21);
+  Rng fork = a.fork();
+  // The fork must not replay the parent stream.
+  std::vector<std::uint64_t> from_a;
+  std::vector<std::uint64_t> from_fork;
+  for (int i = 0; i < 32; ++i) {
+    from_a.push_back(a.next());
+    from_fork.push_back(fork.next());
+  }
+  EXPECT_NE(from_a, from_fork);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,64 @@
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace slmob {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a + b, (Vec3{5.0, 7.0, 9.0}));
+  EXPECT_EQ(b - a, (Vec3{3.0, 3.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(2.0 * a, (Vec3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(b / 2.0, (Vec3{2.0, 2.5, 3.0}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(v, (Vec3{2.0, 3.0, 4.0}));
+  v -= Vec3{2.0, 3.0, 4.0};
+  EXPECT_EQ(v, Vec3{});
+}
+
+TEST(Vec3, NormAndDistance) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec3{}.distance_to(v), 5.0);
+}
+
+TEST(Vec3, Distance2dIgnoresAltitude) {
+  const Vec3 a{0.0, 0.0, 0.0};
+  const Vec3 b{3.0, 4.0, 100.0};
+  EXPECT_DOUBLE_EQ(a.distance2d_to(b), 5.0);
+  EXPECT_GT(a.distance_to(b), 5.0);
+}
+
+TEST(Vec3, DirectionToIsUnit) {
+  const Vec3 a{1.0, 1.0, 0.0};
+  const Vec3 b{4.0, 5.0, 0.0};
+  const Vec3 d = a.direction_to(b);
+  EXPECT_NEAR(d.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(d.x, 0.6, 1e-12);
+  EXPECT_NEAR(d.y, 0.8, 1e-12);
+}
+
+TEST(Vec3, DirectionToSelfIsZero) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  EXPECT_EQ(a.direction_to(a), Vec3{});
+}
+
+}  // namespace
+}  // namespace slmob

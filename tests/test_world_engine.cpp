@@ -1,0 +1,73 @@
+#include "world/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slmob {
+namespace {
+
+TEST(Engine, RunsTicksWithCorrectTimes) {
+  SimEngine engine(1.0);
+  std::vector<Seconds> times;
+  engine.add(0, [&](Seconds now, Seconds dt) {
+    times.push_back(now);
+    EXPECT_DOUBLE_EQ(dt, 1.0);
+  });
+  engine.run_ticks(3);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[2], 2.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  SimEngine engine(1.0);
+  int ticks = 0;
+  engine.add(0, [&](Seconds, Seconds) { ++ticks; });
+  engine.run_until(10.0);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+  engine.run_until(10.0);  // no-op
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(Engine, PriorityOrdering) {
+  SimEngine engine(1.0);
+  std::vector<int> order;
+  engine.add(kPriorityClient, [&](Seconds, Seconds) { order.push_back(3); });
+  engine.add(kPriorityWorld, [&](Seconds, Seconds) { order.push_back(0); });
+  engine.add(kPriorityNetwork, [&](Seconds, Seconds) { order.push_back(2); });
+  engine.add(kPriorityServer, [&](Seconds, Seconds) { order.push_back(1); });
+  engine.run_ticks(1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Engine, StablePriorityPreservesInsertionOrder) {
+  SimEngine engine(1.0);
+  std::vector<int> order;
+  engine.add(5, [&](Seconds, Seconds) { order.push_back(1); });
+  engine.add(5, [&](Seconds, Seconds) { order.push_back(2); });
+  engine.run_ticks(1);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, SubSecondTicks) {
+  SimEngine engine(0.5);
+  int ticks = 0;
+  engine.add(0, [&](Seconds, Seconds dt) {
+    EXPECT_DOUBLE_EQ(dt, 0.5);
+    ++ticks;
+  });
+  engine.run_until(2.0);
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(Engine, RejectsBadArguments) {
+  EXPECT_THROW(SimEngine(0.0), std::invalid_argument);
+  SimEngine engine(1.0);
+  EXPECT_THROW(engine.add(0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slmob

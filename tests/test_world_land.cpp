@@ -1,0 +1,98 @@
+#include "world/archetypes.hpp"
+#include "world/land.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+TEST(Land, ClampKeepsPointsInside) {
+  const Land land("x");
+  const Vec3 p = land.clamp({-10.0, 300.0, 99.0});
+  EXPECT_TRUE(land.contains(p));
+  EXPECT_DOUBLE_EQ(p.z, land.ground_z());
+}
+
+TEST(Land, ContainsHalfOpen) {
+  const Land land("x");
+  EXPECT_TRUE(land.contains({0.0, 0.0, 0.0}));
+  EXPECT_FALSE(land.contains({256.0, 10.0, 0.0}));
+  EXPECT_FALSE(land.contains({-0.1, 10.0, 0.0}));
+}
+
+TEST(Land, RejectsBadPois) {
+  Land land("x");
+  EXPECT_THROW(land.add_poi({"p", {10, 10, 22}, -1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(land.add_poi({"p", {10, 10, 22}, 5.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Land, RejectsNonPositiveSize) {
+  EXPECT_THROW(Land("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(Land("x", -5.0), std::invalid_argument);
+}
+
+class ArchetypeTest : public ::testing::TestWithParam<LandArchetype> {};
+
+TEST_P(ArchetypeTest, LandIsWellFormed) {
+  const Land land = make_land(GetParam());
+  EXPECT_FALSE(land.name().empty());
+  EXPECT_FALSE(land.pois().empty());
+  EXPECT_FALSE(land.spawn_points().empty());
+  EXPECT_EQ(land.size(), kDefaultLandSize);
+  for (const auto& poi : land.pois()) {
+    EXPECT_TRUE(land.contains(poi.center)) << poi.name;
+    EXPECT_GT(poi.radius, 0.0);
+    EXPECT_GT(poi.weight, 0.0);
+  }
+  for (const auto& spawn : land.spawn_points()) EXPECT_TRUE(land.contains(spawn));
+}
+
+TEST_P(ArchetypeTest, PopulationMatchesLittlesLaw) {
+  // avg_concurrent = rate * mean_session; mean = median * exp(sigma^2/2),
+  // with the arrival rate scaled by 1/(1 - p_revisit).
+  const PopulationParams p = make_population(GetParam());
+  const double mean_session = p.session_median * std::exp(p.session_sigma * p.session_sigma / 2.0);
+  const double rate = p.target_unique_users / (p.horizon * (1.0 - p.revisit_probability));
+  const double implied_concurrency = rate * mean_session;
+  double expected = 0.0;
+  switch (GetParam()) {
+    case LandArchetype::kApfelLand:
+      expected = 13.0;
+      break;
+    case LandArchetype::kDanceIsland:
+      expected = 34.0;
+      break;
+    case LandArchetype::kIsleOfView:
+      expected = 65.0;
+      break;
+  }
+  EXPECT_NEAR(implied_concurrency, expected, expected * 0.12);
+}
+
+TEST_P(ArchetypeTest, MakeWorldConstructs) {
+  const auto world = make_world(GetParam(), 1);
+  ASSERT_NE(world, nullptr);
+  EXPECT_EQ(world->concurrent(), 0u);
+  EXPECT_EQ(world->land().name(), archetype_name(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLands, ArchetypeTest,
+                         ::testing::Values(LandArchetype::kApfelLand,
+                                           LandArchetype::kDanceIsland,
+                                           LandArchetype::kIsleOfView));
+
+TEST(Archetypes, DanceIslandIsPrivate) {
+  EXPECT_EQ(make_land(LandArchetype::kDanceIsland).access(), LandAccess::kPrivate);
+}
+
+TEST(Archetypes, DanceVenueWithinWifiRange) {
+  // The bar must sit inside the WiFi disc of the dance floor: this is what
+  // keeps inter-contact times similar at both radii (paper §4).
+  const Land land = make_land(LandArchetype::kDanceIsland);
+  const auto& pois = land.pois();
+  ASSERT_GE(pois.size(), 2u);
+  EXPECT_LT(pois[0].center.distance2d_to(pois[1].center), 80.0);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,178 @@
+#include "world/levy_walk.hpp"
+#include "world/poi_gravity.hpp"
+#include "world/random_waypoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "world/archetypes.hpp"
+
+namespace slmob {
+namespace {
+
+Avatar test_avatar(const Land& land) {
+  Avatar a;
+  a.id = AvatarId{1};
+  a.pos = land.clamp({128.0, 128.0, 22.0});
+  return a;
+}
+
+TEST(Kinematics, StepMovesTowardWaypoint) {
+  Avatar a;
+  a.pos = {0.0, 0.0, 0.0};
+  a.waypoint = {10.0, 0.0, 0.0};
+  a.speed = 2.0;
+  a.state = AvatarState::kTravelling;
+  EXPECT_FALSE(step_kinematics(a, 1.0));
+  EXPECT_NEAR(a.pos.x, 2.0, 1e-12);
+  EXPECT_FALSE(step_kinematics(a, 3.0));
+  EXPECT_NEAR(a.pos.x, 8.0, 1e-12);
+  EXPECT_TRUE(step_kinematics(a, 2.0));  // arrives exactly
+  EXPECT_EQ(a.pos, a.waypoint);
+}
+
+TEST(Kinematics, PausedAvatarDoesNotMove) {
+  Avatar a;
+  a.pos = {5.0, 5.0, 0.0};
+  a.waypoint = {10.0, 10.0, 0.0};
+  a.speed = 2.0;
+  a.state = AvatarState::kPaused;
+  EXPECT_FALSE(step_kinematics(a, 1.0));
+  EXPECT_EQ(a.pos, (Vec3{5.0, 5.0, 0.0}));
+}
+
+TEST(PoiGravity, RequiresPois) {
+  Land empty("no-pois");
+  EXPECT_THROW(PoiGravityModel(empty, {}), std::invalid_argument);
+}
+
+class MobilityModelTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<MobilityModel> make_model(const Land& land) const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<PoiGravityModel>(land, PoiGravityParams{});
+      case 1:
+        return std::make_unique<RandomWaypointModel>();
+      default:
+        return std::make_unique<LevyWalkModel>();
+    }
+  }
+};
+
+TEST_P(MobilityModelTest, DecisionsStayInLand) {
+  const Land land = make_land(LandArchetype::kApfelLand);
+  auto model = make_model(land);
+  Rng rng(1);
+  Avatar avatar = test_avatar(land);
+  MobilityDecision d = model->on_login(avatar, land, rng);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(land.contains(d.waypoint)) << "iteration " << i;
+    EXPECT_GT(d.speed, 0.0);
+    EXPECT_GE(d.pause, 0.0);
+    EXPECT_GE(d.jitter_radius, 0.0);
+    avatar.pos = d.waypoint;
+    avatar.current_poi = d.poi_index;
+    if (avatar.home_poi < 0 && d.poi_index >= 0) avatar.home_poi = d.poi_index;
+    d = model->next(avatar, land, rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, MobilityModelTest, ::testing::Values(0, 1, 2));
+
+TEST(PoiGravity, RegularDecisionsTargetPois) {
+  const Land land = make_land(LandArchetype::kDanceIsland);
+  PoiGravityParams params;
+  params.p_login_wander = 0.0;
+  PoiGravityModel model(land, params);
+  Rng rng(2);
+  Avatar avatar = test_avatar(land);
+  const MobilityDecision d = model.on_login(avatar, land, rng);
+  ASSERT_GE(d.poi_index, 0);
+  const Poi& poi = land.pois().at(static_cast<std::size_t>(d.poi_index));
+  EXPECT_LE(d.waypoint.distance2d_to(poi.center), poi.radius + 1.0);
+}
+
+TEST(PoiGravity, KindAssignmentFractions) {
+  const Land land = make_land(LandArchetype::kApfelLand);
+  PoiGravityParams params;
+  params.idler_fraction = 0.2;
+  params.explorer_fraction = 0.1;
+  PoiGravityModel model(land, params);
+  Rng rng(3);
+  int idlers = 0;
+  int explorers = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const AvatarKind kind = model.assign_kind(rng);
+    idlers += kind == AvatarKind::kIdler ? 1 : 0;
+    explorers += kind == AvatarKind::kExplorer ? 1 : 0;
+  }
+  EXPECT_NEAR(idlers / static_cast<double>(kN), 0.2, 0.02);
+  EXPECT_NEAR(explorers / static_cast<double>(kN), 0.1, 0.02);
+}
+
+TEST(PoiGravity, IdlersStayPut) {
+  const Land land = make_land(LandArchetype::kApfelLand);
+  PoiGravityModel model(land, PoiGravityParams{});
+  Rng rng(4);
+  Avatar avatar = test_avatar(land);
+  avatar.kind = AvatarKind::kIdler;
+  avatar.current_poi = 0;
+  const MobilityDecision d = model.next(avatar, land, rng);
+  EXPECT_EQ(d.waypoint, avatar.pos);
+  EXPECT_EQ(d.jitter_radius, 0.0);
+}
+
+TEST(PoiGravity, HomeReturnTargetsHomePoi) {
+  const Land land = make_land(LandArchetype::kDanceIsland);
+  PoiGravityParams params;
+  params.p_switch_poi = 1.0;    // always switch
+  params.p_return_home = 1.0;   // always return home when away
+  PoiGravityModel model(land, params);
+  Rng rng(5);
+  Avatar avatar = test_avatar(land);
+  avatar.kind = AvatarKind::kRegular;
+  avatar.home_poi = 0;
+  avatar.current_poi = 1;
+  const MobilityDecision d = model.next(avatar, land, rng);
+  EXPECT_EQ(d.poi_index, 0);
+}
+
+TEST(LevyWalk, FlightLengthsAreBoundedPareto) {
+  LevyWalkParams params;
+  params.flight_xm = 2.0;
+  params.flight_cap = 100.0;
+  LevyWalkModel model(params);
+  // Use a huge land so the clamp never binds and flight lengths show.
+  const Land land("big", 100000.0);
+  Rng rng(6);
+  Avatar avatar;
+  avatar.pos = land.clamp({50000.0, 50000.0, 0.0});
+  for (int i = 0; i < 2000; ++i) {
+    const MobilityDecision d = model.next(avatar, land, rng);
+    const double flight = avatar.pos.distance2d_to(d.waypoint);
+    EXPECT_GE(flight, 2.0 - 1e-9);
+    EXPECT_LE(flight, 100.0 + 1e-9);
+  }
+}
+
+TEST(RandomWaypoint, CoversTheLand) {
+  RandomWaypointModel model;
+  const Land land("x");
+  Rng rng(7);
+  Avatar avatar = test_avatar(land);
+  bool low_x = false;
+  bool high_x = false;
+  for (int i = 0; i < 500; ++i) {
+    const MobilityDecision d = model.next(avatar, land, rng);
+    low_x = low_x || d.waypoint.x < 64.0;
+    high_x = high_x || d.waypoint.x > 192.0;
+  }
+  EXPECT_TRUE(low_x);
+  EXPECT_TRUE(high_x);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,89 @@
+#include "world/population.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slmob {
+namespace {
+
+TEST(Population, RejectsBadParams) {
+  PopulationParams p;
+  p.target_unique_users = 0.0;
+  EXPECT_THROW(PopulationProcess{p}, std::invalid_argument);
+  p = {};
+  p.diurnal_depth = 1.0;
+  EXPECT_THROW(PopulationProcess{p}, std::invalid_argument);
+  p = {};
+  p.revisit_probability = 1.0;
+  EXPECT_THROW(PopulationProcess{p}, std::invalid_argument);
+}
+
+TEST(Population, RateScalesWithRevisits) {
+  PopulationParams p;
+  p.target_unique_users = 864.0;
+  p.horizon = kSecondsPerDay;
+  p.diurnal_depth = 0.0;
+  p.revisit_probability = 0.0;
+  const PopulationProcess without(p);
+  p.revisit_probability = 0.5;
+  const PopulationProcess with(p);
+  EXPECT_NEAR(with.rate(0.0), 2.0 * without.rate(0.0), 1e-12);
+}
+
+TEST(Population, DiurnalModulationAveragesOut) {
+  PopulationParams p;
+  p.target_unique_users = 1000.0;
+  p.revisit_probability = 0.0;
+  p.diurnal_depth = 0.4;
+  const PopulationProcess proc(p);
+  double total = 0.0;
+  constexpr int kSteps = 24 * 60;
+  for (int i = 0; i < kSteps; ++i) {
+    total += proc.rate(i * 60.0) * 60.0;
+  }
+  EXPECT_NEAR(total, 1000.0, 1.0);
+}
+
+TEST(Population, ArrivalsMatchExpectation) {
+  PopulationParams p;
+  p.target_unique_users = 8640.0;  // 0.1 arrivals / s
+  p.revisit_probability = 0.0;
+  p.diurnal_depth = 0.0;
+  const PopulationProcess proc(p);
+  Rng rng(1);
+  std::size_t total = 0;
+  constexpr int kTicks = 50000;
+  for (int i = 0; i < kTicks; ++i) total += proc.arrivals(0.0, 1.0, rng);
+  EXPECT_NEAR(static_cast<double>(total) / kTicks, 0.1, 0.01);
+}
+
+TEST(Population, SessionDurationsRespectBounds) {
+  PopulationParams p;
+  p.session_median = 600.0;
+  p.session_sigma = 1.2;
+  p.session_min = 20.0;
+  p.session_cap = 4.0 * kSecondsPerHour;
+  const PopulationProcess proc(p);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const Seconds s = proc.session_duration(rng);
+    EXPECT_GE(s, 20.0);
+    EXPECT_LE(s, 4.0 * kSecondsPerHour);
+  }
+}
+
+TEST(Population, SessionMedianApproximatelyConfigured) {
+  PopulationParams p;
+  p.session_median = 600.0;
+  p.session_sigma = 1.0;
+  const PopulationProcess proc(p);
+  Rng rng(3);
+  int below = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (proc.session_duration(rng) < 600.0) ++below;
+  }
+  EXPECT_NEAR(below / static_cast<double>(kN), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,233 @@
+// slmob command-line tool: collect, inspect, convert and replay traces
+// without writing C++.
+//
+//   slmob run     --land <apfel|dance|isle> [--hours H] [--seed S] --out t.slt
+//   slmob summary <trace.slt>
+//   slmob analyze <trace.slt> [--range R]...
+//   slmob convert <trace.slt> <trace.csv>   (direction by extension)
+//   slmob dtn     <trace.slt> [--scheme epidemic|two-hop|direct] [--messages N]
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "dtn/dtn_simulator.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace slmob;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  slmob run --land <apfel|dance|isle> [--hours H] [--seed S] --out T.slt\n"
+               "  slmob summary <trace.slt>\n"
+               "  slmob analyze <trace.slt> [--range R]...\n"
+               "  slmob convert <in.(slt|csv)> <out.(csv|slt)>\n"
+               "  slmob dtn <trace.slt> [--scheme epidemic|two-hop|direct] [--messages N]\n"
+               "  slmob report <trace.slt> <report.md> [--series]\n");
+  return 2;
+}
+
+std::optional<LandArchetype> parse_land(const std::string& name) {
+  if (name == "apfel" || name == "apfelland") return LandArchetype::kApfelLand;
+  if (name == "dance") return LandArchetype::kDanceIsland;
+  if (name == "isle" || name == "isleofview") return LandArchetype::kIsleOfView;
+  return std::nullopt;
+}
+
+// Reads a trace in either format, deciding by extension.
+Trace read_any(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw std::runtime_error("cannot open " + path);
+    std::string text;
+    char buf[65536];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    return trace_from_csv(text, path, 10.0);
+  }
+  return load_trace(path);
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::optional<LandArchetype> land;
+  double hours = 24.0;
+  std::uint64_t seed = 42;
+  std::string out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--land" && i + 1 < args.size()) {
+      land = parse_land(args[++i]);
+    } else if (args[i] == "--hours" && i + 1 < args.size()) {
+      hours = std::atof(args[++i].c_str());
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--out" && i + 1 < args.size()) {
+      out = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!land || out.empty() || hours <= 0.0) return usage();
+
+  ExperimentConfig cfg;
+  cfg.archetype = *land;
+  cfg.duration = hours * kSecondsPerHour;
+  cfg.seed = seed;
+  cfg.ranges = {};  // collection only
+  std::printf("crawling %s for %.1f h (seed %llu)...\n", archetype_name(*land).c_str(),
+              hours, static_cast<unsigned long long>(seed));
+  const ExperimentResults res = run_experiment(cfg);
+  save_trace(res.trace, out);
+  std::printf("wrote %s: %zu snapshots, %zu unique users, avg conc %.1f\n", out.c_str(),
+              res.summary.snapshot_count, res.summary.unique_users,
+              res.summary.avg_concurrent);
+  return 0;
+}
+
+int cmd_summary(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const Trace trace = read_any(args[0]);
+  const TraceSummary s = trace.summary();
+  std::printf("land:            %s\n", trace.land_name().c_str());
+  std::printf("sampling:        every %.0f s\n", trace.sampling_interval());
+  std::printf("snapshots:       %zu\n", s.snapshot_count);
+  std::printf("duration:        %.2f h\n", s.duration / kSecondsPerHour);
+  std::printf("unique users:    %zu\n", s.unique_users);
+  std::printf("avg concurrent:  %.1f\n", s.avg_concurrent);
+  std::printf("max concurrent:  %zu\n", s.max_concurrent);
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::vector<double> ranges;
+  Trace trace = read_any(args[0]);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--range" && i + 1 < args.size()) {
+      ranges.push_back(std::atof(args[++i].c_str()));
+    } else {
+      return usage();
+    }
+  }
+  if (ranges.empty()) ranges = {kBluetoothRange, kWifiRange};
+  const ExperimentResults res = analyze_trace(std::move(trace), ranges);
+  for (const double r : ranges) {
+    const auto& c = res.contacts.at(r);
+    const auto& g = res.graphs.at(r);
+    const auto median = [](const Ecdf& e) { return e.empty() ? 0.0 : e.median(); };
+    std::printf("r=%.0fm: %zu contacts | CT med %.0fs | ICT med %.0fs | FT med %.0fs | "
+                "deg med %.0f | isolated %.1f%% | clust med %.2f\n",
+                r, c.intervals.size(), median(c.contact_times),
+                median(c.inter_contact_times), median(c.first_contact_times),
+                median(g.degrees), g.isolated_fraction * 100.0, median(g.clustering));
+  }
+  std::printf("zones: %.1f%% empty, busiest cell %zu users\n",
+              res.zones.empty_fraction * 100.0, res.zones.max_occupancy);
+  if (!res.trips.travel_lengths.empty()) {
+    std::printf("trips: length med %.0fm p90 %.0fm | session med %.0fs max %.0fs\n",
+                res.trips.travel_lengths.median(), res.trips.travel_lengths.quantile(0.9),
+                res.trips.travel_times.median(), res.trips.travel_times.max());
+  }
+  return 0;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const Trace trace = read_any(args[0]);
+  const std::string& out = args[1];
+  if (out.size() > 4 && out.substr(out.size() - 4) == ".csv") {
+    const std::string csv = trace_to_csv(trace);
+    FILE* f = std::fopen(out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out.c_str());
+      return 1;
+    }
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+  } else {
+    save_trace(trace, out);
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  ReportOptions options;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--series") {
+      options.include_series = true;
+    } else {
+      return usage();
+    }
+  }
+  Trace trace = read_any(args[0]);
+  const ExperimentResults res = analyze_trace(std::move(trace), {kBluetoothRange, kWifiRange});
+  write_report(res, args[1], options);
+  std::printf("wrote %s\n", args[1].c_str());
+  return 0;
+}
+
+int cmd_dtn(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  DtnConfig cfg;
+  Trace trace = read_any(args[0]);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--scheme" && i + 1 < args.size()) {
+      const std::string s = args[++i];
+      if (s == "epidemic") {
+        cfg.scheme = RoutingScheme::kEpidemic;
+      } else if (s == "two-hop") {
+        cfg.scheme = RoutingScheme::kTwoHopRelay;
+      } else if (s == "direct") {
+        cfg.scheme = RoutingScheme::kDirectDelivery;
+      } else {
+        return usage();
+      }
+    } else if (args[i] == "--messages" && i + 1 < args.size()) {
+      cfg.message_count = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--range" && i + 1 < args.size()) {
+      cfg.range = std::atof(args[++i].c_str());
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else {
+      return usage();
+    }
+  }
+  const DtnResults res = simulate_dtn(trace, cfg);
+  std::printf("%s @ r=%.0fm: delivery %.1f%% (%zu/%zu), delay med %.0fs p90 %.0fs, "
+              "%.1f copies/message\n",
+              routing_scheme_name(cfg.scheme), cfg.range, res.delivery_ratio * 100.0,
+              res.messages_delivered, res.messages_created,
+              res.delays.empty() ? 0.0 : res.delays.median(),
+              res.delays.empty() ? 0.0 : res.delays.quantile(0.9),
+              res.mean_copies_per_message);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    if (command == "run") return cmd_run(args);
+    if (command == "summary") return cmd_summary(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "dtn") return cmd_dtn(args);
+    if (command == "report") return cmd_report(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
