@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mobility_models.dir/ablation_mobility_models.cpp.o"
+  "CMakeFiles/ablation_mobility_models.dir/ablation_mobility_models.cpp.o.d"
+  "ablation_mobility_models"
+  "ablation_mobility_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mobility_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

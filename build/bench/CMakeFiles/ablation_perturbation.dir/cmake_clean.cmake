@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_perturbation.dir/ablation_perturbation.cpp.o"
+  "CMakeFiles/ablation_perturbation.dir/ablation_perturbation.cpp.o.d"
+  "ablation_perturbation"
+  "ablation_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

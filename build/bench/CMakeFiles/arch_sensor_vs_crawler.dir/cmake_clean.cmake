@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_sensor_vs_crawler.dir/arch_sensor_vs_crawler.cpp.o"
+  "CMakeFiles/arch_sensor_vs_crawler.dir/arch_sensor_vs_crawler.cpp.o.d"
+  "arch_sensor_vs_crawler"
+  "arch_sensor_vs_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_sensor_vs_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arch_sensor_vs_crawler.
+# This may be replaced when dependencies are built.

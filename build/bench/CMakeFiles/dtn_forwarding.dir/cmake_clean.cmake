@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtn_forwarding.dir/dtn_forwarding.cpp.o"
+  "CMakeFiles/dtn_forwarding.dir/dtn_forwarding.cpp.o.d"
+  "dtn_forwarding"
+  "dtn_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtn_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

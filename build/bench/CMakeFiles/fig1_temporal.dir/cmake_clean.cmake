@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_temporal.dir/fig1_temporal.cpp.o"
+  "CMakeFiles/fig1_temporal.dir/fig1_temporal.cpp.o.d"
+  "fig1_temporal"
+  "fig1_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_graphs.dir/fig2_graphs.cpp.o"
+  "CMakeFiles/fig2_graphs.dir/fig2_graphs.cpp.o.d"
+  "fig2_graphs"
+  "fig2_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_zone_occupation.dir/fig3_zone_occupation.cpp.o"
+  "CMakeFiles/fig3_zone_occupation.dir/fig3_zone_occupation.cpp.o.d"
+  "fig3_zone_occupation"
+  "fig3_zone_occupation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_zone_occupation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

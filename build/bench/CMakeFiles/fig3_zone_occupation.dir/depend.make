@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_zone_occupation.
+# This may be replaced when dependencies are built.

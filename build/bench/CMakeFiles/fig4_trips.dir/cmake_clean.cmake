@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_trips.dir/fig4_trips.cpp.o"
+  "CMakeFiles/fig4_trips.dir/fig4_trips.cpp.o.d"
+  "fig4_trips"
+  "fig4_trips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_trips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

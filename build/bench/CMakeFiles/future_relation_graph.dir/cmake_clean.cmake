@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_relation_graph.dir/future_relation_graph.cpp.o"
+  "CMakeFiles/future_relation_graph.dir/future_relation_graph.cpp.o.d"
+  "future_relation_graph"
+  "future_relation_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_relation_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

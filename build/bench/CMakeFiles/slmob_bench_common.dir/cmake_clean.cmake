@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/slmob_bench_common.dir/bench_common.cpp.o.d"
+  "libslmob_bench_common.a"
+  "libslmob_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

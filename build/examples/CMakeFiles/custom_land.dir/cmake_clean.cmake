@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_land.dir/custom_land.cpp.o"
+  "CMakeFiles/custom_land.dir/custom_land.cpp.o.d"
+  "custom_land"
+  "custom_land.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_land.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic_dtn.dir/epidemic_dtn.cpp.o"
+  "CMakeFiles/epidemic_dtn.dir/epidemic_dtn.cpp.o.d"
+  "epidemic_dtn"
+  "epidemic_dtn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic_dtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("trace")
+subdirs("world")
+subdirs("net")
+subdirs("server")
+subdirs("client")
+subdirs("crawler")
+subdirs("lsl")
+subdirs("sensors")
+subdirs("analysis")
+subdirs("dtn")
+subdirs("core")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/contacts.cpp" "src/analysis/CMakeFiles/slmob_analysis.dir/contacts.cpp.o" "gcc" "src/analysis/CMakeFiles/slmob_analysis.dir/contacts.cpp.o.d"
+  "/root/repo/src/analysis/flights.cpp" "src/analysis/CMakeFiles/slmob_analysis.dir/flights.cpp.o" "gcc" "src/analysis/CMakeFiles/slmob_analysis.dir/flights.cpp.o.d"
+  "/root/repo/src/analysis/graphs.cpp" "src/analysis/CMakeFiles/slmob_analysis.dir/graphs.cpp.o" "gcc" "src/analysis/CMakeFiles/slmob_analysis.dir/graphs.cpp.o.d"
+  "/root/repo/src/analysis/relations.cpp" "src/analysis/CMakeFiles/slmob_analysis.dir/relations.cpp.o" "gcc" "src/analysis/CMakeFiles/slmob_analysis.dir/relations.cpp.o.d"
+  "/root/repo/src/analysis/spatial_index.cpp" "src/analysis/CMakeFiles/slmob_analysis.dir/spatial_index.cpp.o" "gcc" "src/analysis/CMakeFiles/slmob_analysis.dir/spatial_index.cpp.o.d"
+  "/root/repo/src/analysis/trips.cpp" "src/analysis/CMakeFiles/slmob_analysis.dir/trips.cpp.o" "gcc" "src/analysis/CMakeFiles/slmob_analysis.dir/trips.cpp.o.d"
+  "/root/repo/src/analysis/zones.cpp" "src/analysis/CMakeFiles/slmob_analysis.dir/zones.cpp.o" "gcc" "src/analysis/CMakeFiles/slmob_analysis.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/slmob_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slmob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

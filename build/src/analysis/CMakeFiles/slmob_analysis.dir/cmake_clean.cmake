@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_analysis.dir/contacts.cpp.o"
+  "CMakeFiles/slmob_analysis.dir/contacts.cpp.o.d"
+  "CMakeFiles/slmob_analysis.dir/flights.cpp.o"
+  "CMakeFiles/slmob_analysis.dir/flights.cpp.o.d"
+  "CMakeFiles/slmob_analysis.dir/graphs.cpp.o"
+  "CMakeFiles/slmob_analysis.dir/graphs.cpp.o.d"
+  "CMakeFiles/slmob_analysis.dir/relations.cpp.o"
+  "CMakeFiles/slmob_analysis.dir/relations.cpp.o.d"
+  "CMakeFiles/slmob_analysis.dir/spatial_index.cpp.o"
+  "CMakeFiles/slmob_analysis.dir/spatial_index.cpp.o.d"
+  "CMakeFiles/slmob_analysis.dir/trips.cpp.o"
+  "CMakeFiles/slmob_analysis.dir/trips.cpp.o.d"
+  "CMakeFiles/slmob_analysis.dir/zones.cpp.o"
+  "CMakeFiles/slmob_analysis.dir/zones.cpp.o.d"
+  "libslmob_analysis.a"
+  "libslmob_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

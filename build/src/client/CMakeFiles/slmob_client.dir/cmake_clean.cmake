@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_client.dir/metaverse_client.cpp.o"
+  "CMakeFiles/slmob_client.dir/metaverse_client.cpp.o.d"
+  "libslmob_client.a"
+  "libslmob_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_core.dir/experiment.cpp.o"
+  "CMakeFiles/slmob_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/slmob_core.dir/report.cpp.o"
+  "CMakeFiles/slmob_core.dir/report.cpp.o.d"
+  "CMakeFiles/slmob_core.dir/testbed.cpp.o"
+  "CMakeFiles/slmob_core.dir/testbed.cpp.o.d"
+  "libslmob_core.a"
+  "libslmob_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_crawler.dir/crawler.cpp.o"
+  "CMakeFiles/slmob_crawler.dir/crawler.cpp.o.d"
+  "libslmob_crawler.a"
+  "libslmob_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

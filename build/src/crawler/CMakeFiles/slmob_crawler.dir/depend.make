@@ -1,0 +1,2 @@
+# Empty dependencies file for slmob_crawler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtn/dtn_simulator.cpp" "src/dtn/CMakeFiles/slmob_dtn.dir/dtn_simulator.cpp.o" "gcc" "src/dtn/CMakeFiles/slmob_dtn.dir/dtn_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/slmob_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slmob_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slmob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

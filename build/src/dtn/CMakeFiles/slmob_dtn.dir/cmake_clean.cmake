@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_dtn.dir/dtn_simulator.cpp.o"
+  "CMakeFiles/slmob_dtn.dir/dtn_simulator.cpp.o.d"
+  "libslmob_dtn.a"
+  "libslmob_dtn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_dtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsl/interpreter.cpp" "src/lsl/CMakeFiles/slmob_lsl.dir/interpreter.cpp.o" "gcc" "src/lsl/CMakeFiles/slmob_lsl.dir/interpreter.cpp.o.d"
+  "/root/repo/src/lsl/lexer.cpp" "src/lsl/CMakeFiles/slmob_lsl.dir/lexer.cpp.o" "gcc" "src/lsl/CMakeFiles/slmob_lsl.dir/lexer.cpp.o.d"
+  "/root/repo/src/lsl/parser.cpp" "src/lsl/CMakeFiles/slmob_lsl.dir/parser.cpp.o" "gcc" "src/lsl/CMakeFiles/slmob_lsl.dir/parser.cpp.o.d"
+  "/root/repo/src/lsl/value.cpp" "src/lsl/CMakeFiles/slmob_lsl.dir/value.cpp.o" "gcc" "src/lsl/CMakeFiles/slmob_lsl.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

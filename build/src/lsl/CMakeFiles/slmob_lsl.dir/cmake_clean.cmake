@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_lsl.dir/interpreter.cpp.o"
+  "CMakeFiles/slmob_lsl.dir/interpreter.cpp.o.d"
+  "CMakeFiles/slmob_lsl.dir/lexer.cpp.o"
+  "CMakeFiles/slmob_lsl.dir/lexer.cpp.o.d"
+  "CMakeFiles/slmob_lsl.dir/parser.cpp.o"
+  "CMakeFiles/slmob_lsl.dir/parser.cpp.o.d"
+  "CMakeFiles/slmob_lsl.dir/value.cpp.o"
+  "CMakeFiles/slmob_lsl.dir/value.cpp.o.d"
+  "libslmob_lsl.a"
+  "libslmob_lsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_lsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

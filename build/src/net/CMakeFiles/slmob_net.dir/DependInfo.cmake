@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/circuit.cpp" "src/net/CMakeFiles/slmob_net.dir/circuit.cpp.o" "gcc" "src/net/CMakeFiles/slmob_net.dir/circuit.cpp.o.d"
+  "/root/repo/src/net/messages.cpp" "src/net/CMakeFiles/slmob_net.dir/messages.cpp.o" "gcc" "src/net/CMakeFiles/slmob_net.dir/messages.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/slmob_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/slmob_net.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

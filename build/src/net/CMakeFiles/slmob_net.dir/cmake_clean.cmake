@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_net.dir/circuit.cpp.o"
+  "CMakeFiles/slmob_net.dir/circuit.cpp.o.d"
+  "CMakeFiles/slmob_net.dir/messages.cpp.o"
+  "CMakeFiles/slmob_net.dir/messages.cpp.o.d"
+  "CMakeFiles/slmob_net.dir/network.cpp.o"
+  "CMakeFiles/slmob_net.dir/network.cpp.o.d"
+  "libslmob_net.a"
+  "libslmob_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/collector.cpp" "src/sensors/CMakeFiles/slmob_sensors.dir/collector.cpp.o" "gcc" "src/sensors/CMakeFiles/slmob_sensors.dir/collector.cpp.o.d"
+  "/root/repo/src/sensors/deployment.cpp" "src/sensors/CMakeFiles/slmob_sensors.dir/deployment.cpp.o" "gcc" "src/sensors/CMakeFiles/slmob_sensors.dir/deployment.cpp.o.d"
+  "/root/repo/src/sensors/http.cpp" "src/sensors/CMakeFiles/slmob_sensors.dir/http.cpp.o" "gcc" "src/sensors/CMakeFiles/slmob_sensors.dir/http.cpp.o.d"
+  "/root/repo/src/sensors/http_transport.cpp" "src/sensors/CMakeFiles/slmob_sensors.dir/http_transport.cpp.o" "gcc" "src/sensors/CMakeFiles/slmob_sensors.dir/http_transport.cpp.o.d"
+  "/root/repo/src/sensors/object_runtime.cpp" "src/sensors/CMakeFiles/slmob_sensors.dir/object_runtime.cpp.o" "gcc" "src/sensors/CMakeFiles/slmob_sensors.dir/object_runtime.cpp.o.d"
+  "/root/repo/src/sensors/sensor_object.cpp" "src/sensors/CMakeFiles/slmob_sensors.dir/sensor_object.cpp.o" "gcc" "src/sensors/CMakeFiles/slmob_sensors.dir/sensor_object.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsl/CMakeFiles/slmob_lsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/slmob_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/slmob_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/slmob_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slmob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

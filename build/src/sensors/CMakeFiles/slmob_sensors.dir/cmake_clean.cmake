@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_sensors.dir/collector.cpp.o"
+  "CMakeFiles/slmob_sensors.dir/collector.cpp.o.d"
+  "CMakeFiles/slmob_sensors.dir/deployment.cpp.o"
+  "CMakeFiles/slmob_sensors.dir/deployment.cpp.o.d"
+  "CMakeFiles/slmob_sensors.dir/http.cpp.o"
+  "CMakeFiles/slmob_sensors.dir/http.cpp.o.d"
+  "CMakeFiles/slmob_sensors.dir/http_transport.cpp.o"
+  "CMakeFiles/slmob_sensors.dir/http_transport.cpp.o.d"
+  "CMakeFiles/slmob_sensors.dir/object_runtime.cpp.o"
+  "CMakeFiles/slmob_sensors.dir/object_runtime.cpp.o.d"
+  "CMakeFiles/slmob_sensors.dir/sensor_object.cpp.o"
+  "CMakeFiles/slmob_sensors.dir/sensor_object.cpp.o.d"
+  "libslmob_sensors.a"
+  "libslmob_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslmob_sensors.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/sim_server.cpp" "src/server/CMakeFiles/slmob_server.dir/sim_server.cpp.o" "gcc" "src/server/CMakeFiles/slmob_server.dir/sim_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/slmob_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/slmob_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slmob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

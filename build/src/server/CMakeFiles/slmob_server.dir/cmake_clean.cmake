@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_server.dir/sim_server.cpp.o"
+  "CMakeFiles/slmob_server.dir/sim_server.cpp.o.d"
+  "libslmob_server.a"
+  "libslmob_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/slmob_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/slmob_stats.dir/fit.cpp.o"
+  "CMakeFiles/slmob_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/slmob_stats.dir/histogram.cpp.o"
+  "CMakeFiles/slmob_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/slmob_stats.dir/ks.cpp.o"
+  "CMakeFiles/slmob_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/slmob_stats.dir/samplers.cpp.o"
+  "CMakeFiles/slmob_stats.dir/samplers.cpp.o.d"
+  "CMakeFiles/slmob_stats.dir/summary.cpp.o"
+  "CMakeFiles/slmob_stats.dir/summary.cpp.o.d"
+  "libslmob_stats.a"
+  "libslmob_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_trace.dir/query.cpp.o"
+  "CMakeFiles/slmob_trace.dir/query.cpp.o.d"
+  "CMakeFiles/slmob_trace.dir/serialize.cpp.o"
+  "CMakeFiles/slmob_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/slmob_trace.dir/sessions.cpp.o"
+  "CMakeFiles/slmob_trace.dir/sessions.cpp.o.d"
+  "CMakeFiles/slmob_trace.dir/trace.cpp.o"
+  "CMakeFiles/slmob_trace.dir/trace.cpp.o.d"
+  "libslmob_trace.a"
+  "libslmob_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

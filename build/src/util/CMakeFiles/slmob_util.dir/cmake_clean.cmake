@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_util.dir/bytes.cpp.o"
+  "CMakeFiles/slmob_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/slmob_util.dir/csv.cpp.o"
+  "CMakeFiles/slmob_util.dir/csv.cpp.o.d"
+  "CMakeFiles/slmob_util.dir/log.cpp.o"
+  "CMakeFiles/slmob_util.dir/log.cpp.o.d"
+  "CMakeFiles/slmob_util.dir/rng.cpp.o"
+  "CMakeFiles/slmob_util.dir/rng.cpp.o.d"
+  "CMakeFiles/slmob_util.dir/strings.cpp.o"
+  "CMakeFiles/slmob_util.dir/strings.cpp.o.d"
+  "libslmob_util.a"
+  "libslmob_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/archetypes.cpp" "src/world/CMakeFiles/slmob_world.dir/archetypes.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/archetypes.cpp.o.d"
+  "/root/repo/src/world/avatar.cpp" "src/world/CMakeFiles/slmob_world.dir/avatar.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/avatar.cpp.o.d"
+  "/root/repo/src/world/engine.cpp" "src/world/CMakeFiles/slmob_world.dir/engine.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/engine.cpp.o.d"
+  "/root/repo/src/world/land.cpp" "src/world/CMakeFiles/slmob_world.dir/land.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/land.cpp.o.d"
+  "/root/repo/src/world/levy_walk.cpp" "src/world/CMakeFiles/slmob_world.dir/levy_walk.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/levy_walk.cpp.o.d"
+  "/root/repo/src/world/poi_gravity.cpp" "src/world/CMakeFiles/slmob_world.dir/poi_gravity.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/poi_gravity.cpp.o.d"
+  "/root/repo/src/world/population.cpp" "src/world/CMakeFiles/slmob_world.dir/population.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/population.cpp.o.d"
+  "/root/repo/src/world/random_waypoint.cpp" "src/world/CMakeFiles/slmob_world.dir/random_waypoint.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/random_waypoint.cpp.o.d"
+  "/root/repo/src/world/world.cpp" "src/world/CMakeFiles/slmob_world.dir/world.cpp.o" "gcc" "src/world/CMakeFiles/slmob_world.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slmob_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

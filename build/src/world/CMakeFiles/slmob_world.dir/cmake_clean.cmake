@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_world.dir/archetypes.cpp.o"
+  "CMakeFiles/slmob_world.dir/archetypes.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/avatar.cpp.o"
+  "CMakeFiles/slmob_world.dir/avatar.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/engine.cpp.o"
+  "CMakeFiles/slmob_world.dir/engine.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/land.cpp.o"
+  "CMakeFiles/slmob_world.dir/land.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/levy_walk.cpp.o"
+  "CMakeFiles/slmob_world.dir/levy_walk.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/poi_gravity.cpp.o"
+  "CMakeFiles/slmob_world.dir/poi_gravity.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/population.cpp.o"
+  "CMakeFiles/slmob_world.dir/population.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/random_waypoint.cpp.o"
+  "CMakeFiles/slmob_world.dir/random_waypoint.cpp.o.d"
+  "CMakeFiles/slmob_world.dir/world.cpp.o"
+  "CMakeFiles/slmob_world.dir/world.cpp.o.d"
+  "libslmob_world.a"
+  "libslmob_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_contacts.dir/test_analysis_contacts.cpp.o"
+  "CMakeFiles/test_analysis_contacts.dir/test_analysis_contacts.cpp.o.d"
+  "test_analysis_contacts"
+  "test_analysis_contacts.pdb"
+  "test_analysis_contacts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_contacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_flights.dir/test_analysis_flights.cpp.o"
+  "CMakeFiles/test_analysis_flights.dir/test_analysis_flights.cpp.o.d"
+  "test_analysis_flights"
+  "test_analysis_flights.pdb"
+  "test_analysis_flights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_flights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_relations.dir/test_analysis_relations.cpp.o"
+  "CMakeFiles/test_analysis_relations.dir/test_analysis_relations.cpp.o.d"
+  "test_analysis_relations"
+  "test_analysis_relations.pdb"
+  "test_analysis_relations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

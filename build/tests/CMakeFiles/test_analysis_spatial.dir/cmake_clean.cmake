@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_spatial.dir/test_analysis_spatial.cpp.o"
+  "CMakeFiles/test_analysis_spatial.dir/test_analysis_spatial.cpp.o.d"
+  "test_analysis_spatial"
+  "test_analysis_spatial.pdb"
+  "test_analysis_spatial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_trips.dir/test_analysis_trips.cpp.o"
+  "CMakeFiles/test_analysis_trips.dir/test_analysis_trips.cpp.o.d"
+  "test_analysis_trips"
+  "test_analysis_trips.pdb"
+  "test_analysis_trips[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_trips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_zones.dir/test_analysis_zones.cpp.o"
+  "CMakeFiles/test_analysis_zones.dir/test_analysis_zones.cpp.o.d"
+  "test_analysis_zones"
+  "test_analysis_zones.pdb"
+  "test_analysis_zones[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

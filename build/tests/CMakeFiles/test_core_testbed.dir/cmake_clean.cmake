@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_testbed.dir/test_core_testbed.cpp.o"
+  "CMakeFiles/test_core_testbed.dir/test_core_testbed.cpp.o.d"
+  "test_core_testbed"
+  "test_core_testbed.pdb"
+  "test_core_testbed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crawler.dir/test_crawler.cpp.o"
+  "CMakeFiles/test_crawler.dir/test_crawler.cpp.o.d"
+  "test_crawler"
+  "test_crawler.pdb"
+  "test_crawler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

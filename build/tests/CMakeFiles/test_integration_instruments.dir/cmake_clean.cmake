@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_instruments.dir/test_integration_instruments.cpp.o"
+  "CMakeFiles/test_integration_instruments.dir/test_integration_instruments.cpp.o.d"
+  "test_integration_instruments"
+  "test_integration_instruments.pdb"
+  "test_integration_instruments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_instruments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsl_builtins.dir/test_lsl_builtins.cpp.o"
+  "CMakeFiles/test_lsl_builtins.dir/test_lsl_builtins.cpp.o.d"
+  "test_lsl_builtins"
+  "test_lsl_builtins.pdb"
+  "test_lsl_builtins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsl_builtins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsl_interpreter.dir/test_lsl_interpreter.cpp.o"
+  "CMakeFiles/test_lsl_interpreter.dir/test_lsl_interpreter.cpp.o.d"
+  "test_lsl_interpreter"
+  "test_lsl_interpreter.pdb"
+  "test_lsl_interpreter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsl_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

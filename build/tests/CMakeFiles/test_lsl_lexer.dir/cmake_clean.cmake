@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsl_lexer.dir/test_lsl_lexer.cpp.o"
+  "CMakeFiles/test_lsl_lexer.dir/test_lsl_lexer.cpp.o.d"
+  "test_lsl_lexer"
+  "test_lsl_lexer.pdb"
+  "test_lsl_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsl_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

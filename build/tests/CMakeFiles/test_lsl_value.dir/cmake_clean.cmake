@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsl_value.dir/test_lsl_value.cpp.o"
+  "CMakeFiles/test_lsl_value.dir/test_lsl_value.cpp.o.d"
+  "test_lsl_value"
+  "test_lsl_value.pdb"
+  "test_lsl_value[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsl_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

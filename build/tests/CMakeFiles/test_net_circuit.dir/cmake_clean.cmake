@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_circuit.dir/test_net_circuit.cpp.o"
+  "CMakeFiles/test_net_circuit.dir/test_net_circuit.cpp.o.d"
+  "test_net_circuit"
+  "test_net_circuit.pdb"
+  "test_net_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_messages.dir/test_net_messages.cpp.o"
+  "CMakeFiles/test_net_messages.dir/test_net_messages.cpp.o.d"
+  "test_net_messages"
+  "test_net_messages.pdb"
+  "test_net_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

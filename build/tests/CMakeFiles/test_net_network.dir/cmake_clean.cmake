@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_network.dir/test_net_network.cpp.o"
+  "CMakeFiles/test_net_network.dir/test_net_network.cpp.o.d"
+  "test_net_network"
+  "test_net_network.pdb"
+  "test_net_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

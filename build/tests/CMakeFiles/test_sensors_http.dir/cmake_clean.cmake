@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors_http.dir/test_sensors_http.cpp.o"
+  "CMakeFiles/test_sensors_http.dir/test_sensors_http.cpp.o.d"
+  "test_sensors_http"
+  "test_sensors_http.pdb"
+  "test_sensors_http[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

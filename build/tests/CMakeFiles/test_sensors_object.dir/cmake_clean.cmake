@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors_object.dir/test_sensors_object.cpp.o"
+  "CMakeFiles/test_sensors_object.dir/test_sensors_object.cpp.o.d"
+  "test_sensors_object"
+  "test_sensors_object.pdb"
+  "test_sensors_object[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors_runtime.dir/test_sensors_runtime.cpp.o"
+  "CMakeFiles/test_sensors_runtime.dir/test_sensors_runtime.cpp.o.d"
+  "test_sensors_runtime"
+  "test_sensors_runtime.pdb"
+  "test_sensors_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_fit.dir/test_stats_fit.cpp.o"
+  "CMakeFiles/test_stats_fit.dir/test_stats_fit.cpp.o.d"
+  "test_stats_fit"
+  "test_stats_fit.pdb"
+  "test_stats_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_samplers.dir/test_stats_samplers.cpp.o"
+  "CMakeFiles/test_stats_samplers.dir/test_stats_samplers.cpp.o.d"
+  "test_stats_samplers"
+  "test_stats_samplers.pdb"
+  "test_stats_samplers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_query.dir/test_trace_query.cpp.o"
+  "CMakeFiles/test_trace_query.dir/test_trace_query.cpp.o.d"
+  "test_trace_query"
+  "test_trace_query.pdb"
+  "test_trace_query[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

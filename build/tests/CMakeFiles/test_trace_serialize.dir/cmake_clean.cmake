@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_serialize.dir/test_trace_serialize.cpp.o"
+  "CMakeFiles/test_trace_serialize.dir/test_trace_serialize.cpp.o.d"
+  "test_trace_serialize"
+  "test_trace_serialize.pdb"
+  "test_trace_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_sessions.dir/test_trace_sessions.cpp.o"
+  "CMakeFiles/test_trace_sessions.dir/test_trace_sessions.cpp.o.d"
+  "test_trace_sessions"
+  "test_trace_sessions.pdb"
+  "test_trace_sessions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace_trace.cpp" "tests/CMakeFiles/test_trace_trace.dir/test_trace_trace.cpp.o" "gcc" "tests/CMakeFiles/test_trace_trace.dir/test_trace_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slmob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/slmob_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtn/CMakeFiles/slmob_dtn.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/slmob_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/crawler/CMakeFiles/slmob_crawler.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/slmob_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/slmob_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsl/CMakeFiles/slmob_lsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/slmob_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/slmob_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/slmob_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/slmob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slmob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_trace.dir/test_trace_trace.cpp.o"
+  "CMakeFiles/test_trace_trace.dir/test_trace_trace.cpp.o.d"
+  "test_trace_trace"
+  "test_trace_trace.pdb"
+  "test_trace_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

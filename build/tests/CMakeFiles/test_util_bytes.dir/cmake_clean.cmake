@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_bytes.dir/test_util_bytes.cpp.o"
+  "CMakeFiles/test_util_bytes.dir/test_util_bytes.cpp.o.d"
+  "test_util_bytes"
+  "test_util_bytes.pdb"
+  "test_util_bytes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_strings.dir/test_util_strings.cpp.o"
+  "CMakeFiles/test_util_strings.dir/test_util_strings.cpp.o.d"
+  "test_util_strings"
+  "test_util_strings.pdb"
+  "test_util_strings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_vec3.dir/test_util_vec3.cpp.o"
+  "CMakeFiles/test_util_vec3.dir/test_util_vec3.cpp.o.d"
+  "test_util_vec3"
+  "test_util_vec3.pdb"
+  "test_util_vec3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_vec3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

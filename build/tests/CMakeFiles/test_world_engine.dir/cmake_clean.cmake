@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_engine.dir/test_world_engine.cpp.o"
+  "CMakeFiles/test_world_engine.dir/test_world_engine.cpp.o.d"
+  "test_world_engine"
+  "test_world_engine.pdb"
+  "test_world_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_land.dir/test_world_land.cpp.o"
+  "CMakeFiles/test_world_land.dir/test_world_land.cpp.o.d"
+  "test_world_land"
+  "test_world_land.pdb"
+  "test_world_land[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_land.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

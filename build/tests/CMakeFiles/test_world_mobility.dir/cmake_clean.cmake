@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_mobility.dir/test_world_mobility.cpp.o"
+  "CMakeFiles/test_world_mobility.dir/test_world_mobility.cpp.o.d"
+  "test_world_mobility"
+  "test_world_mobility.pdb"
+  "test_world_mobility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

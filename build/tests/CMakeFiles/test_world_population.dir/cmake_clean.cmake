@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_population.dir/test_world_population.cpp.o"
+  "CMakeFiles/test_world_population.dir/test_world_population.cpp.o.d"
+  "test_world_population"
+  "test_world_population.pdb"
+  "test_world_population[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

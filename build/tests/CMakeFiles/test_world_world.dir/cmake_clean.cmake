@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_world.dir/test_world_world.cpp.o"
+  "CMakeFiles/test_world_world.dir/test_world_world.cpp.o.d"
+  "test_world_world"
+  "test_world_world.pdb"
+  "test_world_world[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slmob_cli.dir/slmob_cli.cpp.o"
+  "CMakeFiles/slmob_cli.dir/slmob_cli.cpp.o.d"
+  "slmob"
+  "slmob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slmob_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
