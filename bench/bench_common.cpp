@@ -3,8 +3,43 @@
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
 
 namespace slmob::bench {
+namespace {
+
+struct CacheKey {
+  LandArchetype archetype;
+  double hours;
+  std::uint64_t seed;
+  bool operator<(const CacheKey& o) const {
+    return std::tie(archetype, hours, seed) < std::tie(o.archetype, o.hours, o.seed);
+  }
+};
+
+// Guards the results cache; experiments themselves run unlocked.
+std::mutex cache_mutex;
+std::map<CacheKey, ExperimentResults>& cache() {
+  static std::map<CacheKey, ExperimentResults> instance;
+  return instance;
+}
+
+ExperimentResults run_land(LandArchetype archetype, const BenchOptions& options,
+                           std::size_t analysis_threads) {
+  ExperimentConfig cfg;
+  cfg.archetype = archetype;
+  cfg.duration = options.hours * kSecondsPerHour;
+  cfg.seed = options.seed;
+  cfg.analysis_threads = analysis_threads;
+  std::fprintf(stderr, "[bench] simulating %s (%.1f h, seed %llu)...\n",
+               archetype_name(archetype).c_str(), options.hours,
+               static_cast<unsigned long long>(options.seed));
+  return run_experiment(cfg);
+}
+
+}  // namespace
 
 BenchOptions BenchOptions::parse(int argc, char** argv) {
   BenchOptions options;
@@ -26,27 +61,39 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
 
 const ExperimentResults& land_results(LandArchetype archetype,
                                       const BenchOptions& options) {
-  struct Key {
-    LandArchetype archetype;
-    double hours;
-    std::uint64_t seed;
-    bool operator<(const Key& o) const {
-      return std::tie(archetype, hours, seed) < std::tie(o.archetype, o.hours, o.seed);
-    }
-  };
-  static std::map<Key, ExperimentResults> cache;
-  const Key key{archetype, options.hours, options.seed};
-  const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  const CacheKey key{archetype, options.hours, options.seed};
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    const auto it = cache().find(key);
+    if (it != cache().end()) return it->second;
+  }
+  ExperimentResults res = run_land(archetype, options, /*analysis_threads=*/0);
+  const std::lock_guard<std::mutex> lock(cache_mutex);
+  // emplace is a no-op if another thread raced us to the same key.
+  return cache().emplace(key, std::move(res)).first->second;
+}
 
-  ExperimentConfig cfg;
-  cfg.archetype = archetype;
-  cfg.duration = options.hours * kSecondsPerHour;
-  cfg.seed = options.seed;
-  std::fprintf(stderr, "[bench] simulating %s (%.1f h, seed %llu)...\n",
-               archetype_name(archetype).c_str(), options.hours,
-               static_cast<unsigned long long>(options.seed));
-  return cache.emplace(key, run_experiment(cfg)).first->second;
+void prewarm_lands(const std::vector<LandArchetype>& archetypes,
+                   const BenchOptions& options) {
+  std::vector<LandArchetype> missing;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex);
+    for (const LandArchetype a : archetypes) {
+      if (!cache().contains({a, options.hours, options.seed})) missing.push_back(a);
+    }
+  }
+  if (missing.size() < 2) {
+    for (const LandArchetype a : missing) (void)land_results(a, options);
+    return;
+  }
+  ThreadPool pool(std::min(ThreadPool::default_concurrency(), missing.size()));
+  auto all = parallel_map<ExperimentResults>(pool, missing.size(), [&](std::size_t i) {
+    return run_land(missing[i], options, /*analysis_threads=*/1);
+  });
+  const std::lock_guard<std::mutex> lock(cache_mutex);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    cache().emplace(CacheKey{missing[i], options.hours, options.seed}, std::move(all[i]));
+  }
 }
 
 void print_title(const std::string& title, const std::string& paper_ref) {

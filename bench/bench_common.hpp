@@ -10,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 
@@ -23,7 +24,15 @@ struct BenchOptions {
 };
 
 // Runs (and caches, per process) the standard experiment for one land.
+// Thread-safe: may be called from pool workers.
 const ExperimentResults& land_results(LandArchetype archetype, const BenchOptions& options);
+
+// Runs the experiments for several lands concurrently (one pool slot per
+// land, single-threaded analysis inside each) and fills the land_results
+// cache, so multi-land benches pay max() instead of sum() of the land
+// simulation times. Honours SLMOB_THREADS.
+void prewarm_lands(const std::vector<LandArchetype>& archetypes,
+                   const BenchOptions& options);
 
 // Pretty-printers ------------------------------------------------------------
 void print_title(const std::string& title, const std::string& paper_ref);

@@ -12,6 +12,7 @@ using namespace slmob::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::parse(argc, argv);
+  prewarm_lands({std::begin(kAllArchetypes), std::end(kAllArchetypes)}, options);
   if (options.hours > 6.0) options.hours = 6.0;
   print_title("Trace-driven DTN forwarding on Second Life mobility",
               "La & Michiardi 2008, motivating application (abstract, section 5)");

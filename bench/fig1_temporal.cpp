@@ -35,6 +35,7 @@ const MedianTargets& targets(LandArchetype archetype) {
 
 int main(int argc, char** argv) {
   const BenchOptions options = BenchOptions::parse(argc, argv);
+  prewarm_lands({std::begin(kAllArchetypes), std::end(kAllArchetypes)}, options);
   print_title("Figure 1: temporal analysis (CT / ICT / FT CCDFs, r=10m and r=80m)",
               "La & Michiardi 2008, Fig. 1(a)-(f)");
 

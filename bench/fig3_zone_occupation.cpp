@@ -10,6 +10,7 @@ using namespace slmob::bench;
 
 int main(int argc, char** argv) {
   const BenchOptions options = BenchOptions::parse(argc, argv);
+  prewarm_lands({std::begin(kAllArchetypes), std::end(kAllArchetypes)}, options);
   print_title("Figure 3: zone occupation CDF (L = 20 m)",
               "La & Michiardi 2008, Fig. 3");
 

@@ -9,6 +9,7 @@ using namespace slmob::bench;
 
 int main(int argc, char** argv) {
   const BenchOptions options = BenchOptions::parse(argc, argv);
+  prewarm_lands({std::begin(kAllArchetypes), std::end(kAllArchetypes)}, options);
   print_title("Figure 4: trip analysis (travel length / effective time / login time)",
               "La & Michiardi 2008, Fig. 4(a)-(c)");
 

@@ -13,6 +13,7 @@ using namespace slmob::bench;
 
 int main(int argc, char** argv) {
   BenchOptions options = BenchOptions::parse(argc, argv);
+  prewarm_lands({std::begin(kAllArchetypes), std::end(kAllArchetypes)}, options);
   print_title("Future work: relation graph & flight decomposition",
               "La & Michiardi 2008, section 5 (conclusion and future work)");
 

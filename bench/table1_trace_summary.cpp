@@ -10,6 +10,7 @@ using namespace slmob::bench;
 
 int main(int argc, char** argv) {
   const BenchOptions options = BenchOptions::parse(argc, argv);
+  prewarm_lands({std::begin(kAllArchetypes), std::end(kAllArchetypes)}, options);
   print_title("Table 1: trace summary (unique visitors / avg concurrent users)",
               "La & Michiardi 2008, section 3 (in-text trace summary)");
 

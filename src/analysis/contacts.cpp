@@ -1,10 +1,9 @@
 #include "analysis/contacts.hpp"
 
 #include <algorithm>
-#include <map>
 #include <unordered_map>
 
-#include "analysis/spatial_index.hpp"
+#include "analysis/proximity_cache.hpp"
 
 namespace slmob {
 namespace {
@@ -24,8 +23,8 @@ struct OpenContact {
 
 }  // namespace
 
-ContactAnalysis analyze_contacts(const Trace& trace, double range,
-                                 const ContactOptions& options) {
+ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache,
+                                 double range, const ContactOptions& options) {
   (void)options;
   ContactAnalysis out;
   out.range = range;
@@ -35,8 +34,8 @@ ContactAnalysis analyze_contacts(const Trace& trace, double range,
   // Per-pair end time of the previous contact, for ICT.
   std::unordered_map<PairKey, Seconds> last_contact_end;
   // Per-user first appearance and first-contact time, for FT.
-  std::map<AvatarId, Seconds> first_seen;
-  std::map<AvatarId, Seconds> first_contact;
+  std::unordered_map<AvatarId, Seconds> first_seen;
+  std::unordered_map<AvatarId, Seconds> first_contact;
 
   const auto close_contact = [&](PairKey key, const OpenContact& contact) {
     const Seconds end = contact.last_seen + tau;
@@ -50,18 +49,15 @@ ContactAnalysis analyze_contacts(const Trace& trace, double range,
     last_contact_end[key] = end;
   };
 
-  for (const auto& snap : trace.snapshots()) {
+  const auto& snaps = trace.snapshots();
+  for (std::size_t s = 0; s < snaps.size(); ++s) {
+    const auto& snap = snaps[s];
     for (const auto& fix : snap.fixes) {
       first_seen.try_emplace(fix.id, snap.time);
     }
 
-    // In-range pairs of this snapshot.
-    std::vector<Vec3> positions;
-    positions.reserve(snap.fixes.size());
-    for (const auto& fix : snap.fixes) positions.push_back(fix.pos);
-    const SpatialGrid grid(positions, range);
-    const auto pairs = grid.pairs_within();
-
+    // In-range pairs of this snapshot, from the shared cache.
+    const auto& pairs = cache.pairs(s, range);
     std::vector<PairKey> current;
     current.reserve(pairs.size());
     for (const auto& [i, j] : pairs) {
@@ -92,19 +88,32 @@ ContactAnalysis analyze_contacts(const Trace& trace, double range,
 
   std::sort(out.intervals.begin(), out.intervals.end(),
             [](const ContactInterval& x, const ContactInterval& y) {
-              return x.start < y.start;
+              return std::tie(x.start, x.a.value, x.b.value) <
+                     std::tie(y.start, y.a.value, y.b.value);
             });
 
   out.users_seen = first_seen.size();
   out.users_with_contact = first_contact.size();
+  std::vector<Seconds> first_contact_samples;
+  first_contact_samples.reserve(first_contact.size());
   for (const auto& [id, t_contact] : first_contact) {
     const Seconds t_seen = first_seen.at(id);
     // FT = 0 would vanish on the paper's log axis; credit half a sampling
     // interval to a user already in contact at its first snapshot.
     const Seconds ft = t_contact - t_seen;
-    out.first_contact_times.add(ft > 0.0 ? ft : tau / 2.0);
+    first_contact_samples.push_back(ft > 0.0 ? ft : tau / 2.0);
   }
+  // unordered_map iteration order is implementation-defined; sort so the FT
+  // sample sequence does not depend on hashing details.
+  std::sort(first_contact_samples.begin(), first_contact_samples.end());
+  for (const Seconds ft : first_contact_samples) out.first_contact_times.add(ft);
   return out;
+}
+
+ContactAnalysis analyze_contacts(const Trace& trace, double range,
+                                 const ContactOptions& options) {
+  const ProximityCache cache(trace, {range});
+  return analyze_contacts(trace, cache, range, options);
 }
 
 }  // namespace slmob

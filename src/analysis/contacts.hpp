@@ -49,8 +49,16 @@ struct ContactOptions {
   // reading of the paper's definition.
 };
 
+class ProximityCache;
+
 // Extracts all contacts from `trace` with communication range `range`.
 ContactAnalysis analyze_contacts(const Trace& trace, double range,
                                  const ContactOptions& options = {});
+
+// Same, but reads per-snapshot in-range pairs from a prebuilt cache instead
+// of building a SpatialGrid per snapshot. `range` must be one of the radii
+// the cache was built with; `cache` must cover the same trace.
+ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache,
+                                 double range, const ContactOptions& options = {});
 
 }  // namespace slmob

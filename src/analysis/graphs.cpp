@@ -4,7 +4,9 @@
 #include <deque>
 #include <stdexcept>
 
+#include "analysis/proximity_cache.hpp"
 #include "analysis/spatial_index.hpp"
+#include "util/thread_pool.hpp"
 
 namespace slmob {
 
@@ -15,10 +17,27 @@ LosGraph::LosGraph(const Snapshot& snapshot, double range) {
   for (const auto& fix : snapshot.fixes) positions.push_back(fix.pos);
   if (positions.empty()) return;
   const SpatialGrid grid(positions, range);
-  for (const auto& [i, j] : grid.pairs_within()) {
+  add_pairs(grid.pairs_within());
+  sort_adjacency();
+}
+
+LosGraph::LosGraph(std::size_t node_count,
+                   const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) {
+  adj_.resize(node_count);
+  add_pairs(pairs);
+  sort_adjacency();
+}
+
+void LosGraph::add_pairs(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) {
+  for (const auto& [i, j] : pairs) {
     adj_[i].push_back(j);
     adj_[j].push_back(i);
   }
+}
+
+void LosGraph::sort_adjacency() {
+  for (auto& n : adj_) std::sort(n.begin(), n.end());
 }
 
 std::size_t LosGraph::edge_count() const {
@@ -76,9 +95,30 @@ std::size_t LosGraph::largest_component_diameter() const {
   const auto largest = std::max_element(
       comps.begin(), comps.end(),
       [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  if (largest->size() < 2) return 0;
+  // One BFS per component node, sharing the distance array and a flat queue
+  // across sweeps; only the component's entries need resetting in between.
+  std::vector<std::int32_t> dist(adj_.size(), -1);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(largest->size());
   std::size_t diameter = 0;
-  for (const std::uint32_t u : *largest) {
-    diameter = std::max(diameter, eccentricity(u));
+  for (const std::uint32_t src : *largest) {
+    for (const std::uint32_t u : *largest) dist[u] = -1;
+    queue.clear();
+    queue.push_back(src);
+    dist[src] = 0;
+    std::size_t ecc = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t u = queue[head];
+      ecc = std::max(ecc, static_cast<std::size_t>(dist[u]));
+      for (const std::uint32_t v : adj_[u]) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    diameter = std::max(diameter, ecc);
   }
   return diameter;
 }
@@ -89,9 +129,9 @@ double LosGraph::clustering(std::size_t i) const {
   if (k < 2) return 0.0;
   std::size_t links = 0;
   for (std::size_t a = 0; a < k; ++a) {
+    const auto& na = adj_[nbrs[a]];
     for (std::size_t b = a + 1; b < k; ++b) {
-      const auto& na = adj_[nbrs[a]];
-      if (std::find(na.begin(), na.end(), nbrs[b]) != na.end()) ++links;
+      if (std::binary_search(na.begin(), na.end(), nbrs[b])) ++links;
     }
   }
   return 2.0 * static_cast<double>(links) / (static_cast<double>(k) * static_cast<double>(k - 1));
@@ -99,36 +139,132 @@ double LosGraph::clustering(std::size_t i) const {
 
 double LosGraph::mean_clustering() const {
   if (adj_.empty()) return 0.0;
+  // Neighbour-mark triangle counting: for node i, flag N(i), then walk each
+  // neighbour's adjacency counting flagged entries. O(sum_a deg(a)^2) array
+  // probes instead of O(k^2 log k) binary searches per node, with the exact
+  // same integer link counts (so the summed doubles are bit-identical to
+  // summing clustering(i)).
+  std::vector<char> marked(adj_.size(), 0);
   double total = 0.0;
-  for (std::size_t i = 0; i < adj_.size(); ++i) total += clustering(i);
+  for (std::size_t i = 0; i < adj_.size(); ++i) {
+    const auto& nbrs = adj_[i];
+    const std::size_t k = nbrs.size();
+    if (k < 2) continue;
+    for (const std::uint32_t a : nbrs) marked[a] = 1;
+    std::size_t links = 0;
+    for (const std::uint32_t a : nbrs) {
+      for (const std::uint32_t b : adj_[a]) {
+        if (b > a && marked[b]) ++links;
+      }
+    }
+    for (const std::uint32_t a : nbrs) marked[a] = 0;
+    total +=
+        2.0 * static_cast<double>(links) / (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
   return total / static_cast<double>(adj_.size());
 }
 
-GraphMetrics analyze_graphs(const Trace& trace, double range, std::size_t stride) {
-  if (stride == 0) throw std::invalid_argument("analyze_graphs: stride must be >= 1");
+namespace {
+
+// Partial aggregate over one contiguous chunk of snapshots. Counts are kept
+// raw so chunk merging can recompute the isolated fraction exactly.
+struct GraphChunk {
+  Ecdf degrees;
+  Ecdf diameters;
+  Ecdf clustering;
+  std::size_t snapshots_analyzed{0};
+  std::size_t isolated{0};
+  std::size_t degree_samples{0};
+};
+
+// Aggregates metrics of one snapshot graph into a chunk.
+void accumulate(GraphChunk& chunk, const LosGraph& graph) {
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    const std::size_t deg = graph.degree(i);
+    chunk.degrees.add(static_cast<double>(deg));
+    ++chunk.degree_samples;
+    if (deg == 0) ++chunk.isolated;
+  }
+  chunk.diameters.add(static_cast<double>(graph.largest_component_diameter()));
+  chunk.clustering.add(graph.mean_clustering());
+  ++chunk.snapshots_analyzed;
+}
+
+GraphMetrics finalize(std::vector<GraphChunk> chunks, double range) {
   GraphMetrics out;
   out.range = range;
   std::size_t isolated = 0;
   std::size_t degree_samples = 0;
-  const auto& snaps = trace.snapshots();
-  for (std::size_t s = 0; s < snaps.size(); s += stride) {
-    const auto& snap = snaps[s];
-    if (snap.fixes.empty()) continue;
-    const LosGraph graph(snap, range);
-    for (std::size_t i = 0; i < graph.node_count(); ++i) {
-      const auto deg = static_cast<double>(graph.degree(i));
-      out.degrees.add(deg);
-      ++degree_samples;
-      if (graph.degree(i) == 0) ++isolated;
-    }
-    out.diameters.add(static_cast<double>(graph.largest_component_diameter()));
-    out.clustering.add(graph.mean_clustering());
-    ++out.snapshots_analyzed;
+  for (auto& chunk : chunks) {
+    out.degrees.merge(chunk.degrees);
+    out.diameters.merge(chunk.diameters);
+    out.clustering.merge(chunk.clustering);
+    out.snapshots_analyzed += chunk.snapshots_analyzed;
+    isolated += chunk.isolated;
+    degree_samples += chunk.degree_samples;
   }
   out.isolated_fraction =
       degree_samples == 0 ? 0.0
                           : static_cast<double>(isolated) / static_cast<double>(degree_samples);
   return out;
+}
+
+}  // namespace
+
+GraphMetrics analyze_graphs(const Trace& trace, double range, std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("analyze_graphs: stride must be >= 1");
+  GraphChunk chunk;
+  const auto& snaps = trace.snapshots();
+  for (std::size_t s = 0; s < snaps.size(); s += stride) {
+    const auto& snap = snaps[s];
+    if (snap.fixes.empty()) continue;
+    accumulate(chunk, LosGraph(snap, range));
+  }
+  std::vector<GraphChunk> chunks;
+  chunks.push_back(std::move(chunk));
+  return finalize(std::move(chunks), range);
+}
+
+GraphMetrics analyze_graphs(const Trace& trace, const ProximityCache& cache,
+                            double range, std::size_t stride, ThreadPool* pool) {
+  if (stride == 0) throw std::invalid_argument("analyze_graphs: stride must be >= 1");
+  const auto& snaps = trace.snapshots();
+  std::vector<std::size_t> indices;
+  indices.reserve(snaps.size() / stride + 1);
+  for (std::size_t s = 0; s < snaps.size(); s += stride) {
+    if (!snaps[s].fixes.empty()) indices.push_back(s);
+  }
+
+  const auto analyze_index = [&](std::size_t s) {
+    return LosGraph(snaps[s].fixes.size(), cache.pairs(s, range));
+  };
+
+  // Contiguous chunks of the index list; merged in chunk order, the ECDF
+  // sample sequences concatenate to exactly the sequential snapshot order,
+  // whatever the chunk count or scheduling.
+  std::size_t n_chunks = 1;
+  if (pool != nullptr && pool->concurrency() > 1 && indices.size() > 1) {
+    n_chunks = std::min(indices.size(), pool->concurrency() * 4);
+  }
+  const std::size_t per_chunk = (indices.size() + n_chunks - 1) / std::max<std::size_t>(n_chunks, 1);
+
+  const auto build_chunk = [&](std::size_t c) {
+    GraphChunk chunk;
+    const std::size_t lo = c * per_chunk;
+    const std::size_t hi = std::min(indices.size(), lo + per_chunk);
+    for (std::size_t k = lo; k < hi; ++k) {
+      accumulate(chunk, analyze_index(indices[k]));
+    }
+    return chunk;
+  };
+
+  std::vector<GraphChunk> chunks;
+  if (n_chunks > 1) {
+    chunks = parallel_map<GraphChunk>(*pool, n_chunks, build_chunk);
+  } else {
+    chunks.push_back(build_chunk(0));
+  }
+  return finalize(std::move(chunks), range);
 }
 
 }  // namespace slmob

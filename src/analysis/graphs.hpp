@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "stats/ecdf.hpp"
@@ -18,12 +19,21 @@
 
 namespace slmob {
 
-// Adjacency-list graph of one snapshot.
+class ProximityCache;
+class ThreadPool;
+
+// Adjacency-list graph of one snapshot. Adjacency lists are sorted at
+// construction so edge lookups (clustering) can binary-search.
 class LosGraph {
  public:
   LosGraph(const Snapshot& snapshot, double range);
+  // Builds the graph from a precomputed pair list (i < j, indices into the
+  // snapshot's fixes) — the ProximityCache fast path.
+  LosGraph(std::size_t node_count,
+           const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs);
 
   [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  // Neighbour indices of node i, ascending.
   [[nodiscard]] const std::vector<std::uint32_t>& neighbors(std::size_t i) const {
     return adj_.at(i);
   }
@@ -41,6 +51,8 @@ class LosGraph {
   [[nodiscard]] double mean_clustering() const;
 
  private:
+  void add_pairs(const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs);
+  void sort_adjacency();
   // BFS eccentricity of `start` restricted to its component.
   [[nodiscard]] std::size_t eccentricity(std::uint32_t start) const;
   std::vector<std::vector<std::uint32_t>> adj_;
@@ -58,5 +70,13 @@ struct GraphMetrics {
 // Computes graph metrics over all snapshots with >= 1 avatar. `stride`
 // analyses every stride-th snapshot (1 = all; larger for quick looks).
 GraphMetrics analyze_graphs(const Trace& trace, double range, std::size_t stride = 1);
+
+// Same, but builds each snapshot's graph from the shared cache, and — when
+// `pool` is non-null — fans contiguous snapshot chunks across it, merging
+// partial results in snapshot order so the output (including ECDF sample
+// order) is identical for any thread count.
+GraphMetrics analyze_graphs(const Trace& trace, const ProximityCache& cache,
+                            double range, std::size_t stride = 1,
+                            ThreadPool* pool = nullptr);
 
 }  // namespace slmob

@@ -1,0 +1,72 @@
+#include "analysis/proximity_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analysis/spatial_index.hpp"
+
+namespace slmob {
+
+ProximityCache::ProximityCache(const Trace& trace, const std::vector<double>& ranges,
+                               ThreadPool* pool) {
+  ranges_ = ranges;
+  std::sort(ranges_.begin(), ranges_.end());
+  ranges_.erase(std::unique(ranges_.begin(), ranges_.end()), ranges_.end());
+  for (const double r : ranges_) {
+    if (r <= 0.0) throw std::invalid_argument("ProximityCache: ranges must be positive");
+  }
+
+  const auto& snaps = trace.snapshots();
+  positions_.resize(snaps.size());
+  pair_lists_.resize(snaps.size());
+
+  const auto build_snapshot = [&](std::size_t s) {
+    const auto& fixes = snaps[s].fixes;
+    auto& pos = positions_[s];
+    pos.reserve(fixes.size());
+    for (const auto& fix : fixes) pos.push_back(fix.pos);
+
+    auto& lists = pair_lists_[s];
+    lists.resize(ranges_.size());
+    if (ranges_.empty() || pos.empty()) return;
+
+    // One grid at the largest radius answers every radius: a pair within a
+    // smaller r is necessarily within r_max, so filtering by the recorded
+    // distance reproduces exactly the <= r predicate the grid would apply.
+    const SpatialGrid grid(pos, ranges_.back());
+    const auto all = grid.pairs_within_distance();
+    for (std::size_t ri = 0; ri < ranges_.size(); ++ri) {
+      const double r = ranges_[ri];
+      auto& list = lists[ri];
+      if (ri + 1 == ranges_.size()) {
+        list.reserve(all.size());
+        for (const auto& p : all) list.emplace_back(p.i, p.j);
+      } else {
+        for (const auto& p : all) {
+          if (p.distance <= r) list.emplace_back(p.i, p.j);
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr && pool->concurrency() > 1) {
+    parallel_for(*pool, snaps.size(), build_snapshot);
+  } else {
+    for (std::size_t s = 0; s < snaps.size(); ++s) build_snapshot(s);
+  }
+}
+
+std::size_t ProximityCache::range_index(double range) const {
+  const auto it = std::lower_bound(ranges_.begin(), ranges_.end(), range);
+  if (it == ranges_.end() || *it != range) {
+    throw std::invalid_argument("ProximityCache: range was not requested at build time");
+  }
+  return static_cast<std::size_t>(it - ranges_.begin());
+}
+
+const ProximityCache::PairList& ProximityCache::pairs(std::size_t snap,
+                                                      double range) const {
+  return pair_lists_.at(snap).at(range_index(range));
+}
+
+}  // namespace slmob

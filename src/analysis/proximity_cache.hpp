@@ -1,0 +1,60 @@
+// Shared per-snapshot proximity structure for the analysis pipeline.
+//
+// Every §3 analysis needs, per snapshot, "all avatar pairs within r" for one
+// or more radii (10 m Bluetooth and 80 m WiFi in the paper). Building a
+// SpatialGrid per (snapshot, range, analysis) repeats the same work four
+// times per snapshot; the cache instead builds ONE grid per snapshot at the
+// largest requested radius, records each in-range pair with its distance,
+// and derives the pair list of every smaller radius by filtering — pairs
+// within 10 m are a subset of pairs within 80 m.
+//
+// The cache is immutable after construction, so any number of analysis
+// threads can read it concurrently; construction itself fans per-snapshot
+// grid builds across a ThreadPool when one is supplied. Pair lists preserve
+// the grid's emission order, so analyses consuming the cache are
+// deterministic for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
+#include "util/vec3.hpp"
+
+namespace slmob {
+
+class ProximityCache {
+ public:
+  using PairList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+  // Builds pair lists for every snapshot of `trace` at every radius in
+  // `ranges` (deduplicated; each must be > 0). When `pool` is non-null the
+  // per-snapshot builds run in parallel on it. The cache keeps fix indices,
+  // not avatar ids: pair (i, j) refers to snapshot.fixes[i] / fixes[j].
+  ProximityCache(const Trace& trace, const std::vector<double>& ranges,
+                 ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::size_t snapshot_count() const { return positions_.size(); }
+  // Requested radii, ascending and deduplicated.
+  [[nodiscard]] const std::vector<double>& ranges() const { return ranges_; }
+
+  // Positions of snapshot `snap`'s fixes, in fix order.
+  [[nodiscard]] const std::vector<Vec3>& positions(std::size_t snap) const {
+    return positions_.at(snap);
+  }
+
+  // Pairs (i < j) of snapshot `snap` within `range`. `range` must be one of
+  // ranges() (throws std::invalid_argument otherwise).
+  [[nodiscard]] const PairList& pairs(std::size_t snap, double range) const;
+
+ private:
+  [[nodiscard]] std::size_t range_index(double range) const;
+
+  std::vector<double> ranges_;
+  std::vector<std::vector<Vec3>> positions_;       // [snap]
+  std::vector<std::vector<PairList>> pair_lists_;  // [snap][range index]
+};
+
+}  // namespace slmob

@@ -8,8 +8,12 @@ namespace slmob {
 SpatialGrid::SpatialGrid(const std::vector<Vec3>& positions, double radius)
     : positions_(positions), radius_(radius), cell_(radius) {
   if (radius <= 0.0) throw std::invalid_argument("SpatialGrid: radius must be positive");
+  coords_.reserve(positions_.size());
+  cells_.reserve(positions_.size());
   for (std::uint32_t i = 0; i < positions_.size(); ++i) {
-    cells_[key_for(positions_[i])].push_back(i);
+    const CellCoord c = coord_for(positions_[i]);
+    coords_.push_back(c);
+    cells_[pack(c.cx, c.cy)].push_back(i);
   }
 }
 
@@ -18,40 +22,52 @@ SpatialGrid::CellKey SpatialGrid::pack(std::int32_t cx, std::int32_t cy) {
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
 }
 
-SpatialGrid::CellKey SpatialGrid::key_for(const Vec3& p) const {
-  return pack(static_cast<std::int32_t>(std::floor(p.x / cell_)),
-              static_cast<std::int32_t>(std::floor(p.y / cell_)));
+SpatialGrid::CellCoord SpatialGrid::coord_for(const Vec3& p) const {
+  return {static_cast<std::int32_t>(std::floor(p.x / cell_)),
+          static_cast<std::int32_t>(std::floor(p.y / cell_))};
 }
 
-std::vector<std::pair<std::uint32_t, std::uint32_t>> SpatialGrid::pairs_within() const {
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+template <typename Emit>
+void SpatialGrid::for_each_pair(Emit&& emit) const {
   for (std::uint32_t i = 0; i < positions_.size(); ++i) {
-    const auto cx = static_cast<std::int32_t>(std::floor(positions_[i].x / cell_));
-    const auto cy = static_cast<std::int32_t>(std::floor(positions_[i].y / cell_));
+    const CellCoord c = coords_[i];
     for (std::int32_t dx = -1; dx <= 1; ++dx) {
       for (std::int32_t dy = -1; dy <= 1; ++dy) {
-        const auto it = cells_.find(pack(cx + dx, cy + dy));
+        const auto it = cells_.find(pack(c.cx + dx, c.cy + dy));
         if (it == cells_.end()) continue;
         for (const std::uint32_t j : it->second) {
           if (j <= i) continue;
-          if (positions_[i].distance2d_to(positions_[j]) <= radius_) {
-            out.emplace_back(i, j);
-          }
+          const double d = positions_[i].distance2d_to(positions_[j]);
+          if (d <= radius_) emit(i, j, d);
         }
       }
     }
   }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> SpatialGrid::pairs_within() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  out.reserve(positions_.size());
+  for_each_pair([&](std::uint32_t i, std::uint32_t j, double) { out.emplace_back(i, j); });
+  return out;
+}
+
+std::vector<IndexPairDistance> SpatialGrid::pairs_within_distance() const {
+  std::vector<IndexPairDistance> out;
+  out.reserve(positions_.size());
+  for_each_pair([&](std::uint32_t i, std::uint32_t j, double d) {
+    out.push_back({i, j, d});
+  });
   return out;
 }
 
 std::vector<std::uint32_t> SpatialGrid::neighbors_of(std::uint32_t i) const {
   std::vector<std::uint32_t> out;
   if (i >= positions_.size()) throw std::out_of_range("SpatialGrid::neighbors_of");
-  const auto cx = static_cast<std::int32_t>(std::floor(positions_[i].x / cell_));
-  const auto cy = static_cast<std::int32_t>(std::floor(positions_[i].y / cell_));
+  const CellCoord c = coords_[i];
   for (std::int32_t dx = -1; dx <= 1; ++dx) {
     for (std::int32_t dy = -1; dy <= 1; ++dy) {
-      const auto it = cells_.find(pack(cx + dx, cy + dy));
+      const auto it = cells_.find(pack(c.cx + dx, c.cy + dy));
       if (it == cells_.end()) continue;
       for (const std::uint32_t j : it->second) {
         if (j != i && positions_[i].distance2d_to(positions_[j]) <= radius_) {

@@ -3,6 +3,8 @@
 // Contact extraction and graph construction both need "all pairs within r";
 // the grid reduces that from O(n^2) distance checks to neighbours of the
 // 3x3 cell block around each point. Cell size equals the query radius.
+// Per-point cell coordinates are derived once at construction and reused by
+// every query.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,15 @@
 
 namespace slmob {
 
+// An index pair (i < j) with its planar distance, as produced by
+// SpatialGrid::pairs_within_distance. Keeping the distance lets one grid
+// built at the largest radius answer all smaller radii by filtering.
+struct IndexPairDistance {
+  std::uint32_t i{0};
+  std::uint32_t j{0};
+  double distance{0.0};
+};
+
 class SpatialGrid {
  public:
   // `radius` is the query radius the grid is built for; `positions` indexes
@@ -22,17 +33,28 @@ class SpatialGrid {
   // All index pairs (i < j) with planar distance <= radius.
   [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_within() const;
 
+  // Same pairs, each with its planar distance.
+  [[nodiscard]] std::vector<IndexPairDistance> pairs_within_distance() const;
+
   // Indices within radius of positions[i], excluding i itself.
   [[nodiscard]] std::vector<std::uint32_t> neighbors_of(std::uint32_t i) const;
 
  private:
   using CellKey = std::uint64_t;
-  [[nodiscard]] CellKey key_for(const Vec3& p) const;
+  struct CellCoord {
+    std::int32_t cx{0};
+    std::int32_t cy{0};
+  };
+  [[nodiscard]] CellCoord coord_for(const Vec3& p) const;
   [[nodiscard]] static CellKey pack(std::int32_t cx, std::int32_t cy);
+
+  template <typename Emit>
+  void for_each_pair(Emit&& emit) const;
 
   const std::vector<Vec3>& positions_;
   double radius_;
   double cell_;
+  std::vector<CellCoord> coords_;  // cell coordinates of positions_[i]
   std::unordered_map<CellKey, std::vector<std::uint32_t>> cells_;
 };
 

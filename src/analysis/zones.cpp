@@ -4,9 +4,17 @@
 #include <cmath>
 #include <stdexcept>
 
-namespace slmob {
+#include "analysis/proximity_cache.hpp"
 
-ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_size) {
+namespace slmob {
+namespace {
+
+// Shared core: `for_each_position(s, fn)` calls fn(pos) for every avatar
+// position of snapshot s, in fix order.
+template <typename ForEachPosition>
+ZoneAnalysis analyze_zones_impl(std::size_t snapshot_count,
+                                ForEachPosition&& for_each_position, double land_size,
+                                double cell_size) {
   if (land_size <= 0.0 || cell_size <= 0.0) {
     throw std::invalid_argument("analyze_zones: bad sizes");
   }
@@ -20,17 +28,17 @@ ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_siz
   std::vector<std::uint32_t> counts(n_cells);
   std::size_t empty_samples = 0;
   std::size_t total_samples = 0;
-  for (const auto& snap : trace.snapshots()) {
+  for (std::size_t s = 0; s < snapshot_count; ++s) {
     std::fill(counts.begin(), counts.end(), 0);
-    for (const auto& fix : snap.fixes) {
-      auto cx = static_cast<std::size_t>(std::clamp(fix.pos.x, 0.0, land_size - 1e-9) /
+    for_each_position(s, [&](const Vec3& pos) {
+      auto cx = static_cast<std::size_t>(std::clamp(pos.x, 0.0, land_size - 1e-9) /
                                          cell_size);
-      auto cy = static_cast<std::size_t>(std::clamp(fix.pos.y, 0.0, land_size - 1e-9) /
+      auto cy = static_cast<std::size_t>(std::clamp(pos.y, 0.0, land_size - 1e-9) /
                                          cell_size);
       cx = std::min(cx, side - 1);
       cy = std::min(cy, side - 1);
       ++counts[cy * side + cx];
-    }
+    });
     for (std::size_t c = 0; c < n_cells; ++c) {
       out.occupancy.add(static_cast<double>(counts[c]));
       out.mean_per_cell[c] += static_cast<double>(counts[c]);
@@ -43,10 +51,33 @@ ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_siz
     out.empty_fraction =
         static_cast<double>(empty_samples) / static_cast<double>(total_samples);
     for (auto& m : out.mean_per_cell) {
-      m /= static_cast<double>(trace.snapshots().size());
+      m /= static_cast<double>(snapshot_count);
     }
   }
   return out;
+}
+
+}  // namespace
+
+ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_size) {
+  const auto& snaps = trace.snapshots();
+  return analyze_zones_impl(
+      snaps.size(),
+      [&](std::size_t s, auto&& fn) {
+        for (const auto& fix : snaps[s].fixes) fn(fix.pos);
+      },
+      land_size, cell_size);
+}
+
+ZoneAnalysis analyze_zones(const Trace& trace, const ProximityCache& cache,
+                           double land_size, double cell_size) {
+  (void)trace;
+  return analyze_zones_impl(
+      cache.snapshot_count(),
+      [&](std::size_t s, auto&& fn) {
+        for (const Vec3& pos : cache.positions(s)) fn(pos);
+      },
+      land_size, cell_size);
 }
 
 }  // namespace slmob

@@ -22,7 +22,14 @@ struct ZoneAnalysis {
   std::vector<double> mean_per_cell;
 };
 
+class ProximityCache;
+
 ZoneAnalysis analyze_zones(const Trace& trace, double land_size = 256.0,
                            double cell_size = 20.0);
+
+// Same, but reads per-snapshot position arrays from the shared cache instead
+// of walking each snapshot's fixes again. `cache` must cover `trace`.
+ZoneAnalysis analyze_zones(const Trace& trace, const ProximityCache& cache,
+                           double land_size = 256.0, double cell_size = 20.0);
 
 }  // namespace slmob

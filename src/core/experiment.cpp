@@ -1,6 +1,9 @@
 #include "core/experiment.hpp"
 
+#include <functional>
 #include <stdexcept>
+
+#include "analysis/proximity_cache.hpp"
 
 namespace slmob {
 
@@ -25,8 +28,9 @@ ExperimentResults run_experiment(const ExperimentConfig& config) {
   }
   trace.strip_sitting_fixes();
 
-  ExperimentResults results =
-      analyze_trace(std::move(trace), config.ranges, bed.world().land().size());
+  ExperimentResults results = analyze_trace(std::move(trace), config.ranges,
+                                            bed.world().land().size(),
+                                            config.analysis_threads);
   results.world_stats = bed.world().stats();
   if (bed.crawler() != nullptr) results.crawler_stats = bed.crawler()->stats();
   results.network_stats = bed.network().stats();
@@ -37,15 +41,35 @@ ExperimentResults run_experiment(const ExperimentConfig& config) {
 }
 
 ExperimentResults analyze_trace(Trace trace, const std::vector<double>& ranges,
-                                double land_size) {
+                                double land_size, std::size_t threads) {
   ExperimentResults results;
   results.summary = trace.summary();
-  for (const double r : ranges) {
-    results.contacts.emplace(r, analyze_contacts(trace, r));
-    results.graphs.emplace(r, analyze_graphs(trace, r));
+
+  ThreadPool pool(threads);
+  const ProximityCache cache(trace, ranges, &pool);
+
+  // Each task owns one disjoint slot of `results`; map nodes are created
+  // up front so workers never mutate the maps themselves (std::map never
+  // invalidates mapped references).
+  std::vector<std::function<void()>> tasks;
+  // cache.ranges() is deduplicated, so no two tasks share a map slot.
+  for (const double r : cache.ranges()) {
+    ContactAnalysis& contacts = results.contacts[r];
+    tasks.emplace_back([&trace, &cache, &contacts, r] {
+      contacts = analyze_contacts(trace, cache, r);
+    });
+    GraphMetrics& graphs = results.graphs[r];
+    tasks.emplace_back([&trace, &cache, &graphs, r, &pool] {
+      graphs = analyze_graphs(trace, cache, r, 1, &pool);
+    });
   }
-  results.zones = analyze_zones(trace, land_size);
-  results.trips = analyze_trips(trace);
+  tasks.emplace_back([&trace, &cache, &results, land_size] {
+    results.zones = analyze_zones(trace, cache, land_size);
+  });
+  tasks.emplace_back([&trace, &results] { results.trips = analyze_trips(trace); });
+
+  parallel_for(pool, tasks.size(), [&](std::size_t i) { tasks[i](); });
+
   results.trace = std::move(trace);
   return results;
 }

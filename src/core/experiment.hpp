@@ -20,6 +20,7 @@
 #include "analysis/trips.hpp"
 #include "analysis/zones.hpp"
 #include "core/testbed.hpp"
+#include "util/thread_pool.hpp"
 
 namespace slmob {
 
@@ -36,6 +37,10 @@ struct ExperimentConfig {
   // Analyse the ground-truth trace instead of the crawler's (for
   // architecture-comparison studies).
   bool analyze_ground_truth{false};
+  // Total threads for the analysis pipeline (the simulation itself stays
+  // single-threaded for determinism). 0 = SLMOB_THREADS env var if set,
+  // else hardware_concurrency(). Results are identical for any value.
+  std::size_t analysis_threads{0};
 };
 
 struct ExperimentResults {
@@ -55,7 +60,15 @@ struct ExperimentResults {
 ExperimentResults run_experiment(const ExperimentConfig& config);
 
 // Runs only the analyses on an existing trace (e.g. loaded from disk).
+//
+// Builds one ProximityCache over the trace (one SpatialGrid per snapshot at
+// the largest range, smaller radii derived by distance filtering) and fans
+// the independent analyses — contacts and graphs per range, zones, trips —
+// plus per-snapshot graph chunks across a thread pool of `threads` total
+// threads (0 = SLMOB_THREADS env var, else hardware_concurrency()). Output
+// is bit-identical for every thread count.
 ExperimentResults analyze_trace(Trace trace, const std::vector<double>& ranges,
-                                double land_size = kDefaultLandSize);
+                                double land_size = kDefaultLandSize,
+                                std::size_t threads = 0);
 
 }  // namespace slmob

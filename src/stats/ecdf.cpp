@@ -15,6 +15,12 @@ void Ecdf::add(double sample) {
   sorted_ = false;
 }
 
+void Ecdf::merge(const Ecdf& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
 void Ecdf::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -23,6 +23,10 @@ class Ecdf {
   explicit Ecdf(std::vector<double> samples);
 
   void add(double sample);
+  // Appends another distribution's samples, preserving their insertion
+  // order. Used to merge per-chunk partial results of a parallel analysis
+  // back into snapshot order.
+  void merge(const Ecdf& other);
   // Re-sorts after a batch of add() calls; called lazily by accessors.
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }

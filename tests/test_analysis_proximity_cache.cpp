@@ -1,0 +1,179 @@
+#include "analysis/proximity_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/contacts.hpp"
+#include "analysis/graphs.hpp"
+#include "analysis/spatial_index.hpp"
+#include "util/rng.hpp"
+
+namespace slmob {
+namespace {
+
+using PairSet = std::set<std::pair<std::uint32_t, std::uint32_t>>;
+
+Trace random_trace(std::uint64_t seed, std::size_t snapshots, std::size_t max_users) {
+  Rng rng(seed);
+  Trace t("cache-test", 10.0);
+  for (std::size_t s = 0; s < snapshots; ++s) {
+    Snapshot snap;
+    snap.time = static_cast<double>(s) * 10.0;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_users)));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Clustered positions so both radii produce non-trivial pair sets.
+      const double cx = rng.uniform(0.0, 1.0) < 0.5 ? 64.0 : 192.0;
+      snap.fixes.push_back({AvatarId{static_cast<std::uint32_t>(i + 1)},
+                            {cx + rng.uniform(-40.0, 40.0), 128.0 + rng.uniform(-40.0, 40.0), 22.0}});
+    }
+    t.add(std::move(snap));
+  }
+  return t;
+}
+
+// O(n^2) oracle: all index pairs within `range`.
+PairSet brute_force_pairs(const Snapshot& snap, double range) {
+  PairSet out;
+  for (std::uint32_t i = 0; i < snap.fixes.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < snap.fixes.size(); ++j) {
+      if (snap.fixes[i].pos.distance2d_to(snap.fixes[j].pos) <= range) {
+        out.insert({i, j});
+      }
+    }
+  }
+  return out;
+}
+
+PairSet to_set(const ProximityCache::PairList& pairs) {
+  return {pairs.begin(), pairs.end()};
+}
+
+TEST(ProximityCache, MatchesBruteForceOracleAtEveryRadius) {
+  const Trace t = random_trace(7, 40, 50);
+  const ProximityCache cache(t, {10.0, 30.0, 80.0});
+  for (std::size_t s = 0; s < t.size(); ++s) {
+    for (const double r : {10.0, 30.0, 80.0}) {
+      EXPECT_EQ(to_set(cache.pairs(s, r)), brute_force_pairs(t.snapshots()[s], r))
+          << "snapshot " << s << " range " << r;
+    }
+  }
+}
+
+TEST(ProximityCache, SmallerRadiusIsSubsetOfLarger) {
+  const Trace t = random_trace(11, 25, 60);
+  const ProximityCache cache(t, {10.0, 80.0});
+  for (std::size_t s = 0; s < t.size(); ++s) {
+    const PairSet small = to_set(cache.pairs(s, 10.0));
+    const PairSet large = to_set(cache.pairs(s, 80.0));
+    EXPECT_TRUE(std::includes(large.begin(), large.end(), small.begin(), small.end()));
+  }
+}
+
+TEST(ProximityCache, AgreesWithDirectSpatialGrid) {
+  const Trace t = random_trace(3, 20, 40);
+  const ProximityCache cache(t, {10.0, 80.0});
+  for (std::size_t s = 0; s < t.size(); ++s) {
+    std::vector<Vec3> positions;
+    for (const auto& fix : t.snapshots()[s].fixes) positions.push_back(fix.pos);
+    for (const double r : {10.0, 80.0}) {
+      if (positions.empty()) {
+        EXPECT_TRUE(cache.pairs(s, r).empty());
+        continue;
+      }
+      const SpatialGrid grid(positions, r);
+      PairSet grid_set;
+      for (const auto& p : grid.pairs_within()) grid_set.insert(p);
+      EXPECT_EQ(to_set(cache.pairs(s, r)), grid_set);
+    }
+  }
+}
+
+TEST(ProximityCache, ParallelBuildMatchesSequentialBuild) {
+  const Trace t = random_trace(13, 30, 50);
+  const ProximityCache seq(t, {10.0, 80.0}, nullptr);
+  ThreadPool pool(4);
+  const ProximityCache par(t, {10.0, 80.0}, &pool);
+  ASSERT_EQ(seq.snapshot_count(), par.snapshot_count());
+  for (std::size_t s = 0; s < seq.snapshot_count(); ++s) {
+    EXPECT_EQ(seq.positions(s), par.positions(s));
+    for (const double r : {10.0, 80.0}) {
+      EXPECT_EQ(seq.pairs(s, r), par.pairs(s, r));  // order included
+    }
+  }
+}
+
+TEST(ProximityCache, RangesAreSortedAndDeduplicated) {
+  const Trace t = random_trace(1, 5, 10);
+  const ProximityCache cache(t, {80.0, 10.0, 80.0});
+  ASSERT_EQ(cache.ranges().size(), 2u);
+  EXPECT_DOUBLE_EQ(cache.ranges()[0], 10.0);
+  EXPECT_DOUBLE_EQ(cache.ranges()[1], 80.0);
+}
+
+TEST(ProximityCache, UnknownRangeThrows) {
+  const Trace t = random_trace(2, 3, 10);
+  const ProximityCache cache(t, {10.0});
+  EXPECT_THROW((void)cache.pairs(0, 80.0), std::invalid_argument);
+}
+
+TEST(ProximityCache, NonPositiveRangeThrows) {
+  const Trace t = random_trace(2, 3, 10);
+  EXPECT_THROW(ProximityCache(t, {0.0}), std::invalid_argument);
+  EXPECT_THROW(ProximityCache(t, {-5.0}), std::invalid_argument);
+}
+
+TEST(ProximityCache, EmptyTraceAndEmptyRanges) {
+  const Trace empty("e", 10.0);
+  const ProximityCache cache(empty, {10.0});
+  EXPECT_EQ(cache.snapshot_count(), 0u);
+
+  const Trace t = random_trace(4, 5, 10);
+  const ProximityCache no_ranges(t, {});
+  EXPECT_TRUE(no_ranges.ranges().empty());
+  EXPECT_EQ(no_ranges.snapshot_count(), t.size());
+}
+
+TEST(ProximityCache, ContactsViaCacheMatchDirectAnalysis) {
+  const Trace t = random_trace(21, 60, 40);
+  const ProximityCache cache(t, {10.0, 80.0});
+  for (const double r : {10.0, 80.0}) {
+    const ContactAnalysis direct = analyze_contacts(t, r);
+    const ContactAnalysis cached = analyze_contacts(t, cache, r);
+    ASSERT_EQ(direct.intervals.size(), cached.intervals.size());
+    for (std::size_t i = 0; i < direct.intervals.size(); ++i) {
+      EXPECT_EQ(direct.intervals[i].a, cached.intervals[i].a);
+      EXPECT_EQ(direct.intervals[i].b, cached.intervals[i].b);
+      EXPECT_DOUBLE_EQ(direct.intervals[i].start, cached.intervals[i].start);
+      EXPECT_DOUBLE_EQ(direct.intervals[i].end, cached.intervals[i].end);
+    }
+    EXPECT_EQ(direct.users_seen, cached.users_seen);
+    EXPECT_EQ(direct.users_with_contact, cached.users_with_contact);
+    const auto ds = direct.contact_times.sorted();
+    const auto cs = cached.contact_times.sorted();
+    ASSERT_EQ(ds.size(), cs.size());
+    for (std::size_t i = 0; i < ds.size(); ++i) EXPECT_DOUBLE_EQ(ds[i], cs[i]);
+  }
+}
+
+TEST(ProximityCache, GraphsViaCacheMatchDirectAnalysis) {
+  const Trace t = random_trace(23, 40, 40);
+  const ProximityCache cache(t, {10.0, 80.0});
+  for (const double r : {10.0, 80.0}) {
+    const GraphMetrics direct = analyze_graphs(t, r);
+    const GraphMetrics cached = analyze_graphs(t, cache, r);
+    EXPECT_EQ(direct.snapshots_analyzed, cached.snapshots_analyzed);
+    EXPECT_EQ(direct.degrees.size(), cached.degrees.size());
+    EXPECT_DOUBLE_EQ(direct.isolated_fraction, cached.isolated_fraction);
+    const auto dd = direct.degrees.sorted();
+    const auto cd = cached.degrees.sorted();
+    for (std::size_t i = 0; i < dd.size(); ++i) EXPECT_DOUBLE_EQ(dd[i], cd[i]);
+    const auto dc = direct.clustering.sorted();
+    const auto cc = cached.clustering.sorted();
+    for (std::size_t i = 0; i < dc.size(); ++i) EXPECT_DOUBLE_EQ(dc[i], cc[i]);
+  }
+}
+
+}  // namespace
+}  // namespace slmob

@@ -3,7 +3,8 @@
 //
 //   slmob run     --land <apfel|dance|isle> [--hours H] [--seed S] --out t.slt
 //   slmob summary <trace.slt>
-//   slmob analyze <trace.slt> [--range R]...
+//   slmob analyze <trace.slt> [--range R]... [--threads N]
+//   slmob sweep   --land <l>[,<l>...] --seeds N [--hours H] [--jobs J]
 //   slmob convert <trace.slt> <trace.csv>   (direction by extension)
 //   slmob dtn     <trace.slt> [--scheme epidemic|two-hop|direct] [--messages N]
 #include <cstdio>
@@ -26,7 +27,9 @@ int usage() {
                "usage:\n"
                "  slmob run --land <apfel|dance|isle> [--hours H] [--seed S] --out T.slt\n"
                "  slmob summary <trace.slt>\n"
-               "  slmob analyze <trace.slt> [--range R]...\n"
+               "  slmob analyze <trace.slt> [--range R]... [--threads N]\n"
+               "  slmob sweep --land <l>[,<l>...] --seeds N [--seed-base S] [--hours H]\n"
+               "              [--jobs J]\n"
                "  slmob convert <in.(slt|csv)> <out.(csv|slt)>\n"
                "  slmob dtn <trace.slt> [--scheme epidemic|two-hop|direct] [--messages N]\n"
                "  slmob report <trace.slt> <report.md> [--series]\n");
@@ -107,16 +110,20 @@ int cmd_summary(const std::vector<std::string>& args) {
 int cmd_analyze(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   std::vector<double> ranges;
+  std::size_t threads = 0;  // 0 = SLMOB_THREADS env / hardware_concurrency
   Trace trace = read_any(args[0]);
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--range" && i + 1 < args.size()) {
       ranges.push_back(std::atof(args[++i].c_str()));
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
     } else {
       return usage();
     }
   }
   if (ranges.empty()) ranges = {kBluetoothRange, kWifiRange};
-  const ExperimentResults res = analyze_trace(std::move(trace), ranges);
+  const ExperimentResults res =
+      analyze_trace(std::move(trace), ranges, kDefaultLandSize, threads);
   for (const double r : ranges) {
     const auto& c = res.contacts.at(r);
     const auto& g = res.graphs.at(r);
@@ -133,6 +140,78 @@ int cmd_analyze(const std::vector<std::string>& args) {
     std::printf("trips: length med %.0fm p90 %.0fm | session med %.0fs max %.0fs\n",
                 res.trips.travel_lengths.median(), res.trips.travel_lengths.quantile(0.9),
                 res.trips.travel_times.median(), res.trips.travel_times.max());
+  }
+  return 0;
+}
+
+// Multi-seed / multi-land experiment sweep, fanned across a thread pool.
+// Each (land, seed) experiment runs on one pool slot with a single-threaded
+// analysis (so J experiments use J threads total), and rows print in
+// deterministic (land, seed) order once all experiments finish.
+int cmd_sweep(const std::vector<std::string>& args) {
+  std::vector<LandArchetype> lands;
+  std::size_t seeds = 0;
+  std::uint64_t seed_base = 42;
+  double hours = 24.0;
+  std::size_t jobs = 0;  // 0 = SLMOB_THREADS env / hardware_concurrency
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--land" && i + 1 < args.size()) {
+      std::string list = args[++i];
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const auto land = parse_land(list.substr(pos, comma - pos));
+        if (!land) return usage();
+        lands.push_back(*land);
+        pos = comma + 1;
+      }
+    } else if (args[i] == "--seeds" && i + 1 < args.size()) {
+      seeds = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--seed-base" && i + 1 < args.size()) {
+      seed_base = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--hours" && i + 1 < args.size()) {
+      hours = std::atof(args[++i].c_str());
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      jobs = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
+    } else {
+      return usage();
+    }
+  }
+  if (lands.empty() || seeds == 0 || hours <= 0.0) return usage();
+
+  struct Cell {
+    LandArchetype land;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (const LandArchetype land : lands) {
+    for (std::size_t s = 0; s < seeds; ++s) cells.push_back({land, seed_base + s});
+  }
+
+  ThreadPool pool(jobs);
+  std::printf("sweeping %zu experiments (%zu lands x %zu seeds, %.1f h, %zu threads)\n",
+              cells.size(), lands.size(), seeds, hours, pool.concurrency());
+  const auto results = parallel_map<ExperimentResults>(pool, cells.size(), [&](std::size_t i) {
+    ExperimentConfig cfg;
+    cfg.archetype = cells[i].land;
+    cfg.duration = hours * kSecondsPerHour;
+    cfg.seed = cells[i].seed;
+    cfg.analysis_threads = 1;  // pool slots are the parallelism here
+    return run_experiment(cfg);
+  });
+
+  std::printf("%-12s %6s %8s %8s %10s %10s %10s\n", "land", "seed", "users", "conc",
+              "ct_med", "ict_med", "deg_med");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& res = results[i];
+    const auto& c = res.contacts.at(kBluetoothRange);
+    const auto& g = res.graphs.at(kBluetoothRange);
+    const auto median = [](const Ecdf& e) { return e.empty() ? 0.0 : e.median(); };
+    std::printf("%-12s %6llu %8zu %8.1f %10.0f %10.0f %10.0f\n",
+                archetype_name(cells[i].land).c_str(),
+                static_cast<unsigned long long>(cells[i].seed), res.summary.unique_users,
+                res.summary.avg_concurrent, median(c.contact_times),
+                median(c.inter_contact_times), median(g.degrees));
   }
   return 0;
 }
@@ -222,6 +301,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(args);
     if (command == "summary") return cmd_summary(args);
     if (command == "analyze") return cmd_analyze(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "convert") return cmd_convert(args);
     if (command == "dtn") return cmd_dtn(args);
     if (command == "report") return cmd_report(args);
