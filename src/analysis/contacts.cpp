@@ -1,7 +1,9 @@
 #include "analysis/contacts.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "analysis/proximity_cache.hpp"
 
@@ -29,6 +31,9 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
   ContactAnalysis out;
   out.range = range;
   const Seconds tau = trace.sampling_interval();
+  // Censoring only engages when the trace records coverage gaps; a gap-free
+  // trace takes exactly the historical path (bit-identical results).
+  const bool gap_aware = !trace.gaps().empty();
 
   std::unordered_map<PairKey, OpenContact> open;
   // Per-pair end time of the previous contact, for ICT.
@@ -36,9 +41,13 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
   // Per-user first appearance and first-contact time, for FT.
   std::unordered_map<AvatarId, Seconds> first_seen;
   std::unordered_map<AvatarId, Seconds> first_contact;
+  // Distinct users over covered snapshots; only maintained when gap-aware
+  // (first_seen entries get censored away at gaps, so its size undercounts).
+  std::unordered_set<AvatarId> seen_ever;
 
-  const auto close_contact = [&](PairKey key, const OpenContact& contact) {
-    const Seconds end = contact.last_seen + tau;
+  const auto close_contact = [&](PairKey key, const OpenContact& contact,
+                                 Seconds end_cap) {
+    const Seconds end = std::min(contact.last_seen + tau, end_cap);
     const auto a = AvatarId{static_cast<std::uint32_t>(key >> 32)};
     const auto b = AvatarId{static_cast<std::uint32_t>(key & 0xffffffffu)};
     out.intervals.push_back({a, b, contact.start, end});
@@ -48,10 +57,53 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
     }
     last_contact_end[key] = end;
   };
+  constexpr Seconds kNoCap = std::numeric_limits<double>::infinity();
+
+  // Censor all running observations at a coverage gap starting at `cap`:
+  // open contacts are truncated there (never bridged), the ICT chain is cut
+  // (an inter-contact time spanning unobserved time would be fabricated),
+  // and users still waiting for a first contact restart their FT clock if
+  // they reappear after the gap.
+  const auto censor_at_gap = [&](Seconds cap) {
+    std::vector<PairKey> keys;
+    keys.reserve(open.size());
+    for (const auto& [key, contact] : open) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const PairKey key : keys) close_contact(key, open.at(key), cap);
+    open.clear();
+    last_contact_end.clear();
+    for (auto it = first_seen.begin(); it != first_seen.end();) {
+      if (first_contact.find(it->first) == first_contact.end()) {
+        it = first_seen.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  // Start of the first gap after covered instant `t` (callers guarantee one
+  // exists); the truncation point for observations running at `t`.
+  const auto next_gap_start = [&](Seconds t) {
+    for (const auto& gap : trace.gaps()) {
+      if (gap.end > t) return gap.start;
+    }
+    return t;
+  };
 
   const auto& snaps = trace.snapshots();
+  bool have_prev = false;
+  Seconds prev_time = 0.0;
   for (std::size_t s = 0; s < snaps.size(); ++s) {
     const auto& snap = snaps[s];
+    if (gap_aware) {
+      if (!trace.covered_at(snap.time)) continue;
+      if (have_prev && trace.spans_gap(prev_time, snap.time)) {
+        censor_at_gap(next_gap_start(prev_time));
+      }
+      have_prev = true;
+      prev_time = snap.time;
+      for (const auto& fix : snap.fixes) seen_ever.insert(fix.id);
+    }
     for (const auto& fix : snap.fixes) {
       first_seen.try_emplace(fix.id, snap.time);
     }
@@ -76,15 +128,21 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
     for (auto it = open.begin(); it != open.end();) {
       if (it->second.last_seen < snap.time &&
           !std::binary_search(current.begin(), current.end(), it->first)) {
-        close_contact(it->first, it->second);
+        close_contact(it->first, it->second, kNoCap);
         it = open.erase(it);
       } else {
         ++it;
       }
     }
   }
-  // Close whatever is still open at the end of the trace.
-  for (const auto& [key, contact] : open) close_contact(key, contact);
+  // Close whatever is still open at the end of the trace. If the trace ends
+  // inside (or right before) a recorded gap, those contacts are truncated at
+  // the gap edge like any other.
+  Seconds final_cap = kNoCap;
+  if (gap_aware && have_prev && !trace.covered_at(prev_time + tau)) {
+    final_cap = next_gap_start(prev_time);
+  }
+  for (const auto& [key, contact] : open) close_contact(key, contact, final_cap);
 
   std::sort(out.intervals.begin(), out.intervals.end(),
             [](const ContactInterval& x, const ContactInterval& y) {
@@ -92,7 +150,7 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
                      std::tie(y.start, y.a.value, y.b.value);
             });
 
-  out.users_seen = first_seen.size();
+  out.users_seen = gap_aware ? seen_ever.size() : first_seen.size();
   out.users_with_contact = first_contact.size();
   std::vector<Seconds> first_contact_samples;
   first_contact_samples.reserve(first_contact.size());

@@ -13,6 +13,12 @@
 //  * FT  — first contact time: per user, the wait between its first
 //          appearance in the trace and its first contact with anyone
 //          (users that never have a contact are excluded, i.e. censored).
+//
+// Coverage gaps: when the trace records crawler coverage gaps, every metric
+// is censored at gap edges — contacts running into a gap are truncated at
+// the gap start (never bridged across it), no ICT sample spans a gap, and
+// users awaiting a first contact restart their FT observation after the gap.
+// Gap-free traces are analyzed exactly as before, bit for bit.
 #pragma once
 
 #include <cstdint>

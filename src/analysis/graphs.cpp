@@ -215,9 +215,12 @@ GraphMetrics analyze_graphs(const Trace& trace, double range, std::size_t stride
   if (stride == 0) throw std::invalid_argument("analyze_graphs: stride must be >= 1");
   GraphChunk chunk;
   const auto& snaps = trace.snapshots();
+  const bool gap_aware = !trace.gaps().empty();
   for (std::size_t s = 0; s < snaps.size(); s += stride) {
     const auto& snap = snaps[s];
     if (snap.fixes.empty()) continue;
+    // Snapshots inside a coverage gap carry no valid observation.
+    if (gap_aware && !trace.covered_at(snap.time)) continue;
     accumulate(chunk, LosGraph(snap, range));
   }
   std::vector<GraphChunk> chunks;
@@ -229,10 +232,13 @@ GraphMetrics analyze_graphs(const Trace& trace, const ProximityCache& cache,
                             double range, std::size_t stride, ThreadPool* pool) {
   if (stride == 0) throw std::invalid_argument("analyze_graphs: stride must be >= 1");
   const auto& snaps = trace.snapshots();
+  const bool gap_aware = !trace.gaps().empty();
   std::vector<std::size_t> indices;
   indices.reserve(snaps.size() / stride + 1);
   for (std::size_t s = 0; s < snaps.size(); s += stride) {
-    if (!snaps[s].fixes.empty()) indices.push_back(s);
+    if (snaps[s].fixes.empty()) continue;
+    if (gap_aware && !trace.covered_at(snaps[s].time)) continue;
+    indices.push_back(s);
   }
 
   const auto analyze_index = [&](std::size_t s) {

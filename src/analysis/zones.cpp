@@ -9,10 +9,25 @@
 namespace slmob {
 namespace {
 
+// Snapshot indices the zone analysis may use: all of them for a gap-free
+// trace, only snapshots outside coverage gaps otherwise (occupancy inside a
+// gap is unknown, not zero).
+std::vector<std::size_t> covered_indices(const Trace& trace) {
+  const auto& snaps = trace.snapshots();
+  std::vector<std::size_t> indices;
+  indices.reserve(snaps.size());
+  const bool gap_aware = !trace.gaps().empty();
+  for (std::size_t s = 0; s < snaps.size(); ++s) {
+    if (gap_aware && !trace.covered_at(snaps[s].time)) continue;
+    indices.push_back(s);
+  }
+  return indices;
+}
+
 // Shared core: `for_each_position(s, fn)` calls fn(pos) for every avatar
 // position of snapshot s, in fix order.
 template <typename ForEachPosition>
-ZoneAnalysis analyze_zones_impl(std::size_t snapshot_count,
+ZoneAnalysis analyze_zones_impl(const std::vector<std::size_t>& indices,
                                 ForEachPosition&& for_each_position, double land_size,
                                 double cell_size) {
   if (land_size <= 0.0 || cell_size <= 0.0) {
@@ -28,7 +43,7 @@ ZoneAnalysis analyze_zones_impl(std::size_t snapshot_count,
   std::vector<std::uint32_t> counts(n_cells);
   std::size_t empty_samples = 0;
   std::size_t total_samples = 0;
-  for (std::size_t s = 0; s < snapshot_count; ++s) {
+  for (const std::size_t s : indices) {
     std::fill(counts.begin(), counts.end(), 0);
     for_each_position(s, [&](const Vec3& pos) {
       auto cx = static_cast<std::size_t>(std::clamp(pos.x, 0.0, land_size - 1e-9) /
@@ -51,7 +66,7 @@ ZoneAnalysis analyze_zones_impl(std::size_t snapshot_count,
     out.empty_fraction =
         static_cast<double>(empty_samples) / static_cast<double>(total_samples);
     for (auto& m : out.mean_per_cell) {
-      m /= static_cast<double>(snapshot_count);
+      m /= static_cast<double>(indices.size());
     }
   }
   return out;
@@ -62,7 +77,7 @@ ZoneAnalysis analyze_zones_impl(std::size_t snapshot_count,
 ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_size) {
   const auto& snaps = trace.snapshots();
   return analyze_zones_impl(
-      snaps.size(),
+      covered_indices(trace),
       [&](std::size_t s, auto&& fn) {
         for (const auto& fix : snaps[s].fixes) fn(fix.pos);
       },
@@ -71,9 +86,8 @@ ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_siz
 
 ZoneAnalysis analyze_zones(const Trace& trace, const ProximityCache& cache,
                            double land_size, double cell_size) {
-  (void)trace;
   return analyze_zones_impl(
-      cache.snapshot_count(),
+      covered_indices(trace),
       [&](std::size_t s, auto&& fn) {
         for (const Vec3& pos : cache.positions(s)) fn(pos);
       },

@@ -51,7 +51,7 @@ void MetaverseClient::login() {
   set_state(ClientState::kLoggingIn);
 }
 
-void MetaverseClient::force_disconnect() { set_state(ClientState::kKicked); }
+void MetaverseClient::force_disconnect() { set_state(ClientState::kDropped); }
 
 void MetaverseClient::logout() {
   if (!connected()) return;

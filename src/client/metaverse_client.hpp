@@ -23,7 +23,8 @@ enum class ClientState {
   kLoggingIn,    // LoginRequest sent
   kConnected,    // LoginResponse ok + CompleteAgentMovement sent
   kLoginFailed,  // server refused (e.g. region full)
-  kKicked,       // circuit failure or KickUser
+  kKicked,       // server-side drop: circuit failure or KickUser
+  kDropped,      // client-side drop: force_disconnect() (e.g. silent feed)
 };
 
 struct ClientCallbacks {
@@ -42,7 +43,9 @@ class MetaverseClient {
   void login();
   void logout();
   // Drops the connection client-side (e.g. the application noticed the
-  // server feed went silent); login() can then reconnect.
+  // server feed went silent); login() can then reconnect. Enters kDropped —
+  // distinct from kKicked so stats and callbacks can tell a self-inflicted
+  // drop from a server kick.
   void force_disconnect();
 
   // Movement command: walk toward `target` at `speed` m/s.

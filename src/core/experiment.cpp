@@ -12,6 +12,11 @@ ExperimentResults run_experiment(const ExperimentConfig& config) {
   tb.archetype = config.archetype;
   tb.seed = config.seed;
   if (config.analyze_ground_truth) tb.with_ground_truth = true;
+  if (tb.faults.empty() && config.fault_scenario != "none") {
+    const std::uint64_t fseed =
+        config.fault_seed != 0 ? config.fault_seed : config.seed;
+    tb.faults = FaultSchedule::scenario(config.fault_scenario, config.duration, fseed);
+  }
 
   Testbed bed(tb);
   bed.run_until(config.duration);

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <optional>
+#include <string>
 
 #include "analysis/contacts.hpp"
 #include "analysis/graphs.hpp"
@@ -41,6 +42,12 @@ struct ExperimentConfig {
   // single-threaded for determinism). 0 = SLMOB_THREADS env var if set,
   // else hardware_concurrency(). Results are identical for any value.
   std::size_t analysis_threads{0};
+  // Named chaos scenario (FaultSchedule::scenario): "none", "blackouts",
+  // "burst-loss", "region-flaps" or "chaos". Ignored when testbed.faults is
+  // already populated. Scenario randomness comes from `fault_seed`
+  // (0 = derive from `seed`), so faults can vary independently of the world.
+  std::string fault_scenario{"none"};
+  std::uint64_t fault_seed{0};
 };
 
 struct ExperimentResults {

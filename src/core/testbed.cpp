@@ -9,7 +9,12 @@ Testbed::Testbed(const TestbedConfig& config)
       network_(config.network, config.seed ^ 0x9e3779b97f4a7c15ULL) {
   if (config_.curiosity) world_->set_curiosity(*config_.curiosity);
 
-  server_ = std::make_unique<SimServer>(network_, *world_, config_.server);
+  SimServerParams server_params = config_.server;
+  if (!config_.faults.empty()) {
+    network_.set_faults(config_.faults);
+    server_params.faults = config_.faults;
+  }
+  server_ = std::make_unique<SimServer>(network_, *world_, server_params);
 
   engine_.add(kPriorityWorld,
               [this](Seconds now, Seconds dt) { world_->tick(now, dt); });

@@ -29,6 +29,11 @@ struct TestbedConfig {
   bool with_ground_truth{false};
   Seconds ground_truth_interval{10.0};
   std::optional<CuriosityParams> curiosity;  // defaults to world's default
+  // One scripted fault schedule for the whole rig: the network consumes the
+  // transport kinds (blackout, burst loss, latency, partition), the server
+  // the region kinds (crash, capacity flap). Empty = fault-free, and the
+  // run is bit-identical to a rig without fault support.
+  FaultSchedule faults;
 };
 
 class Testbed {

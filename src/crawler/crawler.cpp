@@ -64,9 +64,19 @@ void Crawler::act_human(Seconds now) {
   }
 }
 
+Trace Crawler::take_trace() {
+  if (gap_open_ && last_tick_ > gap_start_) {
+    trace_.add_gap(gap_start_, last_tick_);
+    gap_open_ = false;
+    ++stats_.coverage_gaps;
+  }
+  return std::move(trace_);
+}
+
 void Crawler::tick(Seconds now, Seconds dt) {
   (void)dt;
   if (!running_) return;
+  last_tick_ = now;
 
   if (trace_.land_name().empty() && !client_.region_name().empty()) {
     trace_ = Trace(client_.region_name(), config_.sample_interval);
@@ -74,19 +84,30 @@ void Crawler::tick(Seconds now, Seconds dt) {
 
   switch (client_.state()) {
     case ClientState::kKicked:
+    case ClientState::kDropped:
     case ClientState::kLoginFailed:
-      // Paced re-login: the server holds the dead session until its circuit
-      // timeout expires, so hammering login would only be dropped as
-      // duplicates.
+      // Paced re-login with exponential backoff: the server holds the dead
+      // session until its circuit timeout expires, and during blackouts or
+      // region crashes every attempt is wasted anyway, so the retry interval
+      // doubles per consecutive failure (deterministically jittered to avoid
+      // phase-locking with scheduled faults).
+      note_sampling_outage(now);
       if (config_.auto_relogin && now >= next_login_retry_) {
-        next_login_retry_ = now + 15.0;
+        const Seconds base = std::min(
+            config_.relogin_backoff_max,
+            config_.relogin_backoff_base *
+                std::pow(2.0, static_cast<double>(std::min(backoff_level_, 20u))));
+        const double jitter = 1.0 + config_.relogin_jitter * rng_.uniform(-1.0, 1.0);
+        next_login_retry_ = now + base * jitter;
+        ++backoff_level_;
         ++stats_.relogins;
-        log_info("crawler", "circuit lost; re-logging in");
+        log_info("crawler", "connection lost; re-logging in");
         client_.login();
       }
       return;
     case ClientState::kLoggingIn:
     case ClientState::kDisconnected:
+      note_sampling_outage(now);
       return;
     case ClientState::kConnected:
       break;
@@ -94,9 +115,11 @@ void Crawler::tick(Seconds now, Seconds dt) {
 
   // Feed liveness: a connected client that stops receiving the minimap feed
   // has lost its session (however that happened); reconnect.
-  if (latest_entries_time_ >= 0.0 && now - latest_entries_time_ > 60.0) {
+  if (latest_entries_time_ >= 0.0 &&
+      now - latest_entries_time_ > config_.feed_stale_timeout) {
     log_info("crawler", "minimap feed went silent; reconnecting");
     latest_entries_time_ = -1.0;
+    ++stats_.feed_reconnects;
     client_.force_disconnect();
     return;
   }
@@ -110,7 +133,19 @@ void Crawler::tick(Seconds now, Seconds dt) {
     if (latest_entries_time_ < 0.0 ||
         now - latest_entries_time_ > config_.sample_interval) {
       ++stats_.empty_snapshots;
+      open_gap_if_needed(now);
       return;
+    }
+    if (gap_open_) {
+      // Sampling recovered: the gap closes at this snapshot, which is the
+      // first covered instant after the outage.
+      trace_.add_gap(gap_start_, now);
+      gap_open_ = false;
+      ++stats_.coverage_gaps;
+    }
+    if (backoff_level_ > 0) {
+      backoff_level_ = 0;
+      ++stats_.backoff_resets;
     }
     Snapshot snap;
     snap.time = now;
@@ -123,6 +158,24 @@ void Crawler::tick(Seconds now, Seconds dt) {
     trace_.add(std::move(snap));
     ++stats_.snapshots_taken;
   }
+}
+
+void Crawler::open_gap_if_needed(Seconds now) {
+  // A gap only makes sense once the trace has something before it; outages
+  // before the very first snapshot are simply a later trace start.
+  if (!gap_open_ && stats_.snapshots_taken > 0) {
+    gap_open_ = true;
+    gap_start_ = now;
+  }
+}
+
+void Crawler::note_sampling_outage(Seconds now) {
+  // Called while sampling is impossible (disconnected / logging in). Keeps
+  // the sampling clock advancing and marks the first missed sample as the
+  // start of a coverage gap.
+  if (now < next_sample_) return;
+  next_sample_ = now + config_.sample_interval;
+  open_gap_if_needed(now);
 }
 
 }  // namespace slmob

@@ -43,6 +43,17 @@ struct CrawlerConfig {
   MimicryConfig mimicry;
   bool auto_relogin{true};
   double land_size{256.0};
+  // Re-login pacing: exponential backoff starting at `relogin_backoff_base`
+  // (the historical fixed retry interval), doubling per consecutive failure
+  // up to `relogin_backoff_max`, with deterministic +/- `relogin_jitter`
+  // fractional jitter drawn from the crawler's seeded RNG. The backoff
+  // level resets once sampling succeeds again.
+  Seconds relogin_backoff_base{15.0};
+  Seconds relogin_backoff_max{240.0};
+  double relogin_jitter{0.25};
+  // A connected client whose minimap feed has been silent for this long has
+  // lost its session however the server sees it; drop and re-login.
+  Seconds feed_stale_timeout{60.0};
 };
 
 struct CrawlerStats {
@@ -51,7 +62,10 @@ struct CrawlerStats {
   std::uint64_t relogins{0};
   std::uint64_t chat_lines_sent{0};
   std::uint64_t moves_made{0};
-  std::uint64_t empty_snapshots{0};  // no coarse data fresh enough
+  std::uint64_t empty_snapshots{0};   // no coarse data fresh enough
+  std::uint64_t feed_reconnects{0};   // drops after a silent minimap feed
+  std::uint64_t coverage_gaps{0};     // gaps recorded on the trace
+  std::uint64_t backoff_resets{0};    // times sampling recovered after faults
 };
 
 class Crawler {
@@ -67,12 +81,17 @@ class Crawler {
   void tick(Seconds now, Seconds dt);
 
   [[nodiscard]] const Trace& trace() const { return trace_; }
-  [[nodiscard]] Trace take_trace() { return std::move(trace_); }
+  // Hands the trace over; an outage still running at that point is recorded
+  // as a trailing coverage gap first, so the trace never silently claims
+  // coverage up to the end of a run the crawler did not survive.
+  [[nodiscard]] Trace take_trace();
   [[nodiscard]] const CrawlerStats& stats() const { return stats_; }
 
  private:
   void on_coarse(Seconds now, const CoarseLocationUpdate& update);
   void act_human(Seconds now);
+  void open_gap_if_needed(Seconds now);
+  void note_sampling_outage(Seconds now);
 
   MetaverseClient& client_;
   CrawlerConfig config_;
@@ -88,6 +107,11 @@ class Crawler {
   Seconds next_move_{0.0};
   Seconds next_chat_{0.0};
   Seconds next_login_retry_{0.0};
+  std::uint32_t backoff_level_{0};  // consecutive re-login attempts
+  // Open coverage gap: sampling has been impossible since gap_start_.
+  bool gap_open_{false};
+  Seconds gap_start_{0.0};
+  Seconds last_tick_{0.0};
   CrawlerStats stats_;
 };
 

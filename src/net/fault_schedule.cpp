@@ -1,0 +1,186 @@
+#include "net/fault_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace slmob {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBlackout: return "blackout";
+    case FaultKind::kBurstLoss: return "burst-loss";
+    case FaultKind::kLatencySpike: return "latency-spike";
+    case FaultKind::kPartitionInbound: return "partition-inbound";
+    case FaultKind::kPartitionOutbound: return "partition-outbound";
+    case FaultKind::kRegionCrash: return "region-crash";
+    case FaultKind::kCapacityFlap: return "capacity-flap";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::add(FaultWindow window) {
+  if (window.start < 0.0 || window.end <= window.start) {
+    throw std::invalid_argument("FaultSchedule::add: window must have 0 <= start < end");
+  }
+  if ((window.kind == FaultKind::kBurstLoss || window.kind == FaultKind::kCapacityFlap) &&
+      (window.magnitude < 0.0 || window.magnitude > 1.0)) {
+    throw std::invalid_argument("FaultSchedule::add: magnitude must be in [0,1]");
+  }
+  if (window.kind == FaultKind::kLatencySpike && window.magnitude < 0.0) {
+    throw std::invalid_argument("FaultSchedule::add: latency spike must be >= 0");
+  }
+  windows_.push_back(window);
+}
+
+bool FaultSchedule::drops_datagram(Seconds t, NodeId from, NodeId to) const {
+  for (const auto& w : windows_) {
+    if (!w.active_at(t)) continue;
+    switch (w.kind) {
+      case FaultKind::kBlackout:
+        return true;
+      case FaultKind::kPartitionInbound:
+        if (!w.node || *w.node == to) return true;
+        break;
+      case FaultKind::kPartitionOutbound:
+        if (!w.node || *w.node == from) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+double FaultSchedule::extra_loss_at(Seconds t) const {
+  double pass = 1.0;
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kBurstLoss && w.active_at(t)) pass *= 1.0 - w.magnitude;
+  }
+  return 1.0 - pass;
+}
+
+Seconds FaultSchedule::extra_latency_at(Seconds t) const {
+  Seconds extra = 0.0;
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kLatencySpike && w.active_at(t)) extra += w.magnitude;
+  }
+  return extra;
+}
+
+bool FaultSchedule::region_down_at(Seconds t) const {
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kRegionCrash && w.active_at(t)) return true;
+  }
+  return false;
+}
+
+double FaultSchedule::capacity_factor_at(Seconds t) const {
+  double factor = 1.0;
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kCapacityFlap && w.active_at(t)) {
+      factor = std::min(factor, w.magnitude);
+    }
+  }
+  return factor;
+}
+
+std::vector<FaultWindow> FaultSchedule::windows_of(FaultKind kind) const {
+  std::vector<FaultWindow> out;
+  for (const auto& w : windows_) {
+    if (w.kind == kind) out.push_back(w);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultWindow& a, const FaultWindow& b) { return a.start < b.start; });
+  return out;
+}
+
+namespace {
+
+// Scripted pair of 10-minute transport blackouts at 1/3 and 2/3 of the run
+// (the ISSUE's canonical scenario). Short runs shrink the outage so the
+// schedule stays valid down to a few minutes of virtual time.
+void add_blackouts(FaultSchedule& s, Seconds duration) {
+  const Seconds outage = std::min(600.0, duration / 6.0);
+  if (outage <= 0.0) return;
+  s.add({FaultKind::kBlackout, duration / 3.0, duration / 3.0 + outage, 1.0, {}});
+  s.add({FaultKind::kBlackout, 2.0 * duration / 3.0, 2.0 * duration / 3.0 + outage, 1.0, {}});
+}
+
+// Seeded loss bursts: on average one per 40 minutes, 60-180 s long, at
+// 60-95 % loss, with a 60 s latency spike riding the first burst.
+void add_bursts(FaultSchedule& s, Seconds duration, Rng& rng) {
+  Seconds t = rng.exponential(1200.0);
+  bool first = true;
+  while (t < duration) {
+    const Seconds len = rng.uniform(60.0, 180.0);
+    const double rate = rng.uniform(0.6, 0.95);
+    const Seconds end = std::min(t + len, duration);
+    if (end > t) {
+      s.add({FaultKind::kBurstLoss, t, end, rate, {}});
+      if (first) {
+        s.add({FaultKind::kLatencySpike, t, std::min(t + 60.0, duration), 1.5, {}});
+        first = false;
+      }
+    }
+    t = end + rng.exponential(2400.0);
+  }
+}
+
+// Seeded region instability: crashes (30-120 s down) on average one per
+// hour, plus one long half-capacity flap over the middle of the run.
+void add_region_flaps(FaultSchedule& s, Seconds duration, Rng& rng) {
+  Seconds t = rng.exponential(1800.0);
+  while (t < duration) {
+    const Seconds down = rng.uniform(30.0, 120.0);
+    const Seconds end = std::min(t + down, duration);
+    if (end > t) s.add({FaultKind::kRegionCrash, t, end, 1.0, {}});
+    t = end + rng.exponential(3600.0);
+  }
+  const Seconds flap_len = duration / 4.0;
+  if (flap_len > 0.0) {
+    s.add({FaultKind::kCapacityFlap, duration * 0.375, duration * 0.375 + flap_len, 0.5, {}});
+  }
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
+                                      std::uint64_t seed) {
+  if (duration <= 0.0) {
+    throw std::invalid_argument("FaultSchedule::scenario: duration must be > 0");
+  }
+  FaultSchedule s;
+  Rng rng(seed ^ 0xfa017c4ed5ca1eULL);
+  if (name == "none") {
+    return s;
+  }
+  if (name == "blackouts") {
+    add_blackouts(s, duration);
+    return s;
+  }
+  if (name == "burst-loss") {
+    add_bursts(s, duration, rng);
+    return s;
+  }
+  if (name == "region-flaps") {
+    add_region_flaps(s, duration, rng);
+    return s;
+  }
+  if (name == "chaos") {
+    add_blackouts(s, duration);
+    add_bursts(s, duration, rng);
+    add_region_flaps(s, duration, rng);
+    return s;
+  }
+  throw std::invalid_argument("FaultSchedule::scenario: unknown scenario '" + name + "'");
+}
+
+const std::vector<std::string>& FaultSchedule::scenario_names() {
+  static const std::vector<std::string> names{"none", "blackouts", "burst-loss",
+                                              "region-flaps", "chaos"};
+  return names;
+}
+
+}  // namespace slmob

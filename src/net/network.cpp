@@ -35,11 +35,26 @@ void SimNetwork::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload)
     log_warn("net", "dropping oversize datagram");
     return;
   }
+  Seconds fault_latency = 0.0;
+  if (!faults_.empty()) {
+    if (faults_.drops_datagram(clock_, from, to)) {
+      ++stats_.fault_dropped;
+      return;
+    }
+    const double burst = faults_.extra_loss_at(clock_);
+    if (burst > 0.0 && rng_.bernoulli(burst)) {
+      ++stats_.lost;
+      ++stats_.fault_dropped;
+      return;
+    }
+    fault_latency = faults_.extra_latency_at(clock_);
+  }
   if (rng_.bernoulli(params_.loss_rate)) {
     ++stats_.lost;
     return;
   }
-  const Seconds latency = rng_.uniform(params_.latency_min, params_.latency_max);
+  const Seconds latency =
+      rng_.uniform(params_.latency_min, params_.latency_max) + fault_latency;
   in_flight_.push({clock_ + latency, order_++, from, to, std::move(payload)});
 }
 

@@ -3,7 +3,10 @@
 // Models the UDP path between the crawler host, the sim servers and the
 // sensor web collector: configurable one-way latency (uniform in a range,
 // which also yields reordering), i.i.d. loss, and an MTU. Deterministic
-// given the seed.
+// given the seed. A FaultSchedule composes scripted outage windows
+// (blackouts, loss bursts, latency spikes, one-way partitions) on top of
+// the i.i.d. knobs; with no schedule installed the fault path costs nothing
+// and the RNG stream is untouched.
 #pragma once
 
 #include <cstdint>
@@ -12,12 +15,11 @@
 #include <span>
 #include <vector>
 
+#include "net/fault_schedule.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace slmob {
-
-using NodeId = std::uint32_t;
 
 struct NetworkParams {
   Seconds latency_min{0.02};
@@ -31,6 +33,9 @@ struct NetworkStats {
   std::uint64_t delivered{0};
   std::uint64_t lost{0};
   std::uint64_t oversize_dropped{0};
+  // Datagrams dropped by a scheduled fault window (also counted in `lost`
+  // when the drop came from a burst-loss draw).
+  std::uint64_t fault_dropped{0};
 };
 
 class SimNetwork {
@@ -55,6 +60,11 @@ class SimNetwork {
   [[nodiscard]] const NetworkParams& params() const { return params_; }
   void set_params(NetworkParams params) { params_ = params; }
 
+  // Installs a scripted fault schedule (transport kinds only are consulted;
+  // server kinds are ignored here). Replaces any previous schedule.
+  void set_faults(FaultSchedule faults) { faults_ = std::move(faults); }
+  [[nodiscard]] const FaultSchedule& faults() const { return faults_; }
+
  private:
   struct InFlight {
     Seconds arrival;
@@ -69,6 +79,7 @@ class SimNetwork {
   };
 
   NetworkParams params_;
+  FaultSchedule faults_;
   Rng rng_;
   std::vector<ReceiveFn> handlers_;
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;

@@ -24,6 +24,13 @@ CircuitEndpoint& SimServer::circuit_for(NodeId from) {
 }
 
 void SimServer::on_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
+  if (down_) {
+    // A crashed region neither parses nor acknowledges anything: clients'
+    // reliable sends exhaust their retries and fail, exactly like a host
+    // that went away mid-trace.
+    ++stats_.datagrams_ignored_down;
+    return;
+  }
   circuit_for(from).on_datagram(bytes);
   if (const auto it = clients_.find(from); it != clients_.end()) {
     it->second.last_receive = now_;
@@ -58,11 +65,34 @@ void SimServer::handle_login(NodeId from, const LoginRequest& req) {
   auto& session = clients_.at(from);  // circuit_for created it
   session.circuit_code = req.circuit_code;
 
+  // Re-login over a session we still hold (e.g. the client force-dropped
+  // after its feed went silent, faster than our session timeout): retire the
+  // old avatar, or it would haunt the world as a phantom user.
+  if (session.avatar.value != 0) {
+    world_.remove_external_avatar(now_, session.avatar);
+    session.avatar = AvatarId{};
+    session.movement_complete = false;
+  }
+
+  LoginResponse resp;
+  // A capacity flap shrinks admission below the land's nominal capacity.
+  const double cap_factor = params_.faults.capacity_factor_at(now_);
+  if (cap_factor < 1.0) {
+    const auto reduced = static_cast<std::size_t>(
+        cap_factor * static_cast<double>(world_.land().capacity()));
+    if (world_.avatars().size() >= reduced) {
+      ++stats_.logins_rejected;
+      resp.ok = false;
+      resp.error = "region full";
+      session.circuit->send(resp, /*reliable=*/true);
+      return;
+    }
+  }
+
   const auto& spawns = world_.land().spawn_points();
   const Vec3 spawn = spawns.front();
   const auto avatar_id = world_.add_external_avatar(now_, spawn);
 
-  LoginResponse resp;
   if (!avatar_id) {
     ++stats_.logins_rejected;
     resp.ok = false;
@@ -159,6 +189,26 @@ void SimServer::broadcast_coarse_locations() {
 void SimServer::tick(Seconds now, Seconds dt) {
   (void)dt;
   now_ = now;
+
+  // Scheduled region crash: on entry drop every circuit, session and avatar
+  // at once; while down ignore all traffic and emit nothing; on exit resume
+  // with an empty region, accepting fresh logins.
+  const bool scheduled_down = params_.faults.region_down_at(now);
+  if (scheduled_down && !down_) {
+    down_ = true;
+    ++stats_.crashes;
+    for (auto& [node, session] : clients_) {
+      if (session.avatar.value != 0) world_.remove_external_avatar(now, session.avatar);
+      ++stats_.sessions_crashed;
+    }
+    clients_.clear();
+    log_warn("server", "region crash window entered: all sessions dropped");
+  } else if (!scheduled_down && down_) {
+    down_ = false;
+    log_info("server", "region recovered; accepting logins again");
+  }
+  if (down_) return;
+
   for (auto it = clients_.begin(); it != clients_.end();) {
     it->second.circuit->tick(now);
     const bool dead = it->second.circuit->failed();
@@ -166,6 +216,7 @@ void SimServer::tick(Seconds now, Seconds dt) {
     if (dead || timed_out) {
       // Dead or silent circuit: drop the session and its avatar so the
       // client can re-login on a fresh circuit.
+      ++stats_.session_timeouts;
       world_.remove_external_avatar(now, it->second.avatar);
       it = clients_.erase(it);
     } else {

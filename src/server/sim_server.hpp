@@ -34,6 +34,10 @@ struct SimServerParams {
   // so a client whose circuit died can eventually re-login.
   Seconds session_timeout{60.0};
   CircuitParams circuit;
+  // Scripted region faults: kRegionCrash windows drop every session and
+  // silence the server until the window ends; kCapacityFlap windows scale
+  // the admission capacity. Transport kinds are ignored here.
+  FaultSchedule faults;
 };
 
 struct SimServerStats {
@@ -42,6 +46,10 @@ struct SimServerStats {
   std::uint64_t coarse_updates_sent{0};
   std::uint64_t chat_messages{0};
   std::uint64_t logouts{0};
+  std::uint64_t session_timeouts{0};       // sessions dropped by silence/circuit death
+  std::uint64_t crashes{0};                // region-crash windows entered
+  std::uint64_t sessions_crashed{0};       // sessions dropped by a crash
+  std::uint64_t datagrams_ignored_down{0}; // traffic discarded while crashed
 };
 
 class SimServer {
@@ -52,6 +60,8 @@ class SimServer {
   [[nodiscard]] const SimServerStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t connected_clients() const { return clients_.size(); }
   [[nodiscard]] World& world() { return world_; }
+  // True while a scheduled region-crash window is active.
+  [[nodiscard]] bool down() const { return down_; }
 
   // Engine hook (kPriorityServer).
   void tick(Seconds now, Seconds dt);
@@ -80,6 +90,7 @@ class SimServer {
   NodeId address_;
   Seconds now_{0.0};
   Seconds last_coarse_{-1e18};
+  bool down_{false};
   std::map<NodeId, ClientSession> clients_;
   SimServerStats stats_;
 };

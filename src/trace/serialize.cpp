@@ -12,7 +12,9 @@ namespace slmob {
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'S', 'L', 'T', 'R'};
-constexpr std::uint16_t kVersion = 1;
+// Version 2 added the trailing coverage-gap block; version-1 inputs (no gap
+// block) are still decoded as gap-free traces.
+constexpr std::uint16_t kVersion = 2;
 
 }  // namespace
 
@@ -33,6 +35,11 @@ std::vector<std::uint8_t> encode_trace(const Trace& trace) {
       w.f32(static_cast<float>(fix.pos.z));
     }
   }
+  w.u32(static_cast<std::uint32_t>(trace.gaps().size()));
+  for (const auto& gap : trace.gaps()) {
+    w.f64(gap.start);
+    w.f64(gap.end);
+  }
   return w.take();
 }
 
@@ -43,7 +50,9 @@ Trace decode_trace(std::span<const std::uint8_t> bytes) {
     throw DecodeError("decode_trace: bad magic");
   }
   const auto version = r.u16();
-  if (version != kVersion) throw DecodeError("decode_trace: unsupported version");
+  if (version != 1 && version != 2) {
+    throw DecodeError("decode_trace: unsupported version");
+  }
   const std::string land = r.str();
   const double interval = r.f64();
   Trace trace(land, interval);
@@ -63,6 +72,14 @@ Trace decode_trace(std::span<const std::uint8_t> bytes) {
     }
     trace.add(std::move(snap));
   }
+  if (version >= 2) {
+    const std::uint32_t gap_count = r.u32();
+    for (std::uint32_t i = 0; i < gap_count; ++i) {
+      const double start = r.f64();
+      const double end = r.f64();
+      trace.add_gap(start, end);
+    }
+  }
   if (!r.at_end()) throw DecodeError("decode_trace: trailing bytes");
   return trace;
 }
@@ -78,6 +95,9 @@ std::string trace_to_csv(const Trace& trace) {
              std::to_string(fix.pos.z)});
     }
   }
+  for (const auto& gap : trace.gaps()) {
+    w.row({"gap", std::to_string(gap.start), std::to_string(gap.end), "0", "0"});
+  }
   return os.str();
 }
 
@@ -91,6 +111,10 @@ Trace trace_from_csv(std::string_view text, std::string land_name,
     const auto& row = rows[i];
     if (i == 0 && !row.empty() && row[0] == "time") continue;  // header
     if (row.size() != 5) throw DecodeError("trace_from_csv: row must have 5 fields");
+    if (row[0] == "gap") {
+      trace.add_gap(std::stod(row[1]), std::stod(row[2]));
+      continue;
+    }
     const double t = std::stod(row[0]);
     const auto id = AvatarId{static_cast<std::uint32_t>(std::stoul(row[1]))};
     const Vec3 pos{std::stod(row[2]), std::stod(row[3]), std::stod(row[4])};

@@ -11,7 +11,23 @@ std::vector<Session> extract_sessions(const Trace& trace,
   std::map<AvatarId, Session> open;
   std::vector<Session> done;
 
+  // Gap-aware mode: a coverage gap censors every open session — presence
+  // across unobserved time may not be assumed, however short the gap is
+  // relative to the absence threshold.
+  const bool gap_aware = !trace.gaps().empty();
+  bool have_prev = false;
+  Seconds prev_time = 0.0;
+
   for (const auto& snap : trace.snapshots()) {
+    if (gap_aware) {
+      if (!trace.covered_at(snap.time)) continue;
+      if (have_prev && trace.spans_gap(prev_time, snap.time)) {
+        for (auto& [id, s] : open) done.push_back(std::move(s));
+        open.clear();
+      }
+      have_prev = true;
+      prev_time = snap.time;
+    }
     // Close sessions whose avatar has been absent too long.
     for (auto it = open.begin(); it != open.end();) {
       if (snap.time - it->second.times.back() > options.absence_threshold) {

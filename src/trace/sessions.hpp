@@ -6,6 +6,10 @@
 // time" (Fig. 4c) is the session duration; "travel length" (4a) the path
 // length over the session; "effective travel time" (4b) the time spent
 // moving (pauses excluded).
+//
+// Coverage gaps censor sessions: every session open when a gap starts is
+// closed at its last observed snapshot, and reappearances after the gap
+// start fresh sessions — presence is never assumed across unobserved time.
 #pragma once
 
 #include <vector>

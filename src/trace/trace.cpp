@@ -20,9 +20,43 @@ void Trace::add(Snapshot snapshot) {
   snapshots_.push_back(std::move(snapshot));
 }
 
+void Trace::add_gap(Seconds start, Seconds end) {
+  if (!(start < end)) {
+    throw std::invalid_argument("Trace::add_gap: gap must have start < end");
+  }
+  if (!gaps_.empty() && start < gaps_.back().end) {
+    throw std::invalid_argument("Trace::add_gap: gaps must be ordered and disjoint");
+  }
+  gaps_.push_back({start, end});
+}
+
+bool Trace::covered_at(Seconds t) const {
+  for (const auto& gap : gaps_) {
+    if (gap.contains(t)) return false;
+    if (gap.start > t) break;  // gaps are ordered
+  }
+  return true;
+}
+
+bool Trace::spans_gap(Seconds t0, Seconds t1) const {
+  for (const auto& gap : gaps_) {
+    if (gap.start < t1 && gap.end > t0) return true;
+    if (gap.start >= t1) break;
+  }
+  return false;
+}
+
+Seconds Trace::gap_seconds() const {
+  Seconds total = 0.0;
+  for (const auto& gap : gaps_) total += gap.length();
+  return total;
+}
+
 TraceSummary Trace::summary() const {
   TraceSummary s;
   s.snapshot_count = snapshots_.size();
+  s.gap_count = gaps_.size();
+  s.gap_seconds = gap_seconds();
   if (snapshots_.empty()) return s;
   std::set<AvatarId> unique;
   std::size_t total_fixes = 0;
@@ -49,6 +83,11 @@ Trace Trace::slice(Seconds t0, Seconds t1) const {
   Trace out(land_name_, sampling_interval_);
   for (const auto& snap : snapshots_) {
     if (snap.time >= t0 && snap.time < t1) out.add(snap);
+  }
+  for (const auto& gap : gaps_) {
+    const Seconds start = std::max(gap.start, t0);
+    const Seconds end = std::min(gap.end, t1);
+    if (start < end) out.add_gap(start, end);
   }
   return out;
 }

@@ -31,12 +31,27 @@ struct Snapshot {
   [[nodiscard]] std::optional<Vec3> find(AvatarId id) const;
 };
 
+// A half-open interval [start, end) during which the crawler could not
+// observe the land (disconnected, mid-relogin, or feeding on stale data).
+// Analyses must treat these as censoring boundaries: nothing may be inferred
+// about presence, contacts or positions inside a gap.
+struct CoverageGap {
+  Seconds start{0.0};
+  Seconds end{0.0};
+
+  [[nodiscard]] Seconds length() const { return end - start; }
+  [[nodiscard]] bool contains(Seconds t) const { return t >= start && t < end; }
+  friend bool operator==(const CoverageGap&, const CoverageGap&) = default;
+};
+
 struct TraceSummary {
   std::size_t unique_users{0};
   double avg_concurrent{0.0};
   std::size_t max_concurrent{0};
   Seconds duration{0.0};
   std::size_t snapshot_count{0};
+  std::size_t gap_count{0};
+  Seconds gap_seconds{0.0};
 };
 
 class Trace {
@@ -49,6 +64,20 @@ class Trace {
   // (throws std::invalid_argument otherwise).
   void add(Snapshot snapshot);
 
+  // Records a coverage gap [start, end). Gaps must be well-formed
+  // (start < end) and arrive in order, non-overlapping (throws
+  // std::invalid_argument otherwise).
+  void add_gap(Seconds start, Seconds end);
+
+  [[nodiscard]] const std::vector<CoverageGap>& gaps() const { return gaps_; }
+  // True iff `t` does not fall inside any recorded gap.
+  [[nodiscard]] bool covered_at(Seconds t) const;
+  // True iff the open interval (t0, t1) intersects any gap — i.e. an
+  // observation stretching from t0 to t1 would bridge uncovered time.
+  [[nodiscard]] bool spans_gap(Seconds t0, Seconds t1) const;
+  // Total uncovered time.
+  [[nodiscard]] Seconds gap_seconds() const;
+
   [[nodiscard]] const std::string& land_name() const { return land_name_; }
   [[nodiscard]] Seconds sampling_interval() const { return sampling_interval_; }
   [[nodiscard]] const std::vector<Snapshot>& snapshots() const { return snapshots_; }
@@ -60,7 +89,8 @@ class Trace {
   // All distinct avatar ids observed anywhere in the trace, ascending.
   [[nodiscard]] std::vector<AvatarId> unique_avatars() const;
 
-  // Returns a copy restricted to snapshots with time in [t0, t1).
+  // Returns a copy restricted to snapshots with time in [t0, t1); coverage
+  // gaps are clipped to the window and carried over.
   [[nodiscard]] Trace slice(Seconds t0, Seconds t1) const;
 
   // Removes fixes at the origin {0,0,0}. The SL protocol reports sitting
@@ -72,6 +102,7 @@ class Trace {
   std::string land_name_;
   Seconds sampling_interval_{10.0};
   std::vector<Snapshot> snapshots_;
+  std::vector<CoverageGap> gaps_;  // ordered, non-overlapping
 };
 
 }  // namespace slmob

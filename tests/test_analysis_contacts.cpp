@@ -145,5 +145,70 @@ TEST(Contacts, PairKeyCanonicalOrder) {
   EXPECT_LT(analysis.intervals[0].a.value, analysis.intervals[0].b.value);
 }
 
+TEST(ContactsCensoring, ContactTruncatedAtGapStartNeverBridged) {
+  TraceBuilder b;
+  b.snap({{1, 0.0}, {2, 5.0}});  // t=0, in contact
+  b.snap({{1, 0.0}, {2, 5.0}});  // t=10
+  b.snap({{1, 0.0}, {2, 5.0}});  // t=20
+  b.trace.add_gap(30.0, 60.0);
+  b.now = 60.0;
+  b.snap({{1, 0.0}, {2, 5.0}});  // t=60, still in contact after the gap
+  b.snap({{1, 0.0}, {2, 5.0}});  // t=70
+  const auto analysis = analyze_contacts(b.trace, 10.0);
+  // One contact per covered segment, not one bridged contact.
+  ASSERT_EQ(analysis.intervals.size(), 2u);
+  EXPECT_DOUBLE_EQ(analysis.intervals[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.intervals[0].end, 30.0);  // capped at gap start
+  EXPECT_DOUBLE_EQ(analysis.intervals[1].start, 60.0);
+  EXPECT_DOUBLE_EQ(analysis.intervals[1].end, 80.0);
+  // And the pause between them is unobserved, so it yields no ICT sample.
+  EXPECT_EQ(analysis.inter_contact_times.size(), 0u);
+}
+
+TEST(ContactsCensoring, InterContactChainCutAtGap) {
+  TraceBuilder b;
+  b.snap({{1, 0.0}, {2, 5.0}});    // contact ends t=0+tau
+  b.snap({{1, 0.0}, {2, 100.0}});  // apart at t=10
+  b.trace.add_gap(20.0, 40.0);
+  b.now = 40.0;
+  b.snap({{1, 0.0}, {2, 5.0}});    // t=40: would be ICT=30 if bridged
+  b.snap({{1, 0.0}, {2, 100.0}});  // apart at t=50 (contact ends t=50)
+  b.snap({{1, 0.0}, {2, 100.0}});  // t=60
+  b.snap({{1, 0.0}, {2, 5.0}});    // t=70: same-segment ICT = 70 - 50 = 20
+  const auto analysis = analyze_contacts(b.trace, 10.0);
+  ASSERT_EQ(analysis.inter_contact_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(analysis.inter_contact_times.median(), 20.0);
+}
+
+TEST(ContactsCensoring, FirstContactClockRestartsAfterGap) {
+  TraceBuilder b;
+  b.snap({{1, 0.0}, {2, 100.0}});  // both appear, no contact
+  b.snap({{1, 0.0}, {2, 100.0}});
+  b.trace.add_gap(20.0, 50.0);
+  b.now = 50.0;
+  b.snap({{1, 0.0}, {2, 5.0}});  // first contact right after the gap
+  const auto analysis = analyze_contacts(b.trace, 10.0);
+  ASSERT_EQ(analysis.first_contact_times.size(), 2u);
+  // The pre-gap wait is censored: both users restart observation at t=50 and
+  // are in contact immediately, so FT is the half-tau credit, not 50 s.
+  EXPECT_DOUBLE_EQ(analysis.first_contact_times.median(), 5.0);
+  EXPECT_EQ(analysis.users_seen, 2u);
+}
+
+TEST(ContactsCensoring, UncoveredSnapshotsAreIgnored) {
+  TraceBuilder b;
+  b.snap({{1, 0.0}, {2, 5.0}});  // t=0
+  b.snap({{3, 0.0}, {4, 5.0}});  // t=10: inside the gap — bogus data
+  b.trace.add_gap(5.0, 15.0);
+  b.now = 20.0;
+  b.snap({{1, 0.0}, {2, 5.0}});  // t=20
+  const auto analysis = analyze_contacts(b.trace, 10.0);
+  EXPECT_EQ(analysis.users_seen, 2u);  // avatars 3 and 4 were never observed
+  for (const auto& interval : analysis.intervals) {
+    EXPECT_LE(interval.b.value, 2u);
+    EXPECT_FALSE(b.trace.spans_gap(interval.start, interval.end));
+  }
+}
+
 }  // namespace
 }  // namespace slmob

@@ -127,6 +127,21 @@ TEST(AnalyzeGraphs, EmptySnapshotsSkipped) {
   EXPECT_EQ(m.snapshots_analyzed, 1u);
 }
 
+TEST(AnalyzeGraphs, UncoveredSnapshotsSkipped) {
+  Trace t("x", 10.0);
+  t.add(line_of_users(3, 8.0));
+  Snapshot s2 = line_of_users(5, 8.0);  // falls inside the coverage gap
+  s2.time = 10.0;
+  t.add(std::move(s2));
+  Snapshot s3 = line_of_users(2, 5.0);
+  s3.time = 20.0;
+  t.add(std::move(s3));
+  t.add_gap(5.0, 15.0);
+  const GraphMetrics m = analyze_graphs(t, 10.0);
+  EXPECT_EQ(m.snapshots_analyzed, 2u);
+  EXPECT_EQ(m.degrees.size(), 5u);  // 3 + 2, nothing from the gap snapshot
+}
+
 TEST(AnalyzeGraphs, StrideSkipsSnapshots) {
   Trace t("x", 10.0);
   for (int i = 0; i < 10; ++i) {

@@ -75,6 +75,26 @@ TEST(Zones, OccupancyCdfMatchesEmptyFraction) {
   EXPECT_DOUBLE_EQ(z.occupancy.cdf(10.0), 1.0);
 }
 
+TEST(Zones, UncoveredSnapshotsExcludedFromMean) {
+  Trace t("x", 10.0);
+  Snapshot s1;
+  s1.time = 0.0;
+  s1.fixes = {{AvatarId{1}, {5.0, 5.0, 22.0}}};
+  Snapshot s2;
+  s2.time = 10.0;  // inside the gap: occupancy here is unknown, not zero
+  Snapshot s3;
+  s3.time = 20.0;
+  s3.fixes = {{AvatarId{1}, {5.0, 5.0, 22.0}}};
+  t.add(std::move(s1));
+  t.add(std::move(s2));
+  t.add(std::move(s3));
+  t.add_gap(5.0, 15.0);
+  const ZoneAnalysis z = analyze_zones(t);
+  // Mean divides by the 2 covered snapshots, not all 3.
+  EXPECT_DOUBLE_EQ(z.mean_per_cell[0], 1.0);
+  EXPECT_EQ(z.occupancy.size(), 2u * 169u);
+}
+
 TEST(Zones, BadArgsThrow) {
   Trace t("x", 10.0);
   EXPECT_THROW((void)analyze_zones(t, 0.0, 20.0), std::invalid_argument);

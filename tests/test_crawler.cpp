@@ -94,6 +94,61 @@ TEST(Crawler, SurvivesLossyNetworkViaRelogin) {
   EXPECT_GT(stats.snapshots_taken, 50u);
 }
 
+TEST(Crawler, SilentFeedTriggersReconnect) {
+  TestbedConfig cfg = quick_config();
+  cfg.crawler.feed_stale_timeout = 25.0;
+  Testbed bed(cfg);
+  // One-way partition: the server can receive but not send, so the minimap
+  // feed goes silent while the crawler still looks connected.
+  FaultSchedule faults;
+  FaultWindow w{FaultKind::kPartitionOutbound, 200.0, 230.0};
+  w.node = bed.server().address();
+  faults.add(w);
+  bed.network().set_faults(faults);
+  bed.run_until(600.0);
+  const auto& stats = bed.crawler()->stats();
+  EXPECT_GE(stats.feed_reconnects, 1u);
+  EXPECT_GE(stats.relogins, 1u);
+  // Sampling resumed after the partition lifted.
+  EXPECT_GT(bed.crawler()->trace().snapshots().back().time, 500.0);
+}
+
+TEST(Crawler, BlackoutProducesOneGapWithBackoffPacedRelogins) {
+  TestbedConfig cfg = quick_config();
+  Testbed bed(cfg);
+  FaultSchedule faults;
+  faults.add({FaultKind::kBlackout, 100.0, 400.0});
+  bed.network().set_faults(faults);
+  bed.run_until(700.0);
+  const auto& stats = bed.crawler()->stats();
+  const Trace& trace = bed.crawler()->trace();
+  // Exponential backoff paces retries: a fixed 15 s cadence would burn ~10+
+  // attempts over a 300 s blackout.
+  EXPECT_GE(stats.relogins, 3u);
+  EXPECT_LE(stats.relogins, 7u);
+  EXPECT_GE(stats.backoff_resets, 1u);
+  ASSERT_EQ(trace.gaps().size(), 1u);
+  EXPECT_LE(trace.gaps()[0].start, 130.0);
+  EXPECT_GE(trace.gaps()[0].end, 400.0);
+  EXPECT_GT(trace.snapshots().back().time, 600.0);
+}
+
+TEST(Crawler, TakeTraceRecordsTrailingGap) {
+  TestbedConfig cfg = quick_config();
+  Testbed bed(cfg);
+  FaultSchedule faults;
+  faults.add({FaultKind::kBlackout, 100.0, 10000.0});  // never recovers
+  bed.network().set_faults(faults);
+  bed.run_until(300.0);
+  EXPECT_TRUE(bed.crawler()->trace().gaps().empty());  // gap still open
+  const Trace trace = bed.crawler()->take_trace();
+  // The unfinished outage must be materialised, not silently dropped.
+  ASSERT_EQ(trace.gaps().size(), 1u);
+  EXPECT_LE(trace.gaps()[0].start, 130.0);
+  EXPECT_GE(trace.gaps()[0].end, 290.0);
+  EXPECT_FALSE(trace.covered_at(250.0));
+}
+
 TEST(Crawler, StopEndsSampling) {
   Testbed bed(quick_config());
   bed.run_until(300.0);

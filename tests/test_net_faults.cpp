@@ -1,0 +1,199 @@
+#include "net/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace slmob {
+namespace {
+
+TEST(FaultSchedule, EmptyByDefault) {
+  FaultSchedule faults;
+  EXPECT_TRUE(faults.empty());
+  EXPECT_FALSE(faults.drops_datagram(0.0, 1, 2));
+  EXPECT_DOUBLE_EQ(faults.extra_loss_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(faults.extra_latency_at(0.0), 0.0);
+  EXPECT_FALSE(faults.region_down_at(0.0));
+  EXPECT_DOUBLE_EQ(faults.capacity_factor_at(0.0), 1.0);
+}
+
+TEST(FaultSchedule, WindowsAreHalfOpen) {
+  FaultSchedule faults;
+  faults.add({FaultKind::kBlackout, 100.0, 200.0});
+  EXPECT_FALSE(faults.drops_datagram(99.9, 1, 2));
+  EXPECT_TRUE(faults.drops_datagram(100.0, 1, 2));
+  EXPECT_TRUE(faults.drops_datagram(199.9, 1, 2));
+  EXPECT_FALSE(faults.drops_datagram(200.0, 1, 2));
+}
+
+TEST(FaultSchedule, RejectsMalformedWindows) {
+  FaultSchedule faults;
+  EXPECT_THROW(faults.add({FaultKind::kBlackout, 10.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW(faults.add({FaultKind::kBlackout, 20.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW(faults.add({FaultKind::kBlackout, -1.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW(faults.add({FaultKind::kBurstLoss, 0.0, 10.0, 1.5}), std::invalid_argument);
+  EXPECT_THROW(faults.add({FaultKind::kLatencySpike, 0.0, 10.0, -0.5}),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, PartitionsAreOneWay) {
+  FaultSchedule faults;
+  FaultWindow inbound{FaultKind::kPartitionInbound, 0.0, 100.0};
+  inbound.node = 7;  // node 7 receives nothing
+  faults.add(inbound);
+  EXPECT_TRUE(faults.drops_datagram(50.0, 3, 7));
+  EXPECT_FALSE(faults.drops_datagram(50.0, 7, 3));
+
+  FaultSchedule out_faults;
+  FaultWindow outbound{FaultKind::kPartitionOutbound, 0.0, 100.0};
+  outbound.node = 7;  // node 7 sends nothing
+  out_faults.add(outbound);
+  EXPECT_TRUE(out_faults.drops_datagram(50.0, 7, 3));
+  EXPECT_FALSE(out_faults.drops_datagram(50.0, 3, 7));
+}
+
+TEST(FaultSchedule, BurstLossComposes) {
+  FaultSchedule faults;
+  faults.add({FaultKind::kBurstLoss, 0.0, 100.0, 0.5});
+  faults.add({FaultKind::kBurstLoss, 50.0, 150.0, 0.5});
+  EXPECT_DOUBLE_EQ(faults.extra_loss_at(25.0), 0.5);
+  // Overlap: 1 - (1-0.5)(1-0.5) = 0.75, not 1.0.
+  EXPECT_DOUBLE_EQ(faults.extra_loss_at(75.0), 0.75);
+  EXPECT_DOUBLE_EQ(faults.extra_loss_at(125.0), 0.5);
+  EXPECT_DOUBLE_EQ(faults.extra_loss_at(200.0), 0.0);
+}
+
+TEST(FaultSchedule, LatencySpikesSum) {
+  FaultSchedule faults;
+  faults.add({FaultKind::kLatencySpike, 0.0, 100.0, 0.5});
+  faults.add({FaultKind::kLatencySpike, 50.0, 150.0, 1.0});
+  EXPECT_DOUBLE_EQ(faults.extra_latency_at(75.0), 1.5);
+  EXPECT_DOUBLE_EQ(faults.extra_latency_at(125.0), 1.0);
+}
+
+TEST(FaultSchedule, RegionQueriesIgnoreTransportKinds) {
+  FaultSchedule faults;
+  faults.add({FaultKind::kBlackout, 0.0, 100.0});
+  EXPECT_FALSE(faults.region_down_at(50.0));
+  faults.add({FaultKind::kRegionCrash, 200.0, 260.0});
+  EXPECT_TRUE(faults.region_down_at(200.0));
+  EXPECT_FALSE(faults.region_down_at(260.0));
+  faults.add({FaultKind::kCapacityFlap, 300.0, 400.0, 0.25});
+  EXPECT_DOUBLE_EQ(faults.capacity_factor_at(350.0), 0.25);
+  EXPECT_DOUBLE_EQ(faults.capacity_factor_at(450.0), 1.0);
+}
+
+TEST(FaultSchedule, ScenariosAreDeterministicPerSeed) {
+  for (const std::string& name : FaultSchedule::scenario_names()) {
+    const auto a = FaultSchedule::scenario(name, 6 * 3600.0, 42);
+    const auto b = FaultSchedule::scenario(name, 6 * 3600.0, 42);
+    ASSERT_EQ(a.windows().size(), b.windows().size()) << name;
+    for (std::size_t i = 0; i < a.windows().size(); ++i) {
+      EXPECT_EQ(a.windows()[i].kind, b.windows()[i].kind) << name;
+      EXPECT_DOUBLE_EQ(a.windows()[i].start, b.windows()[i].start) << name;
+      EXPECT_DOUBLE_EQ(a.windows()[i].end, b.windows()[i].end) << name;
+      EXPECT_DOUBLE_EQ(a.windows()[i].magnitude, b.windows()[i].magnitude) << name;
+    }
+  }
+}
+
+TEST(FaultSchedule, BlackoutScenarioHasTwoOutages) {
+  // The canonical robustness scenario: two transport blackouts over the run.
+  const auto faults = FaultSchedule::scenario("blackouts", 6 * 3600.0, 42);
+  const auto windows = faults.windows_of(FaultKind::kBlackout);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_LT(windows[0].end, windows[1].start);
+  for (const auto& w : windows) EXPECT_DOUBLE_EQ(w.end - w.start, 600.0);
+}
+
+TEST(FaultSchedule, UnknownScenarioThrows) {
+  EXPECT_THROW((void)FaultSchedule::scenario("earthquake", 3600.0, 1),
+               std::invalid_argument);
+}
+
+TEST(NetworkFaults, BlackoutDropsEverything) {
+  NetworkParams params;
+  FaultSchedule faults;
+  faults.add({FaultKind::kBlackout, 10.0, 20.0});
+  SimNetwork net(params, 1);
+  net.set_faults(faults);
+  int received = 0;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node(
+      [&](NodeId, std::span<const std::uint8_t>) { ++received; });
+  for (Seconds t = 0.0; t < 30.0; t += 1.0) {
+    net.send(a, b, {1});
+    net.tick(t, 1.0);
+  }
+  net.tick(30.0, 5.0);  // drain in-flight datagrams
+  EXPECT_EQ(net.stats().fault_dropped, 10u);
+  EXPECT_EQ(received, 20);
+}
+
+TEST(NetworkFaults, BurstLossDropsApproximatelyAtRate) {
+  NetworkParams params;
+  FaultSchedule faults;
+  faults.add({FaultKind::kBurstLoss, 0.0, 1.0, 0.4});
+  SimNetwork net(params, 2);
+  net.set_faults(faults);
+  int received = 0;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node(
+      [&](NodeId, std::span<const std::uint8_t>) { ++received; });
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) net.send(a, b, {1});
+  net.tick(0.0, 5.0);
+  EXPECT_NEAR(received / static_cast<double>(kN), 0.6, 0.02);
+}
+
+TEST(NetworkFaults, LatencySpikeDelaysDelivery) {
+  NetworkParams params;
+  params.latency_min = 0.01;
+  params.latency_max = 0.05;
+  FaultSchedule faults;
+  faults.add({FaultKind::kLatencySpike, 0.0, 10.0, 3.0});
+  SimNetwork net(params, 3);
+  net.set_faults(faults);
+  int received = 0;
+  const NodeId a = net.register_node(nullptr);
+  const NodeId b = net.register_node(
+      [&](NodeId, std::span<const std::uint8_t>) { ++received; });
+  net.send(a, b, {1});
+  net.tick(0.0, 1.0);
+  EXPECT_EQ(received, 0);  // would have arrived without the spike
+  net.tick(1.0, 1.0);
+  net.tick(2.0, 1.0);
+  net.tick(3.0, 1.0);
+  net.tick(4.0, 1.0);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkFaults, EmptyScheduleIsBitIdentical) {
+  // A network carrying an explicitly-set empty schedule must consume the
+  // exact same RNG stream as one never touched by fault code.
+  NetworkParams params;
+  params.loss_rate = 0.5;
+  SimNetwork plain(params, 77);
+  SimNetwork faulted(params, 77);
+  faulted.set_faults(FaultSchedule{});
+  std::vector<int> got_plain;
+  std::vector<int> got_faulted;
+  const NodeId a1 = plain.register_node(nullptr);
+  const NodeId b1 = plain.register_node(
+      [&](NodeId, std::span<const std::uint8_t> p) { got_plain.push_back(p[0]); });
+  const NodeId a2 = faulted.register_node(nullptr);
+  const NodeId b2 = faulted.register_node(
+      [&](NodeId, std::span<const std::uint8_t> p) { got_faulted.push_back(p[0]); });
+  for (int i = 0; i < 200; ++i) {
+    plain.send(a1, b1, {static_cast<std::uint8_t>(i)});
+    faulted.send(a2, b2, {static_cast<std::uint8_t>(i)});
+  }
+  plain.tick(0.0, 1.0);
+  faulted.tick(0.0, 1.0);
+  EXPECT_EQ(got_plain, got_faulted);
+}
+
+}  // namespace
+}  // namespace slmob

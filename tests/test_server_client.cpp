@@ -198,6 +198,100 @@ TEST(ServerClient, DeadCircuitKicksClient) {
   SUCCEED();
 }
 
+TEST(ServerClient, SilentClientSessionTimesOut) {
+  SimServerParams sp;
+  sp.session_timeout = 10.0;
+  Rig rig(LandArchetype::kDanceIsland, {}, sp);
+  auto& client = rig.add_client("ghost");
+  client.login();
+  rig.pump(0.0, 5.0);
+  ASSERT_TRUE(client.connected());
+  const AvatarId id{client.agent_id()};
+  ASSERT_NE(rig.world->find(id), nullptr);
+  // The client goes completely silent (not ticked, nothing sent): the
+  // session-timeout sweep must drop its session and retire the avatar.
+  for (Seconds t = 5.0; t < 25.0; t += 1.0) {
+    rig.world->tick(t, 1.0);
+    rig.server->tick(t, 1.0);
+    rig.net.tick(t, 1.0);
+  }
+  EXPECT_GE(rig.server->stats().session_timeouts, 1u);
+  EXPECT_EQ(rig.server->connected_clients(), 0u);
+  EXPECT_EQ(rig.world->find(id), nullptr);
+}
+
+TEST(ServerClient, RegionCrashDropsSessionsRefusesTrafficRecovers) {
+  SimServerParams sp;
+  sp.faults.add({FaultKind::kRegionCrash, 10.0, 20.0});
+  Rig rig(LandArchetype::kDanceIsland, {}, sp);
+  auto& client = rig.add_client("victim");
+  client.login();
+  rig.pump(0.0, 5.0);
+  ASSERT_TRUE(client.connected());
+  const AvatarId id{client.agent_id()};
+
+  // Keep the oblivious client chattering so its traffic lands on the downed
+  // region.
+  for (Seconds t = 5.0; t < 18.0; t += 1.0) {
+    if (client.connected()) client.say("anyone home?");
+    rig.world->tick(t, 1.0);
+    rig.server->tick(t, 1.0);
+    rig.net.tick(t, 1.0);
+    client.tick(t, 1.0);
+  }
+  EXPECT_TRUE(rig.server->down());
+  EXPECT_EQ(rig.server->stats().crashes, 1u);
+  EXPECT_EQ(rig.server->stats().sessions_crashed, 1u);
+  EXPECT_EQ(rig.server->connected_clients(), 0u);
+  EXPECT_EQ(rig.world->find(id), nullptr);
+  EXPECT_GT(rig.server->stats().datagrams_ignored_down, 0u);
+
+  // After the window the region accepts fresh logins again.
+  rig.pump(18.0, 25.0);
+  EXPECT_FALSE(rig.server->down());
+  auto& fresh = rig.add_client("fresh");
+  fresh.login();
+  rig.pump(25.0, 35.0);
+  EXPECT_TRUE(fresh.connected());
+}
+
+TEST(ServerClient, CapacityFlapRejectsLoginsDuringWindow) {
+  SimServerParams sp;
+  sp.faults.add({FaultKind::kCapacityFlap, 0.0, 50.0, 0.0});  // capacity -> 0
+  Rig rig(LandArchetype::kDanceIsland, {}, sp);
+  auto& client = rig.add_client("unlucky");
+  client.login();
+  rig.pump(0.0, 5.0);
+  EXPECT_EQ(client.state(), ClientState::kLoginFailed);
+  EXPECT_GE(rig.server->stats().logins_rejected, 1u);
+  // Once the flap ends, the very same client can get in.
+  rig.pump(5.0, 55.0);
+  client.login();
+  rig.pump(55.0, 65.0);
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(ServerClient, ReloginOverLiveSessionRetiresPhantomAvatar) {
+  Rig rig;
+  auto& client = rig.add_client("phoenix");
+  client.login();
+  rig.pump(0.0, 5.0);
+  ASSERT_TRUE(client.connected());
+  const AvatarId old_id{client.agent_id()};
+  // Client-side drop (e.g. silent feed): the server still holds the session.
+  client.force_disconnect();
+  EXPECT_EQ(client.state(), ClientState::kDropped);
+  ASSERT_EQ(rig.server->connected_clients(), 1u);
+  client.login();
+  rig.pump(5.0, 15.0);
+  ASSERT_TRUE(client.connected());
+  // The old avatar must not haunt the world as a phantom.
+  EXPECT_EQ(rig.world->find(old_id), nullptr);
+  EXPECT_NE(rig.world->find(AvatarId{client.agent_id()}), nullptr);
+  EXPECT_NE(client.agent_id(), old_id.value);
+  EXPECT_EQ(rig.server->connected_clients(), 1u);
+}
+
 TEST(ServerClient, LoginUnderPacketLossEventuallySucceeds) {
   NetworkParams lossy;
   lossy.loss_rate = 0.3;

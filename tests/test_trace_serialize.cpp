@@ -86,6 +86,57 @@ TEST(Serialize, TrailingBytesThrow) {
   EXPECT_THROW((void)decode_trace(bytes), DecodeError);
 }
 
+TEST(Serialize, GapsRoundTripBinary) {
+  Trace original = make_random_trace(21, 30);
+  original.add_gap(35.0, 60.0);
+  original.add_gap(120.0, 155.0);
+  const Trace decoded = decode_trace(encode_trace(original));
+  expect_traces_equal(original, decoded, 1e-4);
+  ASSERT_EQ(decoded.gaps().size(), 2u);
+  EXPECT_EQ(decoded.gaps()[0], (CoverageGap{35.0, 60.0}));
+  EXPECT_EQ(decoded.gaps()[1], (CoverageGap{120.0, 155.0}));
+}
+
+TEST(Serialize, GapsRoundTripCsv) {
+  Trace original("Test Land", 10.0);
+  Snapshot s;
+  s.time = 0.0;
+  s.fixes.push_back({AvatarId{1}, {10.0, 20.0, 22.0}});
+  original.add(s);
+  original.add_gap(15.0, 45.0);
+  const Trace decoded = trace_from_csv(trace_to_csv(original), "Test Land", 10.0);
+  ASSERT_EQ(decoded.gaps().size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded.gaps()[0].start, 15.0);
+  EXPECT_DOUBLE_EQ(decoded.gaps()[0].end, 45.0);
+  ASSERT_EQ(decoded.size(), 1u);
+}
+
+TEST(Serialize, Version1BytesStillDecode) {
+  // A v1 file is a v2 file minus the trailing gap block; old traces must
+  // keep loading (as gap-free) forever.
+  const Trace original = make_random_trace(13, 8);
+  auto bytes = encode_trace(original);
+  bytes.resize(bytes.size() - 4);  // drop the u32 gap count (0)
+  bytes[4] = 1;                    // patch version u16 (little-endian) to 1
+  const Trace decoded = decode_trace(bytes);
+  expect_traces_equal(original, decoded, 1e-4);
+  EXPECT_TRUE(decoded.gaps().empty());
+}
+
+TEST(Serialize, TruncatedGapBlockThrows) {
+  Trace t = make_random_trace(9, 5);
+  t.add_gap(12.0, 24.0);
+  auto bytes = encode_trace(t);
+  bytes.resize(bytes.size() - 8);  // cut into the gap record
+  EXPECT_THROW((void)decode_trace(bytes), DecodeError);
+}
+
+TEST(Serialize, CsvCorruptGapRowThrows) {
+  EXPECT_THROW(
+      (void)trace_from_csv("time,avatar,x,y,z\ngap,50.0,20.0,0,0\n", "x", 10.0),
+      std::invalid_argument);  // gap end before start
+}
+
 TEST(Serialize, FileRoundTrip) {
   const Trace original = make_random_trace(77, 12);
   const std::string path = ::testing::TempDir() + "/slmob_trace_test.slt";

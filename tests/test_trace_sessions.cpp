@@ -103,6 +103,30 @@ TEST(TripMetrics, PathLengthAndEffectiveTime) {
   EXPECT_DOUBLE_EQ(m.travel_time, 30.0);
 }
 
+TEST(Sessions, CoverageGapSplitsEvenWithinAbsenceThreshold) {
+  // Absence of 30 s would normally be bridged, but a coverage gap sits in
+  // the middle: presence must not be assumed across unobserved time.
+  Trace t = make_trace({{0.0, {1}}, {10.0, {1}}, {40.0, {1}}, {50.0, {1}}});
+  t.add_gap(15.0, 35.0);
+  const auto sessions = extract_sessions(t);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_DOUBLE_EQ(sessions[0].logout, 10.0);
+  EXPECT_DOUBLE_EQ(sessions[1].login, 40.0);
+  for (const auto& s : sessions) {
+    EXPECT_FALSE(t.spans_gap(s.login, s.logout));
+  }
+}
+
+TEST(Sessions, SnapshotsInsideGapIgnored) {
+  Trace t = make_trace({{0.0, {1}}, {10.0, {2}}, {20.0, {1}}});
+  t.add_gap(5.0, 15.0);  // the t=10 snapshot is uncovered
+  const auto sessions = extract_sessions(t);
+  // Avatar 2 only ever appears inside the gap: no session for it.
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].avatar.value, 1u);
+  EXPECT_EQ(sessions[1].avatar.value, 1u);
+}
+
 TEST(Sessions, EmptyTraceNoSessions) {
   const Trace t("x", 10.0);
   EXPECT_TRUE(extract_sessions(t).empty());

@@ -67,6 +67,57 @@ TEST(Trace, SliceHalfOpen) {
   EXPECT_EQ(sliced.land_name(), "x");
 }
 
+TEST(Trace, AddGapValidation) {
+  Trace t("x", 10.0);
+  EXPECT_THROW(t.add_gap(10.0, 10.0), std::invalid_argument);   // empty
+  EXPECT_THROW(t.add_gap(20.0, 10.0), std::invalid_argument);   // reversed
+  t.add_gap(10.0, 20.0);
+  EXPECT_THROW(t.add_gap(15.0, 25.0), std::invalid_argument);   // overlaps
+  EXPECT_THROW(t.add_gap(5.0, 8.0), std::invalid_argument);     // out of order
+  EXPECT_NO_THROW(t.add_gap(20.0, 30.0));                       // abutting is fine
+  EXPECT_EQ(t.gaps().size(), 2u);
+}
+
+TEST(Trace, CoverageQueriesAreHalfOpen) {
+  Trace t("x", 10.0);
+  t.add_gap(100.0, 200.0);
+  EXPECT_TRUE(t.covered_at(99.9));
+  EXPECT_FALSE(t.covered_at(100.0));
+  EXPECT_FALSE(t.covered_at(199.9));
+  EXPECT_TRUE(t.covered_at(200.0));
+
+  EXPECT_FALSE(t.spans_gap(0.0, 100.0));   // ends exactly at gap start
+  EXPECT_TRUE(t.spans_gap(0.0, 100.1));
+  EXPECT_TRUE(t.spans_gap(150.0, 160.0));  // inside the gap
+  EXPECT_FALSE(t.spans_gap(200.0, 300.0)); // starts exactly at gap end
+  EXPECT_DOUBLE_EQ(t.gap_seconds(), 100.0);
+}
+
+TEST(Trace, SummaryReportsGaps) {
+  Trace t("x", 10.0);
+  t.add(snap(0.0, {{1, {}}}));
+  t.add(snap(300.0, {{1, {}}}));
+  t.add_gap(100.0, 200.0);
+  t.add_gap(250.0, 280.0);
+  const TraceSummary s = t.summary();
+  EXPECT_EQ(s.gap_count, 2u);
+  EXPECT_DOUBLE_EQ(s.gap_seconds, 130.0);
+}
+
+TEST(Trace, SliceClipsGaps) {
+  Trace t("x", 10.0);
+  for (int i = 0; i < 50; ++i) t.add(snap(i * 10.0, {{1, {}}}));
+  t.add_gap(50.0, 150.0);
+  t.add_gap(200.0, 300.0);
+  t.add_gap(400.0, 450.0);
+  const Trace sliced = t.slice(100.0, 250.0);
+  ASSERT_EQ(sliced.gaps().size(), 2u);
+  EXPECT_DOUBLE_EQ(sliced.gaps()[0].start, 100.0);  // clipped to slice start
+  EXPECT_DOUBLE_EQ(sliced.gaps()[0].end, 150.0);
+  EXPECT_DOUBLE_EQ(sliced.gaps()[1].start, 200.0);
+  EXPECT_DOUBLE_EQ(sliced.gaps()[1].end, 250.0);    // clipped to slice end
+}
+
 TEST(Trace, StripSittingFixesRemovesOriginOnly) {
   Trace t("x", 10.0);
   t.add(snap(0.0, {{1, {0.0, 0.0, 0.0}}, {2, {5.0, 5.0, 22.0}}}));

@@ -1,7 +1,8 @@
 // slmob command-line tool: collect, inspect, convert and replay traces
 // without writing C++.
 //
-//   slmob run     --land <apfel|dance|isle> [--hours H] [--seed S] --out t.slt
+//   slmob run     --land <apfel|dance|isle> [--hours H] [--seed S]
+//                 [--faults <scenario>] [--fault-seed S] --out t.slt
 //   slmob summary <trace.slt>
 //   slmob analyze <trace.slt> [--range R]... [--threads N]
 //   slmob sweep   --land <l>[,<l>...] --seeds N [--hours H] [--jobs J]
@@ -17,6 +18,7 @@
 #include "core/report.hpp"
 #include "dtn/dtn_simulator.hpp"
 #include "trace/serialize.hpp"
+#include "util/bytes.hpp"
 
 namespace {
 
@@ -25,7 +27,9 @@ using namespace slmob;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  slmob run --land <apfel|dance|isle> [--hours H] [--seed S] --out T.slt\n"
+               "  slmob run --land <apfel|dance|isle> [--hours H] [--seed S]\n"
+               "            [--faults none|blackouts|burst-loss|region-flaps|chaos]\n"
+               "            [--fault-seed S] --out T.slt\n"
                "  slmob summary <trace.slt>\n"
                "  slmob analyze <trace.slt> [--range R]... [--threads N]\n"
                "  slmob sweep --land <l>[,<l>...] --seeds N [--seed-base S] [--hours H]\n"
@@ -43,25 +47,32 @@ std::optional<LandArchetype> parse_land(const std::string& name) {
   return std::nullopt;
 }
 
-// Reads a trace in either format, deciding by extension.
+// Reads a trace in either format, deciding by extension. Malformed input
+// (truncated file, bad magic, corrupt rows) is reported with the file name.
 Trace read_any(const std::string& path) {
-  if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
-    FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) throw std::runtime_error("cannot open " + path);
-    std::string text;
-    char buf[65536];
-    std::size_t n = 0;
-    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
-    std::fclose(f);
-    return trace_from_csv(text, path, 10.0);
+  try {
+    if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
+      FILE* f = std::fopen(path.c_str(), "rb");
+      if (f == nullptr) throw std::runtime_error("cannot open " + path);
+      std::string text;
+      char buf[65536];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+      std::fclose(f);
+      return trace_from_csv(text, path, 10.0);
+    }
+    return load_trace(path);
+  } catch (const DecodeError& e) {
+    throw std::runtime_error(path + ": corrupt or truncated trace (" + e.what() + ")");
   }
-  return load_trace(path);
 }
 
 int cmd_run(const std::vector<std::string>& args) {
   std::optional<LandArchetype> land;
   double hours = 24.0;
   std::uint64_t seed = 42;
+  std::uint64_t fault_seed = 0;
+  std::string faults = "none";
   std::string out;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--land" && i + 1 < args.size()) {
@@ -70,6 +81,10 @@ int cmd_run(const std::vector<std::string>& args) {
       hours = std::atof(args[++i].c_str());
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
       seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--faults" && i + 1 < args.size()) {
+      faults = args[++i];
+    } else if (args[i] == "--fault-seed" && i + 1 < args.size()) {
+      fault_seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
     } else if (args[i] == "--out" && i + 1 < args.size()) {
       out = args[++i];
     } else {
@@ -82,14 +97,23 @@ int cmd_run(const std::vector<std::string>& args) {
   cfg.archetype = *land;
   cfg.duration = hours * kSecondsPerHour;
   cfg.seed = seed;
+  cfg.fault_scenario = faults;
+  cfg.fault_seed = fault_seed;
   cfg.ranges = {};  // collection only
-  std::printf("crawling %s for %.1f h (seed %llu)...\n", archetype_name(*land).c_str(),
-              hours, static_cast<unsigned long long>(seed));
+  std::printf("crawling %s for %.1f h (seed %llu, faults %s)...\n",
+              archetype_name(*land).c_str(), hours,
+              static_cast<unsigned long long>(seed), faults.c_str());
   const ExperimentResults res = run_experiment(cfg);
   save_trace(res.trace, out);
   std::printf("wrote %s: %zu snapshots, %zu unique users, avg conc %.1f\n", out.c_str(),
               res.summary.snapshot_count, res.summary.unique_users,
               res.summary.avg_concurrent);
+  if (res.summary.gap_count > 0) {
+    std::printf("coverage: %zu gaps, %.0f s uncovered (%zu relogins, %zu crawler backoff resets)\n",
+                res.summary.gap_count, res.summary.gap_seconds,
+                static_cast<std::size_t>(res.crawler_stats.relogins),
+                static_cast<std::size_t>(res.crawler_stats.backoff_resets));
+  }
   return 0;
 }
 
@@ -104,6 +128,7 @@ int cmd_summary(const std::vector<std::string>& args) {
   std::printf("unique users:    %zu\n", s.unique_users);
   std::printf("avg concurrent:  %.1f\n", s.avg_concurrent);
   std::printf("max concurrent:  %zu\n", s.max_concurrent);
+  std::printf("coverage gaps:   %zu (%.0f s uncovered)\n", s.gap_count, s.gap_seconds);
   return 0;
 }
 
