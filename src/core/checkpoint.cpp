@@ -1,0 +1,238 @@
+#include "core/checkpoint.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+#include "util/fileio.hpp"
+
+namespace slmob {
+namespace {
+
+constexpr std::uint8_t kCheckpointMagic[4] = {'S', 'L', 'C', 'K'};
+constexpr std::uint16_t kCheckpointVersion = 1;
+
+std::string checkpoint_path(const std::string& dir) {
+  return dir + "/" + kCheckpointFileName;
+}
+
+std::string journal_path(const std::string& dir) { return dir + "/" + kJournalFileName; }
+
+void fill_witness(CheckpointState& ck, Testbed& bed) {
+  ck.engine_tick = static_cast<std::uint64_t>(bed.engine().tick());
+  ck.world_rng = bed.world().rng_state();
+  ck.network_rng = bed.network().rng_state();
+  ck.crawler_backoff_level = bed.crawler()->backoff_level();
+  ck.crawler_snapshots = bed.crawler()->stats().snapshots_taken;
+  ck.crawler_relogins = bed.crawler()->stats().relogins;
+  ck.crawler_coverage_gaps = bed.crawler()->stats().coverage_gaps;
+  ck.world_logins = bed.world().stats().total_logins;
+  ck.network_sent = bed.network().stats().sent;
+}
+
+void verify_replay(const CheckpointState& ck, Testbed& bed) {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) {
+      throw std::runtime_error(
+          std::string("resume_durable: replay mismatch on ") + what +
+          " — the checkpoint was taken under a different build, config or seed; "
+          "refusing to resume into a diverged run");
+    }
+  };
+  check(static_cast<std::uint64_t>(bed.engine().tick()) == ck.engine_tick, "engine tick");
+  check(bed.world().rng_state() == ck.world_rng, "world RNG stream");
+  check(bed.network().rng_state() == ck.network_rng, "network RNG stream");
+  check(bed.crawler()->backoff_level() == ck.crawler_backoff_level,
+        "crawler backoff level");
+  check(bed.crawler()->stats().snapshots_taken == ck.crawler_snapshots,
+        "crawler snapshot count");
+  check(bed.crawler()->stats().relogins == ck.crawler_relogins, "crawler relogins");
+  check(bed.crawler()->stats().coverage_gaps == ck.crawler_coverage_gaps,
+        "crawler coverage gaps");
+  check(bed.world().stats().total_logins == ck.world_logins, "world login count");
+  check(bed.network().stats().sent == ck.network_sent, "network datagram count");
+}
+
+// Shared by fresh and resumed runs: advance in checkpoint-sized segments,
+// persisting a checkpoint after each, and finalize (or die) on schedule.
+DurableRunResult run_loop(Testbed& bed, TraceJournalWriter& writer, CheckpointState base,
+                          const std::string& dir, Seconds from,
+                          std::optional<Seconds> kill_at) {
+  DurableRunResult result;
+  result.journal_path = writer.path();
+  const Seconds duration = base.duration;
+  const Seconds every = base.checkpoint_every;
+
+  const auto capture_stats = [&] {
+    result.crawler_stats = bed.crawler()->stats();
+    result.world_stats = bed.world().stats();
+    result.network_stats = bed.network().stats();
+  };
+
+  Seconds t = from;
+  while (t < duration) {
+    const Seconds next = every > 0.0 ? std::min(t + every, duration) : duration;
+    if (kill_at && *kill_at < duration && *kill_at < next) {
+      // Simulated SIGKILL: stop mid-segment with no handover and no kEnd
+      // frame — exactly the on-disk state a killed process leaves.
+      bed.run_until(*kill_at);
+      result.killed = true;
+      capture_stats();
+      return result;
+    }
+    bed.run_until(next);
+    t = next;
+    if (every > 0.0) {
+      CheckpointState ck = base;
+      ck.time = t;
+      ck.journal_offset = writer.offset();
+      fill_witness(ck, bed);
+      save_checkpoint(ck, dir);
+      ++result.checkpoints_written;
+    }
+  }
+
+  result.trace = bed.crawler()->take_trace();
+  writer.append_end(bed.engine().now());
+  capture_stats();
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointState& state) {
+  ByteWriter payload;
+  payload.u8(static_cast<std::uint8_t>(state.archetype));
+  payload.f64(state.duration);
+  payload.u64(state.seed);
+  payload.str(state.fault_scenario);
+  payload.u64(state.fault_seed);
+  payload.str(state.out_path);
+  payload.f64(state.checkpoint_every);
+  payload.f64(state.time);
+  payload.u64(state.engine_tick);
+  payload.u64(state.journal_offset);
+  for (const std::uint64_t word : state.world_rng) payload.u64(word);
+  for (const std::uint64_t word : state.network_rng) payload.u64(word);
+  payload.u32(state.crawler_backoff_level);
+  payload.u64(state.crawler_snapshots);
+  payload.u64(state.crawler_relogins);
+  payload.u64(state.crawler_coverage_gaps);
+  payload.u64(state.world_logins);
+  payload.u64(state.network_sent);
+
+  ByteWriter out;
+  out.raw(kCheckpointMagic);
+  out.u16(kCheckpointVersion);
+  out.u32(crc32(payload.bytes()));
+  out.raw(payload.bytes());
+  return out.take();
+}
+
+CheckpointState decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 10 ||
+      !std::equal(bytes.begin(), bytes.begin() + 4, kCheckpointMagic)) {
+    throw DecodeError("decode_checkpoint: bad magic");
+  }
+  ByteReader head(bytes.subspan(4, 6));
+  if (head.u16() != kCheckpointVersion) {
+    throw DecodeError("decode_checkpoint: unsupported version");
+  }
+  const std::uint32_t crc = head.u32();
+  const auto payload = bytes.subspan(10);
+  if (crc32(payload) != crc) {
+    throw DecodeError("decode_checkpoint: CRC mismatch (torn or corrupted checkpoint)");
+  }
+  ByteReader r(payload);
+  CheckpointState state;
+  state.archetype = static_cast<LandArchetype>(r.u8());
+  state.duration = r.f64();
+  state.seed = r.u64();
+  state.fault_scenario = r.str();
+  state.fault_seed = r.u64();
+  state.out_path = r.str();
+  state.checkpoint_every = r.f64();
+  state.time = r.f64();
+  state.engine_tick = r.u64();
+  state.journal_offset = r.u64();
+  for (auto& word : state.world_rng) word = r.u64();
+  for (auto& word : state.network_rng) word = r.u64();
+  state.crawler_backoff_level = r.u32();
+  state.crawler_snapshots = r.u64();
+  state.crawler_relogins = r.u64();
+  state.crawler_coverage_gaps = r.u64();
+  state.world_logins = r.u64();
+  state.network_sent = r.u64();
+  if (!r.at_end()) throw DecodeError("decode_checkpoint: trailing bytes");
+  return state;
+}
+
+void save_checkpoint(const CheckpointState& state, const std::string& dir) {
+  write_file_atomic(checkpoint_path(dir), encode_checkpoint(state));
+}
+
+CheckpointState load_checkpoint(const std::string& dir) {
+  const std::string path = checkpoint_path(dir);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("load_checkpoint: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return decode_checkpoint(bytes);
+}
+
+DurableRunResult run_durable(const DurableRunOptions& options) {
+  if (options.dir.empty()) {
+    throw std::invalid_argument("run_durable: checkpoint directory required");
+  }
+  std::filesystem::create_directories(options.dir);
+
+  Testbed bed(make_testbed_config(options.config));
+  if (bed.crawler() == nullptr) {
+    throw std::logic_error("run_durable: config has no crawler to journal");
+  }
+  TraceJournalWriter writer(journal_path(options.dir), options.config.duration);
+  bed.crawler()->attach_journal(&writer);
+
+  CheckpointState base;
+  base.archetype = options.config.archetype;
+  base.duration = options.config.duration;
+  base.seed = options.config.seed;
+  base.fault_scenario = options.config.fault_scenario;
+  base.fault_seed = options.config.fault_seed;
+  base.out_path = options.out_path;
+  base.checkpoint_every = options.checkpoint_every;
+  return run_loop(bed, writer, base, options.dir, 0.0, options.kill_at);
+}
+
+DurableRunResult resume_durable(const std::string& dir, std::optional<Seconds> kill_at) {
+  const CheckpointState ck = load_checkpoint(dir);
+
+  ExperimentConfig cfg;
+  cfg.archetype = ck.archetype;
+  cfg.duration = ck.duration;
+  cfg.seed = ck.seed;
+  cfg.fault_scenario = ck.fault_scenario;
+  cfg.fault_seed = ck.fault_seed;
+
+  Testbed bed(make_testbed_config(cfg));
+  if (bed.crawler() == nullptr) {
+    throw std::logic_error("resume_durable: rebuilt rig has no crawler");
+  }
+  // Silent replay to the checkpointed frontier: the simulator is a pure
+  // function of its seeds, so this reconstructs every avatar, datagram and
+  // crawler timer without serializing any of them. No journal is attached —
+  // the frames for this prefix already sit in the journal file.
+  bed.run_until(ck.time);
+  verify_replay(ck, bed);
+
+  auto writer = TraceJournalWriter::resume(journal_path(dir), ck.journal_offset, ck.duration);
+  bed.crawler()->attach_journal(&writer);
+  return run_loop(bed, writer, ck, dir, ck.time, kill_at);
+}
+
+}  // namespace slmob

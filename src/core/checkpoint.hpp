@@ -1,0 +1,114 @@
+// Checkpoint/resume for long measurement runs.
+//
+// The paper's 24 h crawls died and were restarted by hand; this module makes
+// a killed run resumable. A checkpoint directory holds two files:
+//
+//   trace.sltj       write-ahead journal of everything captured so far
+//   checkpoint.slck  CRC-framed snapshot of the run's identity and progress
+//
+// A checkpoint records the run identity (archetype, duration, seed, fault
+// scenario), the progress frontier (virtual time, engine tick, journal byte
+// offset) and a replay-verification witness: the world and network RNG
+// stream positions, the crawler's backoff level, and key component counters.
+//
+// Resume reconstructs state by *deterministic replay*: the rig is rebuilt
+// from the recorded identity and re-run silently to the checkpointed tick —
+// the whole simulator is a pure function of its seeds, so this recreates
+// every avatar, in-flight datagram and crawler timer exactly, without
+// serializing any of them. The recorded witness is then compared against the
+// replayed state; any mismatch (code drift, edited config, cosmic-ray
+// checkpoint corruption survived by CRC) aborts the resume instead of
+// silently producing a franken-trace. After verification the journal is
+// truncated to the recorded offset (replay regenerates any frames past it
+// bit-for-bit) and capture continues, so the post-resume trace is
+// bit-identical to the trace of a run that was never killed.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "trace/journal.hpp"
+
+namespace slmob {
+
+inline constexpr const char* kCheckpointFileName = "checkpoint.slck";
+inline constexpr const char* kJournalFileName = "trace.sltj";
+
+struct CheckpointState {
+  // Run identity: enough to rebuild the rig. Only runs with a default
+  // TestbedConfig (the `slmob run` shape) are checkpointable; programmatic
+  // rigs with custom testbed knobs must carry their own config to resume.
+  LandArchetype archetype{LandArchetype::kIsleOfView};
+  Seconds duration{0.0};
+  std::uint64_t seed{0};
+  std::string fault_scenario{"none"};
+  std::uint64_t fault_seed{0};
+  std::string out_path;
+  Seconds checkpoint_every{0.0};
+
+  // Progress frontier.
+  Seconds time{0.0};
+  std::uint64_t engine_tick{0};
+  std::uint64_t journal_offset{0};
+
+  // Replay-verification witness.
+  std::array<std::uint64_t, 4> world_rng{};
+  std::array<std::uint64_t, 4> network_rng{};
+  std::uint32_t crawler_backoff_level{0};
+  std::uint64_t crawler_snapshots{0};
+  std::uint64_t crawler_relogins{0};
+  std::uint64_t crawler_coverage_gaps{0};
+  std::uint64_t world_logins{0};
+  std::uint64_t network_sent{0};
+
+  friend bool operator==(const CheckpointState&, const CheckpointState&) = default;
+};
+
+// Binary encoding (magic "SLCK" | u16 version | u32 crc32(payload) |
+// payload). decode throws DecodeError on bad magic/version/CRC/truncation.
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointState& state);
+CheckpointState decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+// Atomic write to <dir>/checkpoint.slck: a kill during the save leaves the
+// previous checkpoint intact, never a torn file.
+void save_checkpoint(const CheckpointState& state, const std::string& dir);
+// Throws std::runtime_error when the file is missing or unreadable.
+CheckpointState load_checkpoint(const std::string& dir);
+
+struct DurableRunOptions {
+  // Only archetype/duration/seed/fault_scenario/fault_seed are recorded in
+  // the checkpoint; the testbed config must stay default for a resume to
+  // rebuild the identical rig.
+  ExperimentConfig config;
+  std::string dir;                 // checkpoint directory, created if missing
+  Seconds checkpoint_every{0.0};   // 0 = journal only (salvageable, not resumable)
+  std::string out_path;            // recorded for `slmob run --resume`
+  // Test/bench hook simulating a SIGKILL: the run stops abruptly at this
+  // virtual time — no trace handover, no journal finalization, exactly the
+  // on-disk state a killed process leaves behind.
+  std::optional<Seconds> kill_at;
+};
+
+struct DurableRunResult {
+  Trace trace;  // empty when the run was killed
+  CrawlerStats crawler_stats;
+  WorldStats world_stats;
+  NetworkStats network_stats;
+  bool killed{false};
+  std::size_t checkpoints_written{0};
+  std::string journal_path;
+};
+
+// Runs a journaled (and, when checkpoint_every > 0, checkpointed)
+// measurement from t = 0. Requires a crawler-equipped config.
+DurableRunResult run_durable(const DurableRunOptions& options);
+
+// Resumes a killed run from the newest checkpoint in `dir` (replay, verify,
+// truncate journal, continue). Deterministic: resuming the same directory
+// twice produces bit-identical traces, equal to the never-killed run's.
+DurableRunResult resume_durable(const std::string& dir,
+                                std::optional<Seconds> kill_at = std::nullopt);
+
+}  // namespace slmob

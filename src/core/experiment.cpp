@@ -7,7 +7,7 @@
 
 namespace slmob {
 
-ExperimentResults run_experiment(const ExperimentConfig& config) {
+TestbedConfig make_testbed_config(const ExperimentConfig& config) {
   TestbedConfig tb = config.testbed;
   tb.archetype = config.archetype;
   tb.seed = config.seed;
@@ -17,8 +17,11 @@ ExperimentResults run_experiment(const ExperimentConfig& config) {
         config.fault_seed != 0 ? config.fault_seed : config.seed;
     tb.faults = FaultSchedule::scenario(config.fault_scenario, config.duration, fseed);
   }
+  return tb;
+}
 
-  Testbed bed(tb);
+ExperimentResults run_experiment(const ExperimentConfig& config) {
+  Testbed bed(make_testbed_config(config));
   bed.run_until(config.duration);
 
   Trace trace;

@@ -63,6 +63,11 @@ struct ExperimentResults {
   std::optional<Trace> ground_truth;
 };
 
+// The exact TestbedConfig run_experiment builds from `config` (archetype,
+// seed and fault scenario resolved). Exposed so the checkpointed runner
+// (core/checkpoint.hpp) wires a bit-identical rig.
+TestbedConfig make_testbed_config(const ExperimentConfig& config);
+
 // Runs the testbed for cfg.duration and computes all analyses.
 ExperimentResults run_experiment(const ExperimentConfig& config);
 

@@ -1,8 +1,9 @@
 #include "core/report.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "util/fileio.hpp"
 
 namespace slmob {
 namespace {
@@ -102,10 +103,7 @@ std::string render_report(const ExperimentResults& results, const ReportOptions&
 
 void write_report(const ExperimentResults& results, const std::string& path,
                   const ReportOptions& options) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_report: cannot open " + path);
-  out << render_report(results, options);
-  if (!out) throw std::runtime_error("write_report: write failed for " + path);
+  write_file_atomic(path, render_report(results, options));
 }
 
 }  // namespace slmob

@@ -64,11 +64,18 @@ void Crawler::act_human(Seconds now) {
   }
 }
 
+void Crawler::journal_begin_if_needed() {
+  if (journal_ != nullptr && !journal_->begun()) {
+    journal_->begin(trace_.land_name(), config_.sample_interval);
+  }
+}
+
 Trace Crawler::take_trace() {
   if (gap_open_ && last_tick_ > gap_start_) {
     trace_.add_gap(gap_start_, last_tick_);
     gap_open_ = false;
     ++stats_.coverage_gaps;
+    if (journal_ != nullptr) journal_->append_gap_close(gap_start_, last_tick_);
   }
   return std::move(trace_);
 }
@@ -102,6 +109,9 @@ void Crawler::tick(Seconds now, Seconds dt) {
         ++backoff_level_;
         ++stats_.relogins;
         log_info("crawler", "connection lost; re-logging in");
+        if (journal_ != nullptr && journal_->begun()) {
+          journal_->append_session(now, SessionEvent::kRelogin);
+        }
         client_.login();
       }
       return;
@@ -120,6 +130,9 @@ void Crawler::tick(Seconds now, Seconds dt) {
     log_info("crawler", "minimap feed went silent; reconnecting");
     latest_entries_time_ = -1.0;
     ++stats_.feed_reconnects;
+    if (journal_ != nullptr && journal_->begun()) {
+      journal_->append_session(now, SessionEvent::kFeedReconnect);
+    }
     client_.force_disconnect();
     return;
   }
@@ -142,6 +155,7 @@ void Crawler::tick(Seconds now, Seconds dt) {
       trace_.add_gap(gap_start_, now);
       gap_open_ = false;
       ++stats_.coverage_gaps;
+      if (journal_ != nullptr) journal_->append_gap_close(gap_start_, now);
     }
     if (backoff_level_ > 0) {
       backoff_level_ = 0;
@@ -155,6 +169,10 @@ void Crawler::tick(Seconds now, Seconds dt) {
       const CoarsePosition p = dequantize_coarse(entry);
       snap.fixes.push_back({AvatarId{entry.agent_id}, Vec3{p.x, p.y, p.z}});
     }
+    if (journal_ != nullptr) {
+      journal_begin_if_needed();
+      journal_->append_snapshot(snap);
+    }
     trace_.add(std::move(snap));
     ++stats_.snapshots_taken;
   }
@@ -166,6 +184,10 @@ void Crawler::open_gap_if_needed(Seconds now) {
   if (!gap_open_ && stats_.snapshots_taken > 0) {
     gap_open_ = true;
     gap_start_ = now;
+    // The open mark lets salvage censor from the true outage start when the
+    // process dies mid-gap (the close frame that would normally record it
+    // never gets written).
+    if (journal_ != nullptr) journal_->append_gap_open(gap_start_);
   }
 }
 

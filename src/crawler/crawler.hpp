@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "client/metaverse_client.hpp"
+#include "trace/journal.hpp"
 #include "trace/trace.hpp"
 
 namespace slmob {
@@ -86,12 +87,25 @@ class Crawler {
   // coverage up to the end of a run the crawler did not survive.
   [[nodiscard]] Trace take_trace();
   [[nodiscard]] const CrawlerStats& stats() const { return stats_; }
+  // Re-login pacing state; checkpoints record it so a resumed run can prove
+  // the replayed crawler is in the same state as the one that crashed.
+  [[nodiscard]] std::uint32_t backoff_level() const { return backoff_level_; }
+
+  // Attaches a write-ahead journal (non-owning; nullptr detaches). Every
+  // snapshot, gap and session event is mirrored to the journal as it is
+  // recorded in memory, so a kill at any instant loses at most the frame in
+  // flight. The journal's kBegin frame is written lazily with the first
+  // record, once the land name is known. Journaling draws nothing from the
+  // crawler's RNG: a journal-off run is bit-identical with or without this
+  // code path.
+  void attach_journal(TraceJournalWriter* journal) { journal_ = journal; }
 
  private:
   void on_coarse(Seconds now, const CoarseLocationUpdate& update);
   void act_human(Seconds now);
   void open_gap_if_needed(Seconds now);
   void note_sampling_outage(Seconds now);
+  void journal_begin_if_needed();
 
   MetaverseClient& client_;
   CrawlerConfig config_;
@@ -112,6 +126,7 @@ class Crawler {
   bool gap_open_{false};
   Seconds gap_start_{0.0};
   Seconds last_tick_{0.0};
+  TraceJournalWriter* journal_{nullptr};
   CrawlerStats stats_;
 };
 

@@ -553,6 +553,10 @@ Value Interpreter::call_builtin(const std::string& name, std::vector<Value>& arg
     need(0);
     return Value(host_.ll_get_pos());
   }
+  if (name == "llGetKey") {
+    need(0);
+    return Value(host_.ll_get_key());
+  }
   if (name == "llGetTime") {
     need(0);
     return make_float(host_.ll_get_time());

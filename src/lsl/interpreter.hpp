@@ -39,6 +39,10 @@ class LslHost {
                                 std::int64_t type, double range, double arc,
                                 double rate) = 0;
   virtual slmob::Vec3 ll_get_pos() = 0;
+  // The object's own key; defaulted so hosts without an identity need not
+  // override. Sensor reports embed it so the collector can deduplicate
+  // retried flushes per object.
+  virtual std::string ll_get_key() { return "object-0"; }
   virtual double ll_get_time() = 0;           // seconds since script start
   virtual std::int64_t ll_get_unix_time() = 0;  // virtual epoch seconds
   virtual double ll_frand(double max) = 0;

@@ -16,6 +16,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kPartitionOutbound: return "partition-outbound";
     case FaultKind::kRegionCrash: return "region-crash";
     case FaultKind::kCapacityFlap: return "capacity-flap";
+    case FaultKind::kCollectorCrash: return "collector-crash";
   }
   return "unknown";
 }
@@ -86,6 +87,13 @@ double FaultSchedule::capacity_factor_at(Seconds t) const {
   return factor;
 }
 
+bool FaultSchedule::collector_down_at(Seconds t) const {
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kCollectorCrash && w.active_at(t)) return true;
+  }
+  return false;
+}
+
 std::vector<FaultWindow> FaultSchedule::windows_of(FaultKind kind) const {
   std::vector<FaultWindow> out;
   for (const auto& w : windows_) {
@@ -144,6 +152,17 @@ void add_region_flaps(FaultSchedule& s, Seconds duration, Rng& rng) {
   }
 }
 
+// Scripted pair of collector outages (the paper's external web server going
+// away) at 1/4 and 5/8 of the run, up to 5 minutes each. Sensors keep
+// sweeping; flushes time out (408) and are retried until the collector is
+// back, exercising the at-least-once-with-dedup path.
+void add_collector_crashes(FaultSchedule& s, Seconds duration) {
+  const Seconds outage = std::min(300.0, duration / 8.0);
+  if (outage <= 0.0) return;
+  s.add({FaultKind::kCollectorCrash, duration * 0.25, duration * 0.25 + outage, 1.0, {}});
+  s.add({FaultKind::kCollectorCrash, duration * 0.625, duration * 0.625 + outage, 1.0, {}});
+}
+
 }  // namespace
 
 FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
@@ -168,6 +187,10 @@ FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
     add_region_flaps(s, duration, rng);
     return s;
   }
+  if (name == "collector-crash") {
+    add_collector_crashes(s, duration);
+    return s;
+  }
   if (name == "chaos") {
     add_blackouts(s, duration);
     add_bursts(s, duration, rng);
@@ -179,7 +202,7 @@ FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
 
 const std::vector<std::string>& FaultSchedule::scenario_names() {
   static const std::vector<std::string> names{"none", "blackouts", "burst-loss",
-                                              "region-flaps", "chaos"};
+                                              "region-flaps", "collector-crash", "chaos"};
   return names;
 }
 

@@ -36,6 +36,8 @@ enum class FaultKind : std::uint8_t {
   // Server faults (consumed by SimServer):
   kRegionCrash,        // sessions dropped, logins refused until the window ends
   kCapacityFlap,       // admission capacity scaled by `magnitude` in [0,1]
+  // Collector faults (consumed by HttpCollector):
+  kCollectorCrash,     // the web collector is down: requests vanish, no ack
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -85,16 +87,22 @@ class FaultSchedule {
   // Smallest active capacity factor at `t`; 1.0 when no flap is active.
   [[nodiscard]] double capacity_factor_at(Seconds t) const;
 
+  // --- Collector queries (HttpCollector) ------------------------------------
+  // True while a kCollectorCrash window covers `t`: the collector neither
+  // records nor acknowledges, so sensors see a 408 and must retry.
+  [[nodiscard]] bool collector_down_at(Seconds t) const;
+
   // Windows of the given kind, in start order (used by tests and benches to
   // cross-check recorded coverage gaps against the script).
   [[nodiscard]] std::vector<FaultWindow> windows_of(FaultKind kind) const;
 
   // --- Named chaos scenarios ------------------------------------------------
   // Deterministic scenario builders over a run of `duration` seconds:
-  //   "blackouts"    two 10-minute transport blackouts at 1/3 and 2/3 of the run
-  //   "burst-loss"   seeded ~heavy-loss bursts (60-180 s at 60-95 % loss)
-  //   "region-flaps" seeded region crashes (30-120 s down) + capacity flaps
-  //   "chaos"        all of the above mixed, seeded
+  //   "blackouts"        two 10-minute transport blackouts at 1/3 and 2/3 of the run
+  //   "burst-loss"       seeded ~heavy-loss bursts (60-180 s at 60-95 % loss)
+  //   "region-flaps"     seeded region crashes (30-120 s down) + capacity flaps
+  //   "collector-crash"  two collector outages at 1/4 and 5/8 of the run
+  //   "chaos"            all the transport/server faults mixed, seeded
   // Throws std::invalid_argument for an unknown name. The same (name,
   // duration, seed) triple always yields the same schedule.
   static FaultSchedule scenario(const std::string& name, Seconds duration,

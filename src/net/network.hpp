@@ -65,6 +65,9 @@ class SimNetwork {
   void set_faults(FaultSchedule faults) { faults_ = std::move(faults); }
   [[nodiscard]] const FaultSchedule& faults() const { return faults_; }
 
+  // Transport RNG stream position (latency/loss draws); see World::rng_state.
+  [[nodiscard]] std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+
  private:
   struct InFlight {
     Seconds arrival;

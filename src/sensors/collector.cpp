@@ -14,7 +14,19 @@ HttpCollector::HttpCollector(SimNetwork& network, std::string land_name)
       [this](NodeId from, std::span<const std::uint8_t> bytes) { on_datagram(from, bytes); });
 }
 
+void HttpCollector::tick(Seconds now, Seconds dt) {
+  (void)dt;
+  now_ = now;
+}
+
 void HttpCollector::on_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
+  if (faults_.collector_down_at(now_)) {
+    // Crashed web server: the datagram vanishes — no reassembly, no record,
+    // no ack. The sensor's request times out (408) and is retried later
+    // under the same sequence number.
+    ++stats_.dropped_while_down;
+    return;
+  }
   const auto message = reassembler_.feed(from, bytes);
   if (!message) return;
   stats_.bytes_received += message->size();
@@ -29,8 +41,28 @@ void HttpCollector::on_datagram(NodeId from, std::span<const std::uint8_t> bytes
 
 void HttpCollector::handle_request(NodeId from, const HttpRequest& request) {
   ++stats_.requests;
+  // "#sensor,<key>,seq,<n>" header line: dedup whole flushes. A retried
+  // flush that was in fact delivered (the 200 was lost or late) arrives
+  // again byte-identical; record it once, but still acknowledge so the
+  // sensor stops retrying.
+  bool duplicate = false;
   for (const auto& line : split(request.body, '\n')) {
     if (trim(line).empty()) continue;
+    if (line[0] == '#') {
+      const auto fields = split(line, ',');
+      if (fields.size() == 4 && fields[0] == "#sensor" && fields[2] == "seq") {
+        try {
+          const std::uint64_t seq = std::stoull(fields[3]);
+          duplicate = !seen_flushes_[fields[1]].insert(seq).second;
+        } catch (...) {
+          ++stats_.malformed_records;
+        }
+      } else {
+        ++stats_.malformed_records;
+      }
+      continue;
+    }
+    if (duplicate) continue;
     const auto fields = split(line, ',');
     bool ok = fields.size() == 5 && starts_with(fields[1], "avatar-");
     if (ok) {
@@ -47,6 +79,7 @@ void HttpCollector::handle_request(NodeId from, const HttpRequest& request) {
     }
     if (!ok) ++stats_.malformed_records;
   }
+  if (duplicate) ++stats_.duplicate_flushes;
 
   HttpResponse response;
   response.status = 200;

@@ -4,9 +4,15 @@
 //
 // Record format (one per line in the POST body):
 //   <unix_time>,avatar-<id>,<x>,<y>,<z>
+// An optional leading "#sensor,<key>,seq,<n>" line identifies the flush;
+// the collector drops whole flushes it has already seen for that sensor, so
+// the sensor side can retry timed-out requests (at-least-once delivery)
+// without double-counting records.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,6 +29,11 @@ struct CollectorStats {
   std::uint64_t records{0};
   std::uint64_t malformed_records{0};
   std::uint64_t bytes_received{0};
+  // Whole flushes dropped because their (sensor, seq) was already recorded —
+  // the delivered-but-timed-out retry case.
+  std::uint64_t duplicate_flushes{0};
+  // Datagrams discarded while a kCollectorCrash window was active.
+  std::uint64_t dropped_while_down{0};
 };
 
 class HttpCollector {
@@ -31,6 +42,15 @@ class HttpCollector {
 
   [[nodiscard]] NodeId address() const { return address_; }
   [[nodiscard]] const CollectorStats& stats() const { return stats_; }
+
+  // Installs the rig's fault schedule; only kCollectorCrash windows are
+  // consulted. Requires tick() to be driven so the collector knows the time.
+  void set_faults(FaultSchedule faults) { faults_ = std::move(faults); }
+  // Advances the collector's clock (register with the engine when faults are
+  // in play; without faults the collector is purely reactive and needs none).
+  void tick(Seconds now, Seconds dt);
+
+  [[nodiscard]] bool down_at(Seconds t) const { return faults_.collector_down_at(t); }
 
   // Builds a snapshot trace by binning records into `interval`-second bins;
   // an avatar reported by several overlapping sensors in one bin appears
@@ -51,9 +71,13 @@ class HttpCollector {
   SimNetwork& network_;
   NodeId address_{};
   std::string land_name_;
+  FaultSchedule faults_;
+  Seconds now_{0.0};
   HttpReassembler reassembler_;
   std::uint32_t next_response_id_{1};
   std::vector<Record> records_;
+  // Flush sequence numbers already recorded, per sensor key.
+  std::map<std::string, std::set<std::uint64_t>> seen_flushes_;
   CollectorStats stats_;
 };
 

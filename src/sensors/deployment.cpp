@@ -1,25 +1,40 @@
 #include "sensors/deployment.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace slmob {
 
 std::string default_sensor_script(Seconds sweep_rate) {
   // Kept small: every sweep appends CSV records to gCache; once the cache
-  // outgrows FLUSH_AT the script flushes to the collector. A failed flush
-  // (throttle 499, timeout 408) is retried by prepending the in-flight
-  // payload back onto the cache; records are dropped only when the 16 KB
-  // script memory would be exceeded (counted via gDropped).
+  // outgrows FLUSH_AT the script flushes to the collector.
+  //
+  // Delivery is at-least-once with stable identity: a flush freezes the
+  // payload into gInflight under a fresh sequence number (first line
+  // "#sensor,<key>,seq,<n>"), and a failed flush (throttle 499, timeout 408)
+  // retries the *same* payload under the *same* number until a 200 lands.
+  // A 408 whose request was actually delivered therefore produces an exact
+  // duplicate the collector can recognise and drop — records are never
+  // re-labelled by a retry. New sweeps keep accumulating in gCache meanwhile;
+  // records are dropped only when the 16 KB script memory would be exceeded
+  // (counted via gDropped).
   std::string script = R"LSL(
 string gCache = "";
 string gInflight = "";
+integer gSeq = 0;
 integer gFlushing = FALSE;
 integer gDropped = 0;
 integer FLUSH_AT = 9000;
 
 flush() {
     if (gFlushing) return;
-    if (llStringLength(gCache) == 0) return;
-    gInflight = gCache;
-    gCache = "";
+    if (llStringLength(gInflight) == 0) {
+        if (llStringLength(gCache) == 0) return;
+        gSeq = gSeq + 1;
+        gInflight = "#sensor," + (string)llGetKey() + ",seq," + (string)gSeq +
+            "\n" + gCache;
+        gCache = "";
+    }
     gFlushing = TRUE;
     llHTTPRequest("http://collector.example/report", [], gInflight);
 }
@@ -53,14 +68,9 @@ default {
     }
     http_response(key k, integer status, list meta, string body) {
         gFlushing = FALSE;
-        if (status != 200) {
-            if (llGetFreeMemory() > llStringLength(gInflight) + 2048) {
-                gCache = gInflight + gCache;
-            } else {
-                gDropped = gDropped + 1;
-            }
+        if (status == 200) {
+            gInflight = "";
         }
-        gInflight = "";
     }
 }
 )LSL";
@@ -82,21 +92,38 @@ SensorGridDeployment::SensorGridDeployment(ObjectRuntime& runtime, const Land& l
     }
   }
   current_.assign(positions_.size(), ObjectId{0});
+  backoff_level_.assign(positions_.size(), 0);
+  next_attempt_.assign(positions_.size(), 0.0);
+}
+
+// Deploys a replacement into slot `i`, advancing or resetting that slot's
+// exponential backoff (replication_interval x 2^level, capped).
+bool SensorGridDeployment::try_deploy(std::size_t i, Seconds now) {
+  ObjectId id;
+  const DeployResult result =
+      runtime_.deploy(positions_[i], script_, collector_, now, config_.limits,
+                      config_.authorized, &id);
+  if (result == DeployResult::kOk) {
+    current_[i] = id;
+    backoff_level_[i] = 0;
+    next_attempt_[i] = now;
+    return true;
+  }
+  ++stats_.failed_deployments;
+  const double factor = std::pow(2.0, static_cast<double>(backoff_level_[i]));
+  const Seconds delay =
+      std::min(config_.replication_interval * factor, config_.redeploy_backoff_max);
+  next_attempt_[i] = now + delay;
+  if (config_.replication_interval * factor < config_.redeploy_backoff_max) {
+    ++backoff_level_[i];
+  }
+  return false;
 }
 
 std::size_t SensorGridDeployment::deploy_all(Seconds now) {
   std::size_t deployed = 0;
   for (std::size_t i = 0; i < positions_.size(); ++i) {
-    ObjectId id;
-    const DeployResult result =
-        runtime_.deploy(positions_[i], script_, collector_, now, config_.limits,
-                        config_.authorized, &id);
-    if (result == DeployResult::kOk) {
-      current_[i] = id;
-      ++deployed;
-    } else {
-      ++stats_.failed_deployments;
-    }
+    if (try_deploy(i, now)) ++deployed;
   }
   return deployed;
 }
@@ -120,16 +147,11 @@ void SensorGridDeployment::tick(Seconds now, Seconds dt) {
     const SensorObject* object =
         current_[i].value == 0 ? nullptr : runtime_.find(current_[i]);
     if (!dead && object != nullptr && !object->failed()) continue;
-    ObjectId id;
-    const DeployResult result =
-        runtime_.deploy(positions_[i], script_, collector_, now, config_.limits,
-                        config_.authorized, &id);
-    if (result == DeployResult::kOk) {
-      current_[i] = id;
-      ++stats_.redeployments;
-    } else {
-      ++stats_.failed_deployments;
+    if (now < next_attempt_[i]) {
+      ++stats_.backoff_skips;
+      continue;
     }
+    if (try_deploy(i, now)) ++stats_.redeployments;
   }
 }
 

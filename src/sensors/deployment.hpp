@@ -25,12 +25,17 @@ struct SensorGridConfig {
   SensorLimits limits;
   // How often to check for expired sensors and re-deploy.
   Seconds replication_interval{60.0};
+  // Failed deployments back off exponentially per grid slot
+  // (replication_interval x 2^failures, capped here) instead of hammering a
+  // full or crashed region every check.
+  Seconds redeploy_backoff_max{960.0};
   bool authorized{false};  // owner permission on private land
 };
 
 struct SensorGridStats {
   std::uint64_t redeployments{0};
   std::uint64_t failed_deployments{0};
+  std::uint64_t backoff_skips{0};  // checks skipped while a slot was backing off
 };
 
 class SensorGridDeployment {
@@ -50,11 +55,16 @@ class SensorGridDeployment {
   [[nodiscard]] const std::vector<Vec3>& positions() const { return positions_; }
 
  private:
+  bool try_deploy(std::size_t i, Seconds now);
+
   ObjectRuntime& runtime_;
   NodeId collector_;
   SensorGridConfig config_;
   std::vector<Vec3> positions_;
   std::vector<ObjectId> current_;  // parallel to positions_; id 0 = none
+  // Per-slot retry backoff, parallel to positions_.
+  std::vector<std::uint32_t> backoff_level_;
+  std::vector<Seconds> next_attempt_;
   std::string script_;
   Seconds next_check_{0.0};
   SensorGridStats stats_;

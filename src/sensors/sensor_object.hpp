@@ -76,6 +76,7 @@ class SensorObject final : public lsl::LslHost {
   void ll_sensor_repeat(const std::string& name, const std::string& key, std::int64_t type,
                         double range, double arc, double rate) override;
   Vec3 ll_get_pos() override { return position_; }
+  std::string ll_get_key() override { return "object-" + std::to_string(id_.value); }
   double ll_get_time() override { return now_ - created_at_; }
   std::int64_t ll_get_unix_time() override { return static_cast<std::int64_t>(now_); }
   double ll_frand(double max) override { return rng_.uniform(0.0, max); }

@@ -1,0 +1,284 @@
+#include "trace/journal.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace slmob {
+namespace {
+
+constexpr std::uint8_t kJournalMagic[4] = {'S', 'L', 'T', 'J'};
+constexpr std::uint16_t kJournalVersion = 1;
+constexpr std::size_t kHeaderBytes = 6;  // magic + version
+// Frames are one snapshot (or less); a length beyond this is torn garbage,
+// not a record.
+constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+void write_or_throw(std::FILE* file, const std::string& path,
+                    std::span<const std::uint8_t> bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size() ||
+      std::fflush(file) != 0) {
+    throw std::runtime_error("TraceJournalWriter: write failed for " + path);
+  }
+}
+
+}  // namespace
+
+TraceJournalWriter::TraceJournalWriter(const std::string& path, Seconds planned_end)
+    : path_(path), planned_end_(planned_end) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("TraceJournalWriter: cannot open " + path);
+  }
+  ByteWriter header;
+  header.raw(kJournalMagic);
+  header.u16(kJournalVersion);
+  write_or_throw(file_, path_, header.bytes());
+  offset_ = header.size();
+}
+
+TraceJournalWriter TraceJournalWriter::resume(const std::string& path,
+                                              std::uint64_t offset, Seconds planned_end) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("TraceJournalWriter::resume: cannot stat " + path);
+  if (offset < kHeaderBytes || offset > size) {
+    throw std::runtime_error("TraceJournalWriter::resume: offset " +
+                             std::to_string(offset) + " out of range for " + path);
+  }
+  // Frames past the checkpointed frontier are discarded: the deterministic
+  // replay regenerates them bit-for-bit, so truncation never loses data.
+  std::filesystem::resize_file(path, offset, ec);
+  if (ec) throw std::runtime_error("TraceJournalWriter::resume: cannot truncate " + path);
+
+  TraceJournalWriter writer;
+  writer.path_ = path;
+  writer.planned_end_ = planned_end;
+  writer.file_ = std::fopen(path.c_str(), "ab");
+  if (writer.file_ == nullptr) {
+    throw std::runtime_error("TraceJournalWriter::resume: cannot open " + path);
+  }
+  writer.offset_ = offset;
+  writer.begun_ = true;  // the kBegin frame lives in the retained prefix
+  return writer;
+}
+
+TraceJournalWriter::TraceJournalWriter(TraceJournalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      offset_(other.offset_),
+      planned_end_(other.planned_end_),
+      begun_(other.begun_) {
+  other.file_ = nullptr;
+}
+
+TraceJournalWriter::~TraceJournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceJournalWriter::append_frame(const ByteWriter& payload) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("TraceJournalWriter: writer is closed");
+  }
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload.bytes()));
+  frame.raw(payload.bytes());
+  write_or_throw(file_, path_, frame.bytes());
+  offset_ += frame.size();
+}
+
+void TraceJournalWriter::begin(const std::string& land_name, Seconds sampling_interval) {
+  if (begun_) throw std::logic_error("TraceJournalWriter::begin: already begun");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kBegin));
+  w.str(land_name);
+  w.f64(sampling_interval);
+  w.f64(planned_end_);
+  append_frame(w);
+  begun_ = true;
+}
+
+void TraceJournalWriter::append_snapshot(const Snapshot& snapshot) {
+  if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kSnapshot));
+  w.f64(snapshot.time);
+  w.u32(static_cast<std::uint32_t>(snapshot.fixes.size()));
+  for (const auto& fix : snapshot.fixes) {
+    w.u32(fix.id.value);
+    w.f32(static_cast<float>(fix.pos.x));
+    w.f32(static_cast<float>(fix.pos.y));
+    w.f32(static_cast<float>(fix.pos.z));
+  }
+  append_frame(w);
+}
+
+void TraceJournalWriter::append_gap_open(Seconds start) {
+  if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kGapOpen));
+  w.f64(start);
+  append_frame(w);
+}
+
+void TraceJournalWriter::append_gap_close(Seconds start, Seconds end) {
+  if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kGapClose));
+  w.f64(start);
+  w.f64(end);
+  append_frame(w);
+}
+
+void TraceJournalWriter::append_session(Seconds time, SessionEvent event,
+                                        const std::string& detail) {
+  if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kSession));
+  w.f64(time);
+  w.u8(static_cast<std::uint8_t>(event));
+  w.str(detail);
+  append_frame(w);
+}
+
+void TraceJournalWriter::append_end(Seconds time) {
+  if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kEnd));
+  w.f64(time);
+  append_frame(w);
+}
+
+JournalSalvage salvage_journal_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderBytes ||
+      !std::equal(bytes.begin(), bytes.begin() + 4, kJournalMagic)) {
+    throw DecodeError("salvage_journal: bad magic");
+  }
+  {
+    ByteReader header(bytes.subspan(4, 2));
+    if (header.u16() != kJournalVersion) {
+      throw DecodeError("salvage_journal: unsupported version");
+    }
+  }
+
+  JournalSalvage out;
+  Seconds sampling_interval = 10.0;
+  Seconds last_snapshot_time = 0.0;
+  Seconds last_gap_end = 0.0;
+  bool have_snapshot = false;
+  bool gap_pending = false;
+  Seconds gap_pending_start = 0.0;
+  bool have_begin = false;
+
+  std::size_t pos = kHeaderBytes;
+  while (pos < bytes.size()) {
+    // A frame that cannot be read in full is the torn tail; stop here. So is
+    // everything after it — frame boundaries downstream of a tear cannot be
+    // trusted (the length prefix itself may be garbage).
+    if (bytes.size() - pos < 8) break;
+    ByteReader head(bytes.subspan(pos, 8));
+    const std::uint32_t len = head.u32();
+    const std::uint32_t crc = head.u32();
+    if (len > kMaxFramePayload || bytes.size() - pos - 8 < len) break;
+    const auto payload = bytes.subspan(pos + 8, len);
+    if (crc32(payload) != crc) break;
+
+    ByteReader r(payload);
+    bool frame_ok = true;
+    try {
+      const auto type = static_cast<JournalRecord>(r.u8());
+      switch (type) {
+        case JournalRecord::kBegin: {
+          const std::string land = r.str();
+          sampling_interval = r.f64();
+          out.planned_end = r.f64();
+          out.trace = Trace(land, sampling_interval);
+          have_begin = true;
+          break;
+        }
+        case JournalRecord::kSnapshot: {
+          Snapshot snap;
+          snap.time = r.f64();
+          const std::uint32_t n = r.u32();
+          snap.fixes.reserve(n);
+          for (std::uint32_t i = 0; i < n; ++i) {
+            AvatarFix fix;
+            fix.id = AvatarId{r.u32()};
+            fix.pos.x = r.f32();
+            fix.pos.y = r.f32();
+            fix.pos.z = r.f32();
+            snap.fixes.push_back(fix);
+          }
+          const Seconds snap_time = snap.time;
+          out.trace.add(std::move(snap));
+          last_snapshot_time = snap_time;
+          have_snapshot = true;
+          ++out.snapshots;
+          break;
+        }
+        case JournalRecord::kGapOpen:
+          gap_pending = true;
+          gap_pending_start = r.f64();
+          break;
+        case JournalRecord::kGapClose: {
+          const Seconds start = r.f64();
+          const Seconds end = r.f64();
+          out.trace.add_gap(start, end);
+          last_gap_end = end;
+          gap_pending = false;
+          break;
+        }
+        case JournalRecord::kSession:
+          ++out.session_events;
+          break;
+        case JournalRecord::kEnd:
+          out.clean_end = true;
+          break;
+        default:
+          frame_ok = false;
+          break;
+      }
+      if (type != JournalRecord::kEnd && out.clean_end) out.clean_end = false;
+    } catch (const std::exception&) {
+      // A CRC-valid frame that still fails to decode (or violates trace
+      // ordering) means the writer itself was broken; treat it as the tear.
+      frame_ok = false;
+    }
+    if (!frame_ok) break;
+    if (!have_begin) throw DecodeError("salvage_journal: first frame is not kBegin");
+    pos += 8 + len;
+    ++out.frames_read;
+  }
+  if (!have_begin) throw DecodeError("salvage_journal: no intact begin frame");
+  out.bytes_kept = pos;
+  out.torn = pos < bytes.size();
+
+  // A journal that did not finish with kEnd belongs to a run that died; the
+  // remainder of the planned run is censored with a trailing gap so analyses
+  // never mistake "the process was killed" for "the land emptied". Outages
+  // before the first snapshot are simply a later trace start (the crawler's
+  // own convention), so an empty salvaged trace carries no gap.
+  if (!out.clean_end && have_snapshot) {
+    const Seconds start = gap_pending
+                              ? gap_pending_start
+                              : std::max(last_snapshot_time + sampling_interval,
+                                         last_gap_end);
+    const Seconds end = std::max(out.planned_end, start + sampling_interval);
+    out.trace.add_gap(start, end);
+  }
+  return out;
+}
+
+JournalSalvage salvage_journal(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("salvage_journal: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return salvage_journal_bytes(bytes);
+}
+
+}  // namespace slmob

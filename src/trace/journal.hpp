@@ -1,0 +1,123 @@
+// Write-ahead trace journal (.sltj): crash-safe capture for long runs.
+//
+// The paper's 24 h traces were "interrupted several times" and had to be
+// restarted by hand; an in-memory trace loses the whole run when the
+// capture process dies. The journal makes capture durable: every record
+// (snapshot, gap open/close, session event) is appended as one CRC32-framed,
+// length-prefixed frame and flushed immediately, so a SIGKILL at any byte
+// loses at most the frame being written.
+//
+// File layout:
+//   magic "SLTJ" | u16 version
+//   frame*           frame = u32 payload_len | u32 crc32(payload) | payload
+// Payloads (ByteWriter encoding, little-endian):
+//   kBegin    u8 type | str land | f64 sampling_interval | f64 planned_end
+//   kSnapshot u8 type | f64 time | u32 n | n x (u32 id, f32 x, f32 y, f32 z)
+//   kGapOpen  u8 type | f64 start
+//   kGapClose u8 type | f64 start | f64 end
+//   kSession  u8 type | f64 time | u8 code | str detail
+//   kEnd      u8 type | f64 time
+//
+// Salvage never throws on a torn or bit-flipped tail: frames are read until
+// the first frame that is truncated, oversized or fails its CRC; that frame
+// and everything after it are discarded, and the reconstructed Trace gets a
+// trailing CoverageGap marking the censored remainder of the planned run.
+// Only a file whose header or kBegin frame is unreadable is rejected
+// (DecodeError) — such a file never held a single complete record.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace slmob {
+
+enum class JournalRecord : std::uint8_t {
+  kBegin = 0,
+  kSnapshot = 1,
+  kGapOpen = 2,
+  kGapClose = 3,
+  kSession = 4,
+  kEnd = 5,
+};
+
+// Session-event codes carried by kSession frames (diagnostic only; salvage
+// counts them but they do not affect the reconstructed trace).
+enum class SessionEvent : std::uint8_t {
+  kLogin = 0,
+  kRelogin = 1,
+  kFeedReconnect = 2,
+};
+
+// Appends frames to a journal file, flushing after every frame. All methods
+// throw std::runtime_error on I/O failure — a measurement rig must know its
+// durability layer is broken rather than sample into the void.
+class TraceJournalWriter {
+ public:
+  // Creates (truncates) `path` and writes the file header. `planned_end` is
+  // the intended virtual end time of the run; salvage uses it to extend the
+  // trailing gap of a crashed run to the full planned duration (0 = unknown).
+  TraceJournalWriter(const std::string& path, Seconds planned_end);
+  // Re-opens an existing journal for appending after truncating it to
+  // `offset` bytes (a checkpoint's recorded frontier). The retained prefix
+  // must contain an intact header; frames past the offset are discarded
+  // because a deterministic replay regenerates them bit-for-bit.
+  static TraceJournalWriter resume(const std::string& path, std::uint64_t offset,
+                                   Seconds planned_end);
+  ~TraceJournalWriter();
+
+  TraceJournalWriter(TraceJournalWriter&& other) noexcept;
+  TraceJournalWriter& operator=(TraceJournalWriter&&) = delete;
+  TraceJournalWriter(const TraceJournalWriter&) = delete;
+  TraceJournalWriter& operator=(const TraceJournalWriter&) = delete;
+
+  // First frame of every journal; must precede all records. A resumed
+  // journal is already begun (the frame lives in the retained prefix).
+  void begin(const std::string& land_name, Seconds sampling_interval);
+  [[nodiscard]] bool begun() const { return begun_; }
+
+  void append_snapshot(const Snapshot& snapshot);
+  void append_gap_open(Seconds start);
+  void append_gap_close(Seconds start, Seconds end);
+  void append_session(Seconds time, SessionEvent event, const std::string& detail = "");
+  // Clean finalization: a journal ending in kEnd salvages with no trailing gap.
+  void append_end(Seconds time);
+
+  // Current byte offset of the frame frontier (checkpoints record this).
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  TraceJournalWriter() = default;
+  void append_frame(const ByteWriter& payload);
+
+  std::string path_;
+  std::FILE* file_{nullptr};
+  std::uint64_t offset_{0};
+  Seconds planned_end_{0.0};
+  bool begun_{false};
+};
+
+// Result of reading a journal back, torn tail and all.
+struct JournalSalvage {
+  Trace trace;
+  Seconds planned_end{0.0};
+  std::size_t frames_read{0};       // intact frames, including kBegin/kEnd
+  std::size_t snapshots{0};
+  std::size_t session_events{0};
+  std::uint64_t bytes_kept{0};      // offset of the first torn byte (= file
+                                    // size when nothing was torn)
+  bool torn{false};                 // a trailing frame was discarded
+  bool clean_end{false};            // journal finished with a kEnd frame
+};
+
+// Reconstructs a Trace from journal bytes, truncating any torn tail (see
+// file comment for the exact semantics). Throws DecodeError only when the
+// header or the kBegin frame is unreadable.
+JournalSalvage salvage_journal_bytes(std::span<const std::uint8_t> bytes);
+// File variant; throws std::runtime_error when the file cannot be read.
+JournalSalvage salvage_journal(const std::string& path);
+
+}  // namespace slmob

@@ -6,6 +6,7 @@
 
 #include "util/bytes.hpp"
 #include "util/csv.hpp"
+#include "util/fileio.hpp"
 #include "util/strings.hpp"
 
 namespace slmob {
@@ -131,12 +132,9 @@ Trace trace_from_csv(std::string_view text, std::string land_name,
 }
 
 void save_trace(const Trace& trace, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
-  const auto bytes = encode_trace(trace);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+  // Atomic: a crash mid-save must not leave a truncated .slt at the final
+  // path (the paper's runs died often enough to make this a real hazard).
+  write_file_atomic(path, encode_trace(trace));
 }
 
 Trace load_trace(const std::string& path) {

@@ -1,6 +1,32 @@
 #include "util/bytes.hpp"
 
+#include <array>
+
 namespace slmob {
+namespace {
+
+// Table for the reflected IEEE polynomial, built once at first use.
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  const std::uint32_t* table = crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
 
 void ByteWriter::u16(std::uint16_t v) {
   buf_.push_back(static_cast<std::uint8_t>(v & 0xff));

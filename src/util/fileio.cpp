@@ -1,0 +1,38 @@
+#include "util/fileio.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace slmob {
+namespace {
+
+void write_atomic_impl(const std::string& path, const void* data, std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("write_file_atomic: cannot open " + tmp);
+  }
+  const bool wrote = std::fwrite(data, 1, size, f) == size;
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: write failed for " + path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes) {
+  write_atomic_impl(path, bytes.data(), bytes.size());
+}
+
+void write_file_atomic(const std::string& path, std::string_view text) {
+  write_atomic_impl(path, text.data(), text.size());
+}
+
+}  // namespace slmob

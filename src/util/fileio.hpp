@@ -1,0 +1,22 @@
+// Atomic file writes.
+//
+// Result files (traces, reports, benchmark JSON) must never be observable
+// half-written: a crash mid-save used to leave a truncated file at the
+// final path, which downstream tools then parsed as a corrupt trace. The
+// helpers here write to `<path>.tmp` and rename into place — on POSIX the
+// rename is atomic, so readers see either the old file or the complete new
+// one, never a torn middle. Stream failures throw instead of silently
+// truncating; a failed write leaves no `.tmp` litter behind.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace slmob {
+
+void write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes);
+void write_file_atomic(const std::string& path, std::string_view text);
+
+}  // namespace slmob

@@ -43,6 +43,13 @@ class Rng {
   // own stream so adding draws in one subsystem does not perturb another.
   [[nodiscard]] Rng fork();
 
+  // Raw xoshiro256** state, exposed so checkpoints can record the stream
+  // position and a resumed (replayed) run can prove it reconstructed the
+  // exact same stream. The cached Box-Muller variate is deliberately not
+  // part of this: checkpoint verification compares two replays of identical
+  // code, for which the four state words are already a complete witness.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return state_; }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_{0.0};

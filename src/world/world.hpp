@@ -84,6 +84,10 @@ class World {
   // Test hook: force-inject a synthetic avatar with a fixed session.
   AvatarId debug_add_synthetic(Seconds now, Vec3 pos, Seconds logout_at);
 
+  // World RNG stream position, recorded by checkpoints and compared after a
+  // deterministic replay to detect config drift or non-determinism.
+  [[nodiscard]] std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+
  private:
   void process_arrivals(Seconds now, Seconds dt);
   void process_departures(Seconds now);

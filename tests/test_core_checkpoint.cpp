@@ -1,0 +1,212 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/serialize.hpp"
+
+namespace slmob {
+namespace {
+
+ExperimentConfig short_config(std::uint64_t seed, const std::string& faults = "none") {
+  ExperimentConfig cfg;
+  cfg.archetype = LandArchetype::kIsleOfView;
+  cfg.duration = 900.0;
+  cfg.seed = seed;
+  cfg.fault_scenario = faults;
+  cfg.ranges = {};
+  return cfg;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+CheckpointState sample_state() {
+  CheckpointState state;
+  state.archetype = LandArchetype::kDanceIsland;
+  state.duration = 86400.0;
+  state.seed = 1234;
+  state.fault_scenario = "chaos";
+  state.fault_seed = 99;
+  state.out_path = "runs/dance.slt";
+  state.checkpoint_every = 600.0;
+  state.time = 7200.0;
+  state.engine_tick = 7200;
+  state.journal_offset = 123456;
+  state.world_rng = {1, 2, 3, 4};
+  state.network_rng = {5, 6, 7, 8};
+  state.crawler_backoff_level = 2;
+  state.crawler_snapshots = 700;
+  state.crawler_relogins = 3;
+  state.crawler_coverage_gaps = 2;
+  state.world_logins = 4000;
+  state.network_sent = 250000;
+  return state;
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  const CheckpointState state = sample_state();
+  EXPECT_EQ(decode_checkpoint(encode_checkpoint(state)), state);
+}
+
+TEST(Checkpoint, DecodeRejectsTampering) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(sample_state());
+  EXPECT_THROW(decode_checkpoint({}), DecodeError);
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(decode_checkpoint(bad_magic), DecodeError);
+
+  // Any payload bit-flip fails the CRC — a checkpoint is trusted wholesale
+  // (it gates a resumed measurement) so corruption must never half-decode.
+  std::vector<std::uint8_t> flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x10;
+  EXPECT_THROW(decode_checkpoint(flipped), DecodeError);
+
+  std::vector<std::uint8_t> truncated = bytes;
+  truncated.resize(bytes.size() - 3);
+  EXPECT_THROW(decode_checkpoint(truncated), DecodeError);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string dir = fresh_dir("checkpoint_saveload");
+  std::filesystem::create_directories(dir);
+  const CheckpointState state = sample_state();
+  save_checkpoint(state, dir);
+  EXPECT_EQ(load_checkpoint(dir), state);
+  EXPECT_THROW(load_checkpoint(fresh_dir("checkpoint_missing")), std::runtime_error);
+}
+
+TEST(Checkpoint, DurableRunMatchesPlainExperiment) {
+  // Journal + checkpoint instrumentation must not perturb the measurement:
+  // the captured trace is bit-identical to run_experiment's raw trace.
+  const ExperimentConfig cfg = short_config(11);
+  DurableRunOptions options;
+  options.config = cfg;
+  options.dir = fresh_dir("durable_vs_plain");
+  options.checkpoint_every = 120.0;
+  const DurableRunResult durable = run_durable(options);
+  EXPECT_FALSE(durable.killed);
+  EXPECT_GT(durable.checkpoints_written, 0u);
+
+  ExperimentConfig plain = cfg;
+  plain.ranges = {};
+  Testbed bed(make_testbed_config(plain));
+  bed.run_until(plain.duration);
+  const Trace expected = bed.crawler()->take_trace();
+  EXPECT_EQ(encode_trace(durable.trace), encode_trace(expected));
+}
+
+TEST(Checkpoint, KillAndResumeReproducesUnkilledTrace) {
+  const ExperimentConfig cfg = short_config(21, "blackouts");
+
+  DurableRunOptions uninterrupted;
+  uninterrupted.config = cfg;
+  uninterrupted.dir = fresh_dir("resume_baseline");
+  uninterrupted.checkpoint_every = 120.0;
+  const DurableRunResult baseline = run_durable(uninterrupted);
+  ASSERT_FALSE(baseline.killed);
+
+  DurableRunOptions killed = uninterrupted;
+  killed.dir = fresh_dir("resume_killed");
+  killed.kill_at = 437.0;  // mid-segment, mid-blackout-free stretch
+  const DurableRunResult dead = run_durable(killed);
+  EXPECT_TRUE(dead.killed);
+  EXPECT_TRUE(dead.trace.empty());
+
+  const DurableRunResult resumed = resume_durable(killed.dir);
+  EXPECT_FALSE(resumed.killed);
+  EXPECT_EQ(encode_trace(resumed.trace), encode_trace(baseline.trace));
+  EXPECT_EQ(resumed.crawler_stats.snapshots_taken, baseline.crawler_stats.snapshots_taken);
+  EXPECT_EQ(resumed.world_stats.total_logins, baseline.world_stats.total_logins);
+  EXPECT_EQ(resumed.network_stats.sent, baseline.network_stats.sent);
+
+  // The journal on disk also tells the whole story after the resume.
+  const JournalSalvage s = salvage_journal(resumed.journal_path);
+  EXPECT_TRUE(s.clean_end);
+  EXPECT_EQ(encode_trace(s.trace), encode_trace(baseline.trace));
+}
+
+TEST(Checkpoint, ResumeIsDeterministicAcrossAttempts) {
+  const ExperimentConfig cfg = short_config(31);
+  DurableRunOptions options;
+  options.config = cfg;
+  options.dir = fresh_dir("resume_twice_a");
+  options.checkpoint_every = 180.0;
+  options.kill_at = 500.0;
+  ASSERT_TRUE(run_durable(options).killed);
+
+  // Two resumes of the same on-disk state (resume mutates the journal, so
+  // clone the directory first) must produce byte-identical traces.
+  const std::string copy = fresh_dir("resume_twice_b");
+  std::filesystem::copy(options.dir, copy);
+  const DurableRunResult first = resume_durable(options.dir);
+  const DurableRunResult second = resume_durable(copy);
+  EXPECT_EQ(encode_trace(first.trace), encode_trace(second.trace));
+}
+
+TEST(Checkpoint, ResumeSurvivesRepeatedKills) {
+  // A run killed over and over — resumed each time from the latest
+  // checkpoint — still converges to the uninterrupted trace.
+  const ExperimentConfig cfg = short_config(41);
+  DurableRunOptions options;
+  options.config = cfg;
+  options.dir = fresh_dir("resume_repeated");
+  options.checkpoint_every = 120.0;
+  options.kill_at = 250.0;
+  ASSERT_TRUE(run_durable(options).killed);
+  ASSERT_TRUE(resume_durable(options.dir, 619.0).killed);
+  const DurableRunResult final_run = resume_durable(options.dir);
+  ASSERT_FALSE(final_run.killed);
+
+  DurableRunOptions uninterrupted;
+  uninterrupted.config = cfg;
+  uninterrupted.dir = fresh_dir("resume_repeated_baseline");
+  uninterrupted.checkpoint_every = 120.0;
+  const DurableRunResult baseline = run_durable(uninterrupted);
+  EXPECT_EQ(encode_trace(final_run.trace), encode_trace(baseline.trace));
+}
+
+TEST(Checkpoint, ResumeRejectsWitnessMismatch) {
+  const ExperimentConfig cfg = short_config(51);
+  DurableRunOptions options;
+  options.config = cfg;
+  options.dir = fresh_dir("resume_mismatch");
+  options.checkpoint_every = 120.0;
+  options.kill_at = 300.0;
+  ASSERT_TRUE(run_durable(options).killed);
+
+  // Re-seed the identity but keep the witness: the replay diverges and the
+  // resume must refuse rather than splice two different worlds together.
+  CheckpointState ck = load_checkpoint(options.dir);
+  ck.seed += 1;
+  save_checkpoint(ck, options.dir);
+  EXPECT_THROW(resume_durable(options.dir), std::runtime_error);
+}
+
+TEST(Checkpoint, KillBeforeFirstCheckpointLeavesSalvageableJournal) {
+  const ExperimentConfig cfg = short_config(61);
+  DurableRunOptions options;
+  options.config = cfg;
+  options.dir = fresh_dir("killed_early");
+  options.checkpoint_every = 600.0;
+  options.kill_at = 90.0;
+  const DurableRunResult dead = run_durable(options);
+  EXPECT_TRUE(dead.killed);
+  EXPECT_EQ(dead.checkpoints_written, 0u);
+
+  // No checkpoint yet -> not resumable, but the journal already holds every
+  // sampled snapshot and salvage censors the unrun remainder.
+  const JournalSalvage s = salvage_journal(dead.journal_path);
+  EXPECT_FALSE(s.clean_end);
+  EXPECT_GT(s.snapshots, 0u);
+  ASSERT_FALSE(s.trace.gaps().empty());
+  EXPECT_DOUBLE_EQ(s.trace.gaps().back().end, cfg.duration);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -1,0 +1,162 @@
+// At-least-once sensor delivery with collector-side deduplication.
+//
+// The failure this guards against: a sensor's flush reaches the collector
+// but the 200 ack is lost or late, the script sees a 408 timeout and
+// retries — and before this regression suite existed, retried records were
+// silently counted twice. Sensors now freeze each flush under a stable
+// (object key, sequence) identity and the collector drops whole flushes it
+// has already recorded.
+#include "sensors/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sensors/deployment.hpp"
+#include "sensors/object_runtime.hpp"
+#include "world/archetypes.hpp"
+
+namespace slmob {
+namespace {
+
+struct CollectorRig {
+  CollectorRig() : net({}, 2), collector(net, "test") {
+    sender = net.register_node([](NodeId, std::span<const std::uint8_t>) {});
+  }
+
+  // Posts `body` to the collector as one HTTP request and pumps delivery.
+  void post(const std::string& body) {
+    HttpRequest req;
+    req.path = "/report";
+    req.body = body;
+    for (auto& frag : fragment_http_message(next_id++, req.serialize())) {
+      net.send(sender, collector.address(), std::move(frag));
+    }
+    for (int i = 0; i < 5; ++i) {
+      net.tick(now, 1.0);
+      now += 1.0;
+    }
+  }
+
+  SimNetwork net;
+  HttpCollector collector;
+  NodeId sender{};
+  std::uint32_t next_id{1};
+  Seconds now{0.0};
+};
+
+TEST(CollectorDedup, RetriedFlushIsRecordedOnce) {
+  CollectorRig rig;
+  const std::string flush = "#sensor,object-5,seq,1\n100,avatar-7,1.0,2.0,3.0\n";
+  rig.post(flush);
+  EXPECT_EQ(rig.collector.stats().records, 1u);
+  EXPECT_EQ(rig.collector.stats().duplicate_flushes, 0u);
+
+  // The 408-timed-out-but-delivered retry: byte-identical flush again.
+  rig.post(flush);
+  EXPECT_EQ(rig.collector.stats().requests, 2u);
+  EXPECT_EQ(rig.collector.stats().records, 1u);
+  EXPECT_EQ(rig.collector.stats().duplicate_flushes, 1u);
+  ASSERT_EQ(rig.collector.records().size(), 1u);
+  EXPECT_EQ(rig.collector.records()[0].avatar, 7u);
+}
+
+TEST(CollectorDedup, SequencesAreScopedPerSensor) {
+  CollectorRig rig;
+  rig.post("#sensor,object-1,seq,1\n100,avatar-7,1.0,2.0,3.0\n");
+  // Same sequence number from a different object is NOT a duplicate.
+  rig.post("#sensor,object-2,seq,1\n100,avatar-8,4.0,5.0,6.0\n");
+  // The next flush of object-1 advances its sequence.
+  rig.post("#sensor,object-1,seq,2\n110,avatar-7,1.5,2.0,3.0\n");
+  EXPECT_EQ(rig.collector.stats().records, 3u);
+  EXPECT_EQ(rig.collector.stats().duplicate_flushes, 0u);
+}
+
+TEST(CollectorDedup, UntaggedFlushesStillRecorded) {
+  // Reports without a "#sensor" header (foreign scripts) keep working; they
+  // just get no duplicate protection.
+  CollectorRig rig;
+  rig.post("100,avatar-7,1.0,2.0,3.0\n");
+  rig.post("100,avatar-7,1.0,2.0,3.0\n");
+  EXPECT_EQ(rig.collector.stats().records, 2u);
+  EXPECT_EQ(rig.collector.stats().duplicate_flushes, 0u);
+  EXPECT_EQ(rig.collector.stats().malformed_records, 0u);
+}
+
+TEST(CollectorDedup, MalformedHeaderLineCountedNotRecorded) {
+  CollectorRig rig;
+  rig.post("#sensor,object-1\n100,avatar-7,1.0,2.0,3.0\n");
+  EXPECT_EQ(rig.collector.stats().records, 1u);
+  EXPECT_EQ(rig.collector.stats().malformed_records, 1u);
+}
+
+TEST(CollectorDedup, CollectorCrashWindowDropsAndRecovers) {
+  CollectorRig rig;
+  FaultSchedule faults;
+  faults.add({FaultKind::kCollectorCrash, 10.0, 20.0, 1.0, {}});
+  rig.collector.set_faults(std::move(faults));
+
+  rig.collector.tick(0.0, 1.0);
+  rig.post("#sensor,object-1,seq,1\n100,avatar-7,1.0,2.0,3.0\n");
+  EXPECT_EQ(rig.collector.stats().records, 1u);
+
+  rig.collector.tick(15.0, 1.0);  // inside the crash window
+  rig.post("#sensor,object-1,seq,2\n110,avatar-7,1.5,2.0,3.0\n");
+  EXPECT_EQ(rig.collector.stats().records, 1u);
+  EXPECT_GT(rig.collector.stats().dropped_while_down, 0u);
+
+  // Back up: the sensor's retry of the same flush finally lands, once.
+  rig.collector.tick(25.0, 1.0);
+  rig.post("#sensor,object-1,seq,2\n110,avatar-7,1.5,2.0,3.0\n");
+  EXPECT_EQ(rig.collector.stats().records, 2u);
+  EXPECT_EQ(rig.collector.stats().duplicate_flushes, 0u);
+}
+
+// End-to-end regression through the real LSL script: partition the ack path
+// so a delivered flush times out on the sensor, and check the script's
+// same-sequence retry is deduplicated by the collector.
+TEST(CollectorDedup, LostAckRetryIsDeduplicatedEndToEnd) {
+  auto world = make_world(LandArchetype::kApfelLand, 1);
+  SimNetwork net({}, 2);
+  HttpCollector collector(net, "test");
+  ObjectRuntime runtime(*world, net);
+
+  ObjectId id;
+  ASSERT_EQ(runtime.deploy({128.0, 128.0, 22.0}, default_sensor_script(),
+                           collector.address(), 0.0, {}, false, &id),
+            DeployResult::kOk);
+  const SensorObject* sensor = runtime.find(id);
+  ASSERT_NE(sensor, nullptr);
+
+  // Drop every datagram TO the sensor for 60 s starting after the first
+  // sweeps: flushes still reach the collector, acks vanish, the script's
+  // 10 s HTTP timeout fires and the 30 s timer retries the same payload.
+  FaultSchedule faults;
+  faults.add({FaultKind::kPartitionInbound, 40.0, 100.0, 1.0, sensor->address()});
+  net.set_faults(std::move(faults));
+
+  Seconds now = 0.0;
+  for (; now < 300.0; now += 1.0) {
+    world->tick(now, 1.0);
+    runtime.tick(now, 1.0);
+    net.tick(now, 1.0);
+  }
+
+  ASSERT_GT(collector.stats().records, 0u);
+  EXPECT_GT(sensor->stats().http_timeouts, 0u);
+  EXPECT_GT(collector.stats().duplicate_flushes, 0u);
+
+  // No record may be double-counted: every stored record must be unique as
+  // a (time, avatar, position) tuple coming from distinct flush contents.
+  const auto& records = collector.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    for (std::size_t j = i + 1; j < records.size(); ++j) {
+      const bool same = records[i].time == records[j].time &&
+                        records[i].avatar == records[j].avatar &&
+                        records[i].pos.x == records[j].pos.x &&
+                        records[i].pos.y == records[j].pos.y;
+      EXPECT_FALSE(same) << "record " << j << " duplicates record " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slmob

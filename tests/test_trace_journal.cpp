@@ -1,0 +1,228 @@
+#include "trace/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+namespace slmob {
+namespace {
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+Snapshot make_snapshot(Seconds time, std::uint32_t base_id, std::size_t count) {
+  Snapshot snap;
+  snap.time = time;
+  for (std::size_t i = 0; i < count; ++i) {
+    snap.fixes.push_back({AvatarId{base_id + static_cast<std::uint32_t>(i)},
+                          {10.0 * static_cast<double>(i), 20.0, 22.5}});
+  }
+  return snap;
+}
+
+std::string temp_path(const std::string& name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(TraceJournal, RoundTripCleanEnd) {
+  const std::string path = temp_path("journal_roundtrip.sltj");
+  {
+    TraceJournalWriter writer(path, 100.0);
+    writer.begin("Test Land", 10.0);
+    writer.append_snapshot(make_snapshot(0.0, 1, 3));
+    writer.append_snapshot(make_snapshot(10.0, 1, 2));
+    writer.append_gap_open(20.0);
+    writer.append_gap_close(20.0, 40.0);
+    writer.append_snapshot(make_snapshot(40.0, 5, 1));
+    writer.append_session(25.0, SessionEvent::kRelogin, "timeout");
+    writer.append_end(100.0);
+  }
+  const JournalSalvage s = salvage_journal(path);
+  EXPECT_TRUE(s.clean_end);
+  EXPECT_FALSE(s.torn);
+  EXPECT_EQ(s.snapshots, 3u);
+  EXPECT_EQ(s.session_events, 1u);
+  EXPECT_EQ(s.frames_read, 8u);  // begin + 3 snapshots + open + close + session + end
+  EXPECT_DOUBLE_EQ(s.planned_end, 100.0);
+
+  EXPECT_EQ(s.trace.land_name(), "Test Land");
+  EXPECT_DOUBLE_EQ(s.trace.sampling_interval(), 10.0);
+  ASSERT_EQ(s.trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.trace.snapshots()[1].time, 10.0);
+  ASSERT_EQ(s.trace.snapshots()[0].fixes.size(), 3u);
+  EXPECT_EQ(s.trace.snapshots()[0].fixes[2].id.value, 3u);
+  EXPECT_DOUBLE_EQ(s.trace.snapshots()[0].fixes[2].pos.x, 20.0);
+  ASSERT_EQ(s.trace.gaps().size(), 1u);
+  EXPECT_EQ(s.trace.gaps()[0], (CoverageGap{20.0, 40.0}));
+}
+
+TEST(TraceJournal, FramesReadCountsEveryFrame) {
+  const std::string path = temp_path("journal_frames.sltj");
+  {
+    TraceJournalWriter writer(path, 50.0);
+    writer.begin("land", 10.0);
+    writer.append_snapshot(make_snapshot(0.0, 1, 1));
+    writer.append_end(50.0);
+  }
+  EXPECT_EQ(salvage_journal(path).frames_read, 3u);
+}
+
+// The ISSUE's acceptance bar: a SIGKILL can tear the final frame at ANY byte
+// offset, and salvage must still produce a loadable trace that keeps every
+// earlier frame and censors the rest of the planned run with a trailing gap.
+TEST(TraceJournal, TornTailAtEveryByteOffsetSalvages) {
+  const std::string path = temp_path("journal_torn.sltj");
+  std::uint64_t last_frame_start = 0;
+  {
+    TraceJournalWriter writer(path, 100.0);
+    writer.begin("land", 10.0);
+    writer.append_snapshot(make_snapshot(0.0, 1, 2));
+    writer.append_snapshot(make_snapshot(10.0, 1, 2));
+    last_frame_start = writer.offset();
+    writer.append_snapshot(make_snapshot(20.0, 1, 2));
+    // No kEnd: the process died right after the last flush.
+  }
+  const std::vector<std::uint8_t> full = read_file_bytes(path);
+  ASSERT_GT(full.size(), last_frame_start);
+
+  // Untruncated (but end-less) journal: all three snapshots, trailing gap
+  // from last snapshot + interval out to the planned end.
+  {
+    const JournalSalvage s = salvage_journal_bytes(full);
+    EXPECT_FALSE(s.torn);
+    EXPECT_FALSE(s.clean_end);
+    EXPECT_EQ(s.snapshots, 3u);
+    ASSERT_EQ(s.trace.gaps().size(), 1u);
+    EXPECT_EQ(s.trace.gaps().back(), (CoverageGap{30.0, 100.0}));
+  }
+
+  for (std::size_t cut = last_frame_start; cut < full.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(full.data(), cut);
+    JournalSalvage s;
+    ASSERT_NO_THROW(s = salvage_journal_bytes(prefix)) << "cut at byte " << cut;
+    EXPECT_EQ(s.snapshots, 2u) << "cut at byte " << cut;
+    EXPECT_EQ(s.bytes_kept, last_frame_start) << "cut at byte " << cut;
+    EXPECT_EQ(s.torn, cut != last_frame_start) << "cut at byte " << cut;
+    ASSERT_EQ(s.trace.gaps().size(), 1u) << "cut at byte " << cut;
+    // Last intact snapshot is t=10; coverage is censored from the next
+    // sample onwards, out to the planned end of the run.
+    EXPECT_EQ(s.trace.gaps().back(), (CoverageGap{20.0, 100.0})) << "cut at byte " << cut;
+  }
+}
+
+TEST(TraceJournal, BitFlipInFinalFrameDropsOnlyThatFrame) {
+  const std::string path = temp_path("journal_bitflip.sltj");
+  std::uint64_t last_frame_start = 0;
+  {
+    TraceJournalWriter writer(path, 0.0);
+    writer.begin("land", 10.0);
+    writer.append_snapshot(make_snapshot(0.0, 1, 2));
+    last_frame_start = writer.offset();
+    writer.append_snapshot(make_snapshot(10.0, 1, 2));
+  }
+  std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  bytes[last_frame_start + 12] ^= 0x40;  // corrupt the payload, CRC now fails
+  const JournalSalvage s = salvage_journal_bytes(bytes);
+  EXPECT_TRUE(s.torn);
+  EXPECT_EQ(s.snapshots, 1u);
+  EXPECT_EQ(s.bytes_kept, last_frame_start);
+  // planned_end unknown (0): the gap still censors at least one interval.
+  ASSERT_EQ(s.trace.gaps().size(), 1u);
+  EXPECT_EQ(s.trace.gaps().back(), (CoverageGap{10.0, 20.0}));
+}
+
+TEST(TraceJournal, TearAfterGapOpenUsesGapStart) {
+  const std::string path = temp_path("journal_gapopen.sltj");
+  {
+    TraceJournalWriter writer(path, 200.0);
+    writer.begin("land", 10.0);
+    writer.append_snapshot(make_snapshot(0.0, 1, 1));
+    writer.append_gap_open(25.0);
+    // Killed during the outage: no gap_close, no further snapshots.
+  }
+  const JournalSalvage s = salvage_journal(path);
+  EXPECT_EQ(s.snapshots, 1u);
+  ASSERT_EQ(s.trace.gaps().size(), 1u);
+  EXPECT_EQ(s.trace.gaps().back(), (CoverageGap{25.0, 200.0}));
+}
+
+TEST(TraceJournal, UnreadableHeaderOrBeginRejected) {
+  EXPECT_THROW(salvage_journal_bytes({}), DecodeError);
+  const std::vector<std::uint8_t> junk{'X', 'X', 'X', 'X', 1, 0};
+  EXPECT_THROW(salvage_journal_bytes(junk), DecodeError);
+
+  // A header with a torn kBegin frame never held a single complete record.
+  const std::string path = temp_path("journal_tornbegin.sltj");
+  {
+    TraceJournalWriter writer(path, 100.0);
+    writer.begin("land", 10.0);
+  }
+  std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(salvage_journal_bytes(bytes), DecodeError);
+}
+
+TEST(TraceJournal, MissingFileThrows) {
+  EXPECT_THROW(salvage_journal(temp_path("does_not_exist.sltj")), std::runtime_error);
+}
+
+TEST(TraceJournal, OffsetTracksFileSize) {
+  const std::string path = temp_path("journal_offset.sltj");
+  std::uint64_t final_offset = 0;
+  {
+    TraceJournalWriter writer(path, 100.0);
+    writer.begin("land", 10.0);
+    writer.append_snapshot(make_snapshot(0.0, 1, 4));
+    writer.append_end(100.0);
+    final_offset = writer.offset();
+  }
+  EXPECT_EQ(read_file_bytes(path).size(), final_offset);
+}
+
+TEST(TraceJournal, ResumeTruncatesDiscardedFramesAndAppends) {
+  const std::string path = temp_path("journal_resume.sltj");
+  std::uint64_t checkpointed = 0;
+  {
+    TraceJournalWriter writer(path, 100.0);
+    writer.begin("land", 10.0);
+    writer.append_snapshot(make_snapshot(0.0, 1, 1));
+    checkpointed = writer.offset();
+    // Frames past the checkpoint: discarded by resume, regenerated below.
+    writer.append_snapshot(make_snapshot(10.0, 2, 1));
+  }
+  {
+    TraceJournalWriter writer = TraceJournalWriter::resume(path, checkpointed, 100.0);
+    EXPECT_TRUE(writer.begun());
+    EXPECT_EQ(writer.offset(), checkpointed);
+    writer.append_snapshot(make_snapshot(10.0, 9, 1));
+    writer.append_end(100.0);
+  }
+  const JournalSalvage s = salvage_journal(path);
+  EXPECT_TRUE(s.clean_end);
+  ASSERT_EQ(s.trace.size(), 2u);
+  EXPECT_EQ(s.trace.snapshots()[1].fixes[0].id.value, 9u);
+}
+
+TEST(TraceJournal, ResumeRejectsImpossibleOffsets) {
+  const std::string path = temp_path("journal_resume_bad.sltj");
+  {
+    TraceJournalWriter writer(path, 100.0);
+    writer.begin("land", 10.0);
+  }
+  const auto size = read_file_bytes(path).size();
+  EXPECT_THROW(TraceJournalWriter::resume(path, size + 1, 100.0), std::runtime_error);
+  EXPECT_THROW(TraceJournalWriter::resume(path, 2, 100.0), std::runtime_error);
+  EXPECT_THROW(
+      TraceJournalWriter::resume(temp_path("no_such_journal.sltj"), 0, 100.0),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -14,9 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "dtn/dtn_simulator.hpp"
+#include "trace/journal.hpp"
 #include "trace/serialize.hpp"
 #include "util/bytes.hpp"
 
@@ -28,10 +30,14 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  slmob run --land <apfel|dance|isle> [--hours H] [--seed S]\n"
-               "            [--faults none|blackouts|burst-loss|region-flaps|chaos]\n"
-               "            [--fault-seed S] --out T.slt\n"
-               "  slmob summary <trace.slt>\n"
-               "  slmob analyze <trace.slt> [--range R]... [--threads N]\n"
+               "            [--faults none|blackouts|burst-loss|region-flaps|\n"
+               "                      collector-crash|chaos] [--fault-seed S]\n"
+               "            [--journal J.sltj | --checkpoint DIR [--checkpoint-every SEC]]\n"
+               "            --out T.slt\n"
+               "  slmob run --resume DIR [--out T.slt]\n"
+               "  slmob salvage <journal.sltj> [--out T.slt]\n"
+               "  slmob summary <trace.slt|journal.sltj>\n"
+               "  slmob analyze <trace.slt|journal.sltj> [--range R]... [--threads N]\n"
                "  slmob sweep --land <l>[,<l>...] --seeds N [--seed-base S] [--hours H]\n"
                "              [--jobs J]\n"
                "  slmob convert <in.(slt|csv)> <out.(csv|slt)>\n"
@@ -47,10 +53,26 @@ std::optional<LandArchetype> parse_land(const std::string& name) {
   return std::nullopt;
 }
 
-// Reads a trace in either format, deciding by extension. Malformed input
-// (truncated file, bad magic, corrupt rows) is reported with the file name.
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Reads a trace in any format, deciding by extension. A .sltj journal is
+// salvaged in place (torn tails truncated, trailing gap added), so analyze/
+// summary/convert work directly on the journal of a crashed run. Malformed
+// input (truncated file, bad magic, corrupt rows) is reported with the file
+// name.
 Trace read_any(const std::string& path) {
   try {
+    if (has_suffix(path, ".sltj")) {
+      const JournalSalvage s = salvage_journal(path);
+      if (s.torn) {
+        std::fprintf(stderr,
+                     "%s: torn tail truncated at byte %llu; remainder censored as a gap\n",
+                     path.c_str(), static_cast<unsigned long long>(s.bytes_kept));
+      }
+      return s.trace;
+    }
     if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
       FILE* f = std::fopen(path.c_str(), "rb");
       if (f == nullptr) throw std::runtime_error("cannot open " + path);
@@ -67,6 +89,23 @@ Trace read_any(const std::string& path) {
   }
 }
 
+// Shared tail of every run variant: strip transient sitting fixes (matching
+// run_experiment's pre-analysis treatment), save, print the recap.
+int finish_run(Trace trace, const CrawlerStats& crawler_stats, const std::string& out) {
+  trace.strip_sitting_fixes();
+  const TraceSummary s = trace.summary();
+  save_trace(trace, out);
+  std::printf("wrote %s: %zu snapshots, %zu unique users, avg conc %.1f\n", out.c_str(),
+              s.snapshot_count, s.unique_users, s.avg_concurrent);
+  if (s.gap_count > 0) {
+    std::printf("coverage: %zu gaps, %.0f s uncovered (%zu relogins, %zu crawler backoff resets)\n",
+                s.gap_count, s.gap_seconds,
+                static_cast<std::size_t>(crawler_stats.relogins),
+                static_cast<std::size_t>(crawler_stats.backoff_resets));
+  }
+  return 0;
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   std::optional<LandArchetype> land;
   double hours = 24.0;
@@ -74,6 +113,10 @@ int cmd_run(const std::vector<std::string>& args) {
   std::uint64_t fault_seed = 0;
   std::string faults = "none";
   std::string out;
+  std::string journal;
+  std::string checkpoint_dir;
+  std::string resume_dir;
+  double checkpoint_every = 600.0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--land" && i + 1 < args.size()) {
       land = parse_land(args[++i]);
@@ -87,11 +130,34 @@ int cmd_run(const std::vector<std::string>& args) {
       fault_seed = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
     } else if (args[i] == "--out" && i + 1 < args.size()) {
       out = args[++i];
+    } else if (args[i] == "--journal" && i + 1 < args.size()) {
+      journal = args[++i];
+    } else if (args[i] == "--checkpoint" && i + 1 < args.size()) {
+      checkpoint_dir = args[++i];
+    } else if (args[i] == "--checkpoint-every" && i + 1 < args.size()) {
+      checkpoint_every = std::atof(args[++i].c_str());
+    } else if (args[i] == "--resume" && i + 1 < args.size()) {
+      resume_dir = args[++i];
     } else {
       return usage();
     }
   }
+
+  if (!resume_dir.empty()) {
+    // Identity (land, hours, seeds, faults, out path) comes from the
+    // checkpoint; only --out may override where the trace lands.
+    const CheckpointState ck = load_checkpoint(resume_dir);
+    if (out.empty()) out = ck.out_path;
+    if (out.empty()) return usage();
+    std::printf("resuming %s from t=%.0f s (seed %llu, faults %s)...\n",
+                archetype_name(ck.archetype).c_str(), ck.time,
+                static_cast<unsigned long long>(ck.seed), ck.fault_scenario.c_str());
+    DurableRunResult res = resume_durable(resume_dir);
+    return finish_run(std::move(res.trace), res.crawler_stats, out);
+  }
+
   if (!land || out.empty() || hours <= 0.0) return usage();
+  if (!journal.empty() && !checkpoint_dir.empty()) return usage();
 
   ExperimentConfig cfg;
   cfg.archetype = *land;
@@ -103,6 +169,36 @@ int cmd_run(const std::vector<std::string>& args) {
   std::printf("crawling %s for %.1f h (seed %llu, faults %s)...\n",
               archetype_name(*land).c_str(), hours,
               static_cast<unsigned long long>(seed), faults.c_str());
+
+  if (!checkpoint_dir.empty()) {
+    if (checkpoint_every <= 0.0) return usage();
+    DurableRunOptions options;
+    options.config = cfg;
+    options.dir = checkpoint_dir;
+    options.checkpoint_every = checkpoint_every;
+    options.out_path = out;
+    DurableRunResult res = run_durable(options);
+    std::printf("journaled to %s (%zu checkpoints)\n", res.journal_path.c_str(),
+                res.checkpoints_written);
+    return finish_run(std::move(res.trace), res.crawler_stats, out);
+  }
+
+  if (!journal.empty()) {
+    // Journal-only durable run: salvageable after a crash, not resumable.
+    Testbed bed(make_testbed_config(cfg));
+    if (bed.crawler() == nullptr) {
+      std::fprintf(stderr, "error: journaled run requires a crawler\n");
+      return 1;
+    }
+    TraceJournalWriter writer(journal, cfg.duration);
+    bed.crawler()->attach_journal(&writer);
+    bed.run_until(cfg.duration);
+    Trace trace = bed.crawler()->take_trace();
+    writer.append_end(bed.engine().now());
+    std::printf("journaled to %s\n", journal.c_str());
+    return finish_run(std::move(trace), bed.crawler()->stats(), out);
+  }
+
   const ExperimentResults res = run_experiment(cfg);
   save_trace(res.trace, out);
   std::printf("wrote %s: %zu snapshots, %zu unique users, avg conc %.1f\n", out.c_str(),
@@ -113,6 +209,36 @@ int cmd_run(const std::vector<std::string>& args) {
                 res.summary.gap_count, res.summary.gap_seconds,
                 static_cast<std::size_t>(res.crawler_stats.relogins),
                 static_cast<std::size_t>(res.crawler_stats.backoff_resets));
+  }
+  return 0;
+}
+
+int cmd_salvage(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::string out;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out = args[++i];
+    } else {
+      return usage();
+    }
+  }
+  const JournalSalvage s = salvage_journal(args[0]);
+  const char* state = s.clean_end ? "clean end" : s.torn ? "torn tail truncated" : "no end frame";
+  std::printf("salvaged %s: %zu frames (%zu snapshots, %zu session events), "
+              "%llu bytes kept, %s\n",
+              args[0].c_str(), s.frames_read, s.snapshots, s.session_events,
+              static_cast<unsigned long long>(s.bytes_kept), state);
+  const TraceSummary sum = s.trace.summary();
+  std::printf("trace: %.2f h of %.2f h planned, %zu unique users, %zu gaps "
+              "(%.0f s uncovered)\n",
+              sum.duration / kSecondsPerHour, s.planned_end / kSecondsPerHour,
+              sum.unique_users, sum.gap_count, sum.gap_seconds);
+  if (!out.empty()) {
+    Trace trace = s.trace;
+    trace.strip_sitting_fixes();
+    save_trace(trace, out);
+    std::printf("wrote %s\n", out.c_str());
   }
   return 0;
 }
@@ -324,6 +450,7 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
   try {
     if (command == "run") return cmd_run(args);
+    if (command == "salvage") return cmd_salvage(args);
     if (command == "summary") return cmd_summary(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "sweep") return cmd_sweep(args);
