@@ -34,6 +34,30 @@ const ExperimentResults& land_results(LandArchetype archetype, const BenchOption
 void prewarm_lands(const std::vector<LandArchetype>& archetypes,
                    const BenchOptions& options);
 
+// Resource probes ------------------------------------------------------------
+
+// Peak RSS (high-water mark) of this process in MiB; 0 when the platform
+// probe is unavailable. Thin wrapper over util/sysinfo. Note the kernel
+// counter is a process-lifetime maximum: comparing two pipelines' footprints
+// requires one process per pipeline (fork, as streaming_throughput does).
+double peak_rss_mib();
+
+// JSON output ----------------------------------------------------------------
+
+// printf-style append, for building JSON bodies.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...);
+
+// Rewrites `path` — a JSON object of named sections — with `section` set to
+// `body` (full object text, braces included), preserving every other
+// section so independent benches can share one BENCH file. A pre-section
+// flat file ({"bench": "NAME", ...}) is migrated to a single section named
+// NAME. The file is created when absent.
+void update_bench_json(const std::string& path, const std::string& section,
+                       const std::string& body);
+
 // Pretty-printers ------------------------------------------------------------
 void print_title(const std::string& title, const std::string& paper_ref);
 

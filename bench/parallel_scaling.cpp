@@ -23,6 +23,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -429,8 +430,9 @@ int main(int argc, char** argv) {
   std::printf("%-24s %8.3f s\n", "legacy (seed pipeline)", legacy_seconds);
 
   std::vector<std::size_t> thread_counts{1, 2, 4};
-  const std::size_t hw = ThreadPool::default_concurrency();
-  if (hw > 4) thread_counts.push_back(hw);
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  const std::size_t default_threads = ThreadPool::default_concurrency();
+  if (default_threads > 4) thread_counts.push_back(default_threads);
 
   struct Row {
     std::size_t threads;
@@ -468,36 +470,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ERROR: cache pipeline distributions differ from seed pipeline\n");
   }
 
-  FILE* f = std::fopen(out_path.c_str(), "wb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"parallel_scaling\",\n");
-  std::fprintf(f, "  \"land\": \"isle_of_view\",\n");
-  std::fprintf(f, "  \"hours\": %.3f,\n", options.hours);
-  std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(options.seed));
-  std::fprintf(f, "  \"snapshots\": %zu,\n", trace.size());
-  std::fprintf(f, "  \"unique_users\": %zu,\n", base.summary.unique_users);
-  std::fprintf(f, "  \"hardware_concurrency\": %zu,\n", hw);
-  std::fprintf(f, "  \"legacy_seconds\": %.6f,\n", legacy_seconds);
-  std::fprintf(f, "  \"deterministic_across_threads\": %s,\n",
-               all_identical ? "true" : "false");
-  std::fprintf(f, "  \"matches_seed_distributions\": %s,\n",
-               matches_seed ? "true" : "false");
-  std::fprintf(f, "  \"results\": [\n");
+  std::string body;
+  appendf(body, "{\n");
+  appendf(body, "    \"land\": \"isle_of_view\",\n");
+  appendf(body, "    \"hours\": %.3f,\n", options.hours);
+  appendf(body, "    \"seed\": %llu,\n", static_cast<unsigned long long>(options.seed));
+  appendf(body, "    \"snapshots\": %zu,\n", trace.size());
+  appendf(body, "    \"unique_users\": %zu,\n", base.summary.unique_users);
+  appendf(body, "    \"hardware_concurrency\": %zu,\n", hw);
+  appendf(body, "    \"default_concurrency\": %zu,\n", default_threads);
+  appendf(body, "    \"legacy_seconds\": %.6f,\n", legacy_seconds);
+  appendf(body, "    \"deterministic_across_threads\": %s,\n",
+          all_identical ? "true" : "false");
+  appendf(body, "    \"matches_seed_distributions\": %s,\n",
+          matches_seed ? "true" : "false");
+  appendf(body, "    \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"threads\": %zu, \"seconds\": %.6f, "
-                 "\"speedup_vs_legacy\": %.3f, \"speedup_vs_1thread\": %.3f}%s\n",
-                 rows[i].threads, rows[i].seconds,
-                 rows[i].seconds > 0.0 ? legacy_seconds / rows[i].seconds : 0.0,
-                 rows[i].seconds > 0.0 ? t1_seconds / rows[i].seconds : 0.0,
-                 i + 1 == rows.size() ? "" : ",");
+    // Explicit ThreadPool(n) is never clamped, so requested == used.
+    appendf(body,
+            "      {\"threads\": %zu, \"threads_used\": %zu, \"seconds\": %.6f, "
+            "\"speedup_vs_legacy\": %.3f, \"speedup_vs_1thread\": %.3f}%s\n",
+            rows[i].threads, rows[i].threads, rows[i].seconds,
+            rows[i].seconds > 0.0 ? legacy_seconds / rows[i].seconds : 0.0,
+            rows[i].seconds > 0.0 ? t1_seconds / rows[i].seconds : 0.0,
+            i + 1 == rows.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  appendf(body, "    ]\n  }");
+  update_bench_json(out_path, "parallel_scaling", body);
   std::printf("wrote %s\n", out_path.c_str());
   return (all_identical && matches_seed) ? 0 : 1;
 }

@@ -1,0 +1,334 @@
+#include "analysis/analysis_report.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/bytes.hpp"
+
+namespace slmob {
+namespace {
+
+// Bitwise double comparison: NaN == NaN, +0 != -0. The equivalence contract
+// is "same bits", not "numerically close".
+bool bits_equal(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof ba);
+  std::memcpy(&bb, &b, sizeof bb);
+  return ba == bb;
+}
+
+std::string diff_scalar(const std::string& name, double a, double b) {
+  if (bits_equal(a, b)) return {};
+  std::ostringstream os;
+  os.precision(17);
+  os << name << ": " << a << " != " << b;
+  return os.str();
+}
+
+std::string diff_count(const std::string& name, std::size_t a, std::size_t b) {
+  if (a == b) return {};
+  std::ostringstream os;
+  os << name << ": " << a << " != " << b;
+  return os.str();
+}
+
+std::string diff_ecdf(const std::string& name, const Ecdf& a, const Ecdf& b) {
+  if (a.size() != b.size()) return diff_count(name + ".size", a.size(), b.size());
+  const auto sa = a.sorted();
+  const auto sb = b.sorted();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (!bits_equal(sa[i], sb[i])) {
+      std::ostringstream os;
+      os.precision(17);
+      os << name << "[" << i << "]: " << sa[i] << " != " << sb[i];
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string diff_fit(const std::string& name, const PowerLawFit& a, const PowerLawFit& b) {
+  if (auto d = diff_scalar(name + ".alpha", a.alpha, b.alpha); !d.empty()) return d;
+  if (auto d = diff_scalar(name + ".xmin", a.xmin, b.xmin); !d.empty()) return d;
+  return diff_count(name + ".n", a.n, b.n);
+}
+
+std::string diff_summary(const TraceSummary& a, const TraceSummary& b) {
+  if (auto d = diff_count("summary.unique_users", a.unique_users, b.unique_users); !d.empty())
+    return d;
+  if (auto d = diff_scalar("summary.avg_concurrent", a.avg_concurrent, b.avg_concurrent);
+      !d.empty())
+    return d;
+  if (auto d = diff_count("summary.max_concurrent", a.max_concurrent, b.max_concurrent);
+      !d.empty())
+    return d;
+  if (auto d = diff_scalar("summary.duration", a.duration, b.duration); !d.empty()) return d;
+  if (auto d = diff_count("summary.snapshot_count", a.snapshot_count, b.snapshot_count);
+      !d.empty())
+    return d;
+  if (auto d = diff_count("summary.gap_count", a.gap_count, b.gap_count); !d.empty()) return d;
+  return diff_scalar("summary.gap_seconds", a.gap_seconds, b.gap_seconds);
+}
+
+std::string diff_contacts(const std::string& name, const ContactAnalysis& a,
+                          const ContactAnalysis& b) {
+  if (auto d = diff_scalar(name + ".range", a.range, b.range); !d.empty()) return d;
+  if (a.intervals.size() != b.intervals.size())
+    return diff_count(name + ".intervals.size", a.intervals.size(), b.intervals.size());
+  for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+    const auto& x = a.intervals[i];
+    const auto& y = b.intervals[i];
+    if (x.a != y.a || x.b != y.b || !bits_equal(x.start, y.start) ||
+        !bits_equal(x.end, y.end)) {
+      std::ostringstream os;
+      os << name << ".intervals[" << i << "] differs";
+      return os.str();
+    }
+  }
+  if (auto d = diff_ecdf(name + ".contact_times", a.contact_times, b.contact_times); !d.empty())
+    return d;
+  if (auto d = diff_ecdf(name + ".inter_contact_times", a.inter_contact_times,
+                         b.inter_contact_times);
+      !d.empty())
+    return d;
+  if (auto d = diff_ecdf(name + ".first_contact_times", a.first_contact_times,
+                         b.first_contact_times);
+      !d.empty())
+    return d;
+  if (auto d = diff_count(name + ".users_seen", a.users_seen, b.users_seen); !d.empty())
+    return d;
+  return diff_count(name + ".users_with_contact", a.users_with_contact, b.users_with_contact);
+}
+
+std::string diff_graphs(const std::string& name, const GraphMetrics& a, const GraphMetrics& b) {
+  if (auto d = diff_scalar(name + ".range", a.range, b.range); !d.empty()) return d;
+  if (auto d = diff_ecdf(name + ".degrees", a.degrees, b.degrees); !d.empty()) return d;
+  if (auto d = diff_ecdf(name + ".diameters", a.diameters, b.diameters); !d.empty()) return d;
+  if (auto d = diff_ecdf(name + ".clustering", a.clustering, b.clustering); !d.empty()) return d;
+  if (auto d = diff_count(name + ".snapshots_analyzed", a.snapshots_analyzed,
+                          b.snapshots_analyzed);
+      !d.empty())
+    return d;
+  return diff_scalar(name + ".isolated_fraction", a.isolated_fraction, b.isolated_fraction);
+}
+
+std::string diff_zones(const ZoneAnalysis& a, const ZoneAnalysis& b) {
+  if (auto d = diff_scalar("zones.cell_size", a.cell_size, b.cell_size); !d.empty()) return d;
+  if (auto d = diff_count("zones.cells_per_side", a.cells_per_side, b.cells_per_side);
+      !d.empty())
+    return d;
+  if (auto d = diff_ecdf("zones.occupancy", a.occupancy, b.occupancy); !d.empty()) return d;
+  if (auto d = diff_scalar("zones.empty_fraction", a.empty_fraction, b.empty_fraction);
+      !d.empty())
+    return d;
+  if (auto d = diff_count("zones.max_occupancy", a.max_occupancy, b.max_occupancy); !d.empty())
+    return d;
+  if (a.mean_per_cell.size() != b.mean_per_cell.size())
+    return diff_count("zones.mean_per_cell.size", a.mean_per_cell.size(),
+                      b.mean_per_cell.size());
+  for (std::size_t i = 0; i < a.mean_per_cell.size(); ++i) {
+    if (!bits_equal(a.mean_per_cell[i], b.mean_per_cell[i])) {
+      std::ostringstream os;
+      os << "zones.mean_per_cell[" << i << "] differs";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string diff_trips(const TripAnalysis& a, const TripAnalysis& b) {
+  if (auto d = diff_ecdf("trips.travel_lengths", a.travel_lengths, b.travel_lengths);
+      !d.empty())
+    return d;
+  if (auto d = diff_ecdf("trips.effective_travel_times", a.effective_travel_times,
+                         b.effective_travel_times);
+      !d.empty())
+    return d;
+  if (auto d = diff_ecdf("trips.travel_times", a.travel_times, b.travel_times); !d.empty())
+    return d;
+  return diff_count("trips.sessions", a.sessions, b.sessions);
+}
+
+std::string diff_flights(const FlightAnalysis& a, const FlightAnalysis& b) {
+  if (auto d = diff_ecdf("flights.flight_lengths", a.flight_lengths, b.flight_lengths);
+      !d.empty())
+    return d;
+  if (auto d = diff_ecdf("flights.pause_times", a.pause_times, b.pause_times); !d.empty())
+    return d;
+  if (auto d = diff_count("flights.sessions_analyzed", a.sessions_analyzed,
+                          b.sessions_analyzed);
+      !d.empty())
+    return d;
+  if (auto d = diff_fit("flights.flight_fit", a.flight_fit, b.flight_fit); !d.empty()) return d;
+  return diff_fit("flights.pause_fit", a.pause_fit, b.pause_fit);
+}
+
+std::string diff_relations(const RelationSummary& a, const RelationSummary& b) {
+  if (a.relations.size() != b.relations.size())
+    return diff_count("relations.size", a.relations.size(), b.relations.size());
+  for (std::size_t i = 0; i < a.relations.size(); ++i) {
+    const auto& x = a.relations[i];
+    const auto& y = b.relations[i];
+    if (x.a != y.a || x.b != y.b || x.encounters != y.encounters ||
+        !bits_equal(x.total_contact, y.total_contact) ||
+        !bits_equal(x.first_met, y.first_met) ||
+        !bits_equal(x.last_seen_together, y.last_seen_together)) {
+      std::ostringstream os;
+      os << "relations[" << i << "] differs";
+      return os.str();
+    }
+  }
+  if (auto d = diff_count("relations.user_count", a.user_count, b.user_count); !d.empty())
+    return d;
+  if (auto d = diff_scalar("relations.acquaintance_fraction", a.acquaintance_fraction,
+                           b.acquaintance_fraction);
+      !d.empty())
+    return d;
+  if (auto d = diff_ecdf("relations.encounter_counts", a.encounter_counts, b.encounter_counts);
+      !d.empty())
+    return d;
+  if (auto d = diff_ecdf("relations.tie_strengths", a.tie_strengths, b.tie_strengths);
+      !d.empty())
+    return d;
+  return diff_ecdf("relations.acquaintance_degrees", a.acquaintance_degrees,
+                   b.acquaintance_degrees);
+}
+
+void put_ecdf(ByteWriter& w, const Ecdf& e) {
+  w.u64(static_cast<std::uint64_t>(e.size()));
+  for (const double x : e.sorted()) w.f64(x);
+}
+
+void put_fit(ByteWriter& w, const PowerLawFit& f) {
+  w.f64(f.alpha);
+  w.f64(f.xmin);
+  w.u64(static_cast<std::uint64_t>(f.n));
+}
+
+}  // namespace
+
+std::string analysis_diff(const AnalysisReport& a, const AnalysisReport& b) {
+  if (auto d = diff_summary(a.summary, b.summary); !d.empty()) return d;
+
+  if (a.contacts.size() != b.contacts.size())
+    return diff_count("contacts.size", a.contacts.size(), b.contacts.size());
+  for (auto ia = a.contacts.begin(), ib = b.contacts.begin(); ia != a.contacts.end();
+       ++ia, ++ib) {
+    std::ostringstream key;
+    key << "contacts[" << ia->first << "]";
+    if (!bits_equal(ia->first, ib->first)) return key.str() + ": range key differs";
+    if (auto d = diff_contacts(key.str(), ia->second, ib->second); !d.empty()) return d;
+  }
+
+  if (a.graphs.size() != b.graphs.size())
+    return diff_count("graphs.size", a.graphs.size(), b.graphs.size());
+  for (auto ia = a.graphs.begin(), ib = b.graphs.begin(); ia != a.graphs.end(); ++ia, ++ib) {
+    std::ostringstream key;
+    key << "graphs[" << ia->first << "]";
+    if (!bits_equal(ia->first, ib->first)) return key.str() + ": range key differs";
+    if (auto d = diff_graphs(key.str(), ia->second, ib->second); !d.empty()) return d;
+  }
+
+  if (auto d = diff_zones(a.zones, b.zones); !d.empty()) return d;
+  if (auto d = diff_trips(a.trips, b.trips); !d.empty()) return d;
+
+  if (a.flights.has_value() != b.flights.has_value()) return "flights: presence differs";
+  if (a.flights) {
+    if (auto d = diff_flights(*a.flights, *b.flights); !d.empty()) return d;
+  }
+  if (a.relations.has_value() != b.relations.has_value()) return "relations: presence differs";
+  if (a.relations) {
+    if (auto d = diff_relations(*a.relations, *b.relations); !d.empty()) return d;
+  }
+  return {};
+}
+
+std::uint32_t analysis_fingerprint(const AnalysisReport& report) {
+  ByteWriter w;
+  const TraceSummary& s = report.summary;
+  w.u64(static_cast<std::uint64_t>(s.unique_users));
+  w.f64(s.avg_concurrent);
+  w.u64(static_cast<std::uint64_t>(s.max_concurrent));
+  w.f64(s.duration);
+  w.u64(static_cast<std::uint64_t>(s.snapshot_count));
+  w.u64(static_cast<std::uint64_t>(s.gap_count));
+  w.f64(s.gap_seconds);
+
+  w.u64(static_cast<std::uint64_t>(report.contacts.size()));
+  for (const auto& [range, c] : report.contacts) {
+    w.f64(range);
+    w.f64(c.range);
+    w.u64(static_cast<std::uint64_t>(c.intervals.size()));
+    for (const auto& iv : c.intervals) {
+      w.u32(iv.a.value);
+      w.u32(iv.b.value);
+      w.f64(iv.start);
+      w.f64(iv.end);
+    }
+    put_ecdf(w, c.contact_times);
+    put_ecdf(w, c.inter_contact_times);
+    put_ecdf(w, c.first_contact_times);
+    w.u64(static_cast<std::uint64_t>(c.users_seen));
+    w.u64(static_cast<std::uint64_t>(c.users_with_contact));
+  }
+
+  w.u64(static_cast<std::uint64_t>(report.graphs.size()));
+  for (const auto& [range, g] : report.graphs) {
+    w.f64(range);
+    w.f64(g.range);
+    put_ecdf(w, g.degrees);
+    put_ecdf(w, g.diameters);
+    put_ecdf(w, g.clustering);
+    w.u64(static_cast<std::uint64_t>(g.snapshots_analyzed));
+    w.f64(g.isolated_fraction);
+  }
+
+  const ZoneAnalysis& z = report.zones;
+  w.f64(z.cell_size);
+  w.u64(static_cast<std::uint64_t>(z.cells_per_side));
+  put_ecdf(w, z.occupancy);
+  w.f64(z.empty_fraction);
+  w.u64(static_cast<std::uint64_t>(z.max_occupancy));
+  w.u64(static_cast<std::uint64_t>(z.mean_per_cell.size()));
+  for (const double m : z.mean_per_cell) w.f64(m);
+
+  const TripAnalysis& t = report.trips;
+  put_ecdf(w, t.travel_lengths);
+  put_ecdf(w, t.effective_travel_times);
+  put_ecdf(w, t.travel_times);
+  w.u64(static_cast<std::uint64_t>(t.sessions));
+
+  w.u8(report.flights ? 1 : 0);
+  if (report.flights) {
+    const FlightAnalysis& f = *report.flights;
+    put_ecdf(w, f.flight_lengths);
+    put_ecdf(w, f.pause_times);
+    w.u64(static_cast<std::uint64_t>(f.sessions_analyzed));
+    put_fit(w, f.flight_fit);
+    put_fit(w, f.pause_fit);
+  }
+
+  w.u8(report.relations ? 1 : 0);
+  if (report.relations) {
+    const RelationSummary& r = *report.relations;
+    w.u64(static_cast<std::uint64_t>(r.relations.size()));
+    for (const auto& rel : r.relations) {
+      w.u32(rel.a.value);
+      w.u32(rel.b.value);
+      w.u64(static_cast<std::uint64_t>(rel.encounters));
+      w.f64(rel.total_contact);
+      w.f64(rel.first_met);
+      w.f64(rel.last_seen_together);
+    }
+    w.u64(static_cast<std::uint64_t>(r.user_count));
+    w.f64(r.acquaintance_fraction);
+    put_ecdf(w, r.encounter_counts);
+    put_ecdf(w, r.tie_strengths);
+    put_ecdf(w, r.acquaintance_degrees);
+  }
+
+  return crc32(w.bytes());
+}
+
+}  // namespace slmob

@@ -22,9 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "stats/ecdf.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 
 namespace slmob {
@@ -66,5 +71,66 @@ ContactAnalysis analyze_contacts(const Trace& trace, double range,
 // the cache was built with; `cache` must cover the same trace.
 ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache,
                                  double range, const ContactOptions& options = {});
+
+// Incremental contact extraction over a snapshot stream: feed every covered
+// snapshot (empty ones too — absence is what closes contacts) with its
+// in-range pair list, in time order, and call finish() once. Censoring reads
+// the shared GapTracker, which by the stream ordering contract already holds
+// every gap relevant to the snapshot being processed, so results are
+// bit-identical to analyze_contacts on the completed trace (gap-free traces
+// included: with no gaps tracked, the censor branches never fire).
+class ContactStream {
+ public:
+  using PairList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+  ContactStream(double range, Seconds tau, const GapTracker& gaps);
+
+  // Optional: observe every contact interval as it closes (closure order;
+  // per pair this is chronological). Used to chain relation analysis.
+  void set_interval_sink(std::function<void(const ContactInterval&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  void on_snapshot(const Snapshot& snapshot, const PairList& pairs);
+  [[nodiscard]] ContactAnalysis finish();
+
+ private:
+  struct OpenContact {
+    Seconds start;
+    Seconds last_seen;
+  };
+  void close_contact(std::uint64_t key, const OpenContact& contact, Seconds end_cap);
+  void censor_at_gap(Seconds cap);
+  void derive_inter_contact_times();
+
+  Seconds tau_;
+  const GapTracker* gaps_;
+  std::function<void(const ContactInterval&)> sink_;
+  ContactAnalysis out_;
+  std::unordered_map<std::uint64_t, OpenContact> open_;
+  std::unordered_map<AvatarId, Seconds> first_seen_;
+  std::unordered_map<AvatarId, Seconds> first_contact_;
+  std::unordered_set<AvatarId> seen_ever_;
+  std::vector<std::uint64_t> current_;  // scratch: this snapshot's pair keys
+  // ICT is derived at finish() from consecutive intervals of the same pair
+  // instead of a per-pair "end of previous contact" map — that map holds an
+  // entry for every pair that ever met and was the stream's largest
+  // non-output allocation on a day-long trace. The batch rule "a gap cuts
+  // the ICT chain" (the map is cleared at every censor) is reproduced by a
+  // censoring epoch: every censor bumps it, every interval records the
+  // epoch of its closure, and consecutive contacts of a pair chain only
+  // when their epochs match. An interval closed by the censor itself
+  // records the pre-bump epoch, so — exactly like the map, which the
+  // censor clears right after writing it — it can never chain forward.
+  // Epoch storage is allocated lazily at the first censor; a gap-free
+  // stream (no censors, every pair chains) records nothing.
+  std::uint32_t censor_epoch_{0};
+  std::vector<std::uint32_t> interval_epochs_;
+  bool epochs_active_{false};
+  void seed_seen_ever();
+  bool seen_seeded_{false};
+  bool have_prev_{false};
+  Seconds prev_time_{0.0};
+};
 
 }  // namespace slmob

@@ -41,4 +41,28 @@ struct FlightAnalysis {
 FlightAnalysis analyze_flights(const Trace& trace,
                                const FlightAnalysisOptions& options = {});
 
+// Incremental flight/pause decomposition fed by a SessionStream sink. Each
+// session is decomposed on arrival (only its samples are buffered, not the
+// fixes); finish() replays the per-session sample runs in (avatar, login)
+// order, matching analyze_flights bit for bit, fits included.
+class FlightStream {
+ public:
+  explicit FlightStream(const FlightAnalysisOptions& options = {})
+      : options_(options) {}
+
+  void on_session(const Session& session);
+  [[nodiscard]] FlightAnalysis finish();
+
+ private:
+  struct Entry {
+    AvatarId avatar;
+    Seconds login{0.0};
+    std::vector<double> flight_lengths;  // in-session emission order
+    std::vector<Seconds> pause_times;
+  };
+  FlightAnalysisOptions options_;
+  std::vector<Entry> entries_;
+  std::size_t sessions_analyzed_{0};
+};
+
 }  // namespace slmob

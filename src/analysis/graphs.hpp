@@ -79,4 +79,46 @@ GraphMetrics analyze_graphs(const Trace& trace, const ProximityCache& cache,
                             double range, std::size_t stride = 1,
                             ThreadPool* pool = nullptr);
 
+// Incremental graph metrics over a snapshot stream: feed every covered
+// snapshot (stride 1) with its in-range pair list, in time order. Empty
+// snapshots are skipped internally, matching the batch guard. Sample
+// insertion order equals the batch single-chunk order, so results are
+// bit-identical to analyze_graphs.
+//
+// Unlike the batch path, which builds a LosGraph (a vector-of-vectors with
+// per-node allocations and sorts) for every snapshot, the stream keeps one
+// flat CSR adjacency plus BFS/marker scratch and rebuilds them in place —
+// zero allocations per snapshot once warm, and contiguous neighbour scans
+// in the BFS and triangle loops. Degree, diameter and clustering values
+// don't depend on neighbour order (distances are exact, link counts are set
+// cardinalities), so the metrics stay bit-identical to the LosGraph path.
+class GraphStream {
+ public:
+  explicit GraphStream(double range) : range_(range) {}
+
+  void on_snapshot(std::size_t node_count,
+                   const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs);
+  [[nodiscard]] GraphMetrics finish();
+
+ private:
+  double range_;
+  Ecdf degrees_;
+  Ecdf diameters_;
+  Ecdf clustering_;
+  std::size_t snapshots_analyzed_{0};
+  std::size_t isolated_{0};
+  std::size_t degree_samples_{0};
+  // Per-snapshot scratch, reused across calls (sized to the largest
+  // snapshot seen). CSR layout: neighbours of node i occupy
+  // csr_adj_[csr_offsets_[i] .. csr_offsets_[i + 1]).
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<std::uint32_t> csr_cursor_;
+  std::vector<std::uint32_t> csr_adj_;
+  std::vector<std::uint32_t> comp_;     // BFS worklist of the current component
+  std::vector<std::uint32_t> largest_;  // biggest component so far
+  std::vector<std::int32_t> dist_;
+  std::vector<char> visited_;
+  std::vector<char> marked_;
+};
+
 }  // namespace slmob

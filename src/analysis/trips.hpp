@@ -3,6 +3,8 @@
 // reconstructed sessions.
 #pragma once
 
+#include <vector>
+
 #include "stats/ecdf.hpp"
 #include "trace/sessions.hpp"
 #include "trace/trace.hpp"
@@ -18,5 +20,28 @@ struct TripAnalysis {
 
 TripAnalysis analyze_trips(const Trace& trace,
                            const SessionExtractionOptions& options = {});
+
+// Incremental trip analysis fed by a SessionStream sink. Sessions arrive in
+// closure order; per-session metrics are buffered (the session itself is
+// not) and emitted at finish() in (avatar, login) order — the batch
+// extractor's order — so Ecdf sample sequences are bit-identical to
+// analyze_trips.
+class TripStream {
+ public:
+  explicit TripStream(const SessionExtractionOptions& options = {})
+      : movement_epsilon_(options.movement_epsilon) {}
+
+  void on_session(const Session& session);
+  [[nodiscard]] TripAnalysis finish();
+
+ private:
+  struct Entry {
+    AvatarId avatar;
+    Seconds login{0.0};
+    TripMetrics metrics;
+  };
+  double movement_epsilon_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace slmob

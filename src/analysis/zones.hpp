@@ -32,4 +32,25 @@ ZoneAnalysis analyze_zones(const Trace& trace, double land_size = 256.0,
 ZoneAnalysis analyze_zones(const Trace& trace, const ProximityCache& cache,
                            double land_size = 256.0, double cell_size = 20.0);
 
+// Incremental zone occupation over a snapshot stream: feed the position
+// array (fix order) of every covered snapshot — empty snapshots included,
+// they contribute all-zero cell samples exactly as in batch. Bit-identical
+// to analyze_zones, including Ecdf sample insertion order.
+class ZoneStream {
+ public:
+  // Throws std::invalid_argument on non-positive sizes (as analyze_zones).
+  explicit ZoneStream(double land_size = 256.0, double cell_size = 20.0);
+
+  void on_snapshot(const std::vector<Vec3>& positions);
+  [[nodiscard]] ZoneAnalysis finish();
+
+ private:
+  double land_size_;
+  ZoneAnalysis out_;
+  std::vector<std::uint32_t> counts_;
+  std::size_t empty_samples_{0};
+  std::size_t total_samples_{0};
+  std::size_t snapshots_{0};
+};
+
 }  // namespace slmob

@@ -82,4 +82,14 @@ ExperimentResults analyze_trace(Trace trace, const std::vector<double>& ranges,
   return results;
 }
 
+AnalysisReport to_analysis_report(const ExperimentResults& results) {
+  AnalysisReport report;
+  report.summary = results.summary;
+  report.contacts = results.contacts;
+  report.graphs = results.graphs;
+  report.zones = results.zones;
+  report.trips = results.trips;
+  return report;
+}
+
 }  // namespace slmob

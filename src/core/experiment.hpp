@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/analysis_report.hpp"
 #include "analysis/contacts.hpp"
 #include "analysis/graphs.hpp"
 #include "analysis/trips.hpp"
@@ -82,5 +83,11 @@ ExperimentResults run_experiment(const ExperimentConfig& config);
 ExperimentResults analyze_trace(Trace trace, const std::vector<double>& ranges,
                                 double land_size = kDefaultLandSize,
                                 std::size_t threads = 0);
+
+// The analysis slice of `results` in the report form shared with the
+// streaming pipeline (analysis/streaming.hpp), enabling direct
+// analysis_diff / analysis_equal comparison. Flights and relations stay
+// empty — the batch experiment does not compute them.
+AnalysisReport to_analysis_report(const ExperimentResults& results);
 
 }  // namespace slmob

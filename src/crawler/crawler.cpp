@@ -70,12 +70,23 @@ void Crawler::journal_begin_if_needed() {
   }
 }
 
+void Crawler::live_begin_if_needed() {
+  if (live_sink_ != nullptr && !live_begun_) {
+    live_begun_ = true;
+    live_sink_->on_begin(trace_.land_name(), config_.sample_interval);
+  }
+}
+
 Trace Crawler::take_trace() {
   if (gap_open_ && last_tick_ > gap_start_) {
     trace_.add_gap(gap_start_, last_tick_);
     gap_open_ = false;
     ++stats_.coverage_gaps;
     if (journal_ != nullptr) journal_->append_gap_close(gap_start_, last_tick_);
+    if (live_sink_ != nullptr) {
+      live_begin_if_needed();
+      live_sink_->on_gap(gap_start_, last_tick_);
+    }
   }
   return std::move(trace_);
 }
@@ -151,11 +162,16 @@ void Crawler::tick(Seconds now, Seconds dt) {
     }
     if (gap_open_) {
       // Sampling recovered: the gap closes at this snapshot, which is the
-      // first covered instant after the outage.
+      // first covered instant after the outage. The sink hears the gap
+      // before the snapshot, preserving the stream ordering contract.
       trace_.add_gap(gap_start_, now);
       gap_open_ = false;
       ++stats_.coverage_gaps;
       if (journal_ != nullptr) journal_->append_gap_close(gap_start_, now);
+      if (live_sink_ != nullptr) {
+        live_begin_if_needed();
+        live_sink_->on_gap(gap_start_, now);
+      }
     }
     if (backoff_level_ > 0) {
       backoff_level_ = 0;
@@ -172,6 +188,10 @@ void Crawler::tick(Seconds now, Seconds dt) {
     if (journal_ != nullptr) {
       journal_begin_if_needed();
       journal_->append_snapshot(snap);
+    }
+    if (live_sink_ != nullptr) {
+      live_begin_if_needed();
+      live_sink_->on_snapshot(snap);
     }
     trace_.add(std::move(snap));
     ++stats_.snapshots_taken;

@@ -21,6 +21,7 @@
 
 #include "client/metaverse_client.hpp"
 #include "trace/journal.hpp"
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 
 namespace slmob {
@@ -100,12 +101,27 @@ class Crawler {
   // code path.
   void attach_journal(TraceJournalWriter* journal) { journal_ = journal; }
 
+  // Attaches a live analysis sink (non-owning; nullptr detaches), fed at
+  // the same hook points as the journal: on_begin lazily with the first
+  // snapshot (once the land name is known), every snapshot as it is
+  // recorded, every coverage gap as it closes (including the trailing gap
+  // take_trace records for an outage still open at hand-over). Events
+  // arrive per the stream ordering contract of trace/stream.hpp, so an
+  // attached StreamingAnalyzer computes during the run the exact report the
+  // batch pipeline would compute from take_trace(). Snapshots are forwarded
+  // unstripped — a sink comparing against run_experiment (which strips
+  // sitting fixes) should enable its own strip option. The sink draws
+  // nothing from the crawler's RNG: runs are bit-identical with or without
+  // one attached.
+  void attach_live_sink(LiveTraceSink* sink) { live_sink_ = sink; }
+
  private:
   void on_coarse(Seconds now, const CoarseLocationUpdate& update);
   void act_human(Seconds now);
   void open_gap_if_needed(Seconds now);
   void note_sampling_outage(Seconds now);
   void journal_begin_if_needed();
+  void live_begin_if_needed();
 
   MetaverseClient& client_;
   CrawlerConfig config_;
@@ -127,6 +143,8 @@ class Crawler {
   Seconds gap_start_{0.0};
   Seconds last_tick_{0.0};
   TraceJournalWriter* journal_{nullptr};
+  LiveTraceSink* live_sink_{nullptr};
+  bool live_begun_{false};
   CrawlerStats stats_;
 };
 

@@ -2,13 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
 namespace slmob {
+namespace detail {
 
-Ecdf::Ecdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {}
+SampleBuf::~SampleBuf() { std::free(data_); }
+
+void SampleBuf::grow(std::size_t need) {
+  std::size_t cap = cap_ == 0 ? 64 : cap_ * 2;
+  if (cap < need) cap = need;
+  auto* p = static_cast<double*>(std::realloc(data_, cap * sizeof(double)));
+  if (p == nullptr) throw std::bad_alloc();
+  data_ = p;
+  cap_ = cap;
+}
+
+void SampleBuf::append(const double* src, std::size_t n) {
+  if (n == 0) return;
+  if (size_ + n > cap_) grow(size_ + n);
+  std::memcpy(data_ + size_, src, n * sizeof(double));
+  size_ += n;
+}
+
+}  // namespace detail
+
+Ecdf::Ecdf(std::vector<double> samples)
+    : samples_(samples), sorted_(false) {}
 
 void Ecdf::add(double sample) {
   samples_.push_back(sample);
@@ -17,9 +42,11 @@ void Ecdf::add(double sample) {
 
 void Ecdf::merge(const Ecdf& other) {
   if (other.samples_.empty()) return;
-  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  samples_.append(other.samples_.begin(), other.samples_.size());
   sorted_ = false;
 }
+
+void Ecdf::reserve(std::size_t n) { samples_.reserve(n); }
 
 void Ecdf::ensure_sorted() const {
   if (!sorted_) {
@@ -67,7 +94,7 @@ double Ecdf::mean() const {
 
 std::span<const double> Ecdf::sorted() const {
   ensure_sorted();
-  return samples_;
+  return {samples_.begin(), samples_.size()};
 }
 
 std::vector<EcdfPoint> Ecdf::cdf_series(std::size_t n) const {

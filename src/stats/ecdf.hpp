@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace slmob {
@@ -16,6 +17,69 @@ struct EcdfPoint {
   double x{0.0};
   double y{0.0};  // F(x) for CDF output, 1 - F(x) for CCDF output
 };
+
+namespace detail {
+
+// Growable sample array on malloc/realloc instead of std::vector. The
+// allocator interface forbids realloc, so a growing vector always copies
+// into a second live buffer — transiently doubling resident memory — and
+// leaves the freed generation behind in the allocator. realloc lets glibc
+// grow mmap-backed chunks with mremap (pages are retagged, never copied),
+// which keeps a long accumulation's peak RSS at the size of the data it
+// actually holds. This matters for the streaming analysis engine, whose
+// whole-trace sample sets are the dominant term of its memory footprint.
+class SampleBuf {
+ public:
+  SampleBuf() = default;
+  explicit SampleBuf(const std::vector<double>& v) { append(v.data(), v.size()); }
+  SampleBuf(const SampleBuf& other) { append(other.data_, other.size_); }
+  SampleBuf(SampleBuf&& other) noexcept
+      : data_(other.data_), size_(other.size_), cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+  }
+  SampleBuf& operator=(SampleBuf other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~SampleBuf();
+
+  void swap(SampleBuf& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(cap_, other.cap_);
+  }
+
+  void push_back(double x) {
+    if (size_ == cap_) grow(size_ + 1);
+    data_[size_++] = x;
+  }
+  void append(const double* src, std::size_t n);
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] double* begin() { return data_; }
+  [[nodiscard]] double* end() { return data_ + size_; }
+  [[nodiscard]] const double* begin() const { return data_; }
+  [[nodiscard]] const double* end() const { return data_ + size_; }
+  [[nodiscard]] double& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const double& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] double front() const { return data_[0]; }
+  [[nodiscard]] double back() const { return data_[size_ - 1]; }
+
+ private:
+  void grow(std::size_t need);
+
+  double* data_{nullptr};
+  std::size_t size_{0};
+  std::size_t cap_{0};
+};
+
+}  // namespace detail
 
 class Ecdf {
  public:
@@ -45,6 +109,8 @@ class Ecdf {
 
   // Sorted view of the samples.
   [[nodiscard]] std::span<const double> sorted() const;
+  // Pre-sizes the sample buffer (never shrinks).
+  void reserve(std::size_t n);
 
   // Evaluates the CDF on `n` points linearly spaced over [min, max].
   [[nodiscard]] std::vector<EcdfPoint> cdf_series(std::size_t n) const;
@@ -54,7 +120,7 @@ class Ecdf {
 
  private:
   void ensure_sorted() const;
-  mutable std::vector<double> samples_;
+  mutable detail::SampleBuf samples_;
   mutable bool sorted_{true};
 };
 

@@ -58,6 +58,45 @@ std::vector<Session> extract_sessions(const Trace& trace,
   return done;
 }
 
+void SessionStream::emit(Session&& session) {
+  if (sink_) sink_(std::move(session));
+}
+
+void SessionStream::on_snapshot(const Snapshot& snap) {
+  // Mirrors one iteration of extract_sessions' loop: gap censoring first,
+  // then absence closes, then this snapshot's fixes.
+  if (have_prev_ && gaps_->spans_gap(prev_time_, snap.time)) {
+    for (auto& [id, s] : open_) emit(std::move(s));
+    open_.clear();
+  }
+  have_prev_ = true;
+  prev_time_ = snap.time;
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (snap.time - it->second.times.back() > options_.absence_threshold) {
+      emit(std::move(it->second));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& fix : snap.fixes) {
+    auto [it, inserted] = open_.try_emplace(fix.id);
+    Session& s = it->second;
+    if (inserted) {
+      s.avatar = fix.id;
+      s.login = snap.time;
+    }
+    s.logout = snap.time;
+    s.times.push_back(snap.time);
+    s.positions.push_back(fix.pos);
+  }
+}
+
+void SessionStream::finish() {
+  for (auto& [id, s] : open_) emit(std::move(s));
+  open_.clear();
+}
+
 TripMetrics trip_metrics(const Session& session, double movement_epsilon) {
   TripMetrics m;
   m.avatar = session.avatar;

@@ -12,8 +12,11 @@
 // start fresh sessions — presence is never assumed across unobserved time.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <vector>
 
+#include "trace/stream.hpp"
 #include "trace/trace.hpp"
 
 namespace slmob {
@@ -53,5 +56,35 @@ struct TripMetrics {
 };
 
 TripMetrics trip_metrics(const Session& session, double movement_epsilon = 0.5);
+
+// Incremental session reconstruction over a snapshot stream. Feed every
+// *covered* snapshot in time order; each session is handed to the sink as it
+// closes (absence timeout, gap censoring, or finish()). Sessions close in
+// stream order, not the (avatar, login) order extract_sessions returns —
+// consumers that need that order buffer and sort (the keys are unique).
+//
+// The gap handling is always on: against an empty GapTracker the gap branch
+// never fires, which is exactly the batch extractor's gap-free behaviour.
+class SessionStream {
+ public:
+  explicit SessionStream(const GapTracker& gaps,
+                         SessionExtractionOptions options = {})
+      : gaps_(&gaps), options_(options) {}
+
+  void set_sink(std::function<void(Session&&)> sink) { sink_ = std::move(sink); }
+  void on_snapshot(const Snapshot& snapshot);
+  // Closes every still-open session (batch: logout at last sighting).
+  void finish();
+
+ private:
+  void emit(Session&& session);
+
+  const GapTracker* gaps_;
+  SessionExtractionOptions options_;
+  std::function<void(Session&&)> sink_;
+  std::map<AvatarId, Session> open_;
+  bool have_prev_{false};
+  Seconds prev_time_{0.0};
+};
 
 }  // namespace slmob

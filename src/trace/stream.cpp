@@ -1,0 +1,485 @@
+#include "trace/stream.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+#include "trace/journal.hpp"
+#include "trace/serialize.hpp"
+#include "util/bytes.hpp"
+
+namespace slmob {
+namespace {
+
+constexpr std::uint8_t kSltMagic[4] = {'S', 'L', 'T', 'R'};
+constexpr std::uint8_t kJournalMagic[4] = {'S', 'L', 'T', 'J'};
+constexpr std::uint16_t kJournalVersion = 1;
+constexpr std::size_t kJournalHeaderBytes = 6;  // magic + version
+constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+// Per-fix wire size in both .slt and .sltj: u32 id + 3 x f32 position.
+constexpr std::size_t kFixBytes = 16;
+
+bool has_suffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void decode_fixes(ByteReader& r, std::uint32_t count, Snapshot& out) {
+  out.fixes.clear();
+  out.fixes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AvatarFix fix;
+    fix.id = AvatarId{r.u32()};
+    fix.pos.x = r.f32();
+    fix.pos.y = r.f32();
+    fix.pos.z = r.f32();
+    out.fixes.push_back(fix);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GapTracker
+
+void GapTracker::add(Seconds start, Seconds end) {
+  if (!(start < end)) {
+    throw std::invalid_argument("Trace::add_gap: gap must have start < end");
+  }
+  if (!gaps_.empty() && start < gaps_.back().end) {
+    throw std::invalid_argument("Trace::add_gap: gaps must be ordered and disjoint");
+  }
+  gaps_.push_back({start, end});
+}
+
+bool GapTracker::covered_at(Seconds t) const {
+  for (const auto& gap : gaps_) {
+    if (gap.contains(t)) return false;
+    if (gap.start > t) break;  // gaps are ordered
+  }
+  return true;
+}
+
+bool GapTracker::spans_gap(Seconds t0, Seconds t1) const {
+  for (const auto& gap : gaps_) {
+    if (gap.start < t1 && gap.end > t0) return true;
+    if (gap.start >= t1) break;
+  }
+  return false;
+}
+
+Seconds GapTracker::next_gap_start(Seconds t) const {
+  for (const auto& gap : gaps_) {
+    if (gap.end > t) return gap.start;
+  }
+  return t;
+}
+
+Seconds GapTracker::gap_seconds() const {
+  Seconds total = 0.0;
+  for (const auto& gap : gaps_) total += gap.length();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryTraceStream
+
+StreamEvent MemoryTraceStream::next() {
+  const auto& snaps = trace_->snapshots();
+  const auto& gaps = trace_->gaps();
+  // A gap goes out before the first snapshot at or past its start (the
+  // ordering contract in the header comment).
+  if (gap_next_ < gaps.size() &&
+      (snap_next_ >= snaps.size() || gaps[gap_next_].start <= snaps[snap_next_].time)) {
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kGap;
+    ev.gap = gaps[gap_next_++];
+    return ev;
+  }
+  if (snap_next_ < snaps.size()) {
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kSnapshot;
+    ev.snapshot = &snaps[snap_next_++];
+    return ev;
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// SltFileStream
+
+SltFileStream::SltFileStream(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("open_trace_stream: cannot open " + path);
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    throw std::runtime_error("open_trace_stream: cannot seek " + path);
+  }
+  const long file_size = std::ftell(file_);
+  std::rewind(file_);
+
+  // Header: magic, version, land name, sampling interval, snapshot count.
+  read_exact(6);
+  if (!std::equal(buf_.begin(), buf_.begin() + 4, kSltMagic)) {
+    throw DecodeError("decode_trace: bad magic");
+  }
+  std::uint16_t version = 0;
+  {
+    ByteReader r(std::span{buf_}.subspan(4, 2));
+    version = r.u16();
+  }
+  if (version != 1 && version != 2) {
+    throw DecodeError("decode_trace: unsupported version");
+  }
+  read_exact(2);
+  std::uint16_t land_len = 0;
+  {
+    ByteReader r(buf_);
+    land_len = r.u16();
+  }
+  read_exact(land_len);
+  land_.assign(reinterpret_cast<const char*>(buf_.data()), land_len);
+  read_exact(12);
+  {
+    ByteReader r(buf_);
+    interval_ = r.f64();
+    snap_count_ = r.u32();
+  }
+  const long data_offset = std::ftell(file_);
+
+  // Skip-scan: walk the snapshot headers (seeking over the fixes) to reach
+  // the v2 gap footer and validate framing, then rewind. This touches 12
+  // bytes per snapshot, so it is I/O-cheap even for very long traces.
+  Seconds prev_time = 0.0;
+  for (std::uint32_t i = 0; i < snap_count_; ++i) {
+    read_exact(12);
+    Seconds time = 0.0;
+    std::uint32_t fix_count = 0;
+    {
+      ByteReader r(buf_);
+      time = r.f64();
+      fix_count = r.u32();
+    }
+    if (i > 0 && time < prev_time) {
+      throw std::invalid_argument("Trace::add: snapshots must be time-ordered");
+    }
+    prev_time = time;
+    const long fix_bytes = static_cast<long>(kFixBytes * static_cast<std::size_t>(fix_count));
+    if (std::ftell(file_) + fix_bytes > file_size) {
+      throw DecodeError("decode_trace: truncated snapshot block");
+    }
+    if (std::fseek(file_, fix_bytes, SEEK_CUR) != 0) {
+      throw std::runtime_error("open_trace_stream: cannot seek " + path);
+    }
+  }
+  if (version >= 2) {
+    read_exact(4);
+    std::uint32_t gap_count = 0;
+    {
+      ByteReader r(buf_);
+      gap_count = r.u32();
+    }
+    gaps_.reserve(gap_count);
+    for (std::uint32_t i = 0; i < gap_count; ++i) {
+      read_exact(16);
+      ByteReader r(buf_);
+      const Seconds start = r.f64();
+      const Seconds end = r.f64();
+      // Same validation Trace::add_gap applies during decode_trace.
+      if (!(start < end)) {
+        throw std::invalid_argument("Trace::add_gap: gap must have start < end");
+      }
+      if (!gaps_.empty() && start < gaps_.back().end) {
+        throw std::invalid_argument("Trace::add_gap: gaps must be ordered and disjoint");
+      }
+      gaps_.push_back({start, end});
+    }
+  }
+  if (std::ftell(file_) != file_size) {
+    throw DecodeError("decode_trace: trailing bytes");
+  }
+  if (std::fseek(file_, data_offset, SEEK_SET) != 0) {
+    throw std::runtime_error("open_trace_stream: cannot seek " + path);
+  }
+}
+
+SltFileStream::~SltFileStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void SltFileStream::read_exact(std::size_t n) {
+  buf_.resize(n);
+  if (n > 0 && std::fread(buf_.data(), 1, n, file_) != n) {
+    throw DecodeError("decode_trace: unexpected end of file");
+  }
+}
+
+void SltFileStream::decode_next_snapshot() {
+  read_exact(12);
+  std::uint32_t fix_count = 0;
+  {
+    ByteReader r(buf_);
+    current_.time = r.f64();
+    fix_count = r.u32();
+  }
+  read_exact(kFixBytes * static_cast<std::size_t>(fix_count));
+  ByteReader r(buf_);
+  decode_fixes(r, fix_count, current_);
+}
+
+StreamEvent SltFileStream::next() {
+  if (done_) return {};
+  if (!have_pending_ && snaps_emitted_ < snap_count_) {
+    decode_next_snapshot();
+    have_pending_ = true;
+  }
+  if (gap_next_ < gaps_.size() &&
+      (!have_pending_ || gaps_[gap_next_].start <= current_.time)) {
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kGap;
+    ev.gap = gaps_[gap_next_++];
+    return ev;
+  }
+  if (have_pending_) {
+    have_pending_ = false;
+    ++snaps_emitted_;
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kSnapshot;
+    ev.snapshot = &current_;
+    return ev;
+  }
+  done_ = true;
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// JournalFileStream
+
+JournalFileStream::JournalFileStream(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("open_trace_stream: cannot open " + path);
+  }
+  std::uint8_t header[kJournalHeaderBytes];
+  if (std::fread(header, 1, kJournalHeaderBytes, file_) != kJournalHeaderBytes ||
+      !std::equal(header, header + 4, kJournalMagic)) {
+    throw DecodeError("salvage_journal: bad magic");
+  }
+  {
+    ByteReader r(std::span{header}.subspan(4, 2));
+    if (r.u16() != kJournalVersion) {
+      throw DecodeError("salvage_journal: unsupported version");
+    }
+  }
+  bytes_kept_ = kJournalHeaderBytes;
+
+  // The kBegin frame carries the stream identity (land, interval, planned
+  // end); a journal without one never held a complete record.
+  if (!read_frame()) {
+    throw DecodeError("salvage_journal: no intact begin frame");
+  }
+  try {
+    ByteReader r(frame_buf_);
+    if (static_cast<JournalRecord>(r.u8()) != JournalRecord::kBegin) {
+      throw DecodeError("salvage_journal: first frame is not kBegin");
+    }
+    land_ = r.str();
+    interval_ = r.f64();
+    planned_end_ = r.f64();
+  } catch (const DecodeError&) {
+    throw DecodeError("salvage_journal: no intact begin frame");
+  }
+  bytes_kept_ += 8 + frame_buf_.size();
+  frames_read_ = 1;
+}
+
+JournalFileStream::~JournalFileStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool JournalFileStream::read_frame() {
+  if (torn_) return false;
+  std::uint8_t head[8];
+  const std::size_t got = std::fread(head, 1, sizeof head, file_);
+  if (got < sizeof head) {
+    torn_ = got > 0;  // leftover bytes after the last whole frame are a tear
+    return false;
+  }
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  {
+    ByteReader r(head);
+    len = r.u32();
+    crc = r.u32();
+  }
+  if (len > kMaxFramePayload) {
+    torn_ = true;
+    return false;
+  }
+  frame_buf_.resize(len);
+  if (len > 0 && std::fread(frame_buf_.data(), 1, len, file_) != len) {
+    torn_ = true;
+    return false;
+  }
+  if (crc32(frame_buf_) != crc) {
+    torn_ = true;
+    return false;
+  }
+  return true;
+}
+
+StreamEvent JournalFileStream::finalize() {
+  if (!finalized_) {
+    finalized_ = true;
+    // Same censoring rule as salvage_journal: a journal that did not finish
+    // with kEnd belongs to a run that died, so the unrun remainder of the
+    // planned run becomes a trailing gap (unless no snapshot was ever taken,
+    // in which case the trace simply starts later).
+    if (!clean_end_ && have_snapshot_) {
+      const Seconds start =
+          gap_pending_ ? gap_pending_start_
+                       : std::max(last_snapshot_time_ + interval_, last_gap_end_);
+      const Seconds end = std::max(planned_end_, start + interval_);
+      if (!(start < end)) {
+        throw std::invalid_argument("Trace::add_gap: gap must have start < end");
+      }
+      if (start < last_gap_end_) {
+        throw std::invalid_argument("Trace::add_gap: gaps must be ordered and disjoint");
+      }
+      trailing_gap_ = {start, end};
+      have_trailing_gap_ = true;
+    }
+  }
+  if (have_trailing_gap_) {
+    have_trailing_gap_ = false;
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kGap;
+    ev.gap = trailing_gap_;
+    return ev;
+  }
+  end_emitted_ = true;
+  return {};
+}
+
+StreamEvent JournalFileStream::next() {
+  if (end_emitted_) return {};
+  if (finalized_) return finalize();
+  for (;;) {
+    if (!read_frame()) return finalize();
+    StreamEvent ev;
+    bool have_event = false;
+    bool frame_ok = true;
+    try {
+      ByteReader r(frame_buf_);
+      const auto type = static_cast<JournalRecord>(r.u8());
+      switch (type) {
+        case JournalRecord::kBegin:
+          // salvage_journal can restart the trace on a duplicate kBegin; a
+          // stream cannot take back emitted events, so treat it as the tear.
+          frame_ok = false;
+          break;
+        case JournalRecord::kSnapshot: {
+          const Seconds time = r.f64();
+          const std::uint32_t n = r.u32();
+          if (have_snapshot_ && time < last_snapshot_time_) {
+            // Trace::add would throw here during salvage, tearing the frame.
+            frame_ok = false;
+            break;
+          }
+          decode_fixes(r, n, current_);
+          current_.time = time;
+          last_snapshot_time_ = time;
+          have_snapshot_ = true;
+          ++snapshot_frames_;
+          ev.kind = StreamEventKind::kSnapshot;
+          ev.snapshot = &current_;
+          have_event = true;
+          break;
+        }
+        case JournalRecord::kGapOpen:
+          gap_pending_ = true;
+          gap_pending_start_ = r.f64();
+          break;
+        case JournalRecord::kGapClose: {
+          const Seconds start = r.f64();
+          const Seconds end = r.f64();
+          // Trace::add_gap validation; a violating frame is the tear point.
+          if (!(start < end) || (have_gap_ && start < last_gap_end_)) {
+            frame_ok = false;
+            break;
+          }
+          last_gap_end_ = end;
+          have_gap_ = true;
+          gap_pending_ = false;
+          ev.kind = StreamEventKind::kGap;
+          ev.gap = {start, end};
+          have_event = true;
+          break;
+        }
+        case JournalRecord::kSession:
+          ++session_events_;
+          ev.kind = StreamEventKind::kSessionEvent;
+          ev.time = r.remaining() >= 8 ? r.f64() : 0.0;
+          have_event = true;
+          break;
+        case JournalRecord::kEnd:
+          clean_end_ = true;
+          break;
+        default:
+          frame_ok = false;
+          break;
+      }
+      if (type != JournalRecord::kEnd && clean_end_) clean_end_ = false;
+    } catch (const std::exception&) {
+      frame_ok = false;
+    }
+    if (!frame_ok) {
+      torn_ = true;
+      return finalize();
+    }
+    bytes_kept_ += 8 + frame_buf_.size();
+    ++frames_read_;
+    if (have_event) return ev;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<TraceStream> open_trace_stream(const std::string& path) {
+  if (has_suffix(path, ".sltj")) {
+    return std::make_unique<JournalFileStream>(path);
+  }
+  if (has_suffix(path, ".csv")) {
+    // CSV has no incremental framing worth exploiting; load and stream from
+    // memory with the same land/interval defaults read_any uses.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("open_trace_stream: cannot open " + path);
+    std::string text{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+    return std::make_unique<MemoryTraceStream>(trace_from_csv(text, path, 10.0));
+  }
+  return std::make_unique<SltFileStream>(path);
+}
+
+void drive_stream(TraceStream& stream, LiveTraceSink& sink) {
+  sink.on_begin(stream.land_name(), stream.sampling_interval());
+  for (;;) {
+    const StreamEvent ev = stream.next();
+    switch (ev.kind) {
+      case StreamEventKind::kSnapshot:
+        sink.on_snapshot(*ev.snapshot);
+        break;
+      case StreamEventKind::kGap:
+        sink.on_gap(ev.gap.start, ev.gap.end);
+        break;
+      case StreamEventKind::kSessionEvent:
+        break;
+      case StreamEventKind::kEnd:
+        return;
+    }
+  }
+}
+
+}  // namespace slmob

@@ -1,0 +1,216 @@
+// Streaming trace access: event-at-a-time readers and live sinks.
+//
+// Batch analysis loads a whole Trace into RAM; a TraceStream instead yields
+// snapshots, coverage gaps and session events one at a time from a .slt
+// file, a .sltj journal or an in-memory trace, so a single forward pass can
+// analyze traces of any length with memory bounded by *concurrent* users
+// rather than trace duration.
+//
+// Every stream honours one ordering contract consumers may rely on:
+//
+//   a gap [start, end) is emitted before any snapshot with time >= start.
+//
+// With that contract, censoring decisions made from the gaps seen so far
+// (GapTracker) are identical to decisions made with the complete gap list
+// in hand: when a snapshot at time t is processed, every gap that could
+// contain t or start before t is already known, and gaps still unseen start
+// strictly after t, so covered_at / spans_gap / next_gap_start answer
+// exactly as they would on the finished Trace. That equivalence is what
+// makes streaming analysis bit-identical to the batch pipeline.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace slmob {
+
+enum class StreamEventKind : std::uint8_t {
+  kSnapshot = 0,
+  kGap = 1,
+  kSessionEvent = 2,
+  kEnd = 3,
+};
+
+struct StreamEvent {
+  StreamEventKind kind{StreamEventKind::kEnd};
+  // kSnapshot: points at the reader's internal snapshot buffer; valid until
+  // the next call to next().
+  const Snapshot* snapshot{nullptr};
+  CoverageGap gap{};   // kGap
+  Seconds time{0.0};   // kSessionEvent
+};
+
+// Pull-based trace reader. next() returns kEnd forever once exhausted.
+class TraceStream {
+ public:
+  virtual ~TraceStream() = default;
+  [[nodiscard]] virtual const std::string& land_name() const = 0;
+  [[nodiscard]] virtual Seconds sampling_interval() const = 0;
+  virtual StreamEvent next() = 0;
+};
+
+// Incrementally collected coverage gaps, answering the same questions as
+// Trace (covered_at / spans_gap) plus the contact analysis' truncation-point
+// query, against the gaps seen so far.
+class GapTracker {
+ public:
+  // Same validation as Trace::add_gap: start < end, ordered, disjoint
+  // (throws std::invalid_argument otherwise).
+  void add(Seconds start, Seconds end);
+
+  [[nodiscard]] bool any() const { return !gaps_.empty(); }
+  [[nodiscard]] const std::vector<CoverageGap>& gaps() const { return gaps_; }
+  [[nodiscard]] bool covered_at(Seconds t) const;
+  [[nodiscard]] bool spans_gap(Seconds t0, Seconds t1) const;
+  // Start of the first gap ending after covered instant `t` (t itself when
+  // no such gap exists); the truncation point for observations running at t.
+  [[nodiscard]] Seconds next_gap_start(Seconds t) const;
+  [[nodiscard]] Seconds gap_seconds() const;
+
+ private:
+  std::vector<CoverageGap> gaps_;
+};
+
+// Push-based consumer of a live capture: the crawler (or drive_stream)
+// forwards each snapshot and gap as it is recorded. on_begin is called once,
+// before any other callback.
+class LiveTraceSink {
+ public:
+  virtual ~LiveTraceSink() = default;
+  virtual void on_begin(const std::string& land_name, Seconds sampling_interval) = 0;
+  virtual void on_snapshot(const Snapshot& snapshot) = 0;
+  virtual void on_gap(Seconds start, Seconds end) = 0;
+};
+
+// Streams an in-memory Trace (snapshots and gaps merge-ordered per the gap
+// contract above). The viewing constructor keeps a reference — the trace
+// must outlive the stream; the owning constructor moves the trace in.
+class MemoryTraceStream final : public TraceStream {
+ public:
+  explicit MemoryTraceStream(const Trace& trace) : trace_(&trace) {}
+  explicit MemoryTraceStream(Trace&& trace)
+      : owned_(std::make_unique<Trace>(std::move(trace))), trace_(owned_.get()) {}
+
+  [[nodiscard]] const std::string& land_name() const override {
+    return trace_->land_name();
+  }
+  [[nodiscard]] Seconds sampling_interval() const override {
+    return trace_->sampling_interval();
+  }
+  StreamEvent next() override;
+
+ private:
+  std::unique_ptr<Trace> owned_;
+  const Trace* trace_;
+  std::size_t snap_next_{0};
+  std::size_t gap_next_{0};
+};
+
+// Streams a binary .slt trace file without materialising it. The gap block
+// of the v2 format trails the snapshots, so construction makes one cheap
+// skip-scan pass (read each snapshot's header, seek over its fixes) to
+// collect the gaps and validate framing, then rewinds; snapshots decode one
+// at a time on demand. Throws DecodeError / std::invalid_argument on the
+// same malformed inputs decode_trace rejects.
+class SltFileStream final : public TraceStream {
+ public:
+  explicit SltFileStream(const std::string& path);
+  ~SltFileStream() override;
+  SltFileStream(const SltFileStream&) = delete;
+  SltFileStream& operator=(const SltFileStream&) = delete;
+
+  [[nodiscard]] const std::string& land_name() const override { return land_; }
+  [[nodiscard]] Seconds sampling_interval() const override { return interval_; }
+  StreamEvent next() override;
+
+ private:
+  void read_exact(std::size_t n);
+  void decode_next_snapshot();
+
+  std::string path_;
+  std::FILE* file_{nullptr};
+  std::string land_;
+  Seconds interval_{10.0};
+  std::uint32_t snap_count_{0};
+  std::uint32_t snaps_emitted_{0};
+  std::vector<CoverageGap> gaps_;
+  std::size_t gap_next_{0};
+  Snapshot current_;
+  bool have_pending_{false};
+  bool done_{false};
+  std::vector<std::uint8_t> buf_;
+};
+
+// Streams a .sltj write-ahead journal with salvage semantics: frames are
+// decoded until the first torn / oversized / CRC-failing / undecodable
+// frame, which (with everything after it) is discarded; a journal that did
+// not end with kEnd gets a synthetic trailing gap censoring the unrun
+// remainder of the planned run, exactly as salvage_journal would record it.
+// Unlike salvage (which can restart on a duplicate kBegin frame because it
+// holds the whole trace), a second kBegin mid-stream is treated as the tear
+// point — events already emitted cannot be taken back.
+class JournalFileStream final : public TraceStream {
+ public:
+  explicit JournalFileStream(const std::string& path);
+  ~JournalFileStream() override;
+  JournalFileStream(const JournalFileStream&) = delete;
+  JournalFileStream& operator=(const JournalFileStream&) = delete;
+
+  [[nodiscard]] const std::string& land_name() const override { return land_; }
+  [[nodiscard]] Seconds sampling_interval() const override { return interval_; }
+  StreamEvent next() override;
+
+  // Salvage-equivalent statistics; torn/clean_end/bytes_kept are final once
+  // next() has returned kEnd.
+  [[nodiscard]] bool torn() const { return torn_; }
+  [[nodiscard]] bool clean_end() const { return clean_end_; }
+  [[nodiscard]] Seconds planned_end() const { return planned_end_; }
+  [[nodiscard]] std::size_t frames_read() const { return frames_read_; }
+  [[nodiscard]] std::size_t snapshot_frames() const { return snapshot_frames_; }
+  [[nodiscard]] std::size_t session_events() const { return session_events_; }
+  [[nodiscard]] std::uint64_t bytes_kept() const { return bytes_kept_; }
+
+ private:
+  // Reads one frame into frame_buf_; false on clean EOF or tear (torn_ set).
+  bool read_frame();
+  StreamEvent finalize();
+
+  std::string path_;
+  std::FILE* file_{nullptr};
+  std::string land_;
+  Seconds interval_{10.0};
+  Seconds planned_end_{0.0};
+  Snapshot current_;
+  std::vector<std::uint8_t> frame_buf_;
+  Seconds last_snapshot_time_{0.0};
+  Seconds last_gap_end_{0.0};
+  bool have_snapshot_{false};
+  bool have_gap_{false};
+  bool gap_pending_{false};
+  Seconds gap_pending_start_{0.0};
+  bool clean_end_{false};
+  bool torn_{false};
+  bool finalized_{false};
+  bool end_emitted_{false};
+  CoverageGap trailing_gap_{};
+  bool have_trailing_gap_{false};
+  std::size_t frames_read_{0};
+  std::size_t snapshot_frames_{0};
+  std::size_t session_events_{0};
+  std::uint64_t bytes_kept_{0};
+};
+
+// Opens the right stream for a path by extension: .sltj -> journal stream,
+// .csv -> an owning in-memory stream (CSV has no incremental framing), else
+// binary .slt stream.
+std::unique_ptr<TraceStream> open_trace_stream(const std::string& path);
+
+// Pumps every event of `stream` into `sink` (session events are dropped —
+// they carry no trace data). Calls sink.on_begin first.
+void drive_stream(TraceStream& stream, LiveTraceSink& sink);
+
+}  // namespace slmob

@@ -1,0 +1,42 @@
+#include "util/sysinfo.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace slmob {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long parsed = 0;
+      if (std::sscanf(line + 6, "%llu", &parsed) == 1) kib = parsed;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+void tune_malloc_for_streaming() {
+#if defined(__GLIBC__)
+  static const bool done = [] {
+    mallopt(M_MMAP_THRESHOLD, 64 * 1024);
+    return true;
+  }();
+  (void)done;
+#endif
+}
+
+}  // namespace slmob

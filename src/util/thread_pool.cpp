@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -23,12 +24,15 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::default_concurrency() {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw > 0 ? static_cast<std::size_t>(hw_raw) : 1;
   if (const char* env = std::getenv("SLMOB_THREADS")) {
     const long parsed = std::atol(env);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+    // Clamp to the core count: oversubscribing the default pool only adds
+    // context-switch overhead. An explicit ThreadPool(n) still honours n.
+    if (parsed > 0) return std::min(static_cast<std::size_t>(parsed), hw);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+  return hw;
 }
 
 void ThreadPool::submit(std::function<void()> task) {

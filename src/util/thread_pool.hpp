@@ -46,8 +46,10 @@ class ThreadPool {
   // Total concurrency during a parallel_for (workers + caller), >= 1.
   [[nodiscard]] std::size_t concurrency() const { return workers_.size() + 1; }
 
-  // SLMOB_THREADS if set to a positive integer, else hardware_concurrency()
-  // (>= 1).
+  // SLMOB_THREADS if set to a positive integer — clamped to
+  // hardware_concurrency() so a stale env var cannot oversubscribe the
+  // machine — else hardware_concurrency() (>= 1). An explicit
+  // ThreadPool(n) is never clamped.
   static std::size_t default_concurrency();
 
   // Enqueues a task for a worker. With concurrency 1 (no workers) the task
@@ -90,6 +92,13 @@ struct ParallelForState {
 template <typename Fn>
 void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
   if (n == 0) return;
+  // With no workers (or a single item) the caller drains everything alone;
+  // skip the shared-state allocation and synchronisation. The streaming
+  // engine calls parallel_for once per snapshot, so the constant matters.
+  if (pool.concurrency() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   auto state = std::make_shared<detail::ParallelForState>(n);
   const auto drain = [state, &fn]() {
     for (std::size_t i = state->next.fetch_add(1); i < state->n;

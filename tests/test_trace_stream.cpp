@@ -1,0 +1,388 @@
+// Streaming trace access (trace/stream.hpp): every TraceStream flavour must
+// emit the same events as walking the finished Trace, honouring the ordering
+// contract — a gap [start, end) is emitted before any snapshot with
+// time >= start — and a torn journal must stream exactly what
+// salvage_journal would reconstruct.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/journal.hpp"
+#include "trace/serialize.hpp"
+#include "trace/stream.hpp"
+#include "util/rng.hpp"
+
+namespace slmob {
+namespace {
+
+Trace small_trace(std::uint64_t seed, std::size_t snapshots, std::size_t users) {
+  Rng rng(seed);
+  Trace t("stream-test", 10.0);
+  for (std::size_t s = 0; s < snapshots; ++s) {
+    Snapshot snap;
+    snap.time = static_cast<double>(s) * 10.0;
+    for (std::size_t u = 0; u < users; ++u) {
+      if (rng.uniform(0.0, 1.0) < 0.3) continue;
+      snap.fixes.push_back({AvatarId{static_cast<std::uint32_t>(u + 1)},
+                            {rng.uniform(0.0, 255.0), rng.uniform(0.0, 255.0), 22.0}});
+    }
+    t.add(std::move(snap));
+  }
+  return t;
+}
+
+// Flattened event record for sequence comparison across stream kinds.
+struct Recorded {
+  StreamEventKind kind;
+  Seconds time;
+  std::size_t fixes;   // kSnapshot only
+  Seconds gap_end;     // kGap only
+};
+
+std::vector<Recorded> drain(TraceStream& stream) {
+  std::vector<Recorded> out;
+  for (;;) {
+    const StreamEvent ev = stream.next();
+    if (ev.kind == StreamEventKind::kEnd) break;
+    Recorded r{ev.kind, 0.0, 0, 0.0};
+    switch (ev.kind) {
+      case StreamEventKind::kSnapshot:
+        r.time = ev.snapshot->time;
+        r.fixes = ev.snapshot->fixes.size();
+        break;
+      case StreamEventKind::kGap:
+        r.time = ev.gap.start;
+        r.gap_end = ev.gap.end;
+        break;
+      case StreamEventKind::kSessionEvent:
+        r.time = ev.time;
+        break;
+      case StreamEventKind::kEnd:
+        break;
+    }
+    out.push_back(r);
+  }
+  // kEnd must be sticky.
+  EXPECT_EQ(stream.next().kind, StreamEventKind::kEnd);
+  return out;
+}
+
+void expect_same_events(const std::vector<Recorded>& a, const std::vector<Recorded>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    ASSERT_EQ(a[i].time, b[i].time) << "event " << i;
+    ASSERT_EQ(a[i].fixes, b[i].fixes) << "event " << i;
+    ASSERT_EQ(a[i].gap_end, b[i].gap_end) << "event " << i;
+  }
+}
+
+// Asserts the stream ordering contract over a recorded sequence.
+void expect_gap_contract(const std::vector<Recorded>& events) {
+  for (std::size_t g = 0; g < events.size(); ++g) {
+    if (events[g].kind != StreamEventKind::kGap) continue;
+    for (std::size_t s = 0; s < g; ++s) {
+      if (events[s].kind != StreamEventKind::kSnapshot) continue;
+      EXPECT_LT(events[s].time, events[g].time)
+          << "snapshot at " << events[s].time << " emitted before gap ["
+          << events[g].time << ", " << events[g].gap_end << ")";
+    }
+  }
+}
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const char* name)
+      : path(::testing::TempDir() + name) {}
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+TEST(MemoryTraceStream, EmitsSnapshotsInOrder) {
+  const Trace trace = small_trace(1, 12, 8);
+  MemoryTraceStream stream(trace);
+  EXPECT_EQ(stream.land_name(), "stream-test");
+  EXPECT_EQ(stream.sampling_interval(), 10.0);
+  const auto events = drain(stream);
+  ASSERT_EQ(events.size(), trace.snapshots().size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, StreamEventKind::kSnapshot);
+    EXPECT_EQ(events[i].time, trace.snapshots()[i].time);
+    EXPECT_EQ(events[i].fixes, trace.snapshots()[i].fixes.size());
+  }
+}
+
+TEST(MemoryTraceStream, GapsMergeOrderedPerContract) {
+  Trace trace = small_trace(2, 20, 6);
+  trace.add_gap(35.0, 55.0);    // between snapshots 3 and 6
+  trace.add_gap(120.0, 130.0);  // contains snapshot 12
+  MemoryTraceStream stream(trace);
+  const auto events = drain(stream);
+  ASSERT_EQ(events.size(), trace.snapshots().size() + 2);
+  expect_gap_contract(events);
+  // The first gap precedes the snapshot at t=40 (first snapshot >= 35).
+  const auto gap_it = std::find_if(events.begin(), events.end(), [](const Recorded& e) {
+    return e.kind == StreamEventKind::kGap;
+  });
+  ASSERT_NE(gap_it, events.end());
+  const auto next_snap = std::find_if(gap_it, events.end(), [](const Recorded& e) {
+    return e.kind == StreamEventKind::kSnapshot;
+  });
+  ASSERT_NE(next_snap, events.end());
+  EXPECT_EQ(next_snap->time, 40.0);
+}
+
+TEST(MemoryTraceStream, OwningConstructorOutlivesSource) {
+  Trace trace = small_trace(3, 5, 4);
+  const std::size_t want = trace.snapshots().size();
+  MemoryTraceStream stream(std::move(trace));
+  EXPECT_EQ(drain(stream).size(), want);
+}
+
+TEST(SltFileStream, MatchesMemoryStreamExactly) {
+  Trace trace = small_trace(4, 30, 10);
+  trace.add_gap(95.0, 115.0);
+  TempPath tmp("stream_roundtrip.slt");
+  save_trace(trace, tmp.path);
+
+  SltFileStream file_stream(tmp.path);
+  EXPECT_EQ(file_stream.land_name(), trace.land_name());
+  EXPECT_EQ(file_stream.sampling_interval(), trace.sampling_interval());
+  MemoryTraceStream mem_stream(trace);
+  expect_same_events(drain(file_stream), drain(mem_stream));
+}
+
+TEST(SltFileStream, FixContentsSurviveRoundTrip) {
+  TempPath tmp("stream_fixes.slt");
+  save_trace(small_trace(5, 6, 5), tmp.path);
+  // Compare against the batch loader: the .slt format stores positions as
+  // f32, so the stream must agree with load_trace, not the pre-save trace.
+  const Trace trace = load_trace(tmp.path);
+  SltFileStream stream(tmp.path);
+  for (const auto& want : trace.snapshots()) {
+    const StreamEvent ev = stream.next();
+    ASSERT_EQ(ev.kind, StreamEventKind::kSnapshot);
+    ASSERT_EQ(ev.snapshot->fixes.size(), want.fixes.size());
+    for (std::size_t i = 0; i < want.fixes.size(); ++i) {
+      EXPECT_EQ(ev.snapshot->fixes[i].id, want.fixes[i].id);
+      EXPECT_EQ(ev.snapshot->fixes[i].pos.x, want.fixes[i].pos.x);
+      EXPECT_EQ(ev.snapshot->fixes[i].pos.y, want.fixes[i].pos.y);
+      EXPECT_EQ(ev.snapshot->fixes[i].pos.z, want.fixes[i].pos.z);
+    }
+  }
+  EXPECT_EQ(stream.next().kind, StreamEventKind::kEnd);
+}
+
+TEST(SltFileStream, RejectsMissingAndCorruptFiles) {
+  EXPECT_THROW(SltFileStream("/nonexistent/path.slt"), std::runtime_error);
+  TempPath tmp("stream_corrupt.slt");
+  std::FILE* f = std::fopen(tmp.path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  EXPECT_ANY_THROW(SltFileStream{tmp.path});
+}
+
+TEST(JournalFileStream, CleanJournalStreamsLikeSalvagedTrace) {
+  const Trace trace = small_trace(6, 15, 8);
+  TempPath tmp("stream_clean.sltj");
+  {
+    TraceJournalWriter w(tmp.path, 150.0);
+    w.begin(trace.land_name(), trace.sampling_interval());
+    for (std::size_t i = 0; i < trace.snapshots().size(); ++i) {
+      if (i == 4) {
+        w.append_gap_open(38.0);
+        w.append_gap_close(38.0, 40.0);
+      }
+      w.append_snapshot(trace.snapshots()[i]);
+    }
+    w.append_session(100.0, SessionEvent::kRelogin, "test");
+    w.append_end(150.0);
+  }
+
+  const JournalSalvage salvage = salvage_journal(tmp.path);
+  EXPECT_FALSE(salvage.torn);
+  EXPECT_TRUE(salvage.clean_end);
+
+  JournalFileStream stream(tmp.path);
+  const auto events = drain(stream);
+  EXPECT_TRUE(stream.clean_end());
+  EXPECT_FALSE(stream.torn());
+  EXPECT_EQ(stream.snapshot_frames(), trace.snapshots().size());
+  EXPECT_EQ(stream.session_events(), 1u);
+  EXPECT_EQ(stream.bytes_kept(), salvage.bytes_kept);
+  expect_gap_contract(events);
+
+  // Dropping session events, the sequence equals streaming the salvaged trace.
+  std::vector<Recorded> data_events;
+  for (const auto& e : events) {
+    if (e.kind != StreamEventKind::kSessionEvent) data_events.push_back(e);
+  }
+  MemoryTraceStream mem(salvage.trace);
+  expect_same_events(data_events, drain(mem));
+}
+
+TEST(JournalFileStream, TornTailMatchesSalvageAtEveryTruncation) {
+  const Trace trace = small_trace(7, 10, 6);
+  TempPath tmp("stream_torn.sltj");
+  {
+    TraceJournalWriter w(tmp.path, 100.0);
+    w.begin(trace.land_name(), trace.sampling_interval());
+    for (const auto& snap : trace.snapshots()) w.append_snapshot(snap);
+    w.append_end(100.0);
+  }
+  std::FILE* f = std::fopen(tmp.path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+
+  // Truncate at a spread of offsets (every 7 bytes); the streamed events must
+  // equal salvage_journal's reconstruction at each one.
+  TempPath cut("stream_torn_cut.sltj");
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(full));
+  f = std::fopen(tmp.path.c_str(), "rb");
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  // A file truncated inside the header or kBegin frame is rejected by both
+  // salvage and streaming (never held one complete record); start tearing
+  // after the first frame: 6-byte header + 8-byte frame header + payload.
+  const long first_frame_end =
+      6 + 8 +
+      static_cast<long>(bytes[6] | (bytes[7] << 8) | (bytes[8] << 16) | (bytes[9] << 24));
+  for (long len = first_frame_end; len < full; len += 7) {
+    std::FILE* out = std::fopen(cut.path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, static_cast<std::size_t>(len), out),
+              static_cast<std::size_t>(len));
+    std::fclose(out);
+
+    const JournalSalvage salvage = salvage_journal(cut.path);
+    JournalFileStream stream(cut.path);
+    std::vector<Recorded> data_events;
+    for (const auto& e : drain(stream)) {
+      if (e.kind != StreamEventKind::kSessionEvent) data_events.push_back(e);
+    }
+    EXPECT_EQ(stream.torn(), salvage.torn) << "len " << len;
+    EXPECT_EQ(stream.bytes_kept(), salvage.bytes_kept) << "len " << len;
+    MemoryTraceStream mem(salvage.trace);
+    expect_same_events(data_events, drain(mem));
+  }
+}
+
+TEST(GapTracker, AnswersLikeTraceOnTheSameGaps) {
+  Trace trace("gap-test", 10.0);
+  for (int i = 0; i < 30; ++i) {
+    Snapshot s;
+    s.time = i * 10.0;
+    trace.add(std::move(s));
+  }
+  trace.add_gap(45.0, 75.0);
+  trace.add_gap(200.0, 230.0);
+
+  GapTracker tracker;
+  for (const auto& g : trace.gaps()) tracker.add(g.start, g.end);
+  EXPECT_TRUE(tracker.any());
+  EXPECT_EQ(tracker.gaps().size(), 2u);
+  EXPECT_EQ(tracker.gap_seconds(), 60.0);
+  for (double t = 0.0; t <= 300.0; t += 5.0) {
+    EXPECT_EQ(tracker.covered_at(t), trace.covered_at(t)) << "t=" << t;
+  }
+  for (double t0 = 0.0; t0 <= 280.0; t0 += 20.0) {
+    EXPECT_EQ(tracker.spans_gap(t0, t0 + 30.0), trace.spans_gap(t0, t0 + 30.0));
+  }
+  // Truncation point: start of the first gap ending after t.
+  EXPECT_EQ(tracker.next_gap_start(10.0), 45.0);
+  EXPECT_EQ(tracker.next_gap_start(100.0), 200.0);
+  EXPECT_EQ(tracker.next_gap_start(250.0), 250.0);  // past the last gap
+}
+
+TEST(GapTracker, RejectsInvalidGaps) {
+  GapTracker tracker;
+  EXPECT_THROW(tracker.add(10.0, 10.0), std::invalid_argument);
+  tracker.add(10.0, 20.0);
+  EXPECT_THROW(tracker.add(15.0, 30.0), std::invalid_argument);  // overlap
+  EXPECT_THROW(tracker.add(5.0, 8.0), std::invalid_argument);    // out of order
+}
+
+TEST(OpenTraceStream, DispatchesOnExtension) {
+  Trace trace = small_trace(8, 8, 5);
+  trace.add_gap(25.0, 45.0);
+
+  TempPath slt("dispatch.slt");
+  save_trace(trace, slt.path);
+  auto a = open_trace_stream(slt.path);
+  EXPECT_NE(dynamic_cast<SltFileStream*>(a.get()), nullptr);
+
+  TempPath csv("dispatch.csv");
+  std::FILE* f = std::fopen(csv.path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string text = trace_to_csv(trace);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  auto b = open_trace_stream(csv.path);
+  EXPECT_NE(dynamic_cast<MemoryTraceStream*>(b.get()), nullptr);
+
+  TempPath sltj("dispatch.sltj");
+  {
+    TraceJournalWriter w(sltj.path, 0.0);
+    w.begin(trace.land_name(), trace.sampling_interval());
+    for (const auto& snap : trace.snapshots()) w.append_snapshot(snap);
+    w.append_end(80.0);
+  }
+  auto c = open_trace_stream(sltj.path);
+  EXPECT_NE(dynamic_cast<JournalFileStream*>(c.get()), nullptr);
+
+  // All three agree on the snapshot sequence.
+  const auto ea = drain(*a);
+  const auto eb = drain(*b);
+  auto snaps_of = [](const std::vector<Recorded>& evs) {
+    std::vector<Recorded> out;
+    for (const auto& e : evs) {
+      if (e.kind == StreamEventKind::kSnapshot) out.push_back(e);
+    }
+    return out;
+  };
+  expect_same_events(snaps_of(ea), snaps_of(eb));
+  expect_same_events(snaps_of(ea), snaps_of(drain(*c)));
+}
+
+TEST(DriveStream, PumpsEveryEventIntoTheSink) {
+  Trace trace = small_trace(9, 10, 5);
+  trace.add_gap(42.0, 58.0);
+
+  struct RecordingSink final : LiveTraceSink {
+    std::string land;
+    Seconds interval{0.0};
+    std::size_t begins{0};
+    std::vector<Seconds> snapshot_times;
+    std::vector<CoverageGap> gaps;
+    void on_begin(const std::string& land_name, Seconds sampling_interval) override {
+      ++begins;
+      land = land_name;
+      interval = sampling_interval;
+    }
+    void on_snapshot(const Snapshot& snapshot) override {
+      snapshot_times.push_back(snapshot.time);
+    }
+    void on_gap(Seconds start, Seconds end) override { gaps.push_back({start, end}); }
+  } sink;
+
+  MemoryTraceStream stream(trace);
+  drive_stream(stream, sink);
+  EXPECT_EQ(sink.begins, 1u);
+  EXPECT_EQ(sink.land, trace.land_name());
+  EXPECT_EQ(sink.interval, trace.sampling_interval());
+  ASSERT_EQ(sink.snapshot_times.size(), trace.snapshots().size());
+  for (std::size_t i = 0; i < sink.snapshot_times.size(); ++i) {
+    EXPECT_EQ(sink.snapshot_times[i], trace.snapshots()[i].time);
+  }
+  ASSERT_EQ(sink.gaps.size(), 1u);
+  EXPECT_EQ(sink.gaps[0].start, 42.0);
+  EXPECT_EQ(sink.gaps[0].end, 58.0);
+}
+
+}  // namespace
+}  // namespace slmob

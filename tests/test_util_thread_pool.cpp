@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace slmob {
@@ -19,6 +22,32 @@ TEST(ThreadPool, ConcurrencyCountsCaller) {
 
 TEST(ThreadPool, DefaultConcurrencyIsPositive) {
   EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+TEST(ThreadPool, DefaultConcurrencyClampsEnvToCoreCount) {
+  // SLMOB_THREADS above the detected core count must not oversubscribe the
+  // default pool (2 threads on 1 core benchmarked slower than 1).
+  const char* saved = std::getenv("SLMOB_THREADS");
+  const std::string restore = saved != nullptr ? saved : "";
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw > 0 ? static_cast<std::size_t>(hw_raw) : 1;
+
+  ASSERT_EQ(setenv("SLMOB_THREADS", "4096", 1), 0);
+  EXPECT_EQ(ThreadPool::default_concurrency(), hw);
+  ASSERT_EQ(setenv("SLMOB_THREADS", "1", 1), 0);
+  EXPECT_EQ(ThreadPool::default_concurrency(), 1u);
+
+  if (saved != nullptr) {
+    setenv("SLMOB_THREADS", restore.c_str(), 1);
+  } else {
+    unsetenv("SLMOB_THREADS");
+  }
+}
+
+TEST(ThreadPool, ExplicitConcurrencyIsNeverClamped) {
+  // Tests and benches rely on real 2/4-thread pools even on 1-core hosts.
+  const ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4u);
 }
 
 TEST(ThreadPool, ParallelMapPreservesIndexOrder) {

@@ -8,19 +8,25 @@
 //   slmob sweep   --land <l>[,<l>...] --seeds N [--hours H] [--jobs J]
 //   slmob convert <trace.slt> <trace.csv>   (direction by extension)
 //   slmob dtn     <trace.slt> [--scheme epidemic|two-hop|direct] [--messages N]
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/streaming.hpp"
 #include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "dtn/dtn_simulator.hpp"
 #include "trace/journal.hpp"
 #include "trace/serialize.hpp"
+#include "trace/stream.hpp"
 #include "util/bytes.hpp"
+#include "util/sysinfo.hpp"
 
 namespace {
 
@@ -36,8 +42,9 @@ int usage() {
                "            --out T.slt\n"
                "  slmob run --resume DIR [--out T.slt]\n"
                "  slmob salvage <journal.sltj> [--out T.slt]\n"
-               "  slmob summary <trace.slt|journal.sltj>\n"
+               "  slmob summary <trace.slt|journal.sltj> [--stream]\n"
                "  slmob analyze <trace.slt|journal.sltj> [--range R]... [--threads N]\n"
+               "                [--stream]\n"
                "  slmob sweep --land <l>[,<l>...] --seeds N [--seed-base S] [--hours H]\n"
                "              [--jobs J]\n"
                "  slmob convert <in.(slt|csv)> <out.(csv|slt)>\n"
@@ -243,40 +250,97 @@ int cmd_salvage(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_summary(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
-  const Trace trace = read_any(args[0]);
-  const TraceSummary s = trace.summary();
-  std::printf("land:            %s\n", trace.land_name().c_str());
-  std::printf("sampling:        every %.0f s\n", trace.sampling_interval());
+// After a streamed pass, reports a torn journal tail the way read_any's
+// salvage path does (the stream reader only knows once it hits the tear).
+void warn_if_torn(const TraceStream* reader, const std::string& path) {
+  if (const auto* j = dynamic_cast<const JournalFileStream*>(reader);
+      j != nullptr && j->torn()) {
+    std::fprintf(stderr,
+                 "%s: torn tail truncated at byte %llu; remainder censored as a gap\n",
+                 path.c_str(), static_cast<unsigned long long>(j->bytes_kept()));
+  }
+}
+
+void print_summary(const std::string& land, Seconds sampling, const TraceSummary& s) {
+  std::printf("land:            %s\n", land.c_str());
+  std::printf("sampling:        every %.0f s\n", sampling);
   std::printf("snapshots:       %zu\n", s.snapshot_count);
   std::printf("duration:        %.2f h\n", s.duration / kSecondsPerHour);
   std::printf("unique users:    %zu\n", s.unique_users);
   std::printf("avg concurrent:  %.1f\n", s.avg_concurrent);
   std::printf("max concurrent:  %zu\n", s.max_concurrent);
   std::printf("coverage gaps:   %zu (%.0f s uncovered)\n", s.gap_count, s.gap_seconds);
-  return 0;
 }
 
-int cmd_analyze(const std::vector<std::string>& args) {
-  if (args.empty()) return usage();
-  std::vector<double> ranges;
-  std::size_t threads = 0;  // 0 = SLMOB_THREADS env / hardware_concurrency
-  Trace trace = read_any(args[0]);
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--range" && i + 1 < args.size()) {
-      ranges.push_back(std::atof(args[++i].c_str()));
-    } else if (args[i] == "--threads" && i + 1 < args.size()) {
-      threads = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
+int cmd_summary(const std::vector<std::string>& args) {
+  bool stream = false;
+  std::string path;
+  for (const auto& arg : args) {
+    if (arg == "--stream") {
+      stream = true;
+    } else if (path.empty()) {
+      path = arg;
     } else {
       return usage();
     }
   }
-  if (ranges.empty()) ranges = {kBluetoothRange, kWifiRange};
-  const ExperimentResults res =
-      analyze_trace(std::move(trace), ranges, kDefaultLandSize, threads);
-  for (const double r : ranges) {
-    const auto& c = res.contacts.at(r);
+  if (path.empty()) return usage();
+
+  if (!stream) {
+    const Trace trace = read_any(path);
+    print_summary(trace.land_name(), trace.sampling_interval(), trace.summary());
+    return 0;
+  }
+
+  // Single bounded-memory pass: no Trace is materialised, so this works on
+  // traces far larger than RAM and doubles as a footprint/throughput probe.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto reader = open_trace_stream(path);
+  TraceSummary s;
+  std::set<AvatarId> users;
+  std::size_t total_fixes = 0;
+  bool have_first = false;
+  Seconds first_time = 0.0;
+  Seconds last_time = 0.0;
+  for (;;) {
+    const StreamEvent ev = reader->next();
+    if (ev.kind == StreamEventKind::kEnd) break;
+    if (ev.kind == StreamEventKind::kSnapshot) {
+      ++s.snapshot_count;
+      total_fixes += ev.snapshot->fixes.size();
+      s.max_concurrent = std::max(s.max_concurrent, ev.snapshot->fixes.size());
+      for (const auto& fix : ev.snapshot->fixes) users.insert(fix.id);
+      if (!have_first) {
+        have_first = true;
+        first_time = ev.snapshot->time;
+      }
+      last_time = ev.snapshot->time;
+    } else if (ev.kind == StreamEventKind::kGap) {
+      ++s.gap_count;
+      s.gap_seconds += ev.gap.length();
+    }
+  }
+  if (s.snapshot_count > 0) {
+    s.unique_users = users.size();
+    s.avg_concurrent =
+        static_cast<double>(total_fixes) / static_cast<double>(s.snapshot_count);
+    s.duration = last_time - first_time;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  warn_if_torn(reader.get(), path);
+  print_summary(reader->land_name(), reader->sampling_interval(), s);
+  std::printf("pass:            %.2f s (%.0f snapshots/s)\n", secs,
+              secs > 0.0 ? static_cast<double>(s.snapshot_count) / secs : 0.0);
+  std::printf("peak memory:     %.1f MiB\n",
+              static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+  return 0;
+}
+
+// Shared by the batch and streaming analyze paths — both produce an
+// AnalysisReport, so identical results print identically.
+void print_report(const AnalysisReport& res) {
+  for (const auto& [r, c] : res.contacts) {
     const auto& g = res.graphs.at(r);
     const auto median = [](const Ecdf& e) { return e.empty() ? 0.0 : e.median(); };
     std::printf("r=%.0fm: %zu contacts | CT med %.0fs | ICT med %.0fs | FT med %.0fs | "
@@ -292,6 +356,57 @@ int cmd_analyze(const std::vector<std::string>& args) {
                 res.trips.travel_lengths.median(), res.trips.travel_lengths.quantile(0.9),
                 res.trips.travel_times.median(), res.trips.travel_times.max());
   }
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::vector<double> ranges;
+  std::size_t threads = 0;  // 0 = SLMOB_THREADS env / hardware_concurrency
+  bool stream = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--range" && i + 1 < args.size()) {
+      ranges.push_back(std::atof(args[++i].c_str()));
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      threads = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--stream") {
+      stream = true;
+    } else {
+      return usage();
+    }
+  }
+  if (ranges.empty()) ranges = {kBluetoothRange, kWifiRange};
+
+  if (stream) {
+    // Single-pass bounded-memory pipeline; bit-identical results to the
+    // batch path below.
+    StreamingOptions options;
+    options.ranges = ranges;
+    options.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto reader = open_trace_stream(args[0]);
+    StreamingAnalyzer analyzer(options);
+    drive_stream(*reader, analyzer);
+    const AnalysisReport report = analyzer.finish();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    warn_if_torn(reader.get(), args[0]);
+    print_report(report);
+    const StreamingProgress p = analyzer.progress();
+    std::printf("stream: %zu snapshots in %.2f s (%.0f snapshots/s), peak RSS %.1f MiB, "
+                "%zu threads\n",
+                p.snapshots, secs,
+                secs > 0.0 ? static_cast<double>(p.snapshots) / secs : 0.0,
+                static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0),
+                analyzer.threads_used());
+    std::printf("proximity: %zu delta updates, %zu rebuilds\n", p.proximity_delta_updates,
+                p.proximity_rebuilds);
+    return 0;
+  }
+
+  Trace trace = read_any(args[0]);
+  const ExperimentResults res =
+      analyze_trace(std::move(trace), ranges, kDefaultLandSize, threads);
+  print_report(to_analysis_report(res));
   return 0;
 }
 
