@@ -1,0 +1,163 @@
+#include "baseline_world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace slmob::bench {
+
+BaselineWorld::BaselineWorld(Land land, std::unique_ptr<MobilityModel> model,
+                             PopulationParams population, std::uint64_t seed)
+    : land_(std::move(land)),
+      model_(std::move(model)),
+      population_(population),
+      rng_(seed) {
+  if (!model_) throw std::invalid_argument("BaselineWorld: null mobility model");
+  if (land_.spawn_points().empty()) {
+    throw std::invalid_argument("BaselineWorld: land has no spawn points");
+  }
+}
+
+void BaselineWorld::tick(Seconds now, Seconds dt) {
+  process_departures(now);
+  process_arrivals(now, dt);
+
+  for (auto& [id, avatar] : avatars_) {
+    if (avatar.externally_controlled) {
+      step_kinematics(avatar, dt);
+      if (avatar.state == AvatarState::kTravelling &&
+          avatar.pos.distance_to(avatar.waypoint) < 1e-9) {
+        avatar.state = AvatarState::kPaused;
+        avatar.pause_until = now + 1e18;
+      }
+      continue;
+    }
+    if (avatar.state == AvatarState::kPaused) {
+      if (now >= avatar.pause_until) {
+        decide(now, avatar);
+      } else if (avatar.jitter_radius > 0.0 && rng_.bernoulli(avatar.jitter_rate * dt)) {
+        const double r = avatar.jitter_radius * std::sqrt(rng_.uniform());
+        const double theta = rng_.uniform(0.0, 6.283185307179586);
+        avatar.waypoint = land_.clamp({avatar.anchor.x + r * std::cos(theta),
+                                       avatar.anchor.y + r * std::sin(theta),
+                                       land_.ground_z()});
+        avatar.state = AvatarState::kTravelling;
+      }
+    }
+    if (avatar.state == AvatarState::kTravelling) {
+      const bool arrived = step_kinematics(avatar, dt);
+      if (arrived) {
+        avatar.state = AvatarState::kPaused;
+        if (avatar.pause_until < now) avatar.pause_until = now;
+      }
+    }
+  }
+}
+
+void BaselineWorld::process_arrivals(Seconds now, Seconds dt) {
+  const std::size_t n = population_.arrivals(now, dt, rng_);
+  for (std::size_t i = 0; i < n; ++i) admit_arrival(now);
+}
+
+void BaselineWorld::admit_arrival(Seconds now) {
+  if (avatars_.size() >= land_.capacity()) {
+    ++stats_.rejected_logins;
+    return;
+  }
+  Avatar avatar;
+  const double p_revisit = population_.params().revisit_probability;
+  if (!departed_pool_.empty() && rng_.bernoulli(p_revisit)) {
+    const auto idx = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(departed_pool_.size()) - 1));
+    const DepartedUser user = departed_pool_[idx];
+    departed_pool_[idx] = departed_pool_.back();
+    departed_pool_.pop_back();
+    avatar.id = user.id;
+    avatar.kind = user.kind;
+    avatar.home_poi = user.home_poi;
+  } else {
+    avatar.id = next_id();
+    avatar.kind = model_->assign_kind(rng_);
+  }
+  const auto& spawns = land_.spawn_points();
+  avatar.pos = spawns[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(spawns.size()) - 1))];
+  avatar.login_time = now;
+  Seconds session = population_.session_duration(rng_);
+  if (avatar.kind == AvatarKind::kExplorer) {
+    session = std::min(session * population_.params().explorer_session_multiplier,
+                       population_.params().session_cap);
+  }
+  avatar.logout_at = now + session;
+  avatar.last_intentional_move = now;
+
+  const MobilityDecision d = model_->on_login(avatar, land_, rng_);
+  apply_decision(now, avatar, d);
+
+  ++stats_.total_logins;
+  avatars_.emplace(avatar.id, avatar);
+}
+
+void BaselineWorld::process_departures(Seconds now) {
+  for (auto it = avatars_.begin(); it != avatars_.end();) {
+    Avatar& avatar = it->second;
+    if (!avatar.externally_controlled && now >= avatar.logout_at) {
+      ++stats_.total_logouts;
+      if (!avatar.debug_pinned) {
+        departed_pool_.push_back({avatar.id, avatar.kind, avatar.home_poi});
+      }
+      it = avatars_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BaselineWorld::decide(Seconds now, Avatar& avatar) {
+  if (const auto target = attractor(now);
+      target && rng_.bernoulli(curiosity_.approach_probability)) {
+    ++stats_.curiosity_approaches;
+    MobilityDecision d;
+    const double r = curiosity_.approach_radius * std::sqrt(rng_.uniform());
+    const double theta = rng_.uniform(0.0, 6.283185307179586);
+    d.waypoint = land_.clamp({target->x + r * std::cos(theta),
+                              target->y + r * std::sin(theta), land_.ground_z()});
+    d.speed = 2.0;
+    d.pause = rng_.uniform(20.0, 90.0);
+    d.jitter_radius = 0.0;
+    d.poi_index = -1;
+    apply_decision(now, avatar, d);
+    return;
+  }
+  apply_decision(now, avatar, model_->next(avatar, land_, rng_));
+}
+
+void BaselineWorld::apply_decision(Seconds now, Avatar& avatar, const MobilityDecision& d) {
+  avatar.waypoint = land_.clamp(d.waypoint);
+  avatar.speed = std::max(0.1, d.speed);
+  avatar.state = AvatarState::kTravelling;
+  avatar.pause_until = now + avatar.pos.distance_to(avatar.waypoint) / avatar.speed + d.pause;
+  avatar.anchor = avatar.waypoint;
+  avatar.jitter_radius = d.jitter_radius;
+  avatar.jitter_rate = d.jitter_rate;
+  avatar.current_poi = d.poi_index;
+  if (avatar.home_poi < 0 && d.poi_index >= 0) avatar.home_poi = d.poi_index;
+  avatar.last_intentional_move = now;
+}
+
+std::optional<Vec3> BaselineWorld::attractor(Seconds now) const {
+  if (!curiosity_.enabled) return std::nullopt;
+  // The seed revision scanned the whole population per decision to find a
+  // bot-looking external avatar.
+  for (const auto& [id, avatar] : avatars_) {
+    if (!avatar.externally_controlled) continue;
+    if (now - avatar.last_intentional_move > curiosity_.idle_threshold) return avatar.pos;
+  }
+  return std::nullopt;
+}
+
+void BaselineWorld::debug_prefill(Seconds now, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) admit_arrival(now);
+}
+
+}  // namespace slmob::bench

@@ -1,0 +1,59 @@
+// Faithful replica of the seed-revision World: avatars in a
+// std::map<AvatarId, Avatar>, whole-map scans for the curiosity attractor,
+// per-decision map lookups. Kept local to the bench so the library stays on
+// the SoA fast path; sim_scaling uses it to measure what the
+// structure-of-arrays refactor actually bought, on the same RNG draw
+// sequence (the replica and the real world stay in positional lockstep,
+// which the bench asserts before timing is trusted).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "world/land.hpp"
+#include "world/mobility.hpp"
+#include "world/population.hpp"
+#include "world/world.hpp"
+
+namespace slmob::bench {
+
+class BaselineWorld {
+ public:
+  BaselineWorld(Land land, std::unique_ptr<MobilityModel> model,
+                PopulationParams population, std::uint64_t seed);
+
+  void tick(Seconds now, Seconds dt);
+  // Same admission path (and RNG draws per login) as World::debug_prefill.
+  void debug_prefill(Seconds now, std::size_t n);
+
+  [[nodiscard]] std::size_t concurrent() const { return avatars_.size(); }
+  [[nodiscard]] const std::map<AvatarId, Avatar>& avatars() const { return avatars_; }
+
+ private:
+  void process_arrivals(Seconds now, Seconds dt);
+  void process_departures(Seconds now);
+  void admit_arrival(Seconds now);
+  void decide(Seconds now, Avatar& avatar);
+  void apply_decision(Seconds now, Avatar& avatar, const MobilityDecision& d);
+  [[nodiscard]] std::optional<Vec3> attractor(Seconds now) const;
+  AvatarId next_id() { return AvatarId{next_id_++}; }
+
+  struct DepartedUser {
+    AvatarId id;
+    AvatarKind kind{AvatarKind::kRegular};
+    std::int32_t home_poi{-1};
+  };
+
+  Land land_;
+  std::unique_ptr<MobilityModel> model_;
+  PopulationProcess population_;
+  Rng rng_;
+  std::map<AvatarId, Avatar> avatars_;
+  std::uint32_t next_id_{1};
+  std::vector<DepartedUser> departed_pool_;
+  CuriosityParams curiosity_;
+  WorldStats stats_;
+};
+
+}  // namespace slmob::bench

@@ -3,13 +3,17 @@
 // LSL interpretation and world stepping.
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.hpp"
 #include "analysis/contacts.hpp"
 #include "analysis/graphs.hpp"
 #include "analysis/spatial_index.hpp"
+#include "client/metaverse_client.hpp"
 #include "lsl/interpreter.hpp"
 #include "net/messages.hpp"
+#include "server/sim_server.hpp"
 #include "util/rng.hpp"
 #include "world/archetypes.hpp"
+#include "world/poi_gravity.hpp"
 
 namespace slmob {
 namespace {
@@ -71,7 +75,10 @@ void BM_ContactExtraction(benchmark::State& state) {
     if (t % 10 == 0) {
       Snapshot snap;
       snap.time = t;
-      for (const auto& [id, avatar] : world->avatars()) snap.fixes.push_back({id, avatar.pos});
+      const auto& store = world->avatars();
+      for (std::size_t i = 0; i < store.size(); ++i) {
+        snap.fixes.push_back({store.id(i), store.pos(i)});
+      }
       trace.add(std::move(snap));
     }
   }
@@ -100,6 +107,80 @@ void BM_WorldTickHour(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorldTickHour)->Unit(benchmark::kMillisecond);
+
+// Frozen-population world at a fixed concurrency: Dance Island mobility with
+// arrivals silenced and sessions stretched past the bench horizon, so every
+// iteration ticks exactly n avatars.
+std::unique_ptr<World> frozen_world(std::size_t n, std::uint64_t seed) {
+  Land land = make_land(LandArchetype::kDanceIsland);
+  land.set_capacity(n + 8);
+  PopulationParams pop = make_population(LandArchetype::kDanceIsland);
+  pop.target_unique_users = 1e-6;
+  pop.session_median = 1e9;
+  pop.session_min = 1e9;
+  pop.session_cap = 2e9;
+  auto model = std::make_unique<PoiGravityModel>(
+      land, make_mobility_params(LandArchetype::kDanceIsland));
+  auto world = std::make_unique<World>(std::move(land), std::move(model), pop, seed);
+  world->debug_prefill(0.0, n);
+  return world;
+}
+
+// Per-avatar cost of the SoA hot path (items = avatar-ticks), plus the
+// steady-state allocation rate, counted by the operator-new override that is
+// compiled into this binary only.
+void BM_WorldTickSteadyState(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto world = frozen_world(n, 7);
+  Seconds now = 0.0;
+  for (int t = 0; t < 10; ++t, now += 1.0) world->tick(now, 1.0);  // warm-up
+  const std::size_t allocs_before = bench::allocation_count();
+  for (auto _ : state) {
+    world->tick(now, 1.0);
+    now += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(bench::allocation_count() - allocs_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_WorldTickSteadyState)->Arg(1000)->Arg(10000);
+
+// Warm packet-delivery path: coarse broadcast every tick to connected
+// viewers, keepalives back, network delivery in between. allocs_per_tick
+// must sit at zero once pools and scratch buffers are warm.
+void BM_SimServerTickBroadcast(benchmark::State& state) {
+  auto world = frozen_world(150, 9);
+  SimNetwork net({}, 2);
+  SimServerParams params;
+  params.coarse_interval = 1.0;  // broadcast every tick
+  SimServer server(net, *world, params);
+  std::vector<std::unique_ptr<MetaverseClient>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<MetaverseClient>(
+        net, server.address(), "bench" + std::to_string(i), "load"));
+    clients.back()->login();
+  }
+  Seconds now = 0.0;
+  for (int t = 0; t < 60; ++t, now += 1.0) {
+    world->tick(now, 1.0);
+    server.tick(now, 1.0);
+    net.tick(now, 1.0);
+    for (auto& c : clients) c->tick(now, 1.0);
+  }
+  const std::size_t allocs_before = bench::allocation_count();
+  for (auto _ : state) {
+    server.tick(now, 1.0);
+    net.tick(now, 1.0);
+    for (auto& c : clients) c->tick(now, 1.0);
+    now += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations() * 150);
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(bench::allocation_count() - allocs_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SimServerTickBroadcast);
 
 class NullHost : public lsl::LslHost {
  public:

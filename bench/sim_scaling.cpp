@@ -1,0 +1,376 @@
+// Sharded-simulation scaling bench, written to BENCH_sim.json:
+//
+//  * hot_path — World::tick throughput (avatar-ticks/s, real-time factor) at
+//    ~1k/10k/100k frozen avatars, against a bench-local replica of the seed
+//    revision's std::map world (baseline_world.*). The replica and the SoA
+//    world run the same RNG draw sequence; positional lockstep is asserted
+//    before timings are trusted.
+//  * sharded_experiment — wall-clock of the 3-land experiment through
+//    run_sharded at 1/2/4 threads, with a determinism gate: every shard's
+//    serialized trace must be bit-identical at every thread count. The
+//    >= 2.5x speedup gate applies on machines with >= 4 hardware threads
+//    (shard parallelism cannot beat serial on fewer cores).
+//  * packet_alloc — steady-state allocations per tick of the packet delivery
+//    path (server broadcast -> network -> client decode), counted by the
+//    global operator-new override in alloc_counter.cpp. Gate: zero.
+//
+//   sim_scaling [--hours H] [--seed S] [--quick] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc_counter.hpp"
+#include "baseline_world.hpp"
+#include "bench_common.hpp"
+#include "client/metaverse_client.hpp"
+#include "core/shards.hpp"
+#include "server/sim_server.hpp"
+#include "trace/serialize.hpp"
+#include "util/bytes.hpp"
+#include "world/archetypes.hpp"
+#include "world/poi_gravity.hpp"
+
+using namespace slmob;
+using namespace slmob::bench;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Frozen-population scale world: Dance Island geometry and mobility with the
+// capacity raised to `n` and the population process silenced (no arrivals,
+// multi-year sessions), so a prefilled population of exactly n avatars
+// persists through the measured window.
+Land scale_land(std::size_t n) {
+  Land land = make_land(LandArchetype::kDanceIsland);
+  land.set_capacity(n + 8);  // head-room for bench clients
+  return land;
+}
+
+PopulationParams frozen_population() {
+  PopulationParams p = make_population(LandArchetype::kDanceIsland);
+  p.target_unique_users = 1e-6;  // arrival rate ~ 0
+  p.session_median = 1e9;        // nobody logs out mid-bench
+  p.session_min = 1e9;
+  p.session_cap = 2e9;
+  return p;
+}
+
+std::unique_ptr<World> scale_world(std::size_t n, std::uint64_t seed) {
+  Land land = scale_land(n);
+  auto model = std::make_unique<PoiGravityModel>(
+      land, make_mobility_params(LandArchetype::kDanceIsland));
+  auto world =
+      std::make_unique<World>(std::move(land), std::move(model), frozen_population(), seed);
+  world->debug_prefill(0.0, n);
+  return world;
+}
+
+std::unique_ptr<BaselineWorld> scale_baseline(std::size_t n, std::uint64_t seed) {
+  Land land = scale_land(n);
+  auto model = std::make_unique<PoiGravityModel>(
+      land, make_mobility_params(LandArchetype::kDanceIsland));
+  auto world = std::make_unique<BaselineWorld>(std::move(land), std::move(model),
+                                               frozen_population(), seed);
+  world->debug_prefill(0.0, n);
+  return world;
+}
+
+// Positional digest over (id, x, y) of every avatar, for the SoA-vs-map
+// lockstep assertion. Exact double bits — any divergence trips it.
+std::uint32_t world_digest(const World& world) {
+  ByteWriter w;
+  const auto& store = world.avatars();
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    w.u32(store.id(i).value);
+    w.f64(store.pos(i).x);
+    w.f64(store.pos(i).y);
+  }
+  return crc32(w.bytes());
+}
+
+std::uint32_t baseline_digest(const BaselineWorld& world) {
+  ByteWriter w;
+  for (const auto& [id, avatar] : world.avatars()) {
+    w.u32(id.value);
+    w.f64(avatar.pos.x);
+    w.f64(avatar.pos.y);
+  }
+  return crc32(w.bytes());
+}
+
+struct HotRow {
+  std::size_t avatars;
+  std::size_t ticks;
+  double baseline_seconds;
+  double soa_seconds;
+  bool lockstep;
+};
+
+HotRow measure_hot_path(std::size_t n, std::uint64_t seed) {
+  auto world = scale_world(n, seed);
+  auto baseline = scale_baseline(n, seed);
+
+  // Enough ticks that small populations still produce a stable timing, but
+  // bounded total work for the 100k case.
+  const std::size_t ticks = std::max<std::size_t>(60, 3'000'000 / std::max<std::size_t>(n, 1));
+  Seconds now = 0.0;
+  // Warm-up (also first lockstep point).
+  for (std::size_t t = 0; t < 10; ++t, now += 1.0) {
+    world->tick(now, 1.0);
+    baseline->tick(now, 1.0);
+  }
+  bool lockstep = world_digest(*world) == baseline_digest(*baseline) &&
+                  world->concurrent() == n && baseline->concurrent() == n;
+
+  const auto t_soa = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < ticks; ++t) world->tick(now + static_cast<double>(t), 1.0);
+  const double soa_seconds = seconds_since(t_soa);
+
+  const auto t_base = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < ticks; ++t) baseline->tick(now + static_cast<double>(t), 1.0);
+  const double baseline_seconds = seconds_since(t_base);
+
+  lockstep = lockstep && world_digest(*world) == baseline_digest(*baseline);
+  return {n, ticks, baseline_seconds, soa_seconds, lockstep};
+}
+
+std::vector<ExperimentConfig> three_land_shards(const BenchOptions& options) {
+  std::vector<ExperimentConfig> shards;
+  std::size_t i = 0;
+  for (const LandArchetype archetype : kAllArchetypes) {
+    ExperimentConfig cfg;
+    cfg.archetype = archetype;
+    cfg.duration = options.hours * kSecondsPerHour;
+    cfg.seed = options.seed + i++;
+    cfg.ranges = {};  // collection only: the sim engine is what's timed
+    shards.push_back(cfg);
+  }
+  return shards;
+}
+
+struct AllocReport {
+  std::size_t avatars;
+  std::size_t clients;
+  std::size_t ticks;
+  double world_allocs_per_tick;
+  double packet_allocs_per_tick;
+  double packet_us_per_tick;
+  std::size_t coarse_updates_sent;
+};
+
+// Steady-state rig: frozen world + connected viewers receiving the coarse
+// feed and streaming keepalives. Warm both directions of the packet path,
+// then count allocations across a long window.
+AllocReport measure_packet_allocs(std::uint64_t seed) {
+  constexpr std::size_t kAvatars = 150;
+  constexpr std::size_t kClients = 4;
+  auto world = scale_world(kAvatars, seed);
+  SimNetwork net({}, seed + 1);
+  SimServer server(net, *world, {});
+  std::vector<std::unique_ptr<MetaverseClient>> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<MetaverseClient>(net, server.address(),
+                                                        "bench" + std::to_string(i), "load"));
+    clients.back()->login();
+  }
+
+  const auto pump = [&](Seconds from, Seconds to, auto&& per_tick) {
+    for (Seconds t = from; t < to; t += 1.0) per_tick(t);
+  };
+  const auto full_tick = [&](Seconds t) {
+    world->tick(t, 1.0);
+    server.tick(t, 1.0);
+    net.tick(t, 1.0);
+    for (auto& c : clients) c->tick(t, 1.0);
+  };
+
+  pump(0.0, 120.0, full_tick);  // login handshakes + every pool/scratch warm
+  for (const auto& c : clients) {
+    if (!c->connected()) std::fprintf(stderr, "WARNING: bench client not connected\n");
+  }
+
+  constexpr std::size_t kTicks = 300;
+  std::size_t world_allocs = 0;
+  std::size_t packet_allocs = 0;
+  double packet_seconds = 0.0;
+  const std::size_t coarse_before = server.stats().coarse_updates_sent;
+  pump(120.0, 120.0 + static_cast<double>(kTicks), [&](Seconds t) {
+    const std::size_t a0 = allocation_count();
+    world->tick(t, 1.0);
+    const std::size_t a1 = allocation_count();
+    const auto t0 = std::chrono::steady_clock::now();
+    server.tick(t, 1.0);
+    net.tick(t, 1.0);
+    for (auto& c : clients) c->tick(t, 1.0);
+    packet_seconds += seconds_since(t0);
+    const std::size_t a2 = allocation_count();
+    world_allocs += a1 - a0;
+    packet_allocs += a2 - a1;
+  });
+
+  AllocReport report;
+  report.avatars = kAvatars;
+  report.clients = kClients;
+  report.ticks = kTicks;
+  report.world_allocs_per_tick = static_cast<double>(world_allocs) / kTicks;
+  report.packet_allocs_per_tick = static_cast<double>(packet_allocs) / kTicks;
+  report.packet_us_per_tick = packet_seconds / kTicks * 1e6;
+  report.coarse_updates_sent = server.stats().coarse_updates_sent - coarse_before;
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::parse(argc, argv);
+  std::string out_path = "BENCH_sim.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  print_title("Sharded simulation engine scaling (SoA hot path, packet delivery)",
+              "infrastructure bench (no paper figure)");
+
+  bool ok = true;
+
+  // --- hot path: SoA world vs seed-revision map world ----------------------
+  std::vector<std::size_t> sizes{1000, 10000};
+  if (!quick) sizes.push_back(100000);
+  std::vector<HotRow> hot;
+  for (const std::size_t n : sizes) {
+    const HotRow row = measure_hot_path(n, options.seed);
+    const double av_ticks =
+        static_cast<double>(row.avatars) * static_cast<double>(row.ticks);
+    std::printf("hot path n=%-7zu  soa %8.4f s (%.2fM avatar-ticks/s, rtf %.0fx)   "
+                "map %8.4f s   speedup %5.2fx   lockstep %s\n",
+                row.avatars, row.soa_seconds, av_ticks / row.soa_seconds / 1e6,
+                static_cast<double>(row.ticks) / row.soa_seconds, row.baseline_seconds,
+                row.baseline_seconds / row.soa_seconds, row.lockstep ? "yes" : "NO");
+    if (!row.lockstep) {
+      std::fprintf(stderr, "ERROR: SoA world diverged from seed-replica world\n");
+      ok = false;
+    }
+    hot.push_back(row);
+  }
+
+  // --- sharded 3-land experiment vs thread count ---------------------------
+  const auto shards = three_land_shards(options);
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  struct ExpRow {
+    std::size_t threads;
+    double seconds;
+    bool identical;
+  };
+  std::vector<ExpRow> experiment;
+  std::vector<std::uint32_t> reference_digests;
+  double serial_seconds = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ShardRunOptions run_options;
+    run_options.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = run_sharded(shards, run_options);
+    const double elapsed = seconds_since(t0);
+    std::vector<std::uint32_t> digests;
+    for (const auto& r : results) digests.push_back(crc32(encode_trace(r.trace)));
+    bool identical = true;
+    if (threads == 1) {
+      serial_seconds = elapsed;
+      reference_digests = digests;
+    } else {
+      identical = digests == reference_digests;
+    }
+    experiment.push_back({threads, elapsed, identical});
+    std::printf("sharded 3-land %4.1f h  threads=%zu  %8.3f s   speedup %5.2fx   "
+                "bit-identical %s\n",
+                options.hours, threads, elapsed,
+                elapsed > 0.0 ? serial_seconds / elapsed : 0.0, identical ? "yes" : "NO");
+    if (!identical) {
+      std::fprintf(stderr, "ERROR: shard traces differ at %zu threads\n", threads);
+      ok = false;
+    }
+  }
+  const double best_seconds = experiment.back().seconds;
+  const double speedup4 = best_seconds > 0.0 ? serial_seconds / best_seconds : 0.0;
+  const bool speedup_gate_applies = hw >= 4;
+  if (speedup_gate_applies && speedup4 < 2.5) {
+    std::fprintf(stderr, "ERROR: 4-thread speedup %.2fx below the 2.5x gate\n", speedup4);
+    ok = false;
+  } else if (!speedup_gate_applies) {
+    std::printf("speedup gate skipped: %zu hardware thread(s)\n", hw);
+  }
+
+  // --- packet path allocation gate -----------------------------------------
+  const AllocReport alloc = measure_packet_allocs(options.seed);
+  std::printf("packet path: %zu avatars, %zu viewers, %zu ticks — "
+              "%.2f allocs/tick (world %.2f), %.1f us/tick, %zu coarse updates\n",
+              alloc.avatars, alloc.clients, alloc.ticks, alloc.packet_allocs_per_tick,
+              alloc.world_allocs_per_tick, alloc.packet_us_per_tick,
+              alloc.coarse_updates_sent);
+  if (alloc.packet_allocs_per_tick != 0.0) {
+    std::fprintf(stderr, "ERROR: warm packet path allocated (%.2f allocs/tick)\n",
+                 alloc.packet_allocs_per_tick);
+    ok = false;
+  }
+
+  // --- BENCH_sim.json -------------------------------------------------------
+  std::string body;
+  appendf(body, "{\n");
+  appendf(body, "    \"hours\": %.3f,\n", options.hours);
+  appendf(body, "    \"seed\": %llu,\n", static_cast<unsigned long long>(options.seed));
+  appendf(body, "    \"hardware_concurrency\": %zu,\n", hw);
+  appendf(body, "    \"hot_path\": [\n");
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    const auto& r = hot[i];
+    const double av_ticks = static_cast<double>(r.avatars) * static_cast<double>(r.ticks);
+    appendf(body,
+            "      {\"avatars\": %zu, \"ticks\": %zu, \"soa_seconds\": %.6f, "
+            "\"map_seconds\": %.6f, \"avatar_ticks_per_second\": %.0f, "
+            "\"real_time_factor\": %.1f, \"speedup_vs_map\": %.3f, \"lockstep\": %s}%s\n",
+            r.avatars, r.ticks, r.soa_seconds, r.baseline_seconds,
+            av_ticks / r.soa_seconds, static_cast<double>(r.ticks) / r.soa_seconds,
+            r.baseline_seconds / r.soa_seconds, r.lockstep ? "true" : "false",
+            i + 1 == hot.size() ? "" : ",");
+  }
+  appendf(body, "    ],\n");
+  appendf(body, "    \"sharded_experiment\": {\n");
+  appendf(body, "      \"lands\": 3,\n");
+  appendf(body, "      \"results\": [\n");
+  for (std::size_t i = 0; i < experiment.size(); ++i) {
+    const auto& r = experiment[i];
+    appendf(body,
+            "        {\"threads\": %zu, \"seconds\": %.6f, \"speedup_vs_serial\": %.3f, "
+            "\"bit_identical\": %s}%s\n",
+            r.threads, r.seconds, r.seconds > 0.0 ? serial_seconds / r.seconds : 0.0,
+            r.identical ? "true" : "false", i + 1 == experiment.size() ? "" : ",");
+  }
+  appendf(body, "      ],\n");
+  appendf(body, "      \"speedup_4_threads\": %.3f,\n", speedup4);
+  appendf(body, "      \"speedup_gate_applied\": %s,\n",
+          speedup_gate_applies ? "true" : "false");
+  appendf(body, "      \"trace_digests\": [");
+  for (std::size_t i = 0; i < reference_digests.size(); ++i) {
+    appendf(body, "%s\"%08x\"", i == 0 ? "" : ", ", reference_digests[i]);
+  }
+  appendf(body, "]\n    },\n");
+  appendf(body, "    \"packet_alloc\": {\n");
+  appendf(body, "      \"avatars\": %zu,\n", alloc.avatars);
+  appendf(body, "      \"viewers\": %zu,\n", alloc.clients);
+  appendf(body, "      \"ticks\": %zu,\n", alloc.ticks);
+  appendf(body, "      \"packet_allocs_per_tick\": %.4f,\n", alloc.packet_allocs_per_tick);
+  appendf(body, "      \"world_allocs_per_tick\": %.4f,\n", alloc.world_allocs_per_tick);
+  appendf(body, "      \"packet_us_per_tick\": %.3f,\n", alloc.packet_us_per_tick);
+  appendf(body, "      \"coarse_updates_sent\": %zu\n", alloc.coarse_updates_sent);
+  appendf(body, "    }\n  }");
+  update_bench_json(out_path, "sim_scaling", body);
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -61,6 +61,25 @@ std::vector<IndexPairDistance> SpatialGrid::pairs_within_distance() const {
   return out;
 }
 
+std::vector<std::uint32_t> SpatialGrid::near_point(const Vec3& p) const {
+  std::vector<std::uint32_t> out;
+  near_point(p, out);
+  return out;
+}
+
+void SpatialGrid::near_point(const Vec3& p, std::vector<std::uint32_t>& out) const {
+  const CellCoord c = coord_for(p);
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = cells_.find(pack(c.cx + dx, c.cy + dy));
+      if (it == cells_.end()) continue;
+      for (const std::uint32_t j : it->second) {
+        if (p.distance2d_to(positions_[j]) <= radius_) out.push_back(j);
+      }
+    }
+  }
+}
+
 std::vector<std::uint32_t> SpatialGrid::neighbors_of(std::uint32_t i) const {
   std::vector<std::uint32_t> out;
   if (i >= positions_.size()) throw std::out_of_range("SpatialGrid::neighbors_of");

@@ -39,6 +39,14 @@ class SpatialGrid {
   // Indices within radius of positions[i], excluding i itself.
   [[nodiscard]] std::vector<std::uint32_t> neighbors_of(std::uint32_t i) const;
 
+  // Indices within radius of an arbitrary point p (which need not be one of
+  // the indexed positions). Used by the simulation side — chat audibility
+  // and sensor sweeps — to replace full population scans.
+  [[nodiscard]] std::vector<std::uint32_t> near_point(const Vec3& p) const;
+  // Same query without allocating: appends the matching indices to `out`
+  // (which the caller clears and reuses across queries).
+  void near_point(const Vec3& p, std::vector<std::uint32_t>& out) const;
+
  private:
   using CellKey = std::uint64_t;
   struct CellCoord {

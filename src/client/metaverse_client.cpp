@@ -15,7 +15,7 @@ MetaverseClient::MetaverseClient(SimNetwork& network, NodeId server,
         if (from == server_) circuit_->on_datagram(bytes);
       });
   circuit_ = std::make_unique<CircuitEndpoint>(network_, address_, server_);
-  circuit_->set_deliver([this](Message msg) { on_message(std::move(msg)); });
+  circuit_->set_deliver([this](Message& msg) { on_message(msg); });
   circuit_->set_on_failure([this] { set_state(ClientState::kKicked); });
 }
 
@@ -35,7 +35,7 @@ void MetaverseClient::login() {
         (0x9e3779b9u * (address_ + 77u * login_attempts_)) % 1000000000u + 1u;
     circuit_ = std::make_unique<CircuitEndpoint>(network_, address_, server_,
                                                  CircuitParams{}, isn);
-    circuit_->set_deliver([this](Message msg) { on_message(std::move(msg)); });
+    circuit_->set_deliver([this](Message& msg) { on_message(msg); });
     circuit_->set_on_failure([this] { set_state(ClientState::kKicked); });
   }
   login_started_ = now_;
@@ -97,9 +97,9 @@ void MetaverseClient::say(const std::string& text) {
   circuit_->send(chat, /*reliable=*/false);
 }
 
-void MetaverseClient::on_message(Message msg) {
+void MetaverseClient::on_message(Message& msg) {
   std::visit(
-      [&](auto&& m) {
+      [&](auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, LoginResponse>) {
           if (!m.ok) {
@@ -130,7 +130,7 @@ void MetaverseClient::on_message(Message msg) {
           log_warn("client", "unexpected message type from server");
         }
       },
-      std::move(msg));
+      msg);
 }
 
 void MetaverseClient::tick(Seconds now, Seconds dt) {
@@ -145,7 +145,7 @@ void MetaverseClient::tick(Seconds now, Seconds dt) {
   // Keepalive: real viewers stream AgentUpdates continuously; we send a
   // no-op update often enough that the server's session timeout never
   // trips on an idle client.
-  if (connected() && now - last_keepalive_ >= 10.0) {
+  if (connected() && (!last_keepalive_ || now - *last_keepalive_ >= 10.0)) {
     last_keepalive_ = now;
     AgentUpdate update;
     update.agent_id = agent_id_;

@@ -69,7 +69,7 @@ class MetaverseClient {
   [[nodiscard]] const CircuitStats& circuit_stats() const { return circuit_->stats(); }
 
  private:
-  void on_message(Message msg);
+  void on_message(Message& msg);
   void set_state(ClientState s);
 
   SimNetwork& network_;
@@ -84,7 +84,8 @@ class MetaverseClient {
   std::string region_name_;
   Vec3 spawn_;
   Seconds now_{0.0};
-  Seconds last_keepalive_{-1e9};
+  // Time of the last keepalive AgentUpdate; empty until the first one.
+  std::optional<Seconds> last_keepalive_;
   Seconds login_started_{0.0};
   std::uint32_t login_attempts_{0};
   ClientCallbacks callbacks_;

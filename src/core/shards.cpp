@@ -1,0 +1,154 @@
+#include "core/shards.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace slmob {
+namespace {
+
+// One shard, in-memory: wire the rig, run it, hand over the raw trace.
+ShardResult run_shard_in_memory(const ExperimentConfig& config) {
+  ShardResult result;
+  result.archetype = config.archetype;
+  result.seed = config.seed;
+
+  Testbed bed(make_testbed_config(config));
+  bed.run_until(config.duration);
+
+  if (bed.crawler() != nullptr) {
+    result.trace = bed.crawler()->take_trace();
+    result.crawler_stats = bed.crawler()->stats();
+  } else if (bed.ground_truth() != nullptr) {
+    result.trace = bed.ground_truth()->take_trace();
+  } else {
+    throw std::logic_error("run_sharded: shard has no trace source configured");
+  }
+  result.world_stats = bed.world().stats();
+  result.network_stats = bed.network().stats();
+  return result;
+}
+
+ShardResult run_shard_durable(const ExperimentConfig& config, const std::string& dir,
+                              Seconds checkpoint_every, std::optional<Seconds> kill_at,
+                              const std::string& out_path) {
+  DurableRunOptions options;
+  options.config = config;
+  options.dir = dir;
+  options.checkpoint_every = checkpoint_every;
+  options.kill_at = kill_at;
+  options.out_path = out_path;
+  DurableRunResult durable = run_durable(options);
+
+  ShardResult result;
+  result.archetype = config.archetype;
+  result.seed = config.seed;
+  result.out_path = out_path;
+  result.trace = std::move(durable.trace);
+  result.crawler_stats = durable.crawler_stats;
+  result.world_stats = durable.world_stats;
+  result.network_stats = durable.network_stats;
+  result.killed = durable.killed;
+  result.checkpoints_written = durable.checkpoints_written;
+  return result;
+}
+
+ShardResult resume_shard(const std::string& dir, std::optional<Seconds> kill_at) {
+  const CheckpointState state = load_checkpoint(dir);
+  DurableRunResult durable = resume_durable(dir, kill_at);
+
+  ShardResult result;
+  result.archetype = state.archetype;
+  result.seed = state.seed;
+  result.out_path = state.out_path;
+  result.trace = std::move(durable.trace);
+  result.crawler_stats = durable.crawler_stats;
+  result.world_stats = durable.world_stats;
+  result.network_stats = durable.network_stats;
+  result.killed = durable.killed;
+  result.checkpoints_written = durable.checkpoints_written;
+  return result;
+}
+
+std::string slug(std::string name) {
+  for (char& c : name) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    } else if (!(c >= 'a' && c <= 'z') && !(c >= '0' && c <= '9')) {
+      c = '-';
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string shard_dir_name(std::size_t index, LandArchetype archetype) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof prefix, "shard-%02zu-", index);
+  return prefix + slug(archetype_name(archetype));
+}
+
+std::vector<ShardResult> run_sharded(const std::vector<ExperimentConfig>& shards,
+                                     const ShardRunOptions& options) {
+  const bool durable = !options.checkpoint_dir.empty();
+  if (durable) std::filesystem::create_directories(options.checkpoint_dir);
+
+  ThreadPool pool(options.threads);
+  return parallel_map<ShardResult>(pool, shards.size(), [&](std::size_t i) {
+    const ExperimentConfig& config = shards[i];
+    if (!durable) return run_shard_in_memory(config);
+    const std::string dir =
+        options.checkpoint_dir + "/" + shard_dir_name(i, config.archetype);
+    const std::string out =
+        options.out_paths.empty() ? std::string{} : options.out_paths[i];
+    return run_shard_durable(config, dir, options.checkpoint_every, options.kill_at, out);
+  });
+}
+
+std::vector<ShardResult> resume_sharded(const std::string& checkpoint_dir,
+                                        std::size_t threads,
+                                        std::optional<Seconds> kill_at) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> dirs;
+  if (fs::exists(fs::path(checkpoint_dir) / kCheckpointFileName)) {
+    // A single shard's own directory (also the layout `slmob run
+    // --checkpoint` writes for a one-land run).
+    dirs.push_back(checkpoint_dir);
+  } else {
+    for (const auto& entry : fs::directory_iterator(checkpoint_dir)) {
+      if (!entry.is_directory()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("shard-", 0) != 0) continue;
+      if (!fs::exists(entry.path() / kCheckpointFileName)) continue;
+      dirs.push_back(entry.path().string());
+    }
+    // directory_iterator order is unspecified; shard-NN- prefixes make the
+    // sorted order the original shard order.
+    std::sort(dirs.begin(), dirs.end());
+  }
+  if (dirs.empty()) {
+    throw std::runtime_error("resume_sharded: no shard checkpoints in " + checkpoint_dir);
+  }
+
+  ThreadPool pool(threads);
+  return parallel_map<ShardResult>(
+      pool, dirs.size(), [&](std::size_t i) { return resume_shard(dirs[i], kill_at); });
+}
+
+std::vector<ExperimentResults> run_experiments_sharded(
+    const std::vector<ExperimentConfig>& shards, std::size_t threads) {
+  ThreadPool pool(threads);
+  return parallel_map<ExperimentResults>(pool, shards.size(), [&](std::size_t i) {
+    ExperimentConfig config = shards[i];
+    // Shard-level parallelism only: nested analysis fan-out would
+    // oversubscribe the pool's workers.
+    config.analysis_threads = 1;
+    return run_experiment(config);
+  });
+}
+
+}  // namespace slmob

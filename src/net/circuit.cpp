@@ -14,9 +14,10 @@ CircuitEndpoint::CircuitEndpoint(SimNetwork& network, NodeId self, NodeId peer,
   next_seq_ = initial_seq == 0 ? 1 : initial_seq;
 }
 
-std::vector<std::uint8_t> CircuitEndpoint::build_packet(
+std::span<const std::uint8_t> CircuitEndpoint::build_packet(
     std::uint32_t seq, std::uint8_t flags, std::span<const std::uint8_t> body) {
-  ByteWriter w;
+  ByteWriter& w = packet_scratch_;
+  w.clear();
   w.u8(kCircuitVersion);
   w.u32(seq);
   w.u8(flags);
@@ -27,24 +28,31 @@ std::vector<std::uint8_t> CircuitEndpoint::build_packet(
   acks_to_send_.erase(acks_to_send_.begin(),
                       acks_to_send_.begin() + static_cast<std::ptrdiff_t>(n_acks));
   w.raw(body);
-  return w.take();
+  return w.bytes();
 }
 
 void CircuitEndpoint::transmit(std::span<const std::uint8_t> packet) {
   ++stats_.packets_sent;
-  network_.send(self_, peer_, {packet.begin(), packet.end()});
+  network_.send(self_, peer_, packet);
 }
 
 void CircuitEndpoint::send(const Message& msg, bool reliable) {
   if (failed_) return;
-  const auto body = encode_message(msg);
+  encode_message_to(msg, body_scratch_);
+  send_encoded(body_scratch_.bytes(), reliable);
+}
+
+void CircuitEndpoint::send_encoded(std::span<const std::uint8_t> body, bool reliable) {
+  if (failed_) return;
   const std::uint32_t seq = next_seq_++;
   const std::uint8_t flags = reliable ? kPacketFlagReliable : 0;
-  auto packet = build_packet(seq, flags, body);
+  const auto packet = build_packet(seq, flags, body);
   transmit(packet);
   if (reliable) {
-    unacked_.emplace(seq, Pending{seq, std::move(packet), now_ + params_.rto,
-                                  params_.max_retries});
+    // Reliable sends keep an owned copy for retransmission (cold path:
+    // handshakes and chat, never the per-tick coarse feed).
+    unacked_.emplace(seq, Pending{seq, {packet.begin(), packet.end()},
+                                  now_ + params_.rto, params_.max_retries});
   }
 }
 
@@ -80,11 +88,10 @@ void CircuitEndpoint::on_datagram(std::span<const std::uint8_t> bytes) {
                              std::next(seen_reliable_.begin(), 2048));
       }
     }
-    const auto remaining = r.raw(r.remaining());
-    Message msg = decode_message(remaining);
+    decode_message_into(r.rest(), inbound_);
     // Ack promptly: a sender on a clean link must never hit its RTO.
     flush_acks(true);
-    if (deliver_) deliver_(std::move(msg));
+    if (deliver_) deliver_(inbound_);
   } catch (const DecodeError& e) {
     log_warn("circuit", std::string("dropping malformed packet: ") + e.what());
   }
@@ -93,8 +100,7 @@ void CircuitEndpoint::on_datagram(std::span<const std::uint8_t> bytes) {
 void CircuitEndpoint::flush_acks(bool force) {
   if (acks_to_send_.empty()) return;
   if (!force && acks_to_send_.size() < params_.ack_batch) return;
-  auto packet = build_packet(next_seq_++, 0, {});
-  transmit(packet);
+  transmit(build_packet(next_seq_++, 0, {}));
 }
 
 void CircuitEndpoint::tick(Seconds now) {

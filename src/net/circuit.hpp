@@ -46,7 +46,9 @@ struct CircuitParams {
 // regularly; decoded messages are handed to the delivery callback.
 class CircuitEndpoint {
  public:
-  using DeliverFn = std::function<void(Message)>;
+  // The delivered Message is owned by the endpoint and reused for the next
+  // packet: handlers must copy (or move fields out of) anything they keep.
+  using DeliverFn = std::function<void(Message&)>;
   // Invoked when a reliable message exhausts its retries (circuit dead).
   using FailureFn = std::function<void()>;
 
@@ -61,6 +63,11 @@ class CircuitEndpoint {
 
   // Sends a message; reliable messages are retransmitted until acked.
   void send(const Message& msg, bool reliable);
+
+  // Sends an already-encoded message body (type byte + payload, as produced
+  // by encode_message_to). Lets a server encode a broadcast once and fan it
+  // out over every circuit without re-serialising per receiver.
+  void send_encoded(std::span<const std::uint8_t> body, bool reliable);
 
   // Feeds one datagram received from the peer.
   void on_datagram(std::span<const std::uint8_t> bytes);
@@ -80,8 +87,10 @@ class CircuitEndpoint {
     int retries_left;
   };
 
-  std::vector<std::uint8_t> build_packet(std::uint32_t seq, std::uint8_t flags,
-                                         std::span<const std::uint8_t> body);
+  // Builds the packet into the reusable packet scratch writer and returns a
+  // view of it (valid until the next build).
+  std::span<const std::uint8_t> build_packet(std::uint32_t seq, std::uint8_t flags,
+                                             std::span<const std::uint8_t> body);
   void flush_acks(bool force);
   void transmit(std::span<const std::uint8_t> packet);
 
@@ -99,6 +108,12 @@ class CircuitEndpoint {
   Seconds now_{0.0};
   bool failed_{false};
   CircuitStats stats_;
+  // Scratch buffers reused across packets so the warm send/receive path
+  // does not allocate: message body, full packet, and the decoded inbound
+  // message handed to deliver_.
+  ByteWriter body_scratch_;
+  ByteWriter packet_scratch_;
+  Message inbound_;
 };
 
 }  // namespace slmob

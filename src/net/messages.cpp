@@ -115,20 +115,60 @@ LoginResponse decode_login_response(ByteReader& r) {
   return m;
 }
 
+Message decode_rest(ByteReader& r, MessageType type);
+
 }  // namespace
 
 MessageType message_type(const Message& msg) { return std::visit(TypeVisitor{}, msg); }
 
 std::vector<std::uint8_t> encode_message(const Message& msg) {
   ByteWriter w;
+  encode_message_to(msg, w);
+  return w.take();
+}
+
+void encode_message_to(const Message& msg, ByteWriter& w) {
+  w.clear();
   w.u8(static_cast<std::uint8_t>(message_type(msg)));
   std::visit([&w](const auto& m) { encode_body(w, m); }, msg);
-  return w.take();
 }
 
 Message decode_message(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   const auto type = static_cast<MessageType>(r.u8());
+  return decode_rest(r, type);
+}
+
+void decode_message_into(std::span<const std::uint8_t> bytes, Message& out) {
+  ByteReader r(bytes);
+  const auto type = static_cast<MessageType>(r.u8());
+  if (type == MessageType::kCoarseLocationUpdate) {
+    // The one message received every coarse interval on every circuit:
+    // decode it in place so the entries vector's capacity is reused.
+    auto* m = std::get_if<CoarseLocationUpdate>(&out);
+    if (m == nullptr) {
+      out = CoarseLocationUpdate{};
+      m = &std::get<CoarseLocationUpdate>(out);
+    }
+    m->entries.clear();
+    const std::uint16_t n = r.u16();
+    m->entries.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      CoarseEntry e;
+      e.agent_id = r.u32();
+      e.x = r.u8();
+      e.y = r.u8();
+      e.z4 = r.u8();
+      m->entries.push_back(e);
+    }
+    return;
+  }
+  out = decode_rest(r, type);
+}
+
+namespace {
+
+Message decode_rest(ByteReader& r, MessageType type) {
   switch (type) {
     case MessageType::kLoginRequest:
       return decode_login_request(r);
@@ -203,6 +243,8 @@ Message decode_message(std::span<const std::uint8_t> bytes) {
   }
   throw DecodeError("decode_message: unknown message type");
 }
+
+}  // namespace
 
 CoarseEntry quantize_coarse(std::uint32_t agent_id, double x, double y, double z,
                             bool sitting) {

@@ -122,8 +122,18 @@ using Message =
 // Serialises type byte + body.
 std::vector<std::uint8_t> encode_message(const Message& msg);
 
+// Same encoding into a caller-owned writer (cleared first). Reusing one
+// writer across packets keeps the warm send path allocation-free.
+void encode_message_to(const Message& msg, ByteWriter& w);
+
 // Parses a message; throws DecodeError on malformed input.
 Message decode_message(std::span<const std::uint8_t> bytes);
+
+// Parses into a caller-owned Message, reusing its storage when the incoming
+// type matches the currently held alternative (the per-tick
+// CoarseLocationUpdate keeps its entries capacity). Throws DecodeError on
+// malformed input; `out` may hold a partially decoded value afterwards.
+void decode_message_into(std::span<const std::uint8_t> bytes, Message& out);
 
 // Quantisation helpers shared by server (encode) and analyses (tests).
 [[nodiscard]] CoarseEntry quantize_coarse(std::uint32_t agent_id, double x, double y,

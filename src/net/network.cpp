@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -25,48 +26,81 @@ void SimNetwork::set_handler(NodeId node, ReceiveFn on_receive) {
   handlers_.at(node) = std::move(on_receive);
 }
 
-void SimNetwork::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
+bool SimNetwork::admit(NodeId from, NodeId to, std::size_t payload_size, Seconds& latency) {
   ++stats_.sent;
   if (to >= handlers_.size()) {
     throw std::invalid_argument("SimNetwork::send: unknown destination node");
   }
-  if (payload.size() > params_.mtu) {
+  if (payload_size > params_.mtu) {
     ++stats_.oversize_dropped;
     log_warn("net", "dropping oversize datagram");
-    return;
+    return false;
   }
   Seconds fault_latency = 0.0;
   if (!faults_.empty()) {
     if (faults_.drops_datagram(clock_, from, to)) {
       ++stats_.fault_dropped;
-      return;
+      return false;
     }
     const double burst = faults_.extra_loss_at(clock_);
     if (burst > 0.0 && rng_.bernoulli(burst)) {
       ++stats_.lost;
       ++stats_.fault_dropped;
-      return;
+      return false;
     }
     fault_latency = faults_.extra_latency_at(clock_);
   }
   if (rng_.bernoulli(params_.loss_rate)) {
     ++stats_.lost;
-    return;
+    return false;
   }
-  const Seconds latency =
-      rng_.uniform(params_.latency_min, params_.latency_max) + fault_latency;
-  in_flight_.push({clock_ + latency, order_++, from, to, std::move(payload)});
+  latency = rng_.uniform(params_.latency_min, params_.latency_max) + fault_latency;
+  return true;
+}
+
+void SimNetwork::enqueue(NodeId from, NodeId to, Seconds latency,
+                         std::vector<std::uint8_t> payload) {
+  in_flight_.push_back({clock_ + latency, order_++, from, to, std::move(payload)});
+  std::push_heap(in_flight_.begin(), in_flight_.end(), std::greater<>{});
+}
+
+std::vector<std::uint8_t> SimNetwork::acquire_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buf;
+}
+
+void SimNetwork::release_buffer(std::vector<std::uint8_t> buf) {
+  if (buffer_pool_.size() >= 256) return;  // bound pooled memory
+  buf.clear();
+  buffer_pool_.push_back(std::move(buf));
+}
+
+void SimNetwork::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
+  Seconds latency = 0.0;
+  if (!admit(from, to, payload.size(), latency)) return;
+  enqueue(from, to, latency, std::move(payload));
+}
+
+void SimNetwork::send(NodeId from, NodeId to, std::span<const std::uint8_t> payload) {
+  Seconds latency = 0.0;
+  if (!admit(from, to, payload.size(), latency)) return;
+  std::vector<std::uint8_t> buf = acquire_buffer();
+  buf.assign(payload.begin(), payload.end());
+  enqueue(from, to, latency, std::move(buf));
 }
 
 void SimNetwork::tick(Seconds now, Seconds dt) {
   clock_ = now + dt;
-  while (!in_flight_.empty() && in_flight_.top().arrival <= clock_) {
-    // priority_queue::top is const; copy-out is fine (packets are small).
-    InFlight pkt = in_flight_.top();
-    in_flight_.pop();
+  while (!in_flight_.empty() && in_flight_.front().arrival <= clock_) {
+    std::pop_heap(in_flight_.begin(), in_flight_.end(), std::greater<>{});
+    InFlight pkt = std::move(in_flight_.back());
+    in_flight_.pop_back();
     ++stats_.delivered;
     auto& handler = handlers_.at(pkt.to);
     if (handler) handler(pkt.from, pkt.payload);
+    release_buffer(std::move(pkt.payload));
   }
 }
 

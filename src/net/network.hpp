@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <span>
 #include <vector>
 
@@ -52,6 +51,10 @@ class SimNetwork {
 
   // Queues a datagram; it is delivered (or dropped) during a later tick.
   void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
+  // Same, but the payload is copied into a pooled buffer: callers that keep
+  // (and reuse) their own scratch packet avoid an allocation per send once
+  // the pool is warm.
+  void send(NodeId from, NodeId to, std::span<const std::uint8_t> payload);
 
   // Delivers every packet whose arrival time is <= now + dt.
   void tick(Seconds now, Seconds dt);
@@ -81,11 +84,24 @@ class SimNetwork {
     }
   };
 
+  // Decides drop/latency for a datagram about to be queued. Returns false
+  // when the datagram is dropped (stats already updated); otherwise sets
+  // `latency` to the delivery delay.
+  bool admit(NodeId from, NodeId to, std::size_t payload_size, Seconds& latency);
+  void enqueue(NodeId from, NodeId to, Seconds latency, std::vector<std::uint8_t> payload);
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t> buf);
+
   NetworkParams params_;
   FaultSchedule faults_;
   Rng rng_;
   std::vector<ReceiveFn> handlers_;
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;
+  // Min-heap on (arrival, order) via std::push_heap/pop_heap rather than
+  // std::priority_queue, whose const top() forbids moving the payload out.
+  std::vector<InFlight> in_flight_;
+  // Retired payload buffers, reused by the span-overload of send so the
+  // steady-state delivery loop performs no allocation.
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
   std::uint64_t order_{0};
   Seconds clock_{0.0};
   NetworkStats stats_;

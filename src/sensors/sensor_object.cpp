@@ -168,10 +168,12 @@ void SensorObject::deliver_response(const std::string& key, std::int64_t status,
 void SensorObject::sweep(Seconds now) {
   ++stats_.sweeps;
   // Nearest-first detection, capped at max_detected — llSensor semantics.
+  // The world's grid answers the range query; indices come back ascending
+  // (= id order), matching the full scan this replaces.
   std::vector<Detection> in_range;
-  for (const auto& [id, avatar] : world_.avatars()) {
-    const double d = position_.distance2d_to(avatar.pos);
-    if (d <= sensor_range_) in_range.push_back({id, avatar.pos});
+  const auto& store = world_.avatars();
+  for (const std::uint32_t i : world_.within(position_, sensor_range_)) {
+    in_range.push_back({store.id(i), store.pos(i)});
   }
   std::sort(in_range.begin(), in_range.end(), [&](const Detection& a, const Detection& b) {
     return position_.distance2d_to(a.pos) < position_.distance2d_to(b.pos);

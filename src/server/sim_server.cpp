@@ -1,5 +1,7 @@
 #include "server/sim_server.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace slmob {
@@ -17,7 +19,7 @@ CircuitEndpoint& SimServer::circuit_for(NodeId from) {
     session.circuit =
         std::make_unique<CircuitEndpoint>(network_, address_, from, params_.circuit);
     session.circuit->set_deliver(
-        [this, from](Message msg) { handle_message(from, std::move(msg)); });
+        [this, from](Message& msg) { handle_message(from, msg); });
     it = clients_.emplace(from, std::move(session)).first;
   }
   return *it->second.circuit;
@@ -37,9 +39,9 @@ void SimServer::on_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
   }
 }
 
-void SimServer::handle_message(NodeId from, Message msg) {
+void SimServer::handle_message(NodeId from, Message& msg) {
   std::visit(
-      [&](auto&& m) {
+      [&](auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, LoginRequest>) {
           handle_login(from, m);
@@ -58,7 +60,7 @@ void SimServer::handle_message(NodeId from, Message msg) {
           log_warn("server", "unexpected message type from client");
         }
       },
-      std::move(msg));
+      msg);
 }
 
 void SimServer::handle_login(NodeId from, const LoginRequest& req) {
@@ -147,8 +149,14 @@ void SimServer::handle_chat(NodeId from, const ChatFromViewer& chat) {
   ++stats_.chat_messages;
   const AvatarId speaker = it->second.avatar;
   world_.mark_social_activity(now_, speaker);
-  const Avatar* speaker_avatar = world_.find(speaker);
-  if (speaker_avatar == nullptr) return;
+  const auto& store = world_.avatars();
+  const auto speaker_idx = store.index_of(speaker);
+  if (!speaker_idx) return;
+  const Vec3 speaker_pos = store.pos(*speaker_idx);
+
+  // Audible set via the world's spatial grid: one range query instead of a
+  // per-listener distance check against the whole population.
+  const auto& audible = world_.within(speaker_pos, params_.chat_range);
 
   ChatFromSimulator out;
   out.from_agent = speaker.value;
@@ -156,9 +164,10 @@ void SimServer::handle_chat(NodeId from, const ChatFromViewer& chat) {
   out.message = chat.message;
   for (auto& [node, session] : clients_) {
     if (node == from || !session.movement_complete) continue;
-    const Avatar* listener = world_.find(session.avatar);
-    if (listener == nullptr) continue;
-    if (listener->pos.distance2d_to(speaker_avatar->pos) <= params_.chat_range) {
+    const auto listener_idx = store.index_of(session.avatar);
+    if (!listener_idx) continue;
+    if (std::binary_search(audible.begin(), audible.end(),
+                           static_cast<std::uint32_t>(*listener_idx))) {
       session.circuit->send(out, /*reliable=*/false);
     }
   }
@@ -173,15 +182,32 @@ void SimServer::handle_logout(NodeId from) {
 }
 
 void SimServer::broadcast_coarse_locations() {
-  CoarseLocationUpdate update;
-  update.entries.reserve(world_.avatars().size());
-  for (const auto& [id, avatar] : world_.avatars()) {
-    update.entries.push_back(
-        quantize_coarse(id.value, avatar.pos.x, avatar.pos.y, avatar.pos.z, avatar.sitting));
+  // No connected client is ready for the feed: skip building and encoding
+  // the update entirely (the common case while the crawler is between
+  // regions, and always in ground-truth-only runs).
+  bool any_ready = false;
+  for (const auto& [node, session] : clients_) {
+    if (session.movement_complete) {
+      any_ready = true;
+      break;
+    }
   }
+  if (!any_ready) return;
+
+  auto& update = std::get<CoarseLocationUpdate>(coarse_msg_);
+  update.entries.clear();
+  const auto& store = world_.avatars();
+  update.entries.reserve(store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const Vec3& p = store.pos(i);
+    update.entries.push_back(
+        quantize_coarse(store.id(i).value, p.x, p.y, p.z, store.sitting(i)));
+  }
+  // Encode once, fan the same bytes out over every circuit.
+  encode_message_to(coarse_msg_, coarse_body_);
   for (auto& [node, session] : clients_) {
     if (!session.movement_complete) continue;
-    session.circuit->send(update, /*reliable=*/false);
+    session.circuit->send_encoded(coarse_body_.bytes(), /*reliable=*/false);
     ++stats_.coarse_updates_sent;
   }
 }
@@ -223,7 +249,7 @@ void SimServer::tick(Seconds now, Seconds dt) {
       ++it;
     }
   }
-  if (now - last_coarse_ >= params_.coarse_interval) {
+  if (!last_coarse_ || now - *last_coarse_ >= params_.coarse_interval) {
     broadcast_coarse_locations();
     last_coarse_ = now;
   }

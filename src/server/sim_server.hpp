@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "net/circuit.hpp"
@@ -76,7 +77,7 @@ class SimServer {
   };
 
   void on_datagram(NodeId from, std::span<const std::uint8_t> bytes);
-  void handle_message(NodeId from, Message msg);
+  void handle_message(NodeId from, Message& msg);
   void handle_login(NodeId from, const LoginRequest& req);
   void handle_agent_update(NodeId from, const AgentUpdate& update);
   void handle_chat(NodeId from, const ChatFromViewer& chat);
@@ -89,10 +90,17 @@ class SimServer {
   SimServerParams params_;
   NodeId address_;
   Seconds now_{0.0};
-  Seconds last_coarse_{-1e18};
+  // Time of the last coarse broadcast; empty until the first one, which
+  // therefore happens on the first tick.
+  std::optional<Seconds> last_coarse_;
   bool down_{false};
   std::map<NodeId, ClientSession> clients_;
   SimServerStats stats_;
+  // The per-broadcast CoarseLocationUpdate is built and encoded exactly once
+  // per interval into these reused buffers, then fanned out to every circuit
+  // as pre-encoded bytes — the steady-state feed allocates nothing.
+  Message coarse_msg_{CoarseLocationUpdate{}};
+  ByteWriter coarse_body_;
 };
 
 }  // namespace slmob

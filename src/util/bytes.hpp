@@ -40,6 +40,9 @@ class ByteWriter {
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  // Drops the contents but keeps the capacity, so a writer reused across
+  // packets stops allocating once it has seen the largest one.
+  void clear() { buf_.clear(); }
 
  private:
   std::vector<std::uint8_t> buf_;
@@ -59,6 +62,13 @@ class ByteReader {
   std::string str();
   // Reads exactly n raw bytes.
   std::vector<std::uint8_t> raw(std::size_t n);
+  // Consumes and returns a view of everything left, without copying. The
+  // span aliases the reader's input buffer.
+  std::span<const std::uint8_t> rest() {
+    const auto s = data_.subspan(pos_);
+    pos_ = data_.size();
+    return s;
+  }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool at_end() const { return remaining() == 0; }

@@ -4,14 +4,7 @@ namespace slmob {
 
 bool step_kinematics(Avatar& avatar, Seconds dt) {
   if (avatar.state != AvatarState::kTravelling) return false;
-  const double dist = avatar.pos.distance_to(avatar.waypoint);
-  const double step = avatar.speed * dt;
-  if (dist <= step || dist <= 1e-9) {
-    avatar.pos = avatar.waypoint;
-    return true;
-  }
-  avatar.pos += avatar.pos.direction_to(avatar.waypoint) * step;
-  return false;
+  return step_kinematics(avatar.pos, avatar.waypoint, avatar.speed, dt);
 }
 
 }  // namespace slmob

@@ -63,4 +63,19 @@ struct Avatar {
 // Returns true if the avatar reached its waypoint during this step.
 bool step_kinematics(Avatar& avatar, Seconds dt);
 
+// Component-level form of the same step, for structure-of-arrays storage
+// where position/waypoint/speed live in separate arrays. The caller is
+// responsible for the state check; identical arithmetic to the Avatar&
+// overload (which delegates here).
+inline bool step_kinematics(Vec3& pos, const Vec3& waypoint, double speed, Seconds dt) {
+  const double dist = pos.distance_to(waypoint);
+  const double step = speed * dt;
+  if (dist <= step || dist <= 1e-9) {
+    pos = waypoint;
+    return true;
+  }
+  pos += pos.direction_to(waypoint) * step;
+  return false;
+}
+
 }  // namespace slmob

@@ -1,0 +1,141 @@
+#include "world/avatar_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace slmob {
+
+std::optional<std::size_t> AvatarStore::index_of(AvatarId id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return std::nullopt;
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+Avatar AvatarStore::materialize(std::size_t i) const {
+  Avatar a;
+  a.id = ids_[i];
+  a.pos = pos_[i];
+  a.state = state_[i];
+  a.kind = kind_[i];
+  a.waypoint = waypoint_[i];
+  a.speed = speed_[i];
+  a.pause_until = pause_until_[i];
+  a.login_time = login_time_[i];
+  a.logout_at = logout_at_[i];
+  a.anchor = anchor_[i];
+  a.jitter_radius = jitter_radius_[i];
+  a.jitter_rate = jitter_rate_[i];
+  a.current_poi = current_poi_[i];
+  a.home_poi = home_poi_[i];
+  a.sitting = sitting(i);
+  a.externally_controlled = external(i);
+  a.debug_pinned = debug_pinned(i);
+  a.last_intentional_move = last_move_[i];
+  return a;
+}
+
+void AvatarStore::assign(std::size_t i, const Avatar& a) {
+  pos_[i] = a.pos;
+  state_[i] = a.state;
+  kind_[i] = a.kind;
+  waypoint_[i] = a.waypoint;
+  speed_[i] = a.speed;
+  pause_until_[i] = a.pause_until;
+  login_time_[i] = a.login_time;
+  logout_at_[i] = a.logout_at;
+  anchor_[i] = a.anchor;
+  jitter_radius_[i] = a.jitter_radius;
+  jitter_rate_[i] = a.jitter_rate;
+  current_poi_[i] = a.current_poi;
+  home_poi_[i] = a.home_poi;
+  flags_[i] = static_cast<std::uint8_t>((a.sitting ? kFlagSitting : 0) |
+                                        (a.externally_controlled ? kFlagExternal : 0) |
+                                        (a.debug_pinned ? kFlagPinned : 0));
+  last_move_[i] = a.last_intentional_move;
+}
+
+std::size_t AvatarStore::insert(const Avatar& a) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), a.id);
+  if (it != ids_.end() && *it == a.id) {
+    throw std::logic_error("AvatarStore::insert: duplicate avatar id");
+  }
+  const auto i = static_cast<std::size_t>(it - ids_.begin());
+  ids_.insert(it, a.id);
+  pos_.insert(pos_.begin() + static_cast<std::ptrdiff_t>(i), Vec3{});
+  waypoint_.insert(waypoint_.begin() + static_cast<std::ptrdiff_t>(i), Vec3{});
+  anchor_.insert(anchor_.begin() + static_cast<std::ptrdiff_t>(i), Vec3{});
+  speed_.insert(speed_.begin() + static_cast<std::ptrdiff_t>(i), 0.0);
+  pause_until_.insert(pause_until_.begin() + static_cast<std::ptrdiff_t>(i), 0.0);
+  login_time_.insert(login_time_.begin() + static_cast<std::ptrdiff_t>(i), 0.0);
+  logout_at_.insert(logout_at_.begin() + static_cast<std::ptrdiff_t>(i), 0.0);
+  last_move_.insert(last_move_.begin() + static_cast<std::ptrdiff_t>(i), 0.0);
+  jitter_radius_.insert(jitter_radius_.begin() + static_cast<std::ptrdiff_t>(i), 0.0);
+  jitter_rate_.insert(jitter_rate_.begin() + static_cast<std::ptrdiff_t>(i), 0.0);
+  current_poi_.insert(current_poi_.begin() + static_cast<std::ptrdiff_t>(i), -1);
+  home_poi_.insert(home_poi_.begin() + static_cast<std::ptrdiff_t>(i), -1);
+  state_.insert(state_.begin() + static_cast<std::ptrdiff_t>(i), AvatarState::kPaused);
+  kind_.insert(kind_.begin() + static_cast<std::ptrdiff_t>(i), AvatarKind::kRegular);
+  flags_.insert(flags_.begin() + static_cast<std::ptrdiff_t>(i), 0);
+  assign(i, a);
+  return i;
+}
+
+void AvatarStore::erase(std::size_t i) {
+  const auto d = static_cast<std::ptrdiff_t>(i);
+  ids_.erase(ids_.begin() + d);
+  pos_.erase(pos_.begin() + d);
+  waypoint_.erase(waypoint_.begin() + d);
+  anchor_.erase(anchor_.begin() + d);
+  speed_.erase(speed_.begin() + d);
+  pause_until_.erase(pause_until_.begin() + d);
+  login_time_.erase(login_time_.begin() + d);
+  logout_at_.erase(logout_at_.begin() + d);
+  last_move_.erase(last_move_.begin() + d);
+  jitter_radius_.erase(jitter_radius_.begin() + d);
+  jitter_rate_.erase(jitter_rate_.begin() + d);
+  current_poi_.erase(current_poi_.begin() + d);
+  home_poi_.erase(home_poi_.begin() + d);
+  state_.erase(state_.begin() + d);
+  kind_.erase(kind_.begin() + d);
+  flags_.erase(flags_.begin() + d);
+}
+
+void AvatarStore::move_row(std::size_t from, std::size_t to) {
+  ids_[to] = ids_[from];
+  pos_[to] = pos_[from];
+  waypoint_[to] = waypoint_[from];
+  anchor_[to] = anchor_[from];
+  speed_[to] = speed_[from];
+  pause_until_[to] = pause_until_[from];
+  login_time_[to] = login_time_[from];
+  logout_at_[to] = logout_at_[from];
+  last_move_[to] = last_move_[from];
+  jitter_radius_[to] = jitter_radius_[from];
+  jitter_rate_[to] = jitter_rate_[from];
+  current_poi_[to] = current_poi_[from];
+  home_poi_[to] = home_poi_[from];
+  state_[to] = state_[from];
+  kind_[to] = kind_[from];
+  flags_[to] = flags_[from];
+}
+
+void AvatarStore::resize(std::size_t n) {
+  ids_.resize(n);
+  pos_.resize(n);
+  waypoint_.resize(n);
+  anchor_.resize(n);
+  speed_.resize(n);
+  pause_until_.resize(n);
+  login_time_.resize(n);
+  logout_at_.resize(n);
+  last_move_.resize(n);
+  jitter_radius_.resize(n);
+  jitter_rate_.resize(n);
+  current_poi_.resize(n);
+  home_poi_.resize(n);
+  state_.resize(n);
+  kind_.resize(n);
+  flags_.resize(n);
+}
+
+}  // namespace slmob

@@ -21,9 +21,11 @@ class GroundTruthRecorder {
     next_sample_ = now + interval_;
     Snapshot snap;
     snap.time = now;
-    for (const auto& [id, avatar] : world_.avatars()) {
-      if (avatar.externally_controlled) continue;  // instruments are not users
-      snap.fixes.push_back({id, avatar.pos});
+    const auto& store = world_.avatars();
+    snap.fixes.reserve(store.size());
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      if (store.external(i)) continue;  // instruments are not users
+      snap.fixes.push_back({store.id(i), store.pos(i)});
     }
     trace_.add(std::move(snap));
   }

@@ -8,6 +8,10 @@
 // The world also implements the "curiosity" perturbation the paper reports:
 // a visibly idle, silent avatar (a naive crawler) becomes an attractor that
 // nearby users walk up to, biasing the very mobility being measured.
+//
+// Storage is structure-of-arrays (AvatarStore), kept in ascending-id order —
+// the iteration order of the std::map it replaced — so the per-tick RNG draw
+// sequence, and therefore every seeded trace, is unchanged by the layout.
 #pragma once
 
 #include <functional>
@@ -16,9 +20,11 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/spatial_index.hpp"
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 #include "world/avatar.hpp"
+#include "world/avatar_store.hpp"
 #include "world/land.hpp"
 #include "world/mobility.hpp"
 #include "world/population.hpp"
@@ -61,11 +67,20 @@ class World {
   void tick(Seconds now, Seconds dt);
 
   [[nodiscard]] const Land& land() const { return land_; }
-  [[nodiscard]] const std::map<AvatarId, Avatar>& avatars() const { return avatars_; }
+  [[nodiscard]] const AvatarStore& avatars() const { return avatars_; }
   [[nodiscard]] std::size_t concurrent() const { return avatars_.size(); }
-  [[nodiscard]] const Avatar* find(AvatarId id) const;
+  // Copy of the avatar's current row; nullopt when not online.
+  [[nodiscard]] std::optional<Avatar> find(AvatarId id) const;
   [[nodiscard]] const WorldStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<VisitRecord>& visit_log() const { return visit_log_; }
+
+  // Store indices (see avatars()) of avatars within planar distance `radius`
+  // of `pos`, in ascending index (= ascending id) order. Served from a
+  // uniform grid that is rebuilt lazily, at most once per (tick, radius), so
+  // repeated queries within a tick — chat audibility, sensor sweeps — cost
+  // O(neighbours) instead of a population scan each.
+  [[nodiscard]] const std::vector<std::uint32_t>& within(const Vec3& pos,
+                                                         double radius) const;
 
   // --- external (protocol-controlled) avatars -----------------------------
   // Adds an avatar steered from outside; returns nullopt when the region is
@@ -83,6 +98,11 @@ class World {
 
   // Test hook: force-inject a synthetic avatar with a fixed session.
   AvatarId debug_add_synthetic(Seconds now, Vec3 pos, Seconds logout_at);
+  // Bench hook: admits `n` immediate logins at `now` through the organic
+  // arrival path (same RNG draws per login, capacity respected), so scale
+  // benches can reach a target concurrency without simulating hours of
+  // ramp-up.
+  void debug_prefill(Seconds now, std::size_t n);
 
   // World RNG stream position, recorded by checkpoints and compared after a
   // deterministic replay to detect config drift or non-determinism.
@@ -91,17 +111,23 @@ class World {
  private:
   void process_arrivals(Seconds now, Seconds dt);
   void process_departures(Seconds now);
+  void admit_arrival(Seconds now);
+  void decide_at(Seconds now, std::size_t i);
   void decide(Seconds now, Avatar& avatar);
   void apply_decision(Seconds now, Avatar& avatar, const MobilityDecision& d);
   // Currently active attractor position (a bot-looking external avatar).
   [[nodiscard]] std::optional<Vec3> attractor(Seconds now) const;
   AvatarId next_id();
+  void touch() { ++version_; }
 
   Land land_;
   std::unique_ptr<MobilityModel> model_;
   PopulationProcess population_;
   Rng rng_;
-  std::map<AvatarId, Avatar> avatars_;
+  AvatarStore avatars_;
+  // Ids of externally controlled avatars, ascending — the attractor scan
+  // walks only these instead of the whole population.
+  std::vector<AvatarId> external_ids_;
   // Previously seen visitors available for re-visits (same identity).
   struct DepartedUser {
     AvatarId id;
@@ -115,6 +141,14 @@ class World {
   WorldStats stats_;
   std::vector<VisitRecord> visit_log_;
   std::map<AvatarId, std::size_t> open_visits_;  // avatar -> index in visit_log_
+
+  // Lazily rebuilt range-query grid (see within()). version_ bumps on every
+  // mutation of positions or membership, invalidating the cached grid.
+  std::uint64_t version_{0};
+  mutable std::optional<SpatialGrid> grid_;
+  mutable double grid_radius_{0.0};
+  mutable std::uint64_t grid_version_{0};
+  mutable std::vector<std::uint32_t> grid_query_;
 };
 
 }  // namespace slmob

@@ -46,8 +46,8 @@ TEST(Testbed, CrawlerLogsInAutomatically) {
   bed.run_until(30.0);
   EXPECT_TRUE(bed.client()->connected());
   // The crawler's avatar is in the world as an externally controlled one.
-  const Avatar* avatar = bed.world().find(AvatarId{bed.client()->agent_id()});
-  ASSERT_NE(avatar, nullptr);
+  const auto avatar = bed.world().find(AvatarId{bed.client()->agent_id()});
+  ASSERT_TRUE(avatar.has_value());
   EXPECT_TRUE(avatar->externally_controlled);
 }
 

@@ -48,7 +48,7 @@ TEST(ServerClient, LoginHandshakeSucceeds) {
   EXPECT_EQ(client.region_name(), "Dance");
   EXPECT_EQ(rig.server->stats().logins_accepted, 1u);
   // The client's avatar exists in the world.
-  EXPECT_NE(rig.world->find(AvatarId{client.agent_id()}), nullptr);
+  EXPECT_TRUE(rig.world->find(AvatarId{client.agent_id()}).has_value());
 }
 
 TEST(ServerClient, LoginRejectedWhenRegionFull) {
@@ -170,10 +170,10 @@ TEST(ServerClient, LogoutRemovesAvatar) {
   client.login();
   rig.pump(0.0, 5.0);
   const AvatarId id{client.agent_id()};
-  ASSERT_NE(rig.world->find(id), nullptr);
+  ASSERT_TRUE(rig.world->find(id).has_value());
   client.logout();
   rig.pump(5.0, 10.0);
-  EXPECT_EQ(rig.world->find(id), nullptr);
+  EXPECT_FALSE(rig.world->find(id).has_value());
   EXPECT_EQ(rig.server->stats().logouts, 1u);
 }
 
@@ -207,7 +207,7 @@ TEST(ServerClient, SilentClientSessionTimesOut) {
   rig.pump(0.0, 5.0);
   ASSERT_TRUE(client.connected());
   const AvatarId id{client.agent_id()};
-  ASSERT_NE(rig.world->find(id), nullptr);
+  ASSERT_TRUE(rig.world->find(id).has_value());
   // The client goes completely silent (not ticked, nothing sent): the
   // session-timeout sweep must drop its session and retire the avatar.
   for (Seconds t = 5.0; t < 25.0; t += 1.0) {
@@ -217,7 +217,7 @@ TEST(ServerClient, SilentClientSessionTimesOut) {
   }
   EXPECT_GE(rig.server->stats().session_timeouts, 1u);
   EXPECT_EQ(rig.server->connected_clients(), 0u);
-  EXPECT_EQ(rig.world->find(id), nullptr);
+  EXPECT_FALSE(rig.world->find(id).has_value());
 }
 
 TEST(ServerClient, RegionCrashDropsSessionsRefusesTrafficRecovers) {
@@ -243,7 +243,7 @@ TEST(ServerClient, RegionCrashDropsSessionsRefusesTrafficRecovers) {
   EXPECT_EQ(rig.server->stats().crashes, 1u);
   EXPECT_EQ(rig.server->stats().sessions_crashed, 1u);
   EXPECT_EQ(rig.server->connected_clients(), 0u);
-  EXPECT_EQ(rig.world->find(id), nullptr);
+  EXPECT_FALSE(rig.world->find(id).has_value());
   EXPECT_GT(rig.server->stats().datagrams_ignored_down, 0u);
 
   // After the window the region accepts fresh logins again.
@@ -286,8 +286,8 @@ TEST(ServerClient, ReloginOverLiveSessionRetiresPhantomAvatar) {
   rig.pump(5.0, 15.0);
   ASSERT_TRUE(client.connected());
   // The old avatar must not haunt the world as a phantom.
-  EXPECT_EQ(rig.world->find(old_id), nullptr);
-  EXPECT_NE(rig.world->find(AvatarId{client.agent_id()}), nullptr);
+  EXPECT_FALSE(rig.world->find(old_id).has_value());
+  EXPECT_TRUE(rig.world->find(AvatarId{client.agent_id()}).has_value());
   EXPECT_NE(client.agent_id(), old_id.value);
   EXPECT_EQ(rig.server->connected_clients(), 1u);
 }

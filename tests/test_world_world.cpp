@@ -29,9 +29,10 @@ TEST(World, AvatarsStayInsideLand) {
   auto world = small_world();
   for (Seconds t = 0.0; t < 1800.0; t += 1.0) {
     world->tick(t, 1.0);
-    for (const auto& [id, avatar] : world->avatars()) {
-      ASSERT_TRUE(world->land().contains(avatar.pos))
-          << "avatar " << id.value << " at " << avatar.pos;
+    const auto& store = world->avatars();
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      ASSERT_TRUE(world->land().contains(store.pos(i)))
+          << "avatar " << store.id(i).value << " at " << store.pos(i);
     }
   }
 }
@@ -42,11 +43,11 @@ TEST(World, DeterministicForSameSeed) {
   run(*a, 0.0, 1200.0);
   run(*b, 0.0, 1200.0);
   ASSERT_EQ(a->concurrent(), b->concurrent());
-  auto ita = a->avatars().begin();
-  auto itb = b->avatars().begin();
-  for (; ita != a->avatars().end(); ++ita, ++itb) {
-    EXPECT_EQ(ita->first, itb->first);
-    EXPECT_EQ(ita->second.pos, itb->second.pos);
+  const auto& sa = a->avatars();
+  const auto& sb = b->avatars();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.id(i), sb.id(i));
+    EXPECT_EQ(sa.pos(i), sb.pos(i));
   }
 }
 
@@ -83,18 +84,18 @@ TEST(World, ExternalAvatarLifecycle) {
   auto world = small_world();
   const auto id = world->add_external_avatar(0.0, {128.0, 128.0, 22.0});
   ASSERT_TRUE(id.has_value());
-  const Avatar* avatar = world->find(*id);
-  ASSERT_NE(avatar, nullptr);
+  auto avatar = world->find(*id);
+  ASSERT_TRUE(avatar.has_value());
   EXPECT_TRUE(avatar->externally_controlled);
 
   world->steer_external(0.0, *id, {200.0, 128.0, 22.0}, 2.0);
   run(*world, 0.0, 10.0);
   avatar = world->find(*id);
-  ASSERT_NE(avatar, nullptr);
+  ASSERT_TRUE(avatar.has_value());
   EXPECT_GT(avatar->pos.x, 128.0);
 
   world->remove_external_avatar(10.0, *id);
-  EXPECT_EQ(world->find(*id), nullptr);
+  EXPECT_FALSE(world->find(*id).has_value());
 }
 
 TEST(World, ExternalAvatarNeverLogsOutOnItsOwn) {
@@ -102,7 +103,7 @@ TEST(World, ExternalAvatarNeverLogsOutOnItsOwn) {
   const auto id = world->add_external_avatar(0.0, {128.0, 128.0, 22.0});
   ASSERT_TRUE(id.has_value());
   run(*world, 0.0, 2.0 * 3600.0);
-  EXPECT_NE(world->find(*id), nullptr);
+  EXPECT_TRUE(world->find(*id).has_value());
 }
 
 TEST(World, CapacityRejectsLogins) {
@@ -164,9 +165,9 @@ TEST(World, DebugSyntheticLogsOutOnSchedule) {
   auto world = small_world();
   const AvatarId id = world->debug_add_synthetic(0.0, {100.0, 100.0, 22.0}, 50.0);
   run(*world, 0.0, 49.0);
-  EXPECT_NE(world->find(id), nullptr);
+  EXPECT_TRUE(world->find(id).has_value());
   run(*world, 49.0, 60.0);
-  EXPECT_EQ(world->find(id), nullptr);
+  EXPECT_FALSE(world->find(id).has_value());
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // slmob command-line tool: collect, inspect, convert and replay traces
 // without writing C++.
 //
-//   slmob run     --land <apfel|dance|isle> [--hours H] [--seed S]
+//   slmob run     --land <l>[,<l>...] [--hours H] [--seed S] [--jobs J]
 //                 [--faults <scenario>] [--fault-seed S] --out t.slt
 //   slmob summary <trace.slt>
 //   slmob analyze <trace.slt> [--range R]... [--threads N]
@@ -21,6 +21,8 @@
 #include "core/checkpoint.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "core/shards.hpp"
+#include "util/thread_pool.hpp"
 #include "dtn/dtn_simulator.hpp"
 #include "trace/journal.hpp"
 #include "trace/serialize.hpp"
@@ -35,12 +37,15 @@ using namespace slmob;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  slmob run --land <apfel|dance|isle> [--hours H] [--seed S]\n"
+               "  slmob run --land <apfel|dance|isle>[,<land>...] [--hours H] [--seed S]\n"
+               "            [--jobs J]\n"
                "            [--faults none|blackouts|burst-loss|region-flaps|\n"
                "                      collector-crash|chaos] [--fault-seed S]\n"
                "            [--journal J.sltj | --checkpoint DIR [--checkpoint-every SEC]]\n"
                "            --out T.slt\n"
-               "  slmob run --resume DIR [--out T.slt]\n"
+               "    (multi-land runs shard across threads; shard i uses seed S+i and\n"
+               "     --out must disambiguate with {land} and/or {seed} placeholders)\n"
+               "  slmob run --resume DIR [--jobs J] [--out T.slt]\n"
                "  slmob salvage <journal.sltj> [--out T.slt]\n"
                "  slmob summary <trace.slt|journal.sltj> [--stream]\n"
                "  slmob analyze <trace.slt|journal.sltj> [--range R]... [--threads N]\n"
@@ -58,6 +63,44 @@ std::optional<LandArchetype> parse_land(const std::string& name) {
   if (name == "dance") return LandArchetype::kDanceIsland;
   if (name == "isle" || name == "isleofview") return LandArchetype::kIsleOfView;
   return std::nullopt;
+}
+
+std::optional<std::vector<LandArchetype>> parse_lands(const std::string& list) {
+  std::vector<LandArchetype> lands;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const auto land = parse_land(list.substr(pos, comma - pos));
+    if (!land) return std::nullopt;
+    lands.push_back(*land);
+    pos = comma + 1;
+  }
+  return lands;
+}
+
+// Short land name for {land} path substitution — matches the --land spelling.
+std::string land_token(LandArchetype land) {
+  switch (land) {
+    case LandArchetype::kApfelLand: return "apfel";
+    case LandArchetype::kDanceIsland: return "dance";
+    case LandArchetype::kIsleOfView: return "isle";
+  }
+  return "land";
+}
+
+// Expands {land} and {seed} placeholders so one --out template names every
+// shard's trace file.
+std::string expand_out_path(std::string path, LandArchetype land, std::uint64_t seed) {
+  const auto replace_all = [&path](const std::string& key, const std::string& value) {
+    for (std::size_t pos = path.find(key); pos != std::string::npos;
+         pos = path.find(key, pos)) {
+      path.replace(pos, key.size(), value);
+      pos += value.size();
+    }
+  };
+  replace_all("{land}", land_token(land));
+  replace_all("{seed}", std::to_string(seed));
+  return path;
 }
 
 bool has_suffix(const std::string& s, const std::string& suffix) {
@@ -114,7 +157,7 @@ int finish_run(Trace trace, const CrawlerStats& crawler_stats, const std::string
 }
 
 int cmd_run(const std::vector<std::string>& args) {
-  std::optional<LandArchetype> land;
+  std::vector<LandArchetype> lands;
   double hours = 24.0;
   std::uint64_t seed = 42;
   std::uint64_t fault_seed = 0;
@@ -124,9 +167,14 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string checkpoint_dir;
   std::string resume_dir;
   double checkpoint_every = 600.0;
+  std::size_t jobs = 0;  // 0 = SLMOB_THREADS env / hardware_concurrency
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--land" && i + 1 < args.size()) {
-      land = parse_land(args[++i]);
+      const auto parsed = parse_lands(args[++i]);
+      if (!parsed) return usage();
+      lands = *parsed;
+    } else if (args[i] == "--jobs" && i + 1 < args.size()) {
+      jobs = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
     } else if (args[i] == "--hours" && i + 1 < args.size()) {
       hours = std::atof(args[++i].c_str());
     } else if (args[i] == "--seed" && i + 1 < args.size()) {
@@ -151,73 +199,141 @@ int cmd_run(const std::vector<std::string>& args) {
   }
 
   if (!resume_dir.empty()) {
-    // Identity (land, hours, seeds, faults, out path) comes from the
-    // checkpoint; only --out may override where the trace lands.
-    const CheckpointState ck = load_checkpoint(resume_dir);
-    if (out.empty()) out = ck.out_path;
-    if (out.empty()) return usage();
-    std::printf("resuming %s from t=%.0f s (seed %llu, faults %s)...\n",
-                archetype_name(ck.archetype).c_str(), ck.time,
-                static_cast<unsigned long long>(ck.seed), ck.fault_scenario.c_str());
-    DurableRunResult res = resume_durable(resume_dir);
-    return finish_run(std::move(res.trace), res.crawler_stats, out);
-  }
-
-  if (!land || out.empty() || hours <= 0.0) return usage();
-  if (!journal.empty() && !checkpoint_dir.empty()) return usage();
-
-  ExperimentConfig cfg;
-  cfg.archetype = *land;
-  cfg.duration = hours * kSecondsPerHour;
-  cfg.seed = seed;
-  cfg.fault_scenario = faults;
-  cfg.fault_seed = fault_seed;
-  cfg.ranges = {};  // collection only
-  std::printf("crawling %s for %.1f h (seed %llu, faults %s)...\n",
-              archetype_name(*land).c_str(), hours,
-              static_cast<unsigned long long>(seed), faults.c_str());
-
-  if (!checkpoint_dir.empty()) {
-    if (checkpoint_every <= 0.0) return usage();
-    DurableRunOptions options;
-    options.config = cfg;
-    options.dir = checkpoint_dir;
-    options.checkpoint_every = checkpoint_every;
-    options.out_path = out;
-    DurableRunResult res = run_durable(options);
-    std::printf("journaled to %s (%zu checkpoints)\n", res.journal_path.c_str(),
-                res.checkpoints_written);
-    return finish_run(std::move(res.trace), res.crawler_stats, out);
-  }
-
-  if (!journal.empty()) {
-    // Journal-only durable run: salvageable after a crash, not resumable.
-    Testbed bed(make_testbed_config(cfg));
-    if (bed.crawler() == nullptr) {
-      std::fprintf(stderr, "error: journaled run requires a crawler\n");
-      return 1;
+    // Identity (lands, hours, seeds, faults, out paths) comes from the shard
+    // checkpoints; --out (with {land}/{seed} placeholders for multi-shard
+    // runs) only overrides where the traces land. Accepts both a single
+    // shard's directory and a multi-land run's directory of shard-NN-<land>
+    // subdirectories.
+    std::printf("resuming shards in %s...\n", resume_dir.c_str());
+    auto results = resume_sharded(resume_dir, jobs);
+    int rc = 0;
+    for (auto& res : results) {
+      const std::string path =
+          out.empty() ? res.out_path : expand_out_path(out, res.archetype, res.seed);
+      if (path.empty()) return usage();
+      std::printf("resumed %s (seed %llu)\n", archetype_name(res.archetype).c_str(),
+                  static_cast<unsigned long long>(res.seed));
+      rc |= finish_run(std::move(res.trace), res.crawler_stats, path);
     }
-    TraceJournalWriter writer(journal, cfg.duration);
-    bed.crawler()->attach_journal(&writer);
-    bed.run_until(cfg.duration);
-    Trace trace = bed.crawler()->take_trace();
-    writer.append_end(bed.engine().now());
-    std::printf("journaled to %s\n", journal.c_str());
-    return finish_run(std::move(trace), bed.crawler()->stats(), out);
+    return rc;
   }
 
-  const ExperimentResults res = run_experiment(cfg);
-  save_trace(res.trace, out);
-  std::printf("wrote %s: %zu snapshots, %zu unique users, avg conc %.1f\n", out.c_str(),
-              res.summary.snapshot_count, res.summary.unique_users,
-              res.summary.avg_concurrent);
-  if (res.summary.gap_count > 0) {
-    std::printf("coverage: %zu gaps, %.0f s uncovered (%zu relogins, %zu crawler backoff resets)\n",
-                res.summary.gap_count, res.summary.gap_seconds,
-                static_cast<std::size_t>(res.crawler_stats.relogins),
-                static_cast<std::size_t>(res.crawler_stats.backoff_resets));
+  if (lands.empty() || out.empty() || hours <= 0.0) return usage();
+  if (!journal.empty() && !checkpoint_dir.empty()) return usage();
+  if (!checkpoint_dir.empty() && checkpoint_every <= 0.0) return usage();
+
+  if (lands.size() == 1) {
+    const LandArchetype land = lands.front();
+    ExperimentConfig cfg;
+    cfg.archetype = land;
+    cfg.duration = hours * kSecondsPerHour;
+    cfg.seed = seed;
+    cfg.fault_scenario = faults;
+    cfg.fault_seed = fault_seed;
+    cfg.ranges = {};  // collection only
+    std::printf("crawling %s for %.1f h (seed %llu, faults %s)...\n",
+                archetype_name(land).c_str(), hours,
+                static_cast<unsigned long long>(seed), faults.c_str());
+
+    if (!checkpoint_dir.empty()) {
+      DurableRunOptions options;
+      options.config = cfg;
+      options.dir = checkpoint_dir;
+      options.checkpoint_every = checkpoint_every;
+      options.out_path = out;
+      DurableRunResult res = run_durable(options);
+      std::printf("journaled to %s (%zu checkpoints)\n", res.journal_path.c_str(),
+                  res.checkpoints_written);
+      return finish_run(std::move(res.trace), res.crawler_stats, out);
+    }
+
+    if (!journal.empty()) {
+      // Journal-only durable run: salvageable after a crash, not resumable.
+      Testbed bed(make_testbed_config(cfg));
+      if (bed.crawler() == nullptr) {
+        std::fprintf(stderr, "error: journaled run requires a crawler\n");
+        return 1;
+      }
+      TraceJournalWriter writer(journal, cfg.duration);
+      bed.crawler()->attach_journal(&writer);
+      bed.run_until(cfg.duration);
+      Trace trace = bed.crawler()->take_trace();
+      writer.append_end(bed.engine().now());
+      std::printf("journaled to %s\n", journal.c_str());
+      return finish_run(std::move(trace), bed.crawler()->stats(), out);
+    }
+
+    const ExperimentResults res = run_experiment(cfg);
+    save_trace(res.trace, out);
+    std::printf("wrote %s: %zu snapshots, %zu unique users, avg conc %.1f\n", out.c_str(),
+                res.summary.snapshot_count, res.summary.unique_users,
+                res.summary.avg_concurrent);
+    if (res.summary.gap_count > 0) {
+      std::printf(
+          "coverage: %zu gaps, %.0f s uncovered (%zu relogins, %zu crawler backoff resets)\n",
+          res.summary.gap_count, res.summary.gap_seconds,
+          static_cast<std::size_t>(res.crawler_stats.relogins),
+          static_cast<std::size_t>(res.crawler_stats.backoff_resets));
+    }
+    return 0;
   }
-  return 0;
+
+  // Multi-land sharded run: shard i crawls lands[i] with seed base+i; all
+  // shards execute concurrently on one pool and every trace is bit-identical
+  // to running that land alone.
+  if (!journal.empty()) {
+    std::fprintf(stderr,
+                 "error: --journal is single-land; use --checkpoint for sharded runs\n");
+    return 2;
+  }
+  std::vector<ExperimentConfig> shards;
+  std::vector<std::string> outs;
+  for (std::size_t i = 0; i < lands.size(); ++i) {
+    ExperimentConfig cfg;
+    cfg.archetype = lands[i];
+    cfg.duration = hours * kSecondsPerHour;
+    cfg.seed = seed + i;
+    cfg.fault_scenario = faults;
+    cfg.fault_seed = fault_seed;
+    cfg.ranges = {};  // collection only
+    shards.push_back(cfg);
+    outs.push_back(expand_out_path(out, lands[i], cfg.seed));
+  }
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    for (std::size_t j = i + 1; j < outs.size(); ++j) {
+      if (outs[i] == outs[j]) {
+        std::fprintf(stderr,
+                     "error: --out %s maps shards %zu and %zu to the same file; "
+                     "add {land} and/or {seed}\n",
+                     out.c_str(), i, j);
+        return 2;
+      }
+    }
+  }
+
+  ShardRunOptions options;
+  options.threads = jobs;
+  options.checkpoint_dir = checkpoint_dir;
+  options.checkpoint_every = checkpoint_every;
+  options.out_paths = outs;
+  const std::size_t threads = jobs == 0 ? ThreadPool::default_concurrency() : jobs;
+  std::printf("crawling %zu lands for %.1f h (seeds %llu..%llu, faults %s, %zu threads)...\n",
+              lands.size(), hours, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + lands.size() - 1), faults.c_str(),
+              threads);
+  auto results = run_sharded(shards, options);
+  int rc = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& res = results[i];
+    std::printf("%s (seed %llu)", archetype_name(res.archetype).c_str(),
+                static_cast<unsigned long long>(res.seed));
+    if (!checkpoint_dir.empty()) {
+      std::printf(" [%zu checkpoints]", res.checkpoints_written);
+    }
+    std::printf(": ");
+    rc |= finish_run(std::move(res.trace), res.crawler_stats, outs[i]);
+  }
+  return rc;
 }
 
 int cmd_salvage(const std::vector<std::string>& args) {
@@ -410,10 +526,10 @@ int cmd_analyze(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Multi-seed / multi-land experiment sweep, fanned across a thread pool.
-// Each (land, seed) experiment runs on one pool slot with a single-threaded
-// analysis (so J experiments use J threads total), and rows print in
-// deterministic (land, seed) order once all experiments finish.
+// Multi-seed / multi-land experiment sweep on the sharded engine. Each
+// (land, seed) cell is one shard with a single-threaded analysis (so J
+// shards use J threads total), and rows print in deterministic (land, seed)
+// order once all experiments finish.
 int cmd_sweep(const std::vector<std::string>& args) {
   std::vector<LandArchetype> lands;
   std::size_t seeds = 0;
@@ -422,15 +538,9 @@ int cmd_sweep(const std::vector<std::string>& args) {
   std::size_t jobs = 0;  // 0 = SLMOB_THREADS env / hardware_concurrency
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--land" && i + 1 < args.size()) {
-      std::string list = args[++i];
-      std::size_t pos = 0;
-      while (pos <= list.size()) {
-        const std::size_t comma = std::min(list.find(',', pos), list.size());
-        const auto land = parse_land(list.substr(pos, comma - pos));
-        if (!land) return usage();
-        lands.push_back(*land);
-        pos = comma + 1;
-      }
+      const auto parsed = parse_lands(args[++i]);
+      if (!parsed) return usage();
+      lands = *parsed;
     } else if (args[i] == "--seeds" && i + 1 < args.size()) {
       seeds = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
     } else if (args[i] == "--seed-base" && i + 1 < args.size()) {
@@ -445,26 +555,21 @@ int cmd_sweep(const std::vector<std::string>& args) {
   }
   if (lands.empty() || seeds == 0 || hours <= 0.0) return usage();
 
-  struct Cell {
-    LandArchetype land;
-    std::uint64_t seed;
-  };
-  std::vector<Cell> cells;
+  std::vector<ExperimentConfig> cells;
   for (const LandArchetype land : lands) {
-    for (std::size_t s = 0; s < seeds; ++s) cells.push_back({land, seed_base + s});
+    for (std::size_t s = 0; s < seeds; ++s) {
+      ExperimentConfig cfg;
+      cfg.archetype = land;
+      cfg.duration = hours * kSecondsPerHour;
+      cfg.seed = seed_base + s;
+      cells.push_back(cfg);
+    }
   }
 
-  ThreadPool pool(jobs);
+  const std::size_t threads = jobs == 0 ? ThreadPool::default_concurrency() : jobs;
   std::printf("sweeping %zu experiments (%zu lands x %zu seeds, %.1f h, %zu threads)\n",
-              cells.size(), lands.size(), seeds, hours, pool.concurrency());
-  const auto results = parallel_map<ExperimentResults>(pool, cells.size(), [&](std::size_t i) {
-    ExperimentConfig cfg;
-    cfg.archetype = cells[i].land;
-    cfg.duration = hours * kSecondsPerHour;
-    cfg.seed = cells[i].seed;
-    cfg.analysis_threads = 1;  // pool slots are the parallelism here
-    return run_experiment(cfg);
-  });
+              cells.size(), lands.size(), seeds, hours, threads);
+  const auto results = run_experiments_sharded(cells, jobs);
 
   std::printf("%-12s %6s %8s %8s %10s %10s %10s\n", "land", "seed", "users", "conc",
               "ct_med", "ict_med", "deg_med");
@@ -474,7 +579,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
     const auto& g = res.graphs.at(kBluetoothRange);
     const auto median = [](const Ecdf& e) { return e.empty() ? 0.0 : e.median(); };
     std::printf("%-12s %6llu %8zu %8.1f %10.0f %10.0f %10.0f\n",
-                archetype_name(cells[i].land).c_str(),
+                archetype_name(cells[i].archetype).c_str(),
                 static_cast<unsigned long long>(cells[i].seed), res.summary.unique_users,
                 res.summary.avg_concurrent, median(c.contact_times),
                 median(c.inter_contact_times), median(g.degrees));
