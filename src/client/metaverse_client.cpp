@@ -33,6 +33,7 @@ void MetaverseClient::login() {
   if (++login_attempts_ > 1 || circuit_->failed()) {
     const std::uint32_t isn =
         (0x9e3779b9u * (address_ + 77u * login_attempts_)) % 1000000000u + 1u;
+    retired_stats_ += circuit_->stats();
     circuit_ = std::make_unique<CircuitEndpoint>(network_, address_, server_,
                                                  CircuitParams{}, isn);
     circuit_->set_deliver([this](Message& msg) { on_message(msg); });

@@ -67,6 +67,14 @@ class MetaverseClient {
   [[nodiscard]] Vec3 spawn_position() const { return spawn_; }
   [[nodiscard]] NodeId address() const { return address_; }
   [[nodiscard]] const CircuitStats& circuit_stats() const { return circuit_->stats(); }
+  // Transport stats summed over every circuit this client has used: each
+  // relogin retires the old endpoint, so circuit_stats() alone only covers
+  // the current connection.
+  [[nodiscard]] CircuitStats total_circuit_stats() const {
+    CircuitStats total = retired_stats_;
+    total += circuit_->stats();
+    return total;
+  }
 
  private:
   void on_message(Message& msg);
@@ -88,6 +96,8 @@ class MetaverseClient {
   std::optional<Seconds> last_keepalive_;
   Seconds login_started_{0.0};
   std::uint32_t login_attempts_{0};
+  // Stats of circuits retired by reconnects, folded into total_circuit_stats.
+  CircuitStats retired_stats_;
   ClientCallbacks callbacks_;
 };
 

@@ -18,7 +18,9 @@ std::string checkpoint_path(const std::string& dir) {
 
 std::string journal_path(const std::string& dir) { return dir + "/" + kJournalFileName; }
 
-void fill_witness(CheckpointState& ck, Testbed& bed) {
+}  // namespace
+
+void fill_checkpoint_witness(CheckpointState& ck, Testbed& bed) {
   ck.engine_tick = static_cast<std::uint64_t>(bed.engine().tick());
   ck.world_rng = bed.world().rng_state();
   ck.network_rng = bed.network().rng_state();
@@ -30,11 +32,11 @@ void fill_witness(CheckpointState& ck, Testbed& bed) {
   ck.network_sent = bed.network().stats().sent;
 }
 
-void verify_replay(const CheckpointState& ck, Testbed& bed) {
+void verify_checkpoint_replay(const CheckpointState& ck, Testbed& bed) {
   const auto check = [](bool ok, const char* what) {
     if (!ok) {
       throw std::runtime_error(
-          std::string("resume_durable: replay mismatch on ") + what +
+          std::string("checkpoint resume: replay mismatch on ") + what +
           " — the checkpoint was taken under a different build, config or seed; "
           "refusing to resume into a diverged run");
     }
@@ -53,6 +55,8 @@ void verify_replay(const CheckpointState& ck, Testbed& bed) {
   check(bed.network().stats().sent == ck.network_sent, "network datagram count");
 }
 
+namespace {
+
 // Shared by fresh and resumed runs: advance in checkpoint-sized segments,
 // persisting a checkpoint after each, and finalize (or die) on schedule.
 DurableRunResult run_loop(Testbed& bed, TraceJournalWriter& writer, CheckpointState base,
@@ -67,6 +71,9 @@ DurableRunResult run_loop(Testbed& bed, TraceJournalWriter& writer, CheckpointSt
     result.crawler_stats = bed.crawler()->stats();
     result.world_stats = bed.world().stats();
     result.network_stats = bed.network().stats();
+    if (bed.client() != nullptr) {
+      result.circuit_stats = bed.client()->total_circuit_stats();
+    }
   };
 
   Seconds t = from;
@@ -86,7 +93,7 @@ DurableRunResult run_loop(Testbed& bed, TraceJournalWriter& writer, CheckpointSt
       CheckpointState ck = base;
       ck.time = t;
       ck.journal_offset = writer.offset();
-      fill_witness(ck, bed);
+      fill_checkpoint_witness(ck, bed);
       save_checkpoint(ck, dir);
       ++result.checkpoints_written;
     }
@@ -171,18 +178,76 @@ void save_checkpoint(const CheckpointState& state, const std::string& dir) {
   write_file_atomic(checkpoint_path(dir), encode_checkpoint(state));
 }
 
-CheckpointState load_checkpoint(const std::string& dir) {
-  const std::string path = checkpoint_path(dir);
+namespace {
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    throw std::runtime_error("load_checkpoint: cannot open " + path);
+    throw std::runtime_error("cannot open " + path);
   }
   std::vector<std::uint8_t> bytes;
   std::uint8_t buf[4096];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
   std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+CheckpointState load_checkpoint(const std::string& dir) {
+  const std::string path = checkpoint_path(dir);
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("load_checkpoint: cannot open " + path);
+  }
   return decode_checkpoint(bytes);
+}
+
+void save_checkpoint_rotating(const CheckpointState& state, const std::string& dir) {
+  const std::string path = checkpoint_path(dir);
+  const std::string prev = dir + "/" + kCheckpointPrevFileName;
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    // rename is atomic on POSIX: at every instant either generation is a
+    // complete file, so a kill inside this function costs at most the
+    // newest checkpoint, never both.
+    std::filesystem::rename(path, prev, ec);
+    if (ec) {
+      throw std::runtime_error("save_checkpoint_rotating: cannot rotate " + path +
+                               ": " + ec.message());
+    }
+  }
+  write_file_atomic(path, encode_checkpoint(state));
+}
+
+CheckpointLoadResult try_load_checkpoint(const std::string& dir) {
+  CheckpointLoadResult result;
+  const struct {
+    std::string path;
+    bool fallback;
+  } generations[] = {{checkpoint_path(dir), false},
+                     {dir + "/" + kCheckpointPrevFileName, true}};
+  for (const auto& gen : generations) {
+    std::error_code ec;
+    if (!std::filesystem::exists(gen.path, ec)) {
+      if (gen.fallback && !result.diagnostic.empty()) {
+        result.diagnostic += "; " + gen.path + ": missing (no fallback generation)";
+      }
+      continue;
+    }
+    try {
+      result.state = decode_checkpoint(read_file_bytes(gen.path));
+      result.used_fallback = gen.fallback;
+      return result;
+    } catch (const std::exception& e) {
+      if (!result.diagnostic.empty()) result.diagnostic += "; ";
+      result.diagnostic += gen.path + ": " + e.what();
+    }
+  }
+  return result;
 }
 
 DurableRunResult run_durable(const DurableRunOptions& options) {
@@ -228,7 +293,7 @@ DurableRunResult resume_durable(const std::string& dir, std::optional<Seconds> k
   // crawler timer without serializing any of them. No journal is attached —
   // the frames for this prefix already sit in the journal file.
   bed.run_until(ck.time);
-  verify_replay(ck, bed);
+  verify_checkpoint_replay(ck, bed);
 
   auto writer = TraceJournalWriter::resume(journal_path(dir), ck.journal_offset, ck.duration);
   bed.crawler()->attach_journal(&writer);

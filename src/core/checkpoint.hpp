@@ -34,6 +34,10 @@
 namespace slmob {
 
 inline constexpr const char* kCheckpointFileName = "checkpoint.slck";
+// Previous generation kept by save_checkpoint_rotating: when the newest
+// checkpoint turns out truncated or bit-flipped (CRC failure), the loader
+// falls back to this one instead of abandoning the run.
+inline constexpr const char* kCheckpointPrevFileName = "checkpoint.prev.slck";
 inline constexpr const char* kJournalFileName = "trace.sltj";
 
 struct CheckpointState {
@@ -77,6 +81,27 @@ void save_checkpoint(const CheckpointState& state, const std::string& dir);
 // Throws std::runtime_error when the file is missing or unreadable.
 CheckpointState load_checkpoint(const std::string& dir);
 
+// Like save_checkpoint, but first rotates the current checkpoint.slck to
+// checkpoint.prev.slck, so two independent generations exist on disk. The
+// supervisor uses this: losing the newest checkpoint to corruption then
+// costs one extra replay segment, not the whole run.
+void save_checkpoint_rotating(const CheckpointState& state, const std::string& dir);
+
+// Result of a fallback-aware load. `state` is empty when no generation
+// decoded cleanly; `diagnostic` names every file that was rejected and why
+// (missing, truncated, CRC mismatch, ...), so a corrupted checkpoint is a
+// loud, explained event rather than UB or a silent cold start.
+struct CheckpointLoadResult {
+  std::optional<CheckpointState> state;
+  bool used_fallback{false};  // state came from checkpoint.prev.slck
+  std::string diagnostic;     // non-empty whenever any generation was rejected
+};
+
+// Tries checkpoint.slck, then checkpoint.prev.slck. Never throws on corrupt
+// or missing files — corruption is reported in `diagnostic` and the next
+// generation is tried; the caller decides between resume and cold restart.
+CheckpointLoadResult try_load_checkpoint(const std::string& dir);
+
 struct DurableRunOptions {
   // Only archetype/duration/seed/fault_scenario/fault_seed are recorded in
   // the checkpoint; the testbed config must stay default for a resume to
@@ -96,6 +121,7 @@ struct DurableRunResult {
   CrawlerStats crawler_stats;
   WorldStats world_stats;
   NetworkStats network_stats;
+  CircuitStats circuit_stats;  // crawler client, summed across reconnects
   bool killed{false};
   std::size_t checkpoints_written{0};
   std::string journal_path;
@@ -110,5 +136,12 @@ DurableRunResult run_durable(const DurableRunOptions& options);
 // twice produces bit-identical traces, equal to the never-killed run's.
 DurableRunResult resume_durable(const std::string& dir,
                                 std::optional<Seconds> kill_at = std::nullopt);
+
+// Replay-witness plumbing, shared with the run supervisor
+// (core/supervisor.hpp), which drives its own segment loop but must record
+// and verify exactly the same witness as run_durable/resume_durable.
+void fill_checkpoint_witness(CheckpointState& ck, Testbed& bed);
+// Throws std::runtime_error naming the first mismatching component.
+void verify_checkpoint_replay(const CheckpointState& ck, Testbed& bed);
 
 }  // namespace slmob

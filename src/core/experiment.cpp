@@ -42,6 +42,7 @@ ExperimentResults run_experiment(const ExperimentConfig& config) {
   results.world_stats = bed.world().stats();
   if (bed.crawler() != nullptr) results.crawler_stats = bed.crawler()->stats();
   results.network_stats = bed.network().stats();
+  if (bed.client() != nullptr) results.circuit_stats = bed.client()->total_circuit_stats();
   if (!config.analyze_ground_truth && bed.ground_truth() != nullptr) {
     results.ground_truth = bed.ground_truth()->take_trace();
   }

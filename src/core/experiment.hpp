@@ -61,6 +61,7 @@ struct ExperimentResults {
   WorldStats world_stats;
   CrawlerStats crawler_stats;   // zero-initialised when crawler disabled
   NetworkStats network_stats;
+  CircuitStats circuit_stats;   // crawler client, summed across relogins
   std::optional<Trace> ground_truth;
 };
 

@@ -57,6 +57,18 @@ std::string render_report(const ExperimentResults& results, const ReportOptions&
     os << "| crawler re-logins | " << results.crawler_stats.relogins << " |\n";
   }
 
+  os << "\n## Transport\n\n";
+  os << "| quantity | value |\n|---|---|\n";
+  os << "| datagrams sent | " << results.network_stats.sent << " ("
+     << results.network_stats.lost << " lost, " << results.network_stats.fault_dropped
+     << " dropped by faults) |\n";
+  os << "| circuit packets | " << results.circuit_stats.packets_sent << " sent / "
+     << results.circuit_stats.packets_received << " received |\n";
+  os << "| retransmits | " << results.circuit_stats.retransmits << " ("
+     << results.circuit_stats.rto_backoffs << " RTO backoffs, "
+     << results.circuit_stats.reliable_failures << " reliable failures) |\n";
+  os << "| RTT samples | " << results.circuit_stats.rtt_samples << " |\n";
+
   os << "\n## Contact opportunities\n\n";
   os << "| metric | n | p10 | median | p90 | max |\n|---|---|---|---|---|---|\n";
   for (const auto& [range, contacts] : results.contacts) {
@@ -104,6 +116,32 @@ std::string render_report(const ExperimentResults& results, const ReportOptions&
 void write_report(const ExperimentResults& results, const std::string& path,
                   const ReportOptions& options) {
   write_file_atomic(path, render_report(results, options));
+}
+
+std::string shard_stats_csv(const std::vector<ShardResult>& shards) {
+  std::ostringstream os;
+  os << "shard,land,seed,snapshots,relogins,coverage_gaps,"
+        "packets_sent,packets_received,retransmits,duplicates_dropped,"
+        "reliable_failures,rtt_samples,rto_backoffs,"
+        "net_sent,net_delivered,net_lost,net_fault_dropped,net_oversize_dropped\n";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardResult& r = shards[i];
+    const CircuitStats& c = r.circuit_stats;
+    const NetworkStats& n = r.network_stats;
+    os << i << ',' << archetype_name(r.archetype) << ',' << r.seed << ','
+       << r.crawler_stats.snapshots_taken << ',' << r.crawler_stats.relogins << ','
+       << r.crawler_stats.coverage_gaps << ',' << c.packets_sent << ','
+       << c.packets_received << ',' << c.retransmits << ',' << c.duplicates_dropped
+       << ',' << c.reliable_failures << ',' << c.rtt_samples << ',' << c.rto_backoffs
+       << ',' << n.sent << ',' << n.delivered << ',' << n.lost << ','
+       << n.fault_dropped << ',' << n.oversize_dropped << '\n';
+  }
+  return os.str();
+}
+
+void write_shard_stats_csv(const std::vector<ShardResult>& shards,
+                           const std::string& path) {
+  write_file_atomic(path, shard_stats_csv(shards));
 }
 
 }  // namespace slmob

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/shards.hpp"
 
 namespace slmob {
 
@@ -24,5 +25,14 @@ std::string render_report(const ExperimentResults& results,
 // I/O failure).
 void write_report(const ExperimentResults& results, const std::string& path,
                   const ReportOptions& options = {});
+
+// Per-shard transport/measurement stats as CSV (one row per shard, header
+// included): degraded transport — retransmits, reliable failures, datagrams
+// dropped by fault windows — is visible per land, not silently averaged
+// away. Works for any run_sharded/run_supervised result.
+std::string shard_stats_csv(const std::vector<ShardResult>& shards);
+// Atomic-write convenience (throws std::runtime_error on I/O failure).
+void write_shard_stats_csv(const std::vector<ShardResult>& shards,
+                           const std::string& path);
 
 }  // namespace slmob

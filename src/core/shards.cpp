@@ -29,6 +29,7 @@ ShardResult run_shard_in_memory(const ExperimentConfig& config) {
   }
   result.world_stats = bed.world().stats();
   result.network_stats = bed.network().stats();
+  if (bed.client() != nullptr) result.circuit_stats = bed.client()->total_circuit_stats();
   return result;
 }
 
@@ -51,6 +52,7 @@ ShardResult run_shard_durable(const ExperimentConfig& config, const std::string&
   result.crawler_stats = durable.crawler_stats;
   result.world_stats = durable.world_stats;
   result.network_stats = durable.network_stats;
+  result.circuit_stats = durable.circuit_stats;
   result.killed = durable.killed;
   result.checkpoints_written = durable.checkpoints_written;
   return result;
@@ -68,6 +70,7 @@ ShardResult resume_shard(const std::string& dir, std::optional<Seconds> kill_at)
   result.crawler_stats = durable.crawler_stats;
   result.world_stats = durable.world_stats;
   result.network_stats = durable.network_stats;
+  result.circuit_stats = durable.circuit_stats;
   result.killed = durable.killed;
   result.checkpoints_written = durable.checkpoints_written;
   return result;

@@ -34,6 +34,9 @@ struct ShardResult {
   CrawlerStats crawler_stats;
   WorldStats world_stats;
   NetworkStats network_stats;
+  // Crawler-client transport stats, summed over every circuit (relogins
+  // retire circuits); zero-initialised for ground-truth-only shards.
+  CircuitStats circuit_stats;
   bool killed{false};                 // durable runs only
   std::size_t checkpoints_written{0}; // durable runs only
   // Durable runs: where the finished trace should land, recorded in the

@@ -1,0 +1,478 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace slmob {
+
+const char* shard_phase_name(ShardPhase phase) {
+  switch (phase) {
+    case ShardPhase::kIdle: return "idle";
+    case ShardPhase::kRunning: return "running";
+    case ShardPhase::kStalled: return "stalled";
+    case ShardPhase::kBackoff: return "backoff";
+    case ShardPhase::kCompleted: return "completed";
+    case ShardPhase::kFailedPartial: return "failed-partial";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void sleep_ms(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+// Interrupts that unwind a shard's run loop to its crash barrier. They model
+// process death, so they deliberately skip all trace/journal finalization —
+// the on-disk state they leave is exactly a SIGKILL's.
+struct InjectedCrash : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+struct InjectedStall : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+struct WatchdogAbort : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Heartbeat channel between one shard's loop and the watchdog thread. The
+// shard publishes (attempt, heartbeat, phase); the watchdog only ever sets
+// `cancel`. Addresses must stay stable while threads run, so run_supervised
+// holds these behind unique_ptr.
+struct ShardRuntime {
+  std::atomic<std::uint64_t> heartbeat{0};
+  std::atomic<std::uint64_t> attempt{0};
+  std::atomic<bool> cancel{false};
+  std::atomic<int> phase{static_cast<int>(ShardPhase::kIdle)};
+};
+
+// Everything one shard's supervision loop needs, owned by the shard's
+// worker thread (only ShardRuntime is shared).
+struct ShardCtx {
+  const ExperimentConfig& config;
+  const SupervisorOptions& opt;
+  std::string dir;       // this shard's checkpoint directory
+  std::string out_path;  // destination trace path ("" = none)
+  ShardRuntime& rt;
+  ShardHealth& health;
+
+  // Shard-fault windows in start order; `next_injection` indexes the first
+  // window that has not fired yet. The index persists across restart
+  // attempts: a fired fault never re-arms, like a real crash that does not
+  // recur on replay.
+  std::vector<FaultWindow> injections;
+  std::size_t next_injection{0};
+
+  // Recovery-latency bookkeeping: set when a failure is contained, resolved
+  // when the restarted shard completes its first segment.
+  std::optional<std::size_t> pending_recovery_event;
+  Clock::time_point recovery_t0{};
+
+  Seconds heartbeat_every{60.0};  // opt.heartbeat_every, sanitised
+
+  [[nodiscard]] std::string journal_file() const { return dir + "/" + kJournalFileName; }
+
+  void set_phase(ShardPhase p) {
+    rt.phase.store(static_cast<int>(p), std::memory_order_relaxed);
+    health.phase = p;
+  }
+  void beat() { rt.heartbeat.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] bool canceled() const {
+    return rt.cancel.load(std::memory_order_relaxed);
+  }
+};
+
+// One wired rig plus its journal, ready to run from `from`.
+struct ShardRig {
+  std::unique_ptr<Testbed> bed;
+  std::optional<TraceJournalWriter> writer;
+  Seconds from{0.0};
+};
+
+std::string describe(const char* what, Seconds at) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s at t=%.0f s", what, at);
+  return buf;
+}
+
+// Silent replay to the checkpoint frontier, sub-stepped so the watchdog
+// keeps seeing heartbeats (a 20 h replay must not look like a stall).
+void replay_to(ShardCtx& c, Testbed& bed, Seconds until) {
+  Seconds t = 0.0;
+  while (t < until) {
+    if (c.canceled()) {
+      throw WatchdogAbort("watchdog canceled shard during checkpoint replay");
+    }
+    t = std::min(until, t + c.heartbeat_every);
+    bed.run_until(t);
+    c.beat();
+  }
+}
+
+// Builds the rig for one attempt: resume from the best usable checkpoint
+// generation, else cold-start. Corrupt checkpoints and replay-verify
+// mismatches are contained here — they demote the attempt to a cold
+// restart (with a diagnostic) instead of failing the shard.
+ShardRig prepare_rig(ShardCtx& c) {
+  const CheckpointLoadResult loaded = try_load_checkpoint(c.dir);
+  if (!loaded.diagnostic.empty()) {
+    c.health.last_error = loaded.diagnostic;
+    log_warn("supervisor", "shard checkpoint rejected: " + loaded.diagnostic);
+  }
+  if (loaded.state) {
+    try {
+      ShardRig rig;
+      rig.bed = std::make_unique<Testbed>(make_testbed_config(c.config));
+      replay_to(c, *rig.bed, loaded.state->time);
+      verify_checkpoint_replay(*loaded.state, *rig.bed);
+      rig.writer.emplace(TraceJournalWriter::resume(
+          c.journal_file(), loaded.state->journal_offset, c.config.duration));
+      rig.from = loaded.state->time;
+      if (loaded.used_fallback) c.health.used_fallback_checkpoint = true;
+      return rig;
+    } catch (const WatchdogAbort&) {
+      throw;
+    } catch (const std::exception& e) {
+      c.health.last_error =
+          std::string("checkpoint unusable, cold-restarting: ") + e.what();
+      log_warn("supervisor", c.health.last_error);
+      ++c.health.cold_restarts;
+    }
+  }
+  if (c.rt.attempt.load(std::memory_order_relaxed) > 1 && !loaded.state) {
+    // A restart that found no loadable checkpoint at all (too early for the
+    // first save, or every generation corrupt) replays nothing: count it.
+    ++c.health.cold_restarts;
+  }
+  ShardRig rig;
+  rig.bed = std::make_unique<Testbed>(make_testbed_config(c.config));
+  rig.writer.emplace(c.journal_file(), c.config.duration);  // truncates
+  rig.from = 0.0;
+  return rig;
+}
+
+// Fires the next due shard fault. Marks it fired *before* throwing so a
+// restarted attempt sails past the window, and records the fault event with
+// the journal frontier (the bench gates frames lost per crash against it).
+void fire_injection(ShardCtx& c, Testbed& bed, TraceJournalWriter& writer,
+                    const FaultWindow& w) {
+  ++c.next_injection;  // at most once per run
+  ShardFaultEvent ev;
+  ev.at = w.start;
+  ev.snapshots_at_fault = bed.crawler()->stats().snapshots_taken;
+  ev.journal_offset_at_fault = writer.offset();
+
+  if (w.kind == FaultKind::kShardCrash) {
+    ev.kind = ShardFaultEvent::Kind::kInjectedCrash;
+    ev.what = describe("injected shard crash", w.start);
+    c.health.events.push_back(ev);
+    ++c.health.crashes;
+    throw InjectedCrash(ev.what);
+  }
+
+  // Stall: stop heartbeating and wedge until the watchdog cancels us. With
+  // the watchdog disabled the stall would hang the run forever, so it
+  // converts to an immediate failure instead.
+  ev.kind = ShardFaultEvent::Kind::kInjectedStall;
+  c.set_phase(ShardPhase::kStalled);
+  ++c.health.stalls;
+  if (c.opt.watchdog_timeout_ms <= 0.0) {
+    ev.detect_ms = 0.0;
+    ev.what = describe("injected shard stall (watchdog disabled)", w.start);
+    c.health.events.push_back(ev);
+    throw InjectedStall(ev.what);
+  }
+  const Clock::time_point stalled_at = Clock::now();
+  while (!c.canceled()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  ev.detect_ms = ms_since(stalled_at);
+  ++c.health.watchdog_aborts;
+  ev.what = describe("injected shard stall", w.start) + " (watchdog canceled after " +
+            std::to_string(static_cast<long>(ev.detect_ms)) + " ms)";
+  c.health.events.push_back(ev);
+  throw InjectedStall(ev.what);
+}
+
+// Runs one attempt from rig.from to completion (or until a fault unwinds
+// it). Segment boundaries are the union of checkpoint boundaries, heartbeat
+// sub-steps and pending fault-injection times; boundaries never change
+// simulation results, only where this loop regains control.
+DurableRunResult run_attempt(ShardCtx& c, ShardRig& rig) {
+  Testbed& bed = *rig.bed;
+  TraceJournalWriter& writer = *rig.writer;
+  // Attach only now that the rig sits at its final address — the writer
+  // was moved out of prepare_rig, so any pointer taken there would dangle.
+  bed.crawler()->attach_journal(&writer);
+  const Seconds duration = c.config.duration;
+  const Seconds every = c.opt.checkpoint_every;
+
+  DurableRunResult result;
+  result.journal_path = writer.path();
+
+  Seconds t = rig.from;
+  while (t < duration) {
+    if (c.canceled()) throw WatchdogAbort("watchdog canceled shard");
+    if (c.next_injection < c.injections.size() &&
+        c.injections[c.next_injection].start <= t + 1e-9) {
+      fire_injection(c, bed, writer, c.injections[c.next_injection]);
+    }
+
+    Seconds next = std::min(duration, t + c.heartbeat_every);
+    if (every > 0.0) {
+      next = std::min(next, every * (std::floor(t / every + 1e-9) + 1.0));
+    }
+    if (c.next_injection < c.injections.size()) {
+      const Seconds due = c.injections[c.next_injection].start;
+      if (due > t && due < next) next = due;
+    }
+
+    bed.run_until(next);
+    t = next;
+    c.beat();
+    if (c.pending_recovery_event) {
+      // First completed segment after a restart: the shard is ticking again.
+      c.health.events[*c.pending_recovery_event].recovery_ms = ms_since(c.recovery_t0);
+      c.pending_recovery_event.reset();
+    }
+    if (c.opt.test_segment_delay_ms > 0.0) sleep_ms(c.opt.test_segment_delay_ms);
+
+    if (every > 0.0 && t < duration &&
+        std::abs(t / every - std::round(t / every)) < 1e-9) {
+      CheckpointState ck;
+      ck.archetype = c.config.archetype;
+      ck.duration = duration;
+      ck.seed = c.config.seed;
+      ck.fault_scenario = c.config.fault_scenario;
+      ck.fault_seed = c.config.fault_seed;
+      ck.out_path = c.out_path;
+      ck.checkpoint_every = every;
+      ck.time = t;
+      ck.journal_offset = writer.offset();
+      fill_checkpoint_witness(ck, bed);
+      save_checkpoint_rotating(ck, c.dir);
+      ++result.checkpoints_written;
+      ++c.health.checkpoints_written;
+    }
+  }
+
+  result.trace = bed.crawler()->take_trace();
+  writer.append_end(bed.engine().now());
+  result.crawler_stats = bed.crawler()->stats();
+  result.world_stats = bed.world().stats();
+  result.network_stats = bed.network().stats();
+  if (bed.client() != nullptr) {
+    result.circuit_stats = bed.client()->total_circuit_stats();
+  }
+  return result;
+}
+
+// Retry budget exhausted: salvage whatever the journal holds. The salvaged
+// trace carries a trailing CoverageGap to the planned end of the run, so
+// downstream analysis sees the unrun remainder as censored, not as empty
+// calm.
+ShardResult degrade_to_partial(ShardCtx& c) {
+  c.health.failed_partial = true;
+  c.set_phase(ShardPhase::kFailedPartial);
+  log_warn("supervisor", "shard retry budget exhausted, degrading to failed-partial: " +
+                             c.health.last_error);
+
+  ShardResult result;
+  result.archetype = c.config.archetype;
+  result.seed = c.config.seed;
+  result.out_path = c.out_path;
+  result.checkpoints_written = c.health.checkpoints_written;
+  try {
+    JournalSalvage salvage = salvage_journal(c.journal_file());
+    result.trace = std::move(salvage.trace);
+  } catch (const std::exception& e) {
+    // The journal never held one complete record: the entire planned run is
+    // one censored gap.
+    const TestbedConfig tb = make_testbed_config(c.config);
+    Trace empty(archetype_name(c.config.archetype), tb.crawler.sample_interval);
+    empty.add_gap(0.0, c.config.duration);
+    result.trace = std::move(empty);
+    c.health.last_error += std::string("; journal unsalvageable: ") + e.what();
+  }
+  return result;
+}
+
+// The crash barrier: runs attempts until the shard completes or its retry
+// budget is exhausted. Everything a shard can throw is contained here; only
+// misconfiguration (no crawler) escapes to the caller.
+ShardResult supervise_shard(ShardCtx& c) {
+  for (;;) {
+    c.rt.attempt.fetch_add(1, std::memory_order_relaxed);
+    c.rt.cancel.store(false, std::memory_order_relaxed);
+    c.set_phase(ShardPhase::kRunning);
+    try {
+      ShardRig rig = prepare_rig(c);
+      DurableRunResult durable = run_attempt(c, rig);
+      c.set_phase(ShardPhase::kCompleted);
+      ShardResult result;
+      result.archetype = c.config.archetype;
+      result.seed = c.config.seed;
+      result.out_path = c.out_path;
+      result.trace = std::move(durable.trace);
+      result.crawler_stats = durable.crawler_stats;
+      result.world_stats = durable.world_stats;
+      result.network_stats = durable.network_stats;
+      result.circuit_stats = durable.circuit_stats;
+      result.checkpoints_written = c.health.checkpoints_written;
+      return result;
+    } catch (const InjectedCrash& e) {
+      c.health.last_error = e.what();
+    } catch (const InjectedStall& e) {
+      c.health.last_error = e.what();
+    } catch (const WatchdogAbort& e) {
+      ++c.health.watchdog_aborts;
+      c.health.last_error = e.what();
+      c.health.events.push_back({ShardFaultEvent::Kind::kWatchdogAbort,
+                                 /*at=*/-1.0, 0, 0, -1.0, -1.0, e.what()});
+    } catch (const std::exception& e) {
+      // A real bug or I/O failure — contained exactly like an injected
+      // crash, so one broken shard cannot take down the run.
+      ++c.health.crashes;
+      c.health.last_error = e.what();
+      c.health.events.push_back({ShardFaultEvent::Kind::kException,
+                                 /*at=*/-1.0, 0, 0, -1.0, -1.0, e.what()});
+    }
+
+    c.recovery_t0 = Clock::now();
+    c.pending_recovery_event =
+        c.health.events.empty() ? std::optional<std::size_t>{}
+                                : std::optional<std::size_t>{c.health.events.size() - 1};
+
+    if (c.health.restarts >= c.opt.max_restarts) {
+      return degrade_to_partial(c);
+    }
+    ++c.health.restarts;
+    c.set_phase(ShardPhase::kBackoff);
+    const double exp =
+        std::ldexp(c.opt.backoff_base_ms,
+                   static_cast<int>(std::min<std::uint64_t>(c.health.restarts - 1, 20)));
+    sleep_ms(std::min(exp, c.opt.backoff_max_ms));
+  }
+}
+
+// Deadline watchdog: one thread polling every shard's (attempt, heartbeat)
+// epoch. A shard whose epoch has not moved for `timeout_ms` wall ms while
+// it claims to be running (or is wedged in a stall) gets canceled; the
+// shard observes the flag at its next boundary — or, for a true stall, in
+// its wedge loop — and unwinds to the crash barrier.
+void watchdog_loop(std::vector<std::unique_ptr<ShardRuntime>>& runtimes,
+                   double timeout_ms, std::atomic<bool>& done) {
+  struct Seen {
+    std::uint64_t attempt{0};
+    std::uint64_t heartbeat{0};
+    Clock::time_point since{Clock::now()};
+  };
+  std::vector<Seen> seen(runtimes.size());
+  const double poll_ms = std::clamp(timeout_ms / 4.0, 1.0, 50.0);
+  while (!done.load(std::memory_order_relaxed)) {
+    sleep_ms(poll_ms);
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < runtimes.size(); ++i) {
+      ShardRuntime& rt = *runtimes[i];
+      const std::uint64_t a = rt.attempt.load(std::memory_order_relaxed);
+      const std::uint64_t h = rt.heartbeat.load(std::memory_order_relaxed);
+      if (a != seen[i].attempt || h != seen[i].heartbeat) {
+        seen[i] = {a, h, now};
+        continue;
+      }
+      const auto phase = static_cast<ShardPhase>(rt.phase.load(std::memory_order_relaxed));
+      if (phase != ShardPhase::kRunning && phase != ShardPhase::kStalled) {
+        seen[i].since = now;  // idle/backoff/finished shards are never stale
+        continue;
+      }
+      const double stale_ms =
+          std::chrono::duration<double, std::milli>(now - seen[i].since).count();
+      if (stale_ms >= timeout_ms &&
+          a == rt.attempt.load(std::memory_order_relaxed)) {
+        rt.cancel.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SupervisedRun run_supervised(const std::vector<ExperimentConfig>& shards,
+                             const SupervisorOptions& options) {
+  if (options.checkpoint_dir.empty()) {
+    throw std::invalid_argument("run_supervised: checkpoint_dir required");
+  }
+  if (!options.out_paths.empty() && options.out_paths.size() != shards.size()) {
+    throw std::invalid_argument("run_supervised: out_paths must match shard count");
+  }
+  std::filesystem::create_directories(options.checkpoint_dir);
+
+  SupervisedRun run;
+  run.shards.resize(shards.size());
+  run.health.resize(shards.size());
+  std::vector<std::unique_ptr<ShardRuntime>> runtimes;
+  runtimes.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    runtimes.push_back(std::make_unique<ShardRuntime>());
+  }
+
+  std::atomic<bool> done{false};
+  std::thread watchdog;
+  if (options.watchdog_timeout_ms > 0.0) {
+    watchdog = std::thread(
+        [&] { watchdog_loop(runtimes, options.watchdog_timeout_ms, done); });
+  }
+
+  ThreadPool pool(options.threads);
+  std::exception_ptr error;
+  try {
+    parallel_for(pool, shards.size(), [&](std::size_t i) {
+      ShardCtx c{shards[i],
+                 options,
+                 options.checkpoint_dir + "/" + shard_dir_name(i, shards[i].archetype),
+                 options.out_paths.empty() ? std::string{} : options.out_paths[i],
+                 *runtimes[i],
+                 run.health[i],
+                 {},
+                 0,
+                 {},
+                 {},
+                 options.heartbeat_every > 0.0 ? options.heartbeat_every
+                                               : shards[i].duration};
+      c.health.index = i;
+      c.health.archetype = shards[i].archetype;
+      c.health.seed = shards[i].seed;
+      c.injections = make_testbed_config(shards[i]).faults.shard_faults();
+      std::filesystem::create_directories(c.dir);
+      run.shards[i] = supervise_shard(c);
+    });
+  } catch (...) {
+    error = std::current_exception();
+  }
+  done.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
+  if (error) std::rethrow_exception(error);
+  return run;
+}
+
+}  // namespace slmob

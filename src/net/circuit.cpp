@@ -1,6 +1,7 @@
 #include "net/circuit.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iterator>
 
 #include "util/bytes.hpp"
@@ -12,6 +13,24 @@ CircuitEndpoint::CircuitEndpoint(SimNetwork& network, NodeId self, NodeId peer,
                                  CircuitParams params, std::uint32_t initial_seq)
     : network_(network), self_(self), peer_(peer), params_(params) {
   next_seq_ = initial_seq == 0 ? 1 : initial_seq;
+  rto_ = params_.initial_rto;
+}
+
+void CircuitEndpoint::sample_rtt(Seconds rtt) {
+  if (rtt < 0.0) rtt = 0.0;
+  if (srtt_ < 0.0) {
+    // First sample (RFC 6298 §2.2): SRTT = R, RTTVAR = R/2.
+    srtt_ = rtt;
+    rttvar_ = rtt / 2.0;
+  } else {
+    // EWMA with beta = 1/4, alpha = 1/8 (RTTVAR first, per the RFC).
+    rttvar_ = 0.75 * rttvar_ + 0.25 * std::abs(srtt_ - rtt);
+    srtt_ = 0.875 * srtt_ + 0.125 * rtt;
+  }
+  // 0.1 s stands in for the clock-granularity term G.
+  rto_ = std::clamp(srtt_ + std::max(0.1, 4.0 * rttvar_), params_.min_rto,
+                    params_.max_rto);
+  ++stats_.rtt_samples;
 }
 
 std::span<const std::uint8_t> CircuitEndpoint::build_packet(
@@ -52,7 +71,8 @@ void CircuitEndpoint::send_encoded(std::span<const std::uint8_t> body, bool reli
     // Reliable sends keep an owned copy for retransmission (cold path:
     // handshakes and chat, never the per-tick coarse feed).
     unacked_.emplace(seq, Pending{seq, {packet.begin(), packet.end()},
-                                  now_ + params_.rto, params_.max_retries});
+                                  now_ + rto_, params_.max_retries, now_,
+                                  /*retransmitted=*/false, rto_});
   }
 }
 
@@ -69,7 +89,13 @@ void CircuitEndpoint::on_datagram(std::span<const std::uint8_t> bytes) {
     for (std::uint8_t i = 0; i < n_acks; ++i) {
       const std::uint32_t acked = r.u32();
       ++stats_.acks_received;
-      unacked_.erase(acked);
+      const auto it = unacked_.find(acked);
+      if (it == unacked_.end()) continue;
+      // Karn's rule: only acks of never-retransmitted packets sample the
+      // RTT — an ack of a retransmission is ambiguous about which copy it
+      // answers.
+      if (!it->second.retransmitted) sample_rtt(now_ - it->second.sent_at);
+      unacked_.erase(it);
     }
     if (r.at_end()) return;  // pure-ack packet
 
@@ -119,7 +145,14 @@ void CircuitEndpoint::tick(Seconds now) {
       ++stats_.retransmits;
       transmit(p.packet);
       --p.retries_left;
-      p.next_retry = now + params_.rto;
+      p.retransmitted = true;
+      // Exponential backoff per packet, capped: consecutive losses space
+      // the retries out instead of hammering a dead or blacked-out link.
+      if (p.rto < params_.max_rto) {
+        p.rto = std::min(p.rto * 2.0, params_.max_rto);
+        ++stats_.rto_backoffs;
+      }
+      p.next_retry = now + p.rto;
     }
     ++it;
   }

@@ -33,10 +33,35 @@ struct CircuitStats {
   std::uint64_t acks_sent{0};
   std::uint64_t acks_received{0};
   std::uint64_t reliable_failures{0};  // gave up after max retries
+  std::uint64_t rtt_samples{0};        // acks that fed the RTO estimator
+  std::uint64_t rto_backoffs{0};       // per-packet RTO doublings
+
+  // Summing across circuits: a reconnecting client retires one endpoint per
+  // relogin, and the run summary wants the whole session's transport story.
+  CircuitStats& operator+=(const CircuitStats& o) {
+    packets_sent += o.packets_sent;
+    packets_received += o.packets_received;
+    retransmits += o.retransmits;
+    duplicates_dropped += o.duplicates_dropped;
+    acks_sent += o.acks_sent;
+    acks_received += o.acks_received;
+    reliable_failures += o.reliable_failures;
+    rtt_samples += o.rtt_samples;
+    rto_backoffs += o.rto_backoffs;
+    return *this;
+  }
 };
 
 struct CircuitParams {
-  Seconds rto{3.0};          // retransmission timeout (SL used ~3-4 s)
+  // Retransmission timing is adaptive (RFC 6298): the endpoint keeps an
+  // SRTT/RTTVAR estimate from acks of never-retransmitted packets (Karn's
+  // rule) and sets RTO = SRTT + max(0.1 s, 4·RTTVAR), clamped to
+  // [min_rto, max_rto]. Until the first sample, initial_rto applies (SL used
+  // ~3-4 s). Each retransmission of a packet doubles that packet's RTO,
+  // capped at max_rto.
+  Seconds initial_rto{3.0};
+  Seconds min_rto{0.5};
+  Seconds max_rto{24.0};
   int max_retries{8};        // reliable sends abandoned after this many RTOs
   std::size_t ack_batch{32}; // flush a standalone ack packet at this backlog
 };
@@ -78,6 +103,11 @@ class CircuitEndpoint {
   [[nodiscard]] const CircuitStats& stats() const { return stats_; }
   [[nodiscard]] NodeId peer() const { return peer_; }
   [[nodiscard]] bool failed() const { return failed_; }
+  // Current base RTO for new reliable sends (initial_rto until the first
+  // RTT sample arrives).
+  [[nodiscard]] Seconds current_rto() const { return rto_; }
+  // Smoothed RTT estimate; negative until the first sample.
+  [[nodiscard]] Seconds srtt() const { return srtt_; }
 
  private:
   struct Pending {
@@ -85,7 +115,12 @@ class CircuitEndpoint {
     std::vector<std::uint8_t> packet;  // full packet bytes as first sent
     Seconds next_retry;
     int retries_left;
+    Seconds sent_at;          // first transmission time (for RTT sampling)
+    bool retransmitted;       // Karn: retransmitted packets never feed SRTT
+    Seconds rto;              // this packet's RTO, doubled per retransmit
   };
+
+  void sample_rtt(Seconds rtt);
 
   // Builds the packet into the reusable packet scratch writer and returns a
   // view of it (valid until the next build).
@@ -108,6 +143,10 @@ class CircuitEndpoint {
   Seconds now_{0.0};
   bool failed_{false};
   CircuitStats stats_;
+  // RFC 6298 estimator state. srtt_ < 0 means "no sample yet".
+  Seconds srtt_{-1.0};
+  Seconds rttvar_{0.0};
+  Seconds rto_{0.0};  // set from params in the constructor
   // Scratch buffers reused across packets so the warm send/receive path
   // does not allocate: message body, full packet, and the decoded inbound
   // message handed to deliver_.

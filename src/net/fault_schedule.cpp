@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kRegionCrash: return "region-crash";
     case FaultKind::kCapacityFlap: return "capacity-flap";
     case FaultKind::kCollectorCrash: return "collector-crash";
+    case FaultKind::kShardCrash: return "shard-crash";
+    case FaultKind::kShardStall: return "shard-stall";
   }
   return "unknown";
 }
@@ -94,6 +96,18 @@ bool FaultSchedule::collector_down_at(Seconds t) const {
   return false;
 }
 
+std::vector<FaultWindow> FaultSchedule::shard_faults() const {
+  std::vector<FaultWindow> out;
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kShardCrash || w.kind == FaultKind::kShardStall) {
+      out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultWindow& a, const FaultWindow& b) { return a.start < b.start; });
+  return out;
+}
+
 std::vector<FaultWindow> FaultSchedule::windows_of(FaultKind kind) const {
   std::vector<FaultWindow> out;
   for (const auto& w : windows_) {
@@ -156,6 +170,17 @@ void add_region_flaps(FaultSchedule& s, Seconds duration, Rng& rng) {
 // away) at 1/4 and 5/8 of the run, up to 5 minutes each. Sensors keep
 // sweeping; flushes time out (408) and are retried until the collector is
 // back, exercising the at-least-once-with-dedup path.
+// Scripted shard-process faults for supervised runs: three crashes and one
+// stall spread across the run. No RNG — appended after the seeded builders
+// so the transport/server windows of "chaos" are byte-identical with and
+// without the shard faults.
+void add_shard_faults(FaultSchedule& s, Seconds duration) {
+  for (const double frac : {0.30, 0.55, 0.80}) {
+    s.add({FaultKind::kShardCrash, duration * frac, duration * frac + 1.0, 1.0, {}});
+  }
+  s.add({FaultKind::kShardStall, duration * 0.45, duration * 0.45 + 1.0, 1.0, {}});
+}
+
 void add_collector_crashes(FaultSchedule& s, Seconds duration) {
   const Seconds outage = std::min(300.0, duration / 8.0);
   if (outage <= 0.0) return;
@@ -197,12 +222,21 @@ FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
     add_region_flaps(s, duration, rng);
     return s;
   }
+  if (name == "shard-chaos") {
+    add_blackouts(s, duration);
+    add_bursts(s, duration, rng);
+    add_region_flaps(s, duration, rng);
+    add_shard_faults(s, duration);
+    return s;
+  }
   throw std::invalid_argument("FaultSchedule::scenario: unknown scenario '" + name + "'");
 }
 
 const std::vector<std::string>& FaultSchedule::scenario_names() {
-  static const std::vector<std::string> names{"none", "blackouts", "burst-loss",
-                                              "region-flaps", "collector-crash", "chaos"};
+  static const std::vector<std::string> names{"none",         "blackouts",
+                                              "burst-loss",   "region-flaps",
+                                              "collector-crash", "chaos",
+                                              "shard-chaos"};
   return names;
 }
 

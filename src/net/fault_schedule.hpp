@@ -38,6 +38,11 @@ enum class FaultKind : std::uint8_t {
   kCapacityFlap,       // admission capacity scaled by `magnitude` in [0,1]
   // Collector faults (consumed by HttpCollector):
   kCollectorCrash,     // the web collector is down: requests vanish, no ack
+  // Process faults (consumed by the run supervisor, core/supervisor.hpp;
+  // invisible to network/server/collector — an unsupervised run ignores
+  // them entirely):
+  kShardCrash,         // the shard's process dies when it reaches `start`
+  kShardStall,         // the shard wedges at `start` until the watchdog kills it
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -92,6 +97,13 @@ class FaultSchedule {
   // records nor acknowledges, so sensors see a 408 and must retry.
   [[nodiscard]] bool collector_down_at(Seconds t) const;
 
+  // --- Supervisor queries (core/supervisor.hpp) -----------------------------
+  // Shard-process fault windows (kShardCrash + kShardStall) merged in start
+  // order. Each fires at most once per run: the supervisor injects the fault
+  // when the shard first reaches `start` and never re-arms it after the
+  // restart, mirroring a real crash that does not recur on replay.
+  [[nodiscard]] std::vector<FaultWindow> shard_faults() const;
+
   // Windows of the given kind, in start order (used by tests and benches to
   // cross-check recorded coverage gaps against the script).
   [[nodiscard]] std::vector<FaultWindow> windows_of(FaultKind kind) const;
@@ -103,6 +115,9 @@ class FaultSchedule {
   //   "region-flaps"     seeded region crashes (30-120 s down) + capacity flaps
   //   "collector-crash"  two collector outages at 1/4 and 5/8 of the run
   //   "chaos"            all the transport/server faults mixed, seeded
+  //   "shard-chaos"      chaos + scripted shard crashes (30/55/80 % of the
+  //                      run) and one shard stall (45 %) — only meaningful
+  //                      under the run supervisor
   // Throws std::invalid_argument for an unknown name. The same (name,
   // duration, seed) triple always yields the same schedule.
   static FaultSchedule scenario(const std::string& name, Seconds duration,

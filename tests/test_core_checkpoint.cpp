@@ -72,6 +72,105 @@ TEST(Checkpoint, DecodeRejectsTampering) {
   EXPECT_THROW(decode_checkpoint(truncated), DecodeError);
 }
 
+TEST(Checkpoint, ByteFlipSweepNeverHalfDecodes) {
+  // Like test_trace_journal's torn-tail sweep, but for the checkpoint file:
+  // flip every single byte in turn and require a clean DecodeError (or, for
+  // a lucky flip inside a string length that still CRC-fails, any decode
+  // exception) — never UB, never a silently different state.
+  const CheckpointState state = sample_state();
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(state);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> flipped = bytes;
+      flipped[i] ^= mask;
+      EXPECT_THROW(decode_checkpoint(flipped), DecodeError)
+          << "byte " << i << " mask " << int(mask);
+    }
+  }
+}
+
+TEST(Checkpoint, TruncationSweepNeverHalfDecodes) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(sample_state());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(decode_checkpoint(truncated), DecodeError) << "length " << len;
+  }
+}
+
+TEST(Checkpoint, RotatingSaveKeepsTwoGenerations) {
+  const std::string dir = fresh_dir("checkpoint_rotate");
+  std::filesystem::create_directories(dir);
+  CheckpointState older = sample_state();
+  older.time = 600.0;
+  CheckpointState newer = sample_state();
+  newer.time = 1200.0;
+
+  save_checkpoint_rotating(older, dir);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + kCheckpointPrevFileName));
+  save_checkpoint_rotating(newer, dir);
+
+  const CheckpointLoadResult loaded = try_load_checkpoint(dir);
+  ASSERT_TRUE(loaded.state.has_value());
+  EXPECT_FALSE(loaded.used_fallback);
+  EXPECT_TRUE(loaded.diagnostic.empty());
+  EXPECT_EQ(*loaded.state, newer);
+}
+
+TEST(Checkpoint, CorruptNewestGenerationFallsBackToPrevious) {
+  const std::string dir = fresh_dir("checkpoint_fallback");
+  std::filesystem::create_directories(dir);
+  CheckpointState older = sample_state();
+  older.time = 600.0;
+  CheckpointState newer = sample_state();
+  newer.time = 1200.0;
+  save_checkpoint_rotating(older, dir);
+  save_checkpoint_rotating(newer, dir);
+
+  // Bit-flip the newest generation on disk.
+  const std::string main_path = dir + "/" + kCheckpointFileName;
+  std::vector<std::uint8_t> bytes = encode_checkpoint(newer);
+  bytes[bytes.size() - 1] ^= 0x40;
+  {
+    std::FILE* f = std::fopen(main_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+
+  const CheckpointLoadResult loaded = try_load_checkpoint(dir);
+  ASSERT_TRUE(loaded.state.has_value());
+  EXPECT_TRUE(loaded.used_fallback);
+  // The rejection is loud and names the corrupt file and the CRC failure.
+  EXPECT_NE(loaded.diagnostic.find(kCheckpointFileName), std::string::npos);
+  EXPECT_NE(loaded.diagnostic.find("CRC"), std::string::npos);
+  EXPECT_EQ(*loaded.state, older);
+}
+
+TEST(Checkpoint, AllGenerationsCorruptReportsBothAndYieldsNothing) {
+  const std::string dir = fresh_dir("checkpoint_both_corrupt");
+  std::filesystem::create_directories(dir);
+  for (const char* name : {kCheckpointFileName, kCheckpointPrevFileName}) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  const CheckpointLoadResult loaded = try_load_checkpoint(dir);
+  EXPECT_FALSE(loaded.state.has_value());
+  EXPECT_NE(loaded.diagnostic.find(kCheckpointFileName), std::string::npos);
+  EXPECT_NE(loaded.diagnostic.find(kCheckpointPrevFileName), std::string::npos);
+}
+
+TEST(Checkpoint, TryLoadOnFreshDirectoryIsSilentlyEmpty) {
+  const std::string dir = fresh_dir("checkpoint_fresh");
+  std::filesystem::create_directories(dir);
+  const CheckpointLoadResult loaded = try_load_checkpoint(dir);
+  EXPECT_FALSE(loaded.state.has_value());
+  EXPECT_FALSE(loaded.used_fallback);
+  EXPECT_TRUE(loaded.diagnostic.empty());  // nothing there is not an error
+}
+
 TEST(Checkpoint, SaveLoadRoundTrip) {
   const std::string dir = fresh_dir("checkpoint_saveload");
   std::filesystem::create_directories(dir);

@@ -28,6 +28,38 @@ TEST(Report, ContainsAllSections) {
   EXPECT_NE(report.find("travel length (m)"), std::string::npos);
 }
 
+TEST(Report, TransportSectionSurfacesCircuitAndNetworkStats) {
+  const ExperimentResults res = quick_results();
+  const std::string report = render_report(res);
+  EXPECT_NE(report.find("## Transport"), std::string::npos);
+  EXPECT_NE(report.find("| datagrams sent | "), std::string::npos);
+  EXPECT_NE(report.find("| retransmits | "), std::string::npos);
+  EXPECT_NE(report.find("| RTT samples | "), std::string::npos);
+  // A real crawler run moves real packets; the section must not be all-zero.
+  EXPECT_GT(res.circuit_stats.packets_sent, 0u);
+  EXPECT_GT(res.circuit_stats.rtt_samples, 0u);
+  EXPECT_GT(res.network_stats.sent, 0u);
+}
+
+TEST(Report, ShardStatsCsvOneRowPerShard) {
+  std::vector<ShardResult> shards(2);
+  shards[0].archetype = LandArchetype::kApfelLand;
+  shards[0].seed = 1;
+  shards[0].circuit_stats.retransmits = 7;
+  shards[0].network_stats.fault_dropped = 13;
+  shards[1].archetype = LandArchetype::kDanceIsland;
+  shards[1].seed = 2;
+  const std::string csv = shard_stats_csv(shards);
+
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, 3u);  // header + 2 shards
+  EXPECT_NE(csv.find("retransmits"), std::string::npos);
+  EXPECT_NE(csv.find("net_fault_dropped"), std::string::npos);
+  EXPECT_NE(csv.find("Apfelland,1,"), std::string::npos);
+  EXPECT_NE(csv.find(",7,"), std::string::npos);
+}
+
 TEST(Report, SeriesOptIn) {
   const ExperimentResults res = quick_results();
   EXPECT_EQ(render_report(res).find("<details>"), std::string::npos);

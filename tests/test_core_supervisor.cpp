@@ -1,0 +1,227 @@
+#include "core/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/serialize.hpp"
+#include "util/bytes.hpp"
+
+namespace slmob {
+namespace {
+
+// The golden 3-land experiment under the shard-chaos scenario: every
+// archetype once, consecutive seeds, three scripted shard crashes plus one
+// stall per shard (FaultSchedule "shard-chaos").
+std::vector<ExperimentConfig> three_lands(const std::string& faults = "shard-chaos",
+                                          Seconds duration = 900.0) {
+  const LandArchetype lands[] = {LandArchetype::kApfelLand, LandArchetype::kDanceIsland,
+                                 LandArchetype::kIsleOfView};
+  std::vector<ExperimentConfig> shards;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ExperimentConfig cfg;
+    cfg.archetype = lands[i];
+    cfg.duration = duration;
+    cfg.seed = 42 + i;
+    cfg.fault_scenario = faults;
+    cfg.ranges = {};
+    shards.push_back(cfg);
+  }
+  return shards;
+}
+
+std::vector<std::uint32_t> digests(const std::vector<ShardResult>& results) {
+  std::vector<std::uint32_t> out;
+  for (const auto& r : results) out.push_back(crc32(encode_trace(r.trace)));
+  return out;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Fast-recovery knobs for tests: small checkpoint segments, an aggressive
+// watchdog and near-zero backoff, so a whole chaos run heals in seconds of
+// wall time. None of these affect trace content.
+SupervisorOptions test_options(const std::string& dir) {
+  SupervisorOptions opt;
+  opt.checkpoint_dir = dir;
+  opt.checkpoint_every = 100.0;
+  opt.heartbeat_every = 50.0;
+  opt.watchdog_timeout_ms = 200.0;
+  opt.backoff_base_ms = 1.0;
+  opt.backoff_max_ms = 8.0;
+  return opt;
+}
+
+// The supervisor's core invariant: a supervised run through >= 3 injected
+// crashes and 1 stall per shard completes unattended and its traces are
+// bit-identical to the uninterrupted (fault-ignoring) run — at every thread
+// count. Shard-fault windows are invisible outside the supervisor, so plain
+// run_sharded over the same configs IS the uninterrupted reference.
+TEST(Supervisor, ChaosRunBitIdenticalToUninterruptedAcrossThreadCounts) {
+  const auto shards = three_lands();
+  ShardRunOptions plain;
+  plain.threads = 1;
+  const auto reference = digests(run_sharded(shards, plain));
+  ASSERT_EQ(reference.size(), 3u);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const std::string dir =
+        fresh_dir("supervisor-chaos-t" + std::to_string(threads));
+    SupervisorOptions opt = test_options(dir);
+    opt.threads = threads;
+    const SupervisedRun run = run_supervised(shards, opt);
+
+    EXPECT_TRUE(run.all_completed()) << "thread count " << threads;
+    EXPECT_FALSE(run.any_failed_partial());
+    EXPECT_EQ(digests(run.shards), reference) << "thread count " << threads;
+
+    std::uint64_t crashes = 0, stalls = 0;
+    for (const auto& h : run.health) {
+      crashes += h.crashes;
+      stalls += h.stalls;
+      EXPECT_EQ(h.phase, ShardPhase::kCompleted);
+      EXPECT_GE(h.restarts, 1u) << "shard " << h.index << " was never restarted";
+    }
+    // shard-chaos scripts 3 crashes + 1 stall per shard.
+    EXPECT_GE(crashes, 3u);
+    EXPECT_GE(stalls, 1u);
+  }
+}
+
+TEST(Supervisor, WatchdogDetectsStallWithinDeadlineAndRestarts) {
+  std::vector<ExperimentConfig> one = three_lands("none");
+  one.resize(1);
+  // Programmatic schedule (not a named scenario): a single stall mid-run.
+  one[0].testbed.faults.add(
+      {FaultKind::kShardStall, 300.0, 301.0, 1.0, {}});
+
+  ShardRunOptions plain;
+  plain.threads = 1;
+  const auto reference = digests(run_sharded(one, plain));
+
+  SupervisorOptions opt = test_options(fresh_dir("supervisor-stall"));
+  opt.threads = 1;
+  const SupervisedRun run = run_supervised(one, opt);
+
+  ASSERT_TRUE(run.all_completed());
+  const ShardHealth& h = run.health[0];
+  EXPECT_EQ(h.stalls, 1u);
+  EXPECT_EQ(h.crashes, 0u);
+  EXPECT_GE(h.watchdog_aborts, 1u);
+  EXPECT_EQ(h.restarts, 1u);
+
+  // The stall event records how long the watchdog took to cancel the wedged
+  // shard: detection must happen within a small multiple of the deadline
+  // (poll quantum + scheduling slack), never hang.
+  ASSERT_EQ(h.events.size(), 1u);
+  const ShardFaultEvent& ev = h.events[0];
+  EXPECT_EQ(ev.kind, ShardFaultEvent::Kind::kInjectedStall);
+  EXPECT_GE(ev.detect_ms, 0.0);
+  EXPECT_LE(ev.detect_ms, 10.0 * opt.watchdog_timeout_ms);
+  EXPECT_GE(ev.recovery_ms, 0.0);  // it resumed and ticked again
+
+  EXPECT_EQ(digests(run.shards), reference);
+}
+
+TEST(Supervisor, HealthySlowShardIsNotFalselyKilled) {
+  std::vector<ExperimentConfig> one = three_lands("none", 600.0);
+  one.resize(1);
+
+  ShardRunOptions plain;
+  plain.threads = 1;
+  const auto reference = digests(run_sharded(one, plain));
+
+  // Each 50-virtual-second segment sleeps 150 wall ms — a shard crawling
+  // along at a good fraction of the 400 ms deadline. Progress (heartbeats)
+  // keeps arriving, so the watchdog must leave it alone.
+  SupervisorOptions opt = test_options(fresh_dir("supervisor-slow"));
+  opt.threads = 1;
+  opt.watchdog_timeout_ms = 400.0;
+  opt.test_segment_delay_ms = 150.0;
+  const SupervisedRun run = run_supervised(one, opt);
+
+  ASSERT_TRUE(run.all_completed());
+  EXPECT_EQ(run.health[0].restarts, 0u);
+  EXPECT_EQ(run.health[0].watchdog_aborts, 0u);
+  EXPECT_TRUE(run.health[0].events.empty());
+  EXPECT_EQ(digests(run.shards), reference);
+}
+
+TEST(Supervisor, RetryBudgetExhaustionDegradesToFailedPartial) {
+  // Shard 1 carries two crash windows but gets a budget of one restart; the
+  // other two shards are fault-free and must be untouched by its failure.
+  auto shards = three_lands("none");
+  shards[1].testbed.faults.add({FaultKind::kShardCrash, 300.0, 301.0, 1.0, {}});
+  shards[1].testbed.faults.add({FaultKind::kShardCrash, 500.0, 501.0, 1.0, {}});
+
+  ShardRunOptions plain;
+  plain.threads = 1;
+  const auto reference = digests(run_sharded(shards, plain));
+
+  SupervisorOptions opt = test_options(fresh_dir("supervisor-budget"));
+  opt.threads = 2;
+  opt.max_restarts = 1;
+  const SupervisedRun run = run_supervised(shards, opt);
+
+  EXPECT_FALSE(run.all_completed());
+  ASSERT_TRUE(run.any_failed_partial());
+  const ShardHealth& h = run.health[1];
+  EXPECT_TRUE(h.failed_partial);
+  EXPECT_EQ(h.phase, ShardPhase::kFailedPartial);
+  EXPECT_EQ(h.crashes, 2u);
+  EXPECT_EQ(h.restarts, 1u);
+
+  // Survivors are bit-identical to the uninterrupted run.
+  EXPECT_EQ(crc32(encode_trace(run.shards[0].trace)), reference[0]);
+  EXPECT_EQ(crc32(encode_trace(run.shards[2].trace)), reference[2]);
+
+  // The salvaged partial trace is honest: it covers the run up to (at most)
+  // the fatal crash and censors everything after as a trailing gap ending
+  // at the planned end of the run.
+  const Trace& partial = run.shards[1].trace;
+  ASSERT_FALSE(partial.gaps().empty());
+  EXPECT_DOUBLE_EQ(partial.gaps().back().end, 900.0);
+  EXPECT_GT(partial.snapshots().size(), 0u);  // pre-crash capture survived
+}
+
+TEST(Supervisor, CorruptCheckpointFallsBackAndStillCompletes) {
+  auto one = three_lands("none");
+  one.resize(1);
+  one[0].testbed.faults.add({FaultKind::kShardCrash, 450.0, 451.0, 1.0, {}});
+
+  ShardRunOptions plain;
+  plain.threads = 1;
+  const auto reference = digests(run_sharded(one, plain));
+
+  const std::string dir = fresh_dir("supervisor-corrupt");
+  // Pre-plant garbage where the shard's checkpoint will live: the first
+  // rotation shunts it to checkpoint.prev.slck, and any load that reaches
+  // it must reject it loudly instead of resuming into garbage.
+  const std::string shard_dir = dir + "/" + shard_dir_name(0, one[0].archetype);
+  std::filesystem::create_directories(shard_dir);
+  {
+    std::FILE* f = std::fopen((shard_dir + "/" + kCheckpointFileName).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+
+  SupervisorOptions opt = test_options(dir);
+  opt.threads = 1;
+  const SupervisedRun run = run_supervised(one, opt);
+
+  ASSERT_TRUE(run.all_completed());
+  EXPECT_EQ(digests(run.shards), reference);
+}
+
+TEST(Supervisor, RequiresCheckpointDir) {
+  EXPECT_THROW(run_supervised(three_lands(), SupervisorOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slmob

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 #include <vector>
 
 namespace slmob {
@@ -10,12 +11,13 @@ namespace {
 
 // Wires two circuit endpoints through a SimNetwork and pumps ticks.
 struct CircuitPair {
-  explicit CircuitPair(NetworkParams params = {}, std::uint64_t seed = 1)
+  explicit CircuitPair(NetworkParams params = {}, std::uint64_t seed = 1,
+                       CircuitParams circuit = {})
       : net(params, seed) {
     a_addr = net.register_node(nullptr);
     b_addr = net.register_node(nullptr);
-    a = std::make_unique<CircuitEndpoint>(net, a_addr, b_addr);
-    b = std::make_unique<CircuitEndpoint>(net, b_addr, a_addr);
+    a = std::make_unique<CircuitEndpoint>(net, a_addr, b_addr, circuit);
+    b = std::make_unique<CircuitEndpoint>(net, b_addr, a_addr, circuit);
     net.set_handler(a_addr, [this](NodeId, std::span<const std::uint8_t> bytes) {
       a->on_datagram(bytes);
     });
@@ -101,7 +103,14 @@ TEST(Circuit, UnreliableLostOnLossyLinkStaysLost) {
 TEST(Circuit, ReliableFailsAfterMaxRetries) {
   NetworkParams params;
   params.loss_rate = 1.0;
-  CircuitPair pair(params, 5);
+  // Small timeouts so the capped backoff (1, 2, 2, 2 s) exhausts the retry
+  // budget within a few seconds of virtual time.
+  CircuitParams circuit;
+  circuit.initial_rto = 1.0;
+  circuit.min_rto = 0.5;
+  circuit.max_rto = 2.0;
+  circuit.max_retries = 3;
+  CircuitPair pair(params, 5, circuit);
   bool failure_reported = false;
   pair.a->set_on_failure([&] { failure_reported = true; });
   pair.a->send(Message{chat("x")}, /*reliable=*/true);
@@ -109,6 +118,59 @@ TEST(Circuit, ReliableFailsAfterMaxRetries) {
   EXPECT_TRUE(pair.a->failed());
   EXPECT_TRUE(failure_reported);
   EXPECT_GT(pair.a->stats().reliable_failures, 0u);
+}
+
+TEST(Circuit, AdaptiveRtoConvergesBelowInitialOnFastLink) {
+  NetworkParams params;
+  params.latency_min = 0.02;
+  params.latency_max = 0.05;
+  CircuitPair pair(params, 11);
+  EXPECT_DOUBLE_EQ(pair.a->current_rto(), CircuitParams{}.initial_rto);
+  EXPECT_LT(pair.a->srtt(), 0.0);  // no sample yet
+  for (int i = 0; i < 20; ++i) {
+    pair.a->send(Message{chat(std::to_string(i))}, /*reliable=*/true);
+    pair.pump(i * 0.5, (i + 1) * 0.5, 0.1);
+  }
+  EXPECT_GE(pair.a->stats().rtt_samples, 10u);
+  EXPECT_GT(pair.a->srtt(), 0.0);
+  // A fast clean link must pull the RTO well below the 3 s cold-start
+  // value, but never below the floor.
+  EXPECT_LT(pair.a->current_rto(), CircuitParams{}.initial_rto);
+  EXPECT_GE(pair.a->current_rto(), CircuitParams{}.min_rto);
+  EXPECT_EQ(pair.a->stats().retransmits, 0u);
+}
+
+TEST(Circuit, RtoBacksOffExponentiallyWhileLinkIsDead) {
+  NetworkParams params;
+  params.loss_rate = 1.0;
+  CircuitParams circuit;
+  circuit.initial_rto = 1.0;
+  circuit.max_rto = 8.0;
+  circuit.max_retries = 10;
+  CircuitPair pair(params, 5, circuit);
+  pair.a->send(Message{chat("x")}, /*reliable=*/true);
+  // Retries land at t = 1, 3, 7, 15, 23, 31, 39 (doubling to the 8 s cap):
+  // 7 retransmits by t = 40 instead of 40 with a fixed 1 s timer.
+  pair.pump(0.0, 40.0);
+  EXPECT_FALSE(pair.a->failed());
+  EXPECT_EQ(pair.a->stats().retransmits, 7u);
+  EXPECT_EQ(pair.a->stats().rto_backoffs, 3u);  // 1→2→4→8, then capped
+}
+
+TEST(Circuit, AdaptiveRtoIsDeterministic) {
+  const auto run = [] {
+    NetworkParams params;
+    params.loss_rate = 0.3;
+    CircuitPair pair(params, 21);
+    for (int i = 0; i < 40; ++i) {
+      pair.a->send(Message{chat(std::to_string(i))}, /*reliable=*/true);
+      pair.pump(i * 1.0, (i + 1) * 1.0, 0.25);
+    }
+    return std::tuple{pair.a->stats().retransmits, pair.a->stats().rtt_samples,
+                      pair.a->stats().rto_backoffs, pair.a->srtt(),
+                      pair.a->current_rto(), pair.at_b.size()};
+  };
+  EXPECT_EQ(run(), run());
 }
 
 TEST(Circuit, AcksAreExchanged) {

@@ -22,6 +22,7 @@
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/shards.hpp"
+#include "core/supervisor.hpp"
 #include "util/thread_pool.hpp"
 #include "dtn/dtn_simulator.hpp"
 #include "trace/journal.hpp"
@@ -40,9 +41,10 @@ int usage() {
                "  slmob run --land <apfel|dance|isle>[,<land>...] [--hours H] [--seed S]\n"
                "            [--jobs J]\n"
                "            [--faults none|blackouts|burst-loss|region-flaps|\n"
-               "                      collector-crash|chaos] [--fault-seed S]\n"
+               "                      collector-crash|chaos|shard-chaos] [--fault-seed S]\n"
                "            [--journal J.sltj | --checkpoint DIR [--checkpoint-every SEC]]\n"
-               "            --out T.slt\n"
+               "            [--supervise [--max-restarts N] [--watchdog-timeout SEC]]\n"
+               "            [--stats-csv F.csv] --out T.slt\n"
                "    (multi-land runs shard across threads; shard i uses seed S+i and\n"
                "     --out must disambiguate with {land} and/or {seed} placeholders)\n"
                "  slmob run --resume DIR [--jobs J] [--out T.slt]\n"
@@ -166,7 +168,11 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string journal;
   std::string checkpoint_dir;
   std::string resume_dir;
+  std::string stats_csv;
   double checkpoint_every = 600.0;
+  bool supervise = false;
+  std::uint64_t max_restarts = 5;
+  double watchdog_timeout = 30.0;  // wall seconds
   std::size_t jobs = 0;  // 0 = SLMOB_THREADS env / hardware_concurrency
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--land" && i + 1 < args.size()) {
@@ -193,6 +199,14 @@ int cmd_run(const std::vector<std::string>& args) {
       checkpoint_every = std::atof(args[++i].c_str());
     } else if (args[i] == "--resume" && i + 1 < args.size()) {
       resume_dir = args[++i];
+    } else if (args[i] == "--supervise") {
+      supervise = true;
+    } else if (args[i] == "--max-restarts" && i + 1 < args.size()) {
+      max_restarts = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+    } else if (args[i] == "--watchdog-timeout" && i + 1 < args.size()) {
+      watchdog_timeout = std::atof(args[++i].c_str());
+    } else if (args[i] == "--stats-csv" && i + 1 < args.size()) {
+      stats_csv = args[++i];
     } else {
       return usage();
     }
@@ -221,6 +235,105 @@ int cmd_run(const std::vector<std::string>& args) {
   if (lands.empty() || out.empty() || hours <= 0.0) return usage();
   if (!journal.empty() && !checkpoint_dir.empty()) return usage();
   if (!checkpoint_dir.empty() && checkpoint_every <= 0.0) return usage();
+  if (!stats_csv.empty() && !supervise && lands.size() == 1) {
+    std::fprintf(stderr,
+                 "error: --stats-csv needs a sharded (multi-land) or --supervise run\n");
+    return 2;
+  }
+
+  if (supervise) {
+    // Self-healing run: every shard executes behind the supervisor's crash
+    // barrier, journaled + checkpointed, restarted from its last checkpoint
+    // after a contained crash or watchdog-detected stall. Traces stay
+    // bit-identical to an uninterrupted run.
+    if (checkpoint_dir.empty()) {
+      std::fprintf(stderr, "error: --supervise requires --checkpoint DIR\n");
+      return 2;
+    }
+    if (!journal.empty()) {
+      std::fprintf(stderr,
+                   "error: --supervise runs are checkpointed; drop --journal\n");
+      return 2;
+    }
+    std::vector<ExperimentConfig> shards;
+    std::vector<std::string> outs;
+    for (std::size_t i = 0; i < lands.size(); ++i) {
+      ExperimentConfig cfg;
+      cfg.archetype = lands[i];
+      cfg.duration = hours * kSecondsPerHour;
+      cfg.seed = seed + i;
+      cfg.fault_scenario = faults;
+      cfg.fault_seed = fault_seed;
+      cfg.ranges = {};  // collection only
+      shards.push_back(cfg);
+      outs.push_back(expand_out_path(out, lands[i], cfg.seed));
+    }
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      for (std::size_t j = i + 1; j < outs.size(); ++j) {
+        if (outs[i] == outs[j]) {
+          std::fprintf(stderr,
+                       "error: --out %s maps shards %zu and %zu to the same file; "
+                       "add {land} and/or {seed}\n",
+                       out.c_str(), i, j);
+          return 2;
+        }
+      }
+    }
+
+    SupervisorOptions options;
+    options.threads = jobs;
+    options.checkpoint_dir = checkpoint_dir;
+    options.checkpoint_every = checkpoint_every;
+    options.out_paths = outs;
+    options.max_restarts = max_restarts;
+    options.watchdog_timeout_ms = watchdog_timeout * 1000.0;
+    const std::size_t threads = jobs == 0 ? ThreadPool::default_concurrency() : jobs;
+    std::printf("supervising %zu shard(s) for %.1f h (seeds %llu..%llu, faults %s, "
+                "%zu threads, retry budget %llu, watchdog %.1f s)...\n",
+                lands.size(), hours, static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed + lands.size() - 1), faults.c_str(),
+                threads, static_cast<unsigned long long>(max_restarts),
+                watchdog_timeout);
+    SupervisedRun run = run_supervised(shards, options);
+
+    int rc = 0;
+    for (std::size_t i = 0; i < run.shards.size(); ++i) {
+      auto& res = run.shards[i];
+      const ShardHealth& h = run.health[i];
+      std::printf("shard %zu %s (seed %llu): %s | crashes %llu, stalls %llu, "
+                  "watchdog aborts %llu, restarts %llu (%llu cold), %zu checkpoints\n",
+                  i, archetype_name(res.archetype).c_str(),
+                  static_cast<unsigned long long>(res.seed), shard_phase_name(h.phase),
+                  static_cast<unsigned long long>(h.crashes),
+                  static_cast<unsigned long long>(h.stalls),
+                  static_cast<unsigned long long>(h.watchdog_aborts),
+                  static_cast<unsigned long long>(h.restarts),
+                  static_cast<unsigned long long>(h.cold_restarts),
+                  h.checkpoints_written);
+      if (!h.last_error.empty()) {
+        std::printf("  last error: %s\n", h.last_error.c_str());
+      }
+      const CircuitStats& c = res.circuit_stats;
+      std::printf("  transport: %llu packets, %llu retransmits (%llu RTO backoffs), "
+                  "%llu datagrams fault-dropped\n",
+                  static_cast<unsigned long long>(c.packets_sent),
+                  static_cast<unsigned long long>(c.retransmits),
+                  static_cast<unsigned long long>(c.rto_backoffs),
+                  static_cast<unsigned long long>(res.network_stats.fault_dropped));
+      rc |= finish_run(std::move(res.trace), res.crawler_stats, outs[i]);
+    }
+    if (!stats_csv.empty()) {
+      write_shard_stats_csv(run.shards, stats_csv);
+      std::printf("wrote %s\n", stats_csv.c_str());
+    }
+    if (run.any_failed_partial()) {
+      std::fprintf(stderr,
+                   "warning: at least one shard exhausted its retry budget and "
+                   "degraded to failed-partial (salvaged trace is gap-censored)\n");
+      return 1;
+    }
+    return rc;
+  }
 
   if (lands.size() == 1) {
     const LandArchetype land = lands.front();
@@ -332,6 +445,10 @@ int cmd_run(const std::vector<std::string>& args) {
     }
     std::printf(": ");
     rc |= finish_run(std::move(res.trace), res.crawler_stats, outs[i]);
+  }
+  if (!stats_csv.empty()) {
+    write_shard_stats_csv(results, stats_csv);
+    std::printf("wrote %s\n", stats_csv.c_str());
   }
   return rc;
 }
