@@ -68,7 +68,13 @@ std::string diff_summary(const TraceSummary& a, const TraceSummary& b) {
       !d.empty())
     return d;
   if (auto d = diff_count("summary.gap_count", a.gap_count, b.gap_count); !d.empty()) return d;
-  return diff_scalar("summary.gap_seconds", a.gap_seconds, b.gap_seconds);
+  if (auto d = diff_scalar("summary.gap_seconds", a.gap_seconds, b.gap_seconds); !d.empty())
+    return d;
+  if (auto d = diff_count("summary.degradation_count", a.degradation_count,
+                          b.degradation_count);
+      !d.empty())
+    return d;
+  return diff_scalar("summary.degraded_seconds", a.degraded_seconds, b.degraded_seconds);
 }
 
 std::string diff_contacts(const std::string& name, const ContactAnalysis& a,
@@ -254,6 +260,8 @@ std::uint32_t analysis_fingerprint(const AnalysisReport& report) {
   w.u64(static_cast<std::uint64_t>(s.snapshot_count));
   w.u64(static_cast<std::uint64_t>(s.gap_count));
   w.f64(s.gap_seconds);
+  w.u64(static_cast<std::uint64_t>(s.degradation_count));
+  w.f64(s.degraded_seconds);
 
   w.u64(static_cast<std::uint64_t>(report.contacts.size()));
   for (const auto& [range, c] : report.contacts) {

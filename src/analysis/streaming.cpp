@@ -95,7 +95,7 @@ void StreamingAnalyzer::on_begin(const std::string& /*land_name*/,
   }
   window_tasks_.emplace_back([this] {
     for (std::size_t k = 0; k < win_used_; ++k)
-      zones_->on_snapshot(window_[k].positions);
+      zones_->on_snapshot(window_[k].positions, window_[k].weight);
   });
   window_tasks_.emplace_back([this] {
     for (std::size_t k = 0; k < win_used_; ++k)
@@ -154,6 +154,7 @@ void StreamingAnalyzer::on_snapshot(const Snapshot& snapshot) {
   WindowEntry& entry = window_[win_used_];
   entry.snap.time = use->time;
   entry.snap.fixes = use->fixes;
+  entry.weight = rates_.current_factor();
   entry.positions = prox_.positions();
   entry.lists.resize(prox_.ranges().size());
   for (std::size_t ri = 0; ri < entry.lists.size(); ++ri) {
@@ -174,6 +175,10 @@ void StreamingAnalyzer::on_gap(Seconds start, Seconds end) {
   ++progress_.gaps;
 }
 
+void StreamingAnalyzer::on_rate_change(Seconds time, std::uint32_t factor) {
+  rates_.set_factor(time, factor);
+}
+
 AnalysisReport StreamingAnalyzer::finish() {
   if (finished_) throw std::logic_error("StreamingAnalyzer: finish called twice");
   finished_ = true;
@@ -188,6 +193,8 @@ AnalysisReport StreamingAnalyzer::finish() {
   s.snapshot_count = progress_.snapshots;
   s.gap_count = gaps_.gaps().size();
   s.gap_seconds = gaps_.gap_seconds();
+  s.degradation_count = rates_.windows().size();
+  s.degraded_seconds = rates_.degraded_seconds();
   if (progress_.snapshots > 0) {
     s.unique_users = unique_users_.size();
     s.max_concurrent = progress_.max_concurrent;

@@ -110,6 +110,11 @@ class StreamingAnalyzer final : public LiveTraceSink {
   void on_begin(const std::string& land_name, Seconds sampling_interval) override;
   void on_snapshot(const Snapshot& snapshot) override;
   void on_gap(Seconds start, Seconds end) override;
+  // Rate-change events from the overload ladder: snapshots arriving while a
+  // degradation window is open carry integer weight = factor into every
+  // time-weighted consumer (currently zones), matching the batch pipeline's
+  // Trace::degradation_factor_at correction.
+  void on_rate_change(Seconds time, std::uint32_t factor) override;
 
   // Finalises every consumer and assembles the report. Call once, after the
   // last event.
@@ -128,6 +133,8 @@ class StreamingAnalyzer final : public LiveTraceSink {
     Snapshot snap;
     std::vector<Vec3> positions;
     std::vector<IncrementalProximity::PairList> lists;
+    // Rate-correction weight: the degradation factor in force at snap.time.
+    std::uint32_t weight{1};
   };
 
   void flush_window();
@@ -135,6 +142,7 @@ class StreamingAnalyzer final : public LiveTraceSink {
   StreamingOptions options_;
   ThreadPool pool_;
   GapTracker gaps_;
+  DegradationTracker rates_;
   IncrementalProximity prox_;
   std::unique_ptr<ZoneStream> zones_;
   std::vector<std::unique_ptr<RangeConsumers>> per_range_;

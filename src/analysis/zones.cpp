@@ -25,11 +25,14 @@ std::vector<std::size_t> covered_indices(const Trace& trace) {
 }
 
 // Shared core: `for_each_position(s, fn)` calls fn(pos) for every avatar
-// position of snapshot s, in fix order.
-template <typename ForEachPosition>
+// position of snapshot s, in fix order; `weight_of(s)` is snapshot s's
+// rate-correction weight (1 at the nominal sampling rate, the degradation
+// factor inside a degraded window). With all weights 1 the arithmetic is
+// exactly the historical unweighted computation.
+template <typename ForEachPosition, typename WeightOf>
 ZoneAnalysis analyze_zones_impl(const std::vector<std::size_t>& indices,
-                                ForEachPosition&& for_each_position, double land_size,
-                                double cell_size) {
+                                ForEachPosition&& for_each_position, WeightOf&& weight_of,
+                                double land_size, double cell_size) {
   if (land_size <= 0.0 || cell_size <= 0.0) {
     throw std::invalid_argument("analyze_zones: bad sizes");
   }
@@ -43,6 +46,7 @@ ZoneAnalysis analyze_zones_impl(const std::vector<std::size_t>& indices,
   std::vector<std::uint32_t> counts(n_cells);
   std::size_t empty_samples = 0;
   std::size_t total_samples = 0;
+  std::size_t total_weight = 0;
   for (const std::size_t s : indices) {
     std::fill(counts.begin(), counts.end(), 0);
     for_each_position(s, [&](const Vec3& pos) {
@@ -54,19 +58,23 @@ ZoneAnalysis analyze_zones_impl(const std::vector<std::size_t>& indices,
       cy = std::min(cy, side - 1);
       ++counts[cy * side + cx];
     });
+    const std::uint32_t w = weight_of(s);
+    total_weight += w;
     for (std::size_t c = 0; c < n_cells; ++c) {
-      out.occupancy.add(static_cast<double>(counts[c]));
-      out.mean_per_cell[c] += static_cast<double>(counts[c]);
+      for (std::uint32_t rep = 0; rep < w; ++rep) {
+        out.occupancy.add(static_cast<double>(counts[c]));
+      }
+      out.mean_per_cell[c] += static_cast<double>(w) * static_cast<double>(counts[c]);
       out.max_occupancy = std::max(out.max_occupancy, static_cast<std::size_t>(counts[c]));
-      if (counts[c] == 0) ++empty_samples;
-      ++total_samples;
+      if (counts[c] == 0) empty_samples += w;
+      total_samples += w;
     }
   }
   if (total_samples > 0) {
     out.empty_fraction =
         static_cast<double>(empty_samples) / static_cast<double>(total_samples);
     for (auto& m : out.mean_per_cell) {
-      m /= static_cast<double>(indices.size());
+      m /= static_cast<double>(total_weight);
     }
   }
   return out;
@@ -81,16 +89,19 @@ ZoneAnalysis analyze_zones(const Trace& trace, double land_size, double cell_siz
       [&](std::size_t s, auto&& fn) {
         for (const auto& fix : snaps[s].fixes) fn(fix.pos);
       },
+      [&](std::size_t s) { return trace.degradation_factor_at(snaps[s].time); },
       land_size, cell_size);
 }
 
 ZoneAnalysis analyze_zones(const Trace& trace, const ProximityCache& cache,
                            double land_size, double cell_size) {
+  const auto& snaps = trace.snapshots();
   return analyze_zones_impl(
       covered_indices(trace),
       [&](std::size_t s, auto&& fn) {
         for (const Vec3& pos : cache.positions(s)) fn(pos);
       },
+      [&](std::size_t s) { return trace.degradation_factor_at(snaps[s].time); },
       land_size, cell_size);
 }
 
@@ -105,7 +116,7 @@ ZoneStream::ZoneStream(double land_size, double cell_size) : land_size_(land_siz
   counts_.resize(side * side);
 }
 
-void ZoneStream::on_snapshot(const std::vector<Vec3>& positions) {
+void ZoneStream::on_snapshot(const std::vector<Vec3>& positions, std::uint32_t weight) {
   const std::size_t side = out_.cells_per_side;
   const double cell_size = out_.cell_size;
   std::fill(counts_.begin(), counts_.end(), 0);
@@ -118,14 +129,16 @@ void ZoneStream::on_snapshot(const std::vector<Vec3>& positions) {
     cy = std::min(cy, side - 1);
     ++counts_[cy * side + cx];
   }
+  total_weight_ += weight;
   for (std::size_t c = 0; c < counts_.size(); ++c) {
-    out_.occupancy.add(static_cast<double>(counts_[c]));
-    out_.mean_per_cell[c] += static_cast<double>(counts_[c]);
+    for (std::uint32_t rep = 0; rep < weight; ++rep) {
+      out_.occupancy.add(static_cast<double>(counts_[c]));
+    }
+    out_.mean_per_cell[c] += static_cast<double>(weight) * static_cast<double>(counts_[c]);
     out_.max_occupancy = std::max(out_.max_occupancy, static_cast<std::size_t>(counts_[c]));
-    if (counts_[c] == 0) ++empty_samples_;
-    ++total_samples_;
+    if (counts_[c] == 0) empty_samples_ += weight;
+    total_samples_ += weight;
   }
-  ++snapshots_;
 }
 
 ZoneAnalysis ZoneStream::finish() {
@@ -133,7 +146,7 @@ ZoneAnalysis ZoneStream::finish() {
     out_.empty_fraction =
         static_cast<double>(empty_samples_) / static_cast<double>(total_samples_);
     for (auto& m : out_.mean_per_cell) {
-      m /= static_cast<double>(snapshots_);
+      m /= static_cast<double>(total_weight_);
     }
   }
   return std::move(out_);

@@ -12,11 +12,17 @@
 
 namespace slmob {
 
+// Rate correction: a snapshot taken inside a SamplingDegradation window
+// stands for `factor` nominal sampling intervals of observation, so it
+// contributes with integer weight = factor to every time-weighted quantity
+// (occupancy samples, empty fraction, per-cell means). Traces without
+// degradation windows weight every snapshot 1 and reproduce the historical
+// results bit for bit.
 struct ZoneAnalysis {
   double cell_size{20.0};
   std::size_t cells_per_side{0};
-  Ecdf occupancy;                 // one sample per (cell, snapshot)
-  double empty_fraction{0.0};     // fraction of (cell, snapshot) samples == 0
+  Ecdf occupancy;                 // one sample per (cell, snapshot-weight)
+  double empty_fraction{0.0};     // weighted fraction of cell samples == 0
   std::size_t max_occupancy{0};
   // Time-averaged occupancy per cell, row-major (heat map of the land).
   std::vector<double> mean_per_cell;
@@ -41,7 +47,9 @@ class ZoneStream {
   // Throws std::invalid_argument on non-positive sizes (as analyze_zones).
   explicit ZoneStream(double land_size = 256.0, double cell_size = 20.0);
 
-  void on_snapshot(const std::vector<Vec3>& positions);
+  // `weight` is the snapshot's rate-correction factor (the degradation
+  // factor in force at its time; 1 at the nominal rate).
+  void on_snapshot(const std::vector<Vec3>& positions, std::uint32_t weight = 1);
   [[nodiscard]] ZoneAnalysis finish();
 
  private:
@@ -50,7 +58,7 @@ class ZoneStream {
   std::vector<std::uint32_t> counts_;
   std::size_t empty_samples_{0};
   std::size_t total_samples_{0};
-  std::size_t snapshots_{0};
+  std::size_t total_weight_{0};
 };
 
 }  // namespace slmob

@@ -67,6 +67,10 @@ class MetaverseClient {
   [[nodiscard]] Vec3 spawn_position() const { return spawn_; }
   [[nodiscard]] NodeId address() const { return address_; }
   [[nodiscard]] const CircuitStats& circuit_stats() const { return circuit_->stats(); }
+  // Smoothed RTT of the current circuit (negative until the first sample);
+  // the crawler's overload ladder reads this as a congestion signal.
+  [[nodiscard]] Seconds circuit_srtt() const { return circuit_->srtt(); }
+  [[nodiscard]] Seconds circuit_last_rtt_at() const { return circuit_->last_rtt_sample_at(); }
   // Transport stats summed over every circuit this client has used: each
   // relogin retires the old endpoint, so circuit_stats() alone only covers
   // the current connection.

@@ -70,6 +70,7 @@ DurableRunResult run_loop(Testbed& bed, TraceJournalWriter& writer, CheckpointSt
   const auto capture_stats = [&] {
     result.crawler_stats = bed.crawler()->stats();
     result.world_stats = bed.world().stats();
+    result.server_stats = bed.server().stats();
     result.network_stats = bed.network().stats();
     if (bed.client() != nullptr) {
       result.circuit_stats = bed.client()->total_circuit_stats();

@@ -120,6 +120,7 @@ struct DurableRunResult {
   Trace trace;  // empty when the run was killed
   CrawlerStats crawler_stats;
   WorldStats world_stats;
+  SimServerStats server_stats;
   NetworkStats network_stats;
   CircuitStats circuit_stats;  // crawler client, summed across reconnects
   bool killed{false};

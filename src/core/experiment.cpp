@@ -40,6 +40,7 @@ ExperimentResults run_experiment(const ExperimentConfig& config) {
                                             bed.world().land().size(),
                                             config.analysis_threads);
   results.world_stats = bed.world().stats();
+  results.server_stats = bed.server().stats();
   if (bed.crawler() != nullptr) results.crawler_stats = bed.crawler()->stats();
   results.network_stats = bed.network().stats();
   if (bed.client() != nullptr) results.circuit_stats = bed.client()->total_circuit_stats();

@@ -59,6 +59,7 @@ struct ExperimentResults {
   ZoneAnalysis zones;
   TripAnalysis trips;
   WorldStats world_stats;
+  SimServerStats server_stats;  // region admission / shed counters
   CrawlerStats crawler_stats;   // zero-initialised when crawler disabled
   NetworkStats network_stats;
   CircuitStats circuit_stats;   // crawler client, summed across relogins

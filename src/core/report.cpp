@@ -69,6 +69,22 @@ std::string render_report(const ExperimentResults& results, const ReportOptions&
      << results.circuit_stats.reliable_failures << " reliable failures) |\n";
   os << "| RTT samples | " << results.circuit_stats.rtt_samples << " |\n";
 
+  os << "\n## Overload & degradation\n\n";
+  os << "| quantity | value |\n|---|---|\n";
+  os << "| logins rejected (admission headroom) | "
+     << results.server_stats.logins_rejected_overload << " |\n";
+  os << "| messages shed (server tick budget) | " << results.server_stats.messages_shed
+     << " |\n";
+  os << "| datagrams shed (network backpressure) | "
+     << results.network_stats.shed_session << " session / "
+     << results.network_stats.shed_snapshot << " snapshot |\n";
+  os << "| circuit sends deferred | " << results.circuit_stats.deferred_sends << " |\n";
+  os << "| sampling degradations | " << results.crawler_stats.degrade_escalations
+     << " escalations / " << results.crawler_stats.degrade_recoveries
+     << " recoveries |\n";
+  os << "| degraded snapshots | " << results.crawler_stats.degraded_snapshots << " ("
+     << fmt(results.summary.degraded_seconds, 0) << " s at reduced rate) |\n";
+
   os << "\n## Contact opportunities\n\n";
   os << "| metric | n | p10 | median | p90 | max |\n|---|---|---|---|---|---|\n";
   for (const auto& [range, contacts] : results.contacts) {
@@ -123,7 +139,10 @@ std::string shard_stats_csv(const std::vector<ShardResult>& shards) {
   os << "shard,land,seed,snapshots,relogins,coverage_gaps,"
         "packets_sent,packets_received,retransmits,duplicates_dropped,"
         "reliable_failures,rtt_samples,rto_backoffs,"
-        "net_sent,net_delivered,net_lost,net_fault_dropped,net_oversize_dropped\n";
+        "net_sent,net_delivered,net_lost,net_fault_dropped,net_oversize_dropped,"
+        "net_shed_session,net_shed_snapshot,circuit_deferred,"
+        "server_rejected_overload,server_messages_shed,"
+        "degrade_escalations,degrade_recoveries,degraded_snapshots,degraded_seconds\n";
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardResult& r = shards[i];
     const CircuitStats& c = r.circuit_stats;
@@ -134,7 +153,13 @@ std::string shard_stats_csv(const std::vector<ShardResult>& shards) {
        << c.packets_received << ',' << c.retransmits << ',' << c.duplicates_dropped
        << ',' << c.reliable_failures << ',' << c.rtt_samples << ',' << c.rto_backoffs
        << ',' << n.sent << ',' << n.delivered << ',' << n.lost << ','
-       << n.fault_dropped << ',' << n.oversize_dropped << '\n';
+       << n.fault_dropped << ',' << n.oversize_dropped << ',' << n.shed_session << ','
+       << n.shed_snapshot << ',' << c.deferred_sends << ','
+       << r.server_stats.logins_rejected_overload << ','
+       << r.server_stats.messages_shed << ',' << r.crawler_stats.degrade_escalations
+       << ',' << r.crawler_stats.degrade_recoveries << ','
+       << r.crawler_stats.degraded_snapshots << ','
+       << fmt(r.trace.degraded_seconds(), 1) << '\n';
   }
   return os.str();
 }

@@ -28,6 +28,7 @@ ShardResult run_shard_in_memory(const ExperimentConfig& config) {
     throw std::logic_error("run_sharded: shard has no trace source configured");
   }
   result.world_stats = bed.world().stats();
+  result.server_stats = bed.server().stats();
   result.network_stats = bed.network().stats();
   if (bed.client() != nullptr) result.circuit_stats = bed.client()->total_circuit_stats();
   return result;
@@ -51,6 +52,7 @@ ShardResult run_shard_durable(const ExperimentConfig& config, const std::string&
   result.trace = std::move(durable.trace);
   result.crawler_stats = durable.crawler_stats;
   result.world_stats = durable.world_stats;
+  result.server_stats = durable.server_stats;
   result.network_stats = durable.network_stats;
   result.circuit_stats = durable.circuit_stats;
   result.killed = durable.killed;
@@ -69,6 +71,7 @@ ShardResult resume_shard(const std::string& dir, std::optional<Seconds> kill_at)
   result.trace = std::move(durable.trace);
   result.crawler_stats = durable.crawler_stats;
   result.world_stats = durable.world_stats;
+  result.server_stats = durable.server_stats;
   result.network_stats = durable.network_stats;
   result.circuit_stats = durable.circuit_stats;
   result.killed = durable.killed;

@@ -33,6 +33,7 @@ struct ShardResult {
   Trace trace;
   CrawlerStats crawler_stats;
   WorldStats world_stats;
+  SimServerStats server_stats;
   NetworkStats network_stats;
   // Crawler-client transport stats, summed over every circuit (relogins
   // retire circuits); zero-initialised for ground-truth-only shards.

@@ -280,6 +280,7 @@ DurableRunResult run_attempt(ShardCtx& c, ShardRig& rig) {
   writer.append_end(bed.engine().now());
   result.crawler_stats = bed.crawler()->stats();
   result.world_stats = bed.world().stats();
+  result.server_stats = bed.server().stats();
   result.network_stats = bed.network().stats();
   if (bed.client() != nullptr) {
     result.circuit_stats = bed.client()->total_circuit_stats();
@@ -336,6 +337,7 @@ ShardResult supervise_shard(ShardCtx& c) {
       result.trace = std::move(durable.trace);
       result.crawler_stats = durable.crawler_stats;
       result.world_stats = durable.world_stats;
+      result.server_stats = durable.server_stats;
       result.network_stats = durable.network_stats;
       result.circuit_stats = durable.circuit_stats;
       result.checkpoints_written = c.health.checkpoints_written;

@@ -16,6 +16,14 @@ Testbed::Testbed(const TestbedConfig& config)
   }
   server_ = std::make_unique<SimServer>(network_, *world_, server_params);
 
+  if (!config_.faults.empty()) {
+    // Flash-crowd windows scale the world's admitted arrivals. The hook only
+    // exists when a schedule is installed, so fault-free rigs run the exact
+    // historical tick sequence.
+    engine_.add(kPriorityWorld, [this](Seconds now, Seconds /*dt*/) {
+      world_->set_arrival_boost(config_.faults.flash_crowd_factor_at(now));
+    });
+  }
   engine_.add(kPriorityWorld,
               [this](Seconds now, Seconds dt) { world_->tick(now, dt); });
   engine_.add(kPriorityServer,

@@ -31,6 +31,16 @@ void Crawler::stop() {
 
 void Crawler::on_coarse(Seconds now, const CoarseLocationUpdate& update) {
   ++stats_.coarse_updates_seen;
+  // An arrival that closes an interarrival hole wider than the pressure
+  // window is evidence the snapshot class was being shed upstream — remember
+  // when, so the next sample still judges itself pressured even though the
+  // feed looks fresh again by then. Blackouts never trip this: a dead feed
+  // produces no arrivals at all, and the crawler force-disconnects (which
+  // resets latest_entries_time_) before the feed can "recover" mid-session.
+  if (latest_entries_time_ >= 0.0 &&
+      now - latest_entries_time_ > config_.degrade_feed_age) {
+    feed_gap_recovered_at_ = now;
+  }
   latest_entries_ = update.entries;
   latest_entries_time_ = now;
 }
@@ -88,7 +98,72 @@ Trace Crawler::take_trace() {
       live_sink_->on_gap(gap_start_, last_tick_);
     }
   }
+  if (degrade_factor_ > 1) {
+    // A degradation window still open at hand-over closes after the trailing
+    // gap (stream order: gap, then the rate change back to 1). The close is
+    // pushed to at least one nominal interval past the open so the window is
+    // never zero-length even if hand-over lands on the opening sample.
+    const Seconds end = std::max(last_tick_, degrade_start_ + config_.sample_interval);
+    trace_.add_degradation(degrade_start_, end, degrade_factor_);
+    if (journal_ != nullptr) {
+      journal_->append_degrade_close(degrade_start_, end, degrade_factor_);
+    }
+    if (live_sink_ != nullptr) {
+      live_begin_if_needed();
+      live_sink_->on_rate_change(end, 1);
+    }
+    degrade_factor_ = 1;
+  }
   return std::move(trace_);
+}
+
+void Crawler::set_degrade_factor(Seconds now, std::uint32_t factor) {
+  if (factor == degrade_factor_) return;
+  // Called only at sample instants, so a window being closed is at least one
+  // effective interval old — never zero-length.
+  if (degrade_factor_ > 1) {
+    trace_.add_degradation(degrade_start_, now, degrade_factor_);
+    if (journal_ != nullptr) {
+      journal_begin_if_needed();
+      journal_->append_degrade_close(degrade_start_, now, degrade_factor_);
+    }
+  }
+  if (factor > 1) {
+    degrade_start_ = now;
+    if (journal_ != nullptr) {
+      journal_begin_if_needed();
+      journal_->append_degrade_open(now, factor);
+    }
+  }
+  degrade_factor_ = factor;
+  if (live_sink_ != nullptr) {
+    live_begin_if_needed();
+    live_sink_->on_rate_change(now, factor);
+  }
+  log_info("crawler", factor > 1
+                          ? "overload: sampling degraded to 1/" +
+                                std::to_string(factor) + " rate"
+                          : "overload cleared: nominal sampling restored");
+}
+
+void Crawler::update_degradation(Seconds now, bool pressured) {
+  if (pressured) {
+    clean_samples_ = 0;
+    if (++pressured_samples_ >= config_.degrade_after) {
+      pressured_samples_ = 0;
+      if (degrade_factor_ < config_.max_degrade_factor) {
+        set_degrade_factor(now, degrade_factor_ * 2);
+        ++stats_.degrade_escalations;
+      }
+    }
+  } else {
+    pressured_samples_ = 0;
+    if (degrade_factor_ > 1 && ++clean_samples_ >= config_.recover_after) {
+      clean_samples_ = 0;
+      set_degrade_factor(now, degrade_factor_ / 2);
+      ++stats_.degrade_recoveries;
+    }
+  }
 }
 
 void Crawler::tick(Seconds now, Seconds dt) {
@@ -151,11 +226,27 @@ void Crawler::tick(Seconds now, Seconds dt) {
   act_human(now);
 
   if (now >= next_sample_) {
-    next_sample_ = now + config_.sample_interval;
-    // Stale minimap data (older than one sampling interval) means we just
-    // reconnected; skip rather than record outdated positions.
+    // Stale minimap data (older than one nominal sampling interval) means we
+    // just reconnected or the feed is fully shed; skip rather than record
+    // outdated positions.
     if (latest_entries_time_ < 0.0 ||
         now - latest_entries_time_ > config_.sample_interval) {
+      // A skip with a *recently* alive feed is the loudest pressure signal
+      // the crawler gets: upstream shed the snapshot class hard enough that
+      // a whole broadcast interval passed with nothing, so it counts against
+      // the ladder like a pressured sample. The age bound keeps outages out:
+      // once the feed has been silent longer than an interval plus the
+      // pressure window, this is a dead session (blackout, lost circuit) —
+      // coverage gaps already record those, and a dead feed ages past the
+      // bound before it can contribute a second observation, so an outage
+      // alone can never escalate (degrade_after >= 2). Uncounted skips
+      // deliberately leave the hysteresis counters untouched either way.
+      if (config_.degradation_enabled && latest_entries_time_ >= 0.0 &&
+          now - latest_entries_time_ <=
+              config_.sample_interval + config_.degrade_feed_age) {
+        update_degradation(now, true);
+      }
+      next_sample_ = now + effective_interval();
       ++stats_.empty_snapshots;
       open_gap_if_needed(now);
       return;
@@ -177,6 +268,27 @@ void Crawler::tick(Seconds now, Seconds dt) {
       backoff_level_ = 0;
       ++stats_.backoff_resets;
     }
+    // Overload ladder: judge pressure at this sample instant, emit any rate
+    // change *before* the snapshot (stream ordering contract), then schedule
+    // the next sample at the possibly-new effective interval. RNG-free, so
+    // uncongested runs keep an identical draw sequence.
+    if (config_.degradation_enabled) {
+      const bool rtt_fresh =
+          client_.circuit_last_rtt_at() >= 0.0 &&
+          now - client_.circuit_last_rtt_at() <= config_.degrade_rtt_freshness;
+      // A hole in the feed that closed since the previous sample still
+      // counts: the pressure was real even if this sample's data is fresh.
+      const bool recent_feed_hole =
+          feed_gap_recovered_at_ >= 0.0 &&
+          now - feed_gap_recovered_at_ <= config_.sample_interval;
+      const bool pressured =
+          (now - latest_entries_time_ > config_.degrade_feed_age) ||
+          recent_feed_hole ||
+          (rtt_fresh && client_.circuit_srtt() > config_.degrade_rtt_threshold);
+      update_degradation(now, pressured);
+    }
+    next_sample_ = now + effective_interval();
+    if (degrade_factor_ > 1) ++stats_.degraded_snapshots;
     Snapshot snap;
     snap.time = now;
     snap.fixes.reserve(latest_entries_.size());
@@ -214,9 +326,16 @@ void Crawler::open_gap_if_needed(Seconds now) {
 void Crawler::note_sampling_outage(Seconds now) {
   // Called while sampling is impossible (disconnected / logging in). Keeps
   // the sampling clock advancing and marks the first missed sample as the
-  // start of a coverage gap.
+  // start of a coverage gap. Ladder hysteresis does not survive the outage:
+  // the ladder judges *this session's* congestion, and pressure observed
+  // before a session drop must not combine with the (retransmission-
+  // inflated, hence pressured-looking) relogin handshake RTT to fake a
+  // sustained-pressure streak — the outage itself is already accounted for
+  // by the coverage gap.
+  pressured_samples_ = 0;
+  clean_samples_ = 0;
   if (now < next_sample_) return;
-  next_sample_ = now + config_.sample_interval;
+  next_sample_ = now + effective_interval();
   open_gap_if_needed(now);
 }
 

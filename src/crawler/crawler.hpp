@@ -56,6 +56,29 @@ struct CrawlerConfig {
   // A connected client whose minimap feed has been silent for this long has
   // lost its session however the server sees it; drop and re-login.
   Seconds feed_stale_timeout{60.0};
+  // --- Graceful sampling degradation (overload ladder) ----------------------
+  // Under sustained load pressure the crawler doubles its effective sampling
+  // interval (factor 2, then 4) instead of losing coverage outright, and
+  // records each degraded window on the trace (SamplingDegradation) so
+  // analysis can rate-correct the densities. Pressure is judged at each
+  // sample instant from three signals: the minimap feed's age (the snapshot-
+  // class feed is the first traffic shed upstream), a feed hole wider than
+  // degrade_feed_age that closed within the last sample interval (the shed
+  // happened even if the feed looks fresh again by the time we sample), and
+  // the client circuit's smoothed RTT (inflated by retransmissions under
+  // congestion).
+  bool degradation_enabled{true};
+  std::uint32_t max_degrade_factor{4};
+  Seconds degrade_feed_age{6.0};        // feed older than this = pressured
+  Seconds degrade_rtt_threshold{1.5};   // SRTT above this = pressured
+  // The RTT estimate only counts as pressure while it is *current*: the
+  // newest sample must be at most this old. The crawler's steady-state
+  // traffic is unreliable-only, so RTT samples are sparse (login handshakes,
+  // mostly) — without this gate a single estimate measured during relogin
+  // churn would pin the pressure signal long after the congestion is gone.
+  Seconds degrade_rtt_freshness{10.0};
+  std::uint32_t degrade_after{2};       // consecutive pressured samples to step up
+  std::uint32_t recover_after{3};       // consecutive clean samples to step down
 };
 
 struct CrawlerStats {
@@ -68,6 +91,10 @@ struct CrawlerStats {
   std::uint64_t feed_reconnects{0};   // drops after a silent minimap feed
   std::uint64_t coverage_gaps{0};     // gaps recorded on the trace
   std::uint64_t backoff_resets{0};    // times sampling recovered after faults
+  // Overload-ladder counters (all zero in fault-free runs).
+  std::uint64_t degrade_escalations{0};  // sampling factor steps up (1->2, 2->4)
+  std::uint64_t degrade_recoveries{0};   // sampling factor steps back down
+  std::uint64_t degraded_snapshots{0};   // snapshots taken at factor > 1
 };
 
 class Crawler {
@@ -91,6 +118,8 @@ class Crawler {
   // Re-login pacing state; checkpoints record it so a resumed run can prove
   // the replayed crawler is in the same state as the one that crashed.
   [[nodiscard]] std::uint32_t backoff_level() const { return backoff_level_; }
+  // Effective sampling factor currently in force (1 = nominal rate).
+  [[nodiscard]] std::uint32_t degrade_factor() const { return degrade_factor_; }
 
   // Attaches a write-ahead journal (non-owning; nullptr detaches). Every
   // snapshot, gap and session event is mirrored to the journal as it is
@@ -122,6 +151,13 @@ class Crawler {
   void note_sampling_outage(Seconds now);
   void journal_begin_if_needed();
   void live_begin_if_needed();
+  // Overload ladder: hysteresis counters feed set_degrade_factor, which
+  // closes/opens the trace window and mirrors the change to journal + sink.
+  void update_degradation(Seconds now, bool pressured);
+  void set_degrade_factor(Seconds now, std::uint32_t factor);
+  [[nodiscard]] Seconds effective_interval() const {
+    return config_.sample_interval * static_cast<double>(degrade_factor_);
+  }
 
   MetaverseClient& client_;
   CrawlerConfig config_;
@@ -132,6 +168,9 @@ class Crawler {
   // Latest minimap state.
   std::vector<CoarseEntry> latest_entries_;
   Seconds latest_entries_time_{-1.0};
+  // When an arrival last closed an interarrival hole wider than
+  // degrade_feed_age (negative until it happens); feeds the overload ladder.
+  Seconds feed_gap_recovered_at_{-1.0};
 
   Seconds next_sample_{0.0};
   Seconds next_move_{0.0};
@@ -141,6 +180,12 @@ class Crawler {
   // Open coverage gap: sampling has been impossible since gap_start_.
   bool gap_open_{false};
   Seconds gap_start_{0.0};
+  // Overload ladder state: current factor, start of the open degradation
+  // window (meaningful while degrade_factor_ > 1), hysteresis counters.
+  std::uint32_t degrade_factor_{1};
+  Seconds degrade_start_{0.0};
+  std::uint32_t pressured_samples_{0};
+  std::uint32_t clean_samples_{0};
   Seconds last_tick_{0.0};
   TraceJournalWriter* journal_{nullptr};
   LiveTraceSink* live_sink_{nullptr};

@@ -31,6 +31,7 @@ void CircuitEndpoint::sample_rtt(Seconds rtt) {
   rto_ = std::clamp(srtt_ + std::max(0.1, 4.0 * rttvar_), params_.min_rto,
                     params_.max_rto);
   ++stats_.rtt_samples;
+  last_rtt_sample_at_ = now_;
 }
 
 std::span<const std::uint8_t> CircuitEndpoint::build_packet(
@@ -50,29 +51,60 @@ std::span<const std::uint8_t> CircuitEndpoint::build_packet(
   return w.bytes();
 }
 
-void CircuitEndpoint::transmit(std::span<const std::uint8_t> packet) {
+void CircuitEndpoint::transmit(std::span<const std::uint8_t> packet, PacketClass cls) {
   ++stats_.packets_sent;
-  network_.send(self_, peer_, packet);
+  network_.send(self_, peer_, packet, cls);
 }
 
-void CircuitEndpoint::send(const Message& msg, bool reliable) {
+void CircuitEndpoint::send(const Message& msg, bool reliable, PacketClass cls) {
   if (failed_) return;
   encode_message_to(msg, body_scratch_);
-  send_encoded(body_scratch_.bytes(), reliable);
+  send_encoded(body_scratch_.bytes(), reliable, cls);
 }
 
-void CircuitEndpoint::send_encoded(std::span<const std::uint8_t> body, bool reliable) {
+void CircuitEndpoint::send_encoded(std::span<const std::uint8_t> body, bool reliable,
+                                   PacketClass cls) {
   if (failed_) return;
   const std::uint32_t seq = next_seq_++;
   const std::uint8_t flags = reliable ? kPacketFlagReliable : 0;
   const auto packet = build_packet(seq, flags, body);
-  transmit(packet);
   if (reliable) {
+    // Bounded send window: past max_unacked the packet waits its turn
+    // (FIFO, so transmissions stay in sequence order even while draining).
+    if (unacked_.size() >= params_.max_unacked || !deferred_.empty()) {
+      if (deferred_.size() >= params_.max_deferred) {
+        // Same loud contract as exhausting retries: the circuit is dead,
+        // not silently lossy.
+        ++stats_.reliable_failures;
+        failed_ = true;
+        if (on_failure_) on_failure_();
+        return;
+      }
+      ++stats_.deferred_sends;
+      deferred_.push_back({seq, {packet.begin(), packet.end()}});
+      return;
+    }
+    transmit(packet, PacketClass::kControl);
     // Reliable sends keep an owned copy for retransmission (cold path:
     // handshakes and chat, never the per-tick coarse feed).
     unacked_.emplace(seq, Pending{seq, {packet.begin(), packet.end()},
                                   now_ + rto_, params_.max_retries, now_,
                                   /*retransmitted=*/false, rto_});
+    return;
+  }
+  transmit(packet, cls);
+}
+
+void CircuitEndpoint::drain_deferred() {
+  while (!deferred_.empty() && unacked_.size() < params_.max_unacked && !failed_) {
+    Deferred d = std::move(deferred_.front());
+    deferred_.pop_front();
+    transmit(d.packet, PacketClass::kControl);
+    // The retry clock starts at first transmission, not at the (earlier)
+    // deferral: a deferred packet gets the full retry budget on the wire.
+    unacked_.emplace(d.seq, Pending{d.seq, std::move(d.packet), now_ + rto_,
+                                    params_.max_retries, now_,
+                                    /*retransmitted=*/false, rto_});
   }
 }
 
@@ -97,6 +129,7 @@ void CircuitEndpoint::on_datagram(std::span<const std::uint8_t> bytes) {
       if (!it->second.retransmitted) sample_rtt(now_ - it->second.sent_at);
       unacked_.erase(it);
     }
+    drain_deferred();  // acks freed window slots
     if (r.at_end()) return;  // pure-ack packet
 
     const bool reliable = (flags & kPacketFlagReliable) != 0;
@@ -132,6 +165,7 @@ void CircuitEndpoint::flush_acks(bool force) {
 void CircuitEndpoint::tick(Seconds now) {
   now_ = now;
   if (failed_) return;
+  drain_deferred();
   for (auto it = unacked_.begin(); it != unacked_.end();) {
     Pending& p = it->second;
     if (now >= p.next_retry) {

@@ -35,6 +35,9 @@ struct CircuitStats {
   std::uint64_t reliable_failures{0};  // gave up after max retries
   std::uint64_t rtt_samples{0};        // acks that fed the RTO estimator
   std::uint64_t rto_backoffs{0};       // per-packet RTO doublings
+  // Reliable sends held back because the unacked window was at max_unacked
+  // (backpressure events; the message is transmitted later, never lost).
+  std::uint64_t deferred_sends{0};
 
   // Summing across circuits: a reconnecting client retires one endpoint per
   // relogin, and the run summary wants the whole session's transport story.
@@ -48,6 +51,7 @@ struct CircuitStats {
     reliable_failures += o.reliable_failures;
     rtt_samples += o.rtt_samples;
     rto_backoffs += o.rto_backoffs;
+    deferred_sends += o.deferred_sends;
     return *this;
   }
 };
@@ -64,6 +68,16 @@ struct CircuitParams {
   Seconds max_rto{24.0};
   int max_retries{8};        // reliable sends abandoned after this many RTOs
   std::size_t ack_batch{32}; // flush a standalone ack packet at this backlog
+  // Bounded send window: at most this many reliable packets awaiting acks.
+  // Further reliable sends are deferred (built, queued, transmitted as acks
+  // free slots) rather than dropped — explicit backpressure instead of an
+  // unbounded retransmission map. Generous default: fault-free runs never
+  // defer.
+  std::size_t max_unacked{1024};
+  // Cap on the deferred queue itself; overflowing it fails the circuit
+  // loudly (reliable_failures + failure callback) instead of growing without
+  // bound — the same contract as exhausting retries.
+  std::size_t max_deferred{8192};
 };
 
 // One directional endpoint of a circuit. The owner (client or server) feeds
@@ -87,12 +101,16 @@ class CircuitEndpoint {
   void set_on_failure(FailureFn fn) { on_failure_ = std::move(fn); }
 
   // Sends a message; reliable messages are retransmitted until acked.
-  void send(const Message& msg, bool reliable);
+  // Reliable messages always travel as control-plane traffic; `cls` only
+  // classifies unreliable sends (default: best-effort session).
+  void send(const Message& msg, bool reliable,
+            PacketClass cls = PacketClass::kSession);
 
   // Sends an already-encoded message body (type byte + payload, as produced
   // by encode_message_to). Lets a server encode a broadcast once and fan it
   // out over every circuit without re-serialising per receiver.
-  void send_encoded(std::span<const std::uint8_t> body, bool reliable);
+  void send_encoded(std::span<const std::uint8_t> body, bool reliable,
+                    PacketClass cls = PacketClass::kSession);
 
   // Feeds one datagram received from the peer.
   void on_datagram(std::span<const std::uint8_t> bytes);
@@ -108,6 +126,10 @@ class CircuitEndpoint {
   [[nodiscard]] Seconds current_rto() const { return rto_; }
   // Smoothed RTT estimate; negative until the first sample.
   [[nodiscard]] Seconds srtt() const { return srtt_; }
+  // Virtual time of the most recent RTT sample; negative until one exists.
+  // Lets consumers distinguish a *current* RTT estimate from a stale one
+  // (this circuit's reliable traffic can be sparse).
+  [[nodiscard]] Seconds last_rtt_sample_at() const { return last_rtt_sample_at_; }
 
  private:
   struct Pending {
@@ -127,7 +149,10 @@ class CircuitEndpoint {
   std::span<const std::uint8_t> build_packet(std::uint32_t seq, std::uint8_t flags,
                                              std::span<const std::uint8_t> body);
   void flush_acks(bool force);
-  void transmit(std::span<const std::uint8_t> packet);
+  void transmit(std::span<const std::uint8_t> packet,
+                PacketClass cls = PacketClass::kControl);
+  // Transmits deferred reliable packets while the unacked window has room.
+  void drain_deferred();
 
   SimNetwork& network_;
   NodeId self_;
@@ -136,8 +161,16 @@ class CircuitEndpoint {
   DeliverFn deliver_;
   FailureFn on_failure_;
 
+  struct Deferred {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> packet;
+  };
+
   std::uint32_t next_seq_{1};
   std::map<std::uint32_t, Pending> unacked_;
+  // Reliable packets (seq already assigned) awaiting a window slot, FIFO so
+  // transmissions stay in sequence order.
+  std::deque<Deferred> deferred_;
   std::vector<std::uint32_t> acks_to_send_;
   std::set<std::uint32_t> seen_reliable_;
   Seconds now_{0.0};
@@ -145,6 +178,7 @@ class CircuitEndpoint {
   CircuitStats stats_;
   // RFC 6298 estimator state. srtt_ < 0 means "no sample yet".
   Seconds srtt_{-1.0};
+  Seconds last_rtt_sample_at_{-1.0};
   Seconds rttvar_{0.0};
   Seconds rto_{0.0};  // set from params in the constructor
   // Scratch buffers reused across packets so the warm send/receive path

@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kRegionCrash: return "region-crash";
     case FaultKind::kCapacityFlap: return "capacity-flap";
     case FaultKind::kCollectorCrash: return "collector-crash";
+    case FaultKind::kCollectorSlow: return "collector-slow";
+    case FaultKind::kFlashCrowd: return "flash-crowd";
     case FaultKind::kShardCrash: return "shard-crash";
     case FaultKind::kShardStall: return "shard-stall";
   }
@@ -31,8 +33,12 @@ void FaultSchedule::add(FaultWindow window) {
       (window.magnitude < 0.0 || window.magnitude > 1.0)) {
     throw std::invalid_argument("FaultSchedule::add: magnitude must be in [0,1]");
   }
-  if (window.kind == FaultKind::kLatencySpike && window.magnitude < 0.0) {
+  if ((window.kind == FaultKind::kLatencySpike || window.kind == FaultKind::kCollectorSlow) &&
+      window.magnitude < 0.0) {
     throw std::invalid_argument("FaultSchedule::add: latency spike must be >= 0");
+  }
+  if (window.kind == FaultKind::kFlashCrowd && window.magnitude < 1.0) {
+    throw std::invalid_argument("FaultSchedule::add: flash-crowd factor must be >= 1");
   }
   windows_.push_back(window);
 }
@@ -94,6 +100,24 @@ bool FaultSchedule::collector_down_at(Seconds t) const {
     if (w.kind == FaultKind::kCollectorCrash && w.active_at(t)) return true;
   }
   return false;
+}
+
+Seconds FaultSchedule::collector_delay_at(Seconds t) const {
+  Seconds extra = 0.0;
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kCollectorSlow && w.active_at(t)) extra += w.magnitude;
+  }
+  return extra;
+}
+
+double FaultSchedule::flash_crowd_factor_at(Seconds t) const {
+  double factor = 1.0;
+  for (const auto& w : windows_) {
+    if (w.kind == FaultKind::kFlashCrowd && w.active_at(t)) {
+      factor = std::max(factor, w.magnitude);
+    }
+  }
+  return factor;
 }
 
 std::vector<FaultWindow> FaultSchedule::shard_faults() const {
@@ -188,6 +212,32 @@ void add_collector_crashes(FaultSchedule& s, Seconds duration) {
   s.add({FaultKind::kCollectorCrash, duration * 0.625, duration * 0.625 + outage, 1.0, {}});
 }
 
+// Load-spike scenario: a 10x flash crowd over the middle third of the run
+// while the collector answers slowly — the two pressures the paper's rig met
+// at Isle of View-class events. Scripted without RNG so the window edges are
+// exact fractions of the duration (bench gates key off them).
+void add_overload(FaultSchedule& s, Seconds duration) {
+  const Seconds surge_start = duration / 3.0;
+  const Seconds surge_end = 2.0 * duration / 3.0;
+  if (surge_end <= surge_start) return;
+  s.add({FaultKind::kFlashCrowd, surge_start, surge_end, 10.0, {}});
+  // Saturation inflates queueing delay: every delivery in the surge window
+  // carries extra seconds, so the in-flight population grows with load
+  // (depth ~ rate x delay) and a bounded in-flight queue starts shedding its
+  // snapshot class — the congestion face of the same overload the flash
+  // crowd models. 25 s is bufferbloat territory, deliberately: the rig's
+  // steady send rate is low, and the point of the scenario is to drive the
+  // queue into its bound, not to simulate a mildly busy evening.
+  s.add({FaultKind::kLatencySpike, surge_start, surge_end, 25.0, {}});
+  // The slow collector starts slightly before the crowd and lingers after it:
+  // a saturated web server does not recover the instant arrivals drop. The
+  // 12 s delay deliberately exceeds the sensors' 10 s HTTP timeout, so
+  // in-window flushes time out (and widen) instead of merely arriving late.
+  const Seconds slow_start = std::max(0.0, surge_start - duration / 12.0);
+  const Seconds slow_end = std::min(duration, surge_end + duration / 12.0);
+  s.add({FaultKind::kCollectorSlow, slow_start, slow_end, 12.0, {}});
+}
+
 }  // namespace
 
 FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
@@ -216,6 +266,10 @@ FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
     add_collector_crashes(s, duration);
     return s;
   }
+  if (name == "overload") {
+    add_overload(s, duration);
+    return s;
+  }
   if (name == "chaos") {
     add_blackouts(s, duration);
     add_bursts(s, duration, rng);
@@ -235,8 +289,8 @@ FaultSchedule FaultSchedule::scenario(const std::string& name, Seconds duration,
 const std::vector<std::string>& FaultSchedule::scenario_names() {
   static const std::vector<std::string> names{"none",         "blackouts",
                                               "burst-loss",   "region-flaps",
-                                              "collector-crash", "chaos",
-                                              "shard-chaos"};
+                                              "collector-crash", "overload",
+                                              "chaos",        "shard-chaos"};
   return names;
 }
 

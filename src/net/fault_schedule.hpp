@@ -38,6 +38,10 @@ enum class FaultKind : std::uint8_t {
   kCapacityFlap,       // admission capacity scaled by `magnitude` in [0,1]
   // Collector faults (consumed by HttpCollector):
   kCollectorCrash,     // the web collector is down: requests vanish, no ack
+  kCollectorSlow,      // responses delayed by `magnitude` seconds (saturated web
+                       // server); sensors keep their requests pending longer
+  // Load faults (consumed by World via Testbed):
+  kFlashCrowd,         // arrival rate multiplied by `magnitude` (event surge)
   // Process faults (consumed by the run supervisor, core/supervisor.hpp;
   // invisible to network/server/collector — an unsupervised run ignores
   // them entirely):
@@ -96,6 +100,13 @@ class FaultSchedule {
   // True while a kCollectorCrash window covers `t`: the collector neither
   // records nor acknowledges, so sensors see a 408 and must retry.
   [[nodiscard]] bool collector_down_at(Seconds t) const;
+  // Summed kCollectorSlow delay seconds at `t`; 0 outside every window.
+  [[nodiscard]] Seconds collector_delay_at(Seconds t) const;
+
+  // --- Load queries (World, via Testbed) ------------------------------------
+  // Largest active kFlashCrowd arrival multiplier at `t`; 1.0 when no surge
+  // window is active.
+  [[nodiscard]] double flash_crowd_factor_at(Seconds t) const;
 
   // --- Supervisor queries (core/supervisor.hpp) -----------------------------
   // Shard-process fault windows (kShardCrash + kShardStall) merged in start
@@ -114,6 +125,9 @@ class FaultSchedule {
   //   "burst-loss"       seeded ~heavy-loss bursts (60-180 s at 60-95 % loss)
   //   "region-flaps"     seeded region crashes (30-120 s down) + capacity flaps
   //   "collector-crash"  two collector outages at 1/4 and 5/8 of the run
+  //   "overload"         flash-crowd avatar surge (10x arrivals over the middle
+  //                      third) riding a slow collector — the load-spike
+  //                      scenario gated by bench/overload_shedding
   //   "chaos"            all the transport/server faults mixed, seeded
   //   "shard-chaos"      chaos + scripted shard crashes (30/55/80 % of the
   //                      run) and one shard stall (45 %) — only meaningful

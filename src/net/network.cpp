@@ -26,7 +26,8 @@ void SimNetwork::set_handler(NodeId node, ReceiveFn on_receive) {
   handlers_.at(node) = std::move(on_receive);
 }
 
-bool SimNetwork::admit(NodeId from, NodeId to, std::size_t payload_size, Seconds& latency) {
+bool SimNetwork::admit(NodeId from, NodeId to, std::size_t payload_size, PacketClass cls,
+                       Seconds& latency) {
   ++stats_.sent;
   if (to >= handlers_.size()) {
     throw std::invalid_argument("SimNetwork::send: unknown destination node");
@@ -34,6 +35,17 @@ bool SimNetwork::admit(NodeId from, NodeId to, std::size_t payload_size, Seconds
   if (payload_size > params_.mtu) {
     ++stats_.oversize_dropped;
     log_warn("net", "dropping oversize datagram");
+    return false;
+  }
+  // Bounded in-flight queue: non-control traffic past the cap is shed by
+  // class. The check draws no RNG, so an uncongested run's draw sequence is
+  // untouched; control is always admitted (the cap is a data-plane budget).
+  if (in_flight_.size() >= params_.max_in_flight && cls != PacketClass::kControl) {
+    if (cls == PacketClass::kSnapshot) {
+      ++stats_.shed_snapshot;
+    } else {
+      ++stats_.shed_session;
+    }
     return false;
   }
   Seconds fault_latency = 0.0;
@@ -62,6 +74,7 @@ void SimNetwork::enqueue(NodeId from, NodeId to, Seconds latency,
                          std::vector<std::uint8_t> payload) {
   in_flight_.push_back({clock_ + latency, order_++, from, to, std::move(payload)});
   std::push_heap(in_flight_.begin(), in_flight_.end(), std::greater<>{});
+  stats_.in_flight_peak = std::max<std::uint64_t>(stats_.in_flight_peak, in_flight_.size());
 }
 
 std::vector<std::uint8_t> SimNetwork::acquire_buffer() {
@@ -77,15 +90,17 @@ void SimNetwork::release_buffer(std::vector<std::uint8_t> buf) {
   buffer_pool_.push_back(std::move(buf));
 }
 
-void SimNetwork::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
+void SimNetwork::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload,
+                      PacketClass cls) {
   Seconds latency = 0.0;
-  if (!admit(from, to, payload.size(), latency)) return;
+  if (!admit(from, to, payload.size(), cls, latency)) return;
   enqueue(from, to, latency, std::move(payload));
 }
 
-void SimNetwork::send(NodeId from, NodeId to, std::span<const std::uint8_t> payload) {
+void SimNetwork::send(NodeId from, NodeId to, std::span<const std::uint8_t> payload,
+                      PacketClass cls) {
   Seconds latency = 0.0;
-  if (!admit(from, to, payload.size(), latency)) return;
+  if (!admit(from, to, payload.size(), cls, latency)) return;
   std::vector<std::uint8_t> buf = acquire_buffer();
   buf.assign(payload.begin(), payload.end());
   enqueue(from, to, latency, std::move(buf));

@@ -20,11 +20,27 @@
 
 namespace slmob {
 
+// Priority class of a datagram, used by overload shedding: when the bounded
+// in-flight queue is full, the lowest class is shed first and control-plane
+// traffic is never shed at all (logins, kicks, acks must survive a flash
+// crowd for the rig to stay correct).
+enum class PacketClass : std::uint8_t {
+  kControl = 0,   // handshakes, reliable messages, acks — never shed
+  kSession = 1,   // best-effort session traffic (chat, movement)
+  kSnapshot = 2,  // bulk observation feeds (coarse minimap, sensor flushes)
+};
+
 struct NetworkParams {
   Seconds latency_min{0.02};
   Seconds latency_max{0.08};
   double loss_rate{0.0};
   std::size_t mtu{1400};  // datagrams larger than this are dropped (logged)
+  // Bound on concurrently in-flight datagrams. Non-control sends past this
+  // depth are shed (counted per class); control is always admitted. The
+  // default is generous enough that fault-free runs never shed — the bound
+  // exists so a flash crowd degrades by policy instead of growing the heap
+  // without limit.
+  std::size_t max_in_flight{65536};
 };
 
 struct NetworkStats {
@@ -35,6 +51,17 @@ struct NetworkStats {
   // Datagrams dropped by a scheduled fault window (also counted in `lost`
   // when the drop came from a burst-loss draw).
   std::uint64_t fault_dropped{0};
+  // Datagrams shed because the in-flight queue was at max_in_flight, by
+  // class. Control-plane datagrams are never shed (no counter needed).
+  std::uint64_t shed_session{0};
+  std::uint64_t shed_snapshot{0};
+  // High-water mark of the in-flight queue: how close the run came to the
+  // max_in_flight bound (sizing aid for the cap, surfaced by the bench).
+  std::uint64_t in_flight_peak{0};
+
+  [[nodiscard]] std::uint64_t overload_shed() const {
+    return shed_session + shed_snapshot;
+  }
 };
 
 class SimNetwork {
@@ -50,11 +77,13 @@ class SimNetwork {
   void set_handler(NodeId node, ReceiveFn on_receive);
 
   // Queues a datagram; it is delivered (or dropped) during a later tick.
-  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload,
+            PacketClass cls = PacketClass::kSession);
   // Same, but the payload is copied into a pooled buffer: callers that keep
   // (and reuse) their own scratch packet avoid an allocation per send once
   // the pool is warm.
-  void send(NodeId from, NodeId to, std::span<const std::uint8_t> payload);
+  void send(NodeId from, NodeId to, std::span<const std::uint8_t> payload,
+            PacketClass cls = PacketClass::kSession);
 
   // Delivers every packet whose arrival time is <= now + dt.
   void tick(Seconds now, Seconds dt);
@@ -87,7 +116,8 @@ class SimNetwork {
   // Decides drop/latency for a datagram about to be queued. Returns false
   // when the datagram is dropped (stats already updated); otherwise sets
   // `latency` to the delivery delay.
-  bool admit(NodeId from, NodeId to, std::size_t payload_size, Seconds& latency);
+  bool admit(NodeId from, NodeId to, std::size_t payload_size, PacketClass cls,
+             Seconds& latency);
   void enqueue(NodeId from, NodeId to, Seconds latency, std::vector<std::uint8_t> payload);
   [[nodiscard]] std::vector<std::uint8_t> acquire_buffer();
   void release_buffer(std::vector<std::uint8_t> buf);

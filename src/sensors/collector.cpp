@@ -17,6 +17,15 @@ HttpCollector::HttpCollector(SimNetwork& network, std::string land_name)
 void HttpCollector::tick(Seconds now, Seconds dt) {
   (void)dt;
   now_ = now;
+  // Release acks whose kCollectorSlow hold has expired (FIFO: due times are
+  // monotone because the added delay is constant within a window).
+  while (!deferred_responses_.empty() && deferred_responses_.front().due <= now) {
+    DeferredResponse resp = std::move(deferred_responses_.front());
+    deferred_responses_.pop_front();
+    for (auto& frag : resp.fragments) {
+      network_.send(address_, resp.to, std::move(frag));
+    }
+  }
 }
 
 void HttpCollector::on_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
@@ -88,7 +97,24 @@ void HttpCollector::handle_request(NodeId from, const HttpRequest& request) {
     response.headers.push_back({"X-Request-Key", *key});
   }
   response.body = "ok";
-  for (auto& frag : fragment_http_message(next_response_id_++, response.serialize())) {
+  auto fragments = fragment_http_message(next_response_id_++, response.serialize());
+
+  // A kCollectorSlow window models an overloaded web server: the flush is
+  // recorded immediately (the bytes did arrive), but the ack sits in a
+  // bounded backlog for the window's added delay. Long enough delays push
+  // sensors past their timeout into retries — the load spiral the sensor
+  // side's dedup and bounded queues must absorb.
+  const Seconds delay = faults_.collector_delay_at(now_);
+  if (delay > 0.0) {
+    if (deferred_responses_.size() >= kMaxDeferredResponses) {
+      ++stats_.responses_dropped;
+      return;
+    }
+    ++stats_.responses_delayed;
+    deferred_responses_.push_back({now_ + delay, from, std::move(fragments)});
+    return;
+  }
+  for (auto& frag : fragments) {
     network_.send(address_, from, std::move(frag));
   }
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <set>
 #include <string>
@@ -34,6 +35,11 @@ struct CollectorStats {
   std::uint64_t duplicate_flushes{0};
   // Datagrams discarded while a kCollectorCrash window was active.
   std::uint64_t dropped_while_down{0};
+  // Acks held back by a kCollectorSlow window (sent late from tick()).
+  std::uint64_t responses_delayed{0};
+  // Acks discarded because the bounded deferred-response queue was full;
+  // the sensor times out (408) and retries, dedup absorbs the replay.
+  std::uint64_t responses_dropped{0};
 };
 
 class HttpCollector {
@@ -43,8 +49,9 @@ class HttpCollector {
   [[nodiscard]] NodeId address() const { return address_; }
   [[nodiscard]] const CollectorStats& stats() const { return stats_; }
 
-  // Installs the rig's fault schedule; only kCollectorCrash windows are
-  // consulted. Requires tick() to be driven so the collector knows the time.
+  // Installs the rig's fault schedule; kCollectorCrash and kCollectorSlow
+  // windows are consulted. Requires tick() to be driven so the collector
+  // knows the time (and, for slow windows, flushes deferred acks).
   void set_faults(FaultSchedule faults) { faults_ = std::move(faults); }
   // Advances the collector's clock (register with the engine when faults are
   // in play; without faults the collector is purely reactive and needs none).
@@ -68,6 +75,16 @@ class HttpCollector {
   void on_datagram(NodeId from, std::span<const std::uint8_t> bytes);
   void handle_request(NodeId from, const HttpRequest& request);
 
+  // Bounded backlog of acks held by a kCollectorSlow window. A slow web
+  // server must not buffer unboundedly: past this, acks are dropped and the
+  // sensor's retry path takes over.
+  static constexpr std::size_t kMaxDeferredResponses = 256;
+  struct DeferredResponse {
+    Seconds due;
+    NodeId to;
+    std::vector<std::vector<std::uint8_t>> fragments;
+  };
+
   SimNetwork& network_;
   NodeId address_{};
   std::string land_name_;
@@ -78,6 +95,8 @@ class HttpCollector {
   std::vector<Record> records_;
   // Flush sequence numbers already recorded, per sensor key.
   std::map<std::string, std::set<std::uint64_t>> seen_flushes_;
+  // FIFO of acks awaiting their kCollectorSlow release time.
+  std::deque<DeferredResponse> deferred_responses_;
   CollectorStats stats_;
 };
 

@@ -63,6 +63,7 @@ void ObjectRuntime::tick(Seconds now, Seconds dt) {
   for (std::size_t i = 0; i < objects_.size();) {
     if (now >= expiry_[i]) {
       ++stats_.expired;
+      retired_sensor_stats_ += objects_[i]->stats();
       objects_.erase(objects_.begin() + static_cast<std::ptrdiff_t>(i));
       expiry_.erase(expiry_.begin() + static_cast<std::ptrdiff_t>(i));
     } else {

@@ -45,6 +45,15 @@ class ObjectRuntime {
   [[nodiscard]] SensorObject* find(ObjectId id);
   [[nodiscard]] bool alive(ObjectId id) const;
   [[nodiscard]] const ObjectRuntimeStats& stats() const { return stats_; }
+  // Sensor stats summed over the whole deployment history: expired
+  // generations are folded in at removal time, so counters accumulated
+  // before a lifetime rollover (on public/sandbox land the fleet turns over
+  // every object_lifetime seconds) are not lost with the object.
+  [[nodiscard]] SensorObjectStats total_sensor_stats() const {
+    SensorObjectStats total = retired_sensor_stats_;
+    for (const auto& object : objects_) total += object->stats();
+    return total;
+  }
 
  private:
   [[nodiscard]] Seconds lifetime_for_land() const;
@@ -56,6 +65,7 @@ class ObjectRuntime {
   std::vector<std::unique_ptr<SensorObject>> objects_;
   std::vector<Seconds> expiry_;  // parallel to objects_
   ObjectRuntimeStats stats_;
+  SensorObjectStats retired_sensor_stats_;  // summed from expired objects
 };
 
 }  // namespace slmob

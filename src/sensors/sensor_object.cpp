@@ -124,8 +124,23 @@ std::string SensorObject::ll_http_request(const std::string& url, const lsl::Lis
   }
   if (recent_http_.size() >= limits_.http_requests_per_minute) {
     ++stats_.http_throttled;
-    queued_responses_.emplace_back(now_ + 1.0, key, 499, "throttled");
+    queue_response(now_ + 1.0, key, 499, "throttled");
     return key;
+  }
+
+  // Bounded pending table: a collector that stays unreachable accumulates
+  // pending entries no faster than they time out, but the cap makes the
+  // bound explicit rather than emergent. kNewest refuses this request (503,
+  // nothing sent); kOldest abandons the stalest wait with a 503 so its
+  // script-side state machine is released, then admits this one.
+  if (pending_http_.size() >= limits_.max_pending_http) {
+    ++stats_.http_pending_dropped;
+    if (limits_.http_drop_policy == DropPolicy::kNewest) {
+      queue_response(now_, key, 503, "dropped");
+      return key;
+    }
+    queue_response(now_, pending_http_.front().key, 503, "dropped");
+    pending_http_.erase(pending_http_.begin());
   }
   recent_http_.push_back(now_);
   ++stats_.http_requests;
@@ -141,10 +156,23 @@ std::string SensorObject::ll_http_request(const std::string& url, const lsl::Lis
   req.headers.push_back({"X-Sensor-Id", std::to_string(id_.value)});
   req.body = body;
   for (auto& frag : fragment_http_message(message_id, req.serialize())) {
-    network_.send(address_, collector_, std::move(frag));
+    // Sensor flushes are bulk observation data: snapshot class, shed first
+    // when the network's in-flight budget saturates (a lost flush is retried
+    // by the script after its 408).
+    network_.send(address_, collector_, std::move(frag), PacketClass::kSnapshot);
   }
   pending_http_.push_back({key, now_ + limits_.http_timeout});
   return key;
+}
+
+void SensorObject::queue_response(Seconds due, const std::string& key,
+                                  std::int64_t status, const std::string& body) {
+  if (queued_responses_.size() >= limits_.max_queued_responses) {
+    ++stats_.http_responses_dropped;
+    if (limits_.http_drop_policy == DropPolicy::kNewest) return;
+    queued_responses_.erase(queued_responses_.begin());
+  }
+  queued_responses_.emplace_back(due, key, status, body);
 }
 
 void SensorObject::on_datagram(std::span<const std::uint8_t> bytes) {
@@ -162,7 +190,22 @@ void SensorObject::deliver_response(const std::string& key, std::int64_t status,
   const auto it = std::find_if(pending_http_.begin(), pending_http_.end(),
                                [&](const PendingHttp& p) { return p.key == key; });
   if (it != pending_http_.end()) pending_http_.erase(it);
+  // Feed the flush-degradation ladder: a lost or dropped flush (timeout 408,
+  // queue drop 503) signals collector/network distress and widens the next
+  // timer interval; a success restores the nominal rate. 499 (the platform's
+  // own rate limiter) is already backpressure and is deliberately excluded.
+  if (status == 200) {
+    consecutive_http_failures_ = 0;
+  } else if (status == 408 || status == 503) {
+    ++consecutive_http_failures_;
+  }
   guarded([&] { interp_->fire_http_response(key, status, body); });
+}
+
+std::uint32_t SensorObject::flush_widen_factor() const {
+  if (consecutive_http_failures_ == 0 || limits_.max_flush_widen <= 1) return 1;
+  const std::uint32_t shift = std::min<std::uint32_t>(consecutive_http_failures_, 16);
+  return std::min<std::uint32_t>(1u << shift, limits_.max_flush_widen);
 }
 
 void SensorObject::sweep(Seconds now) {
@@ -210,13 +253,16 @@ void SensorObject::tick(Seconds now, Seconds dt) {
       ++i;
     }
   }
-  // HTTP timeouts (lost fragments, dead collector).
+  // HTTP timeouts (lost fragments, dead collector). Routed through
+  // deliver_response so the 408 feeds the flush-widening ladder exactly like
+  // a queue-drop 503 — a timed-out flush is the clearest distress signal the
+  // sensor gets.
   for (std::size_t i = 0; i < pending_http_.size();) {
     if (pending_http_[i].deadline <= now) {
       const std::string key = pending_http_[i].key;
       pending_http_.erase(pending_http_.begin() + static_cast<std::ptrdiff_t>(i));
       ++stats_.http_timeouts;
-      guarded([&] { interp_->fire_http_response(key, 408, "timeout"); });
+      deliver_response(key, 408, "timeout");
     } else {
       ++i;
     }
@@ -224,7 +270,12 @@ void SensorObject::tick(Seconds now, Seconds dt) {
   if (failed_) return;
 
   if (timer_period_ > 0.0 && now >= next_timer_) {
-    next_timer_ = now + timer_period_;
+    // Under HTTP failure pressure the timer (the script's flush driver) is
+    // re-armed at a widened interval — graceful degradation instead of a
+    // retry storm against a struggling collector.
+    const std::uint32_t widen = flush_widen_factor();
+    next_timer_ = now + timer_period_ * static_cast<double>(widen);
+    if (widen > 1) ++stats_.flushes_widened;
     guarded([&] { interp_->fire_timer(); });
   }
   if (sensor_active_ && now >= next_sweep_) {

@@ -28,12 +28,31 @@
 
 namespace slmob {
 
+// Which end of a bounded queue gives way when it is full.
+enum class DropPolicy : std::uint8_t {
+  kOldest,  // evict the oldest entry to admit the new one
+  kNewest,  // refuse the new entry, keep the backlog
+};
+
 struct SensorLimits {
   std::size_t max_detected{16};
   double max_range{96.0};
   std::size_t script_memory{16 * 1024};
   std::size_t http_requests_per_minute{20};
   Seconds http_timeout{10.0};
+  // Bounded HTTP bookkeeping: a collector that stays down for a long window
+  // must not grow pending_http_/queued_responses_ without limit. Evicted
+  // entries get a synthetic 503 so the script's state machine never wedges
+  // waiting on a response that will not come.
+  std::size_t max_pending_http{64};
+  std::size_t max_queued_responses{64};
+  DropPolicy http_drop_policy{DropPolicy::kOldest};
+  // Graceful flush degradation: while HTTP responses keep failing (throttle,
+  // timeout, drop), the script's timer interval is stretched by up to this
+  // factor (doubling per consecutive failure), so a congested or slow
+  // collector sees fewer, larger flushes instead of a retry storm. 1
+  // disables widening.
+  std::uint32_t max_flush_widen{4};
 };
 
 struct SensorObjectStats {
@@ -44,6 +63,26 @@ struct SensorObjectStats {
   std::uint64_t http_throttled{0};
   std::uint64_t http_timeouts{0};
   std::uint64_t script_errors{0};
+  // Entries evicted from the bounded HTTP queues (zero unless the collector
+  // stayed unreachable long enough to fill them).
+  std::uint64_t http_pending_dropped{0};
+  std::uint64_t http_responses_dropped{0};
+  // Timer firings re-armed at a widened interval (flush degradation active).
+  std::uint64_t flushes_widened{0};
+
+  SensorObjectStats& operator+=(const SensorObjectStats& other) {
+    sweeps += other.sweeps;
+    detections += other.detections;
+    detections_truncated += other.detections_truncated;
+    http_requests += other.http_requests;
+    http_throttled += other.http_throttled;
+    http_timeouts += other.http_timeouts;
+    script_errors += other.script_errors;
+    http_pending_dropped += other.http_pending_dropped;
+    http_responses_dropped += other.http_responses_dropped;
+    flushes_widened += other.flushes_widened;
+    return *this;
+  }
 };
 
 class SensorObject final : public lsl::LslHost {
@@ -108,6 +147,12 @@ class SensorObject final : public lsl::LslHost {
   void enforce_memory_limit();
   void deliver_response(const std::string& key, std::int64_t status,
                         const std::string& body);
+  // Schedules a synthetic response, applying the bounded-queue drop policy.
+  void queue_response(Seconds due, const std::string& key, std::int64_t status,
+                      const std::string& body);
+  // Current flush-widening factor: 1 while responses succeed, doubling per
+  // consecutive HTTP failure up to limits_.max_flush_widen.
+  [[nodiscard]] std::uint32_t flush_widen_factor() const;
   void on_datagram(std::span<const std::uint8_t> bytes);
   template <typename Fn>
   void guarded(Fn&& fn);
@@ -139,6 +184,7 @@ class SensorObject final : public lsl::LslHost {
 
   // HTTP state
   std::uint32_t next_request_id_{1};
+  std::uint32_t consecutive_http_failures_{0};
   std::deque<Seconds> recent_http_;  // send timestamps for rate limiting
   std::vector<PendingHttp> pending_http_;
   // Responses scheduled for synthetic delivery (throttle failures).

@@ -40,6 +40,7 @@ void SimServer::on_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
 }
 
 void SimServer::handle_message(NodeId from, Message& msg) {
+  ++messages_this_tick_;
   std::visit(
       [&](auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -50,10 +51,20 @@ void SimServer::handle_message(NodeId from, Message& msg) {
         } else if constexpr (std::is_same_v<T, CompleteAgentMovement>) {
           auto it = clients_.find(from);
           if (it != clients_.end()) it->second.movement_complete = true;
-        } else if constexpr (std::is_same_v<T, AgentUpdate>) {
-          handle_agent_update(from, m);
-        } else if constexpr (std::is_same_v<T, ChatFromViewer>) {
-          handle_chat(from, m);
+        } else if constexpr (std::is_same_v<T, AgentUpdate> ||
+                             std::is_same_v<T, ChatFromViewer>) {
+          // Data-plane messages respect the per-tick budget; control-plane
+          // (login/logout/handshake) is always processed, so an overloaded
+          // region stays joinable and leavable.
+          if (messages_this_tick_ > params_.max_messages_per_tick) {
+            ++stats_.messages_shed;
+            return;
+          }
+          if constexpr (std::is_same_v<T, AgentUpdate>) {
+            handle_agent_update(from, m);
+          } else {
+            handle_chat(from, m);
+          }
         } else if constexpr (std::is_same_v<T, LogoutRequest>) {
           handle_logout(from);
         } else {
@@ -77,6 +88,22 @@ void SimServer::handle_login(NodeId from, const LoginRequest& req) {
   }
 
   LoginResponse resp;
+  // Capacity-aware admission control: reject while occupancy is at or above
+  // the headroom threshold, before touching the world. The reject is a
+  // first-class, counted event the client can back off from — not a silent
+  // failure at the hard capacity wall.
+  if (params_.admission_headroom < 1.0) {
+    const auto admitted_cap = static_cast<std::size_t>(
+        params_.admission_headroom * static_cast<double>(world_.land().capacity()));
+    if (world_.avatars().size() >= admitted_cap) {
+      ++stats_.logins_rejected;
+      ++stats_.logins_rejected_overload;
+      resp.ok = false;
+      resp.error = "server busy";
+      session.circuit->send(resp, /*reliable=*/true);
+      return;
+    }
+  }
   // A capacity flap shrinks admission below the land's nominal capacity.
   const double cap_factor = params_.faults.capacity_factor_at(now_);
   if (cap_factor < 1.0) {
@@ -207,7 +234,10 @@ void SimServer::broadcast_coarse_locations() {
   encode_message_to(coarse_msg_, coarse_body_);
   for (auto& [node, session] : clients_) {
     if (!session.movement_complete) continue;
-    session.circuit->send_encoded(coarse_body_.bytes(), /*reliable=*/false);
+    // The coarse feed is bulk observation data: lowest priority class, first
+    // to be shed when the network's in-flight queue saturates.
+    session.circuit->send_encoded(coarse_body_.bytes(), /*reliable=*/false,
+                                  PacketClass::kSnapshot);
     ++stats_.coarse_updates_sent;
   }
 }
@@ -215,6 +245,7 @@ void SimServer::broadcast_coarse_locations() {
 void SimServer::tick(Seconds now, Seconds dt) {
   (void)dt;
   now_ = now;
+  messages_this_tick_ = 0;
 
   // Scheduled region crash: on entry drop every circuit, session and avatar
   // at once; while down ignore all traffic and emit nothing; on exit resume

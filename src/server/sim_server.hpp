@@ -39,6 +39,18 @@ struct SimServerParams {
   // silence the server until the window ends; kCapacityFlap windows scale
   // the admission capacity. Transport kinds are ignored here.
   FaultSchedule faults;
+  // --- Overload protection ---------------------------------------------------
+  // Explicit admission control: logins are rejected ("server busy") once the
+  // world holds at least admission_headroom * capacity avatars — a
+  // capacity-aware reject the client sees immediately, instead of the
+  // implicit flap of add_external_avatar failing at the hard capacity. 1.0
+  // keeps today's behaviour.
+  double admission_headroom{1.0};
+  // Bounded per-tick message budget: data-plane messages (AgentUpdate,
+  // ChatFromViewer) past this count in one tick are shed (counted); control
+  // messages (login, logout, handshake) are always processed. The default
+  // is far above any fault-free tick's traffic.
+  std::size_t max_messages_per_tick{4096};
 };
 
 struct SimServerStats {
@@ -51,6 +63,9 @@ struct SimServerStats {
   std::uint64_t crashes{0};                // region-crash windows entered
   std::uint64_t sessions_crashed{0};       // sessions dropped by a crash
   std::uint64_t datagrams_ignored_down{0}; // traffic discarded while crashed
+  // Overload-protection counters (both zero in fault-free runs).
+  std::uint64_t logins_rejected_overload{0};  // admission-headroom rejects
+  std::uint64_t messages_shed{0};             // data messages past the tick budget
 };
 
 class SimServer {
@@ -96,6 +111,7 @@ class SimServer {
   bool down_{false};
   std::map<NodeId, ClientSession> clients_;
   SimServerStats stats_;
+  std::size_t messages_this_tick_{0};
   // The per-broadcast CoarseLocationUpdate is built and encoded exactly once
   // per interval into these reused buffers, then fanned out to every circuit
   // as pre-encoded bytes — the steady-state feed allocates nothing.

@@ -131,6 +131,26 @@ void TraceJournalWriter::append_gap_close(Seconds start, Seconds end) {
   append_frame(w);
 }
 
+void TraceJournalWriter::append_degrade_open(Seconds start, std::uint32_t factor) {
+  if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kDegradeOpen));
+  w.f64(start);
+  w.u32(factor);
+  append_frame(w);
+}
+
+void TraceJournalWriter::append_degrade_close(Seconds start, Seconds end,
+                                              std::uint32_t factor) {
+  if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalRecord::kDegradeClose));
+  w.f64(start);
+  w.f64(end);
+  w.u32(factor);
+  append_frame(w);
+}
+
 void TraceJournalWriter::append_session(Seconds time, SessionEvent event,
                                         const std::string& detail) {
   if (!begun_) throw std::logic_error("TraceJournalWriter: record before begin()");
@@ -169,6 +189,9 @@ JournalSalvage salvage_journal_bytes(std::span<const std::uint8_t> bytes) {
   bool have_snapshot = false;
   bool gap_pending = false;
   Seconds gap_pending_start = 0.0;
+  bool degrade_pending = false;
+  Seconds degrade_pending_start = 0.0;
+  std::uint32_t degrade_pending_factor = 0;
   bool have_begin = false;
 
   std::size_t pos = kHeaderBytes;
@@ -232,6 +255,19 @@ JournalSalvage salvage_journal_bytes(std::span<const std::uint8_t> bytes) {
         case JournalRecord::kSession:
           ++out.session_events;
           break;
+        case JournalRecord::kDegradeOpen:
+          degrade_pending = true;
+          degrade_pending_start = r.f64();
+          degrade_pending_factor = r.u32();
+          break;
+        case JournalRecord::kDegradeClose: {
+          const Seconds start = r.f64();
+          const Seconds end = r.f64();
+          const std::uint32_t factor = r.u32();
+          out.trace.add_degradation(start, end, factor);
+          degrade_pending = false;
+          break;
+        }
         case JournalRecord::kEnd:
           out.clean_end = true;
           break;
@@ -264,6 +300,12 @@ JournalSalvage salvage_journal_bytes(std::span<const std::uint8_t> bytes) {
                               ? gap_pending_start
                               : std::max(last_snapshot_time + sampling_interval,
                                          last_gap_end);
+    // A degradation window left open by the crash closes at the censoring
+    // boundary: the degraded snapshots already captured stay rate-corrected,
+    // and the unrun remainder is covered by the trailing gap instead.
+    if (degrade_pending && degrade_pending_start < start) {
+      out.trace.add_degradation(degrade_pending_start, start, degrade_pending_factor);
+    }
     const Seconds end = std::max(out.planned_end, start + sampling_interval);
     out.trace.add_gap(start, end);
   }

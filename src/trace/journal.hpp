@@ -17,6 +17,8 @@
 //   kGapClose u8 type | f64 start | f64 end
 //   kSession  u8 type | f64 time | u8 code | str detail
 //   kEnd      u8 type | f64 time
+//   kDegradeOpen  u8 type | f64 start | u32 factor
+//   kDegradeClose u8 type | f64 start | f64 end | u32 factor
 //
 // Salvage never throws on a torn or bit-flipped tail: frames are read until
 // the first frame that is truncated, oversized or fails its CRC; that frame
@@ -41,6 +43,11 @@ enum class JournalRecord : std::uint8_t {
   kGapClose = 3,
   kSession = 4,
   kEnd = 5,
+  // Sampling-degradation windows (overload protection slowed the snapshot
+  // rate): open is written before the first degraded snapshot, close after
+  // the last, mirroring the gap open/close pattern.
+  kDegradeOpen = 6,
+  kDegradeClose = 7,
 };
 
 // Session-event codes carried by kSession frames (diagnostic only; salvage
@@ -81,6 +88,8 @@ class TraceJournalWriter {
   void append_snapshot(const Snapshot& snapshot);
   void append_gap_open(Seconds start);
   void append_gap_close(Seconds start, Seconds end);
+  void append_degrade_open(Seconds start, std::uint32_t factor);
+  void append_degrade_close(Seconds start, Seconds end, std::uint32_t factor);
   void append_session(Seconds time, SessionEvent event, const std::string& detail = "");
   // Clean finalization: a journal ending in kEnd salvages with no trailing gap.
   void append_end(Seconds time);

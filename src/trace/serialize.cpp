@@ -13,9 +13,10 @@ namespace slmob {
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'S', 'L', 'T', 'R'};
-// Version 2 added the trailing coverage-gap block; version-1 inputs (no gap
-// block) are still decoded as gap-free traces.
-constexpr std::uint16_t kVersion = 2;
+// Version 2 added the trailing coverage-gap block; version 3 appends the
+// sampling-degradation block after it. Version-1 and -2 inputs are still
+// decoded (as gap-free / degradation-free traces respectively).
+constexpr std::uint16_t kVersion = 3;
 
 }  // namespace
 
@@ -41,6 +42,12 @@ std::vector<std::uint8_t> encode_trace(const Trace& trace) {
     w.f64(gap.start);
     w.f64(gap.end);
   }
+  w.u32(static_cast<std::uint32_t>(trace.degradations().size()));
+  for (const auto& d : trace.degradations()) {
+    w.f64(d.start);
+    w.f64(d.end);
+    w.u32(d.factor);
+  }
   return w.take();
 }
 
@@ -51,7 +58,7 @@ Trace decode_trace(std::span<const std::uint8_t> bytes) {
     throw DecodeError("decode_trace: bad magic");
   }
   const auto version = r.u16();
-  if (version != 1 && version != 2) {
+  if (version < 1 || version > 3) {
     throw DecodeError("decode_trace: unsupported version");
   }
   const std::string land = r.str();
@@ -81,6 +88,15 @@ Trace decode_trace(std::span<const std::uint8_t> bytes) {
       trace.add_gap(start, end);
     }
   }
+  if (version >= 3) {
+    const std::uint32_t degradation_count = r.u32();
+    for (std::uint32_t i = 0; i < degradation_count; ++i) {
+      const double start = r.f64();
+      const double end = r.f64();
+      const std::uint32_t factor = r.u32();
+      trace.add_degradation(start, end, factor);
+    }
+  }
   if (!r.at_end()) throw DecodeError("decode_trace: trailing bytes");
   return trace;
 }
@@ -99,6 +115,10 @@ std::string trace_to_csv(const Trace& trace) {
   for (const auto& gap : trace.gaps()) {
     w.row({"gap", std::to_string(gap.start), std::to_string(gap.end), "0", "0"});
   }
+  for (const auto& d : trace.degradations()) {
+    w.row({"degraded", std::to_string(d.start), std::to_string(d.end),
+           std::to_string(d.factor), "0"});
+  }
   return os.str();
 }
 
@@ -114,6 +134,11 @@ Trace trace_from_csv(std::string_view text, std::string land_name,
     if (row.size() != 5) throw DecodeError("trace_from_csv: row must have 5 fields");
     if (row[0] == "gap") {
       trace.add_gap(std::stod(row[1]), std::stod(row[2]));
+      continue;
+    }
+    if (row[0] == "degraded") {
+      trace.add_degradation(std::stod(row[1]), std::stod(row[2]),
+                            static_cast<std::uint32_t>(std::stoul(row[3])));
       continue;
     }
     const double t = std::stod(row[0]);

@@ -19,16 +19,19 @@ namespace slmob {
 // Binary encoding. Layout: magic "SLTR", u16 version, land name, f64
 // sampling interval, u32 snapshot count, then per snapshot: f64 time, u32 fix
 // count, per fix: u32 avatar id, 3x f32 position. Version 2 appends the
-// coverage gaps: u32 gap count, per gap f64 start, f64 end.
+// coverage gaps: u32 gap count, per gap f64 start, f64 end. Version 3 appends
+// the sampling degradations: u32 count, per window f64 start, f64 end,
+// u32 factor.
 std::vector<std::uint8_t> encode_trace(const Trace& trace);
 
-// Decodes a binary trace (version 1 or 2); throws DecodeError on malformed
-// input or unsupported version.
+// Decodes a binary trace (version 1, 2 or 3); throws DecodeError on
+// malformed input or unsupported version.
 Trace decode_trace(std::span<const std::uint8_t> bytes);
 
 // CSV with header "time,avatar,x,y,z". Coverage gaps are emitted as trailing
 // sentinel rows: "gap",start,end,0,0 — external tools filtering on numeric
-// avatar ids skip them naturally.
+// avatar ids skip them naturally. Sampling degradations follow the same
+// pattern: "degraded",start,end,factor,0.
 std::string trace_to_csv(const Trace& trace);
 Trace trace_from_csv(std::string_view text, std::string land_name,
                      Seconds sampling_interval);

@@ -83,11 +83,73 @@ Seconds GapTracker::gap_seconds() const {
 }
 
 // ---------------------------------------------------------------------------
+// DegradationTracker
+
+void DegradationTracker::set_factor(Seconds time, std::uint32_t factor) {
+  if (factor == factor_) return;
+  if (factor_ > 1) {
+    if (!(open_start_ < time)) {
+      throw std::invalid_argument("Trace::add_degradation: window must have start < end");
+    }
+    if (!windows_.empty() && open_start_ < windows_.back().end) {
+      throw std::invalid_argument(
+          "Trace::add_degradation: windows must be ordered and disjoint");
+    }
+    windows_.push_back({open_start_, time, factor_});
+  }
+  factor_ = factor;
+  open_start_ = time;
+}
+
+Seconds DegradationTracker::degraded_seconds() const {
+  Seconds total = 0.0;
+  for (const auto& w : windows_) total += w.length();
+  return total;
+}
+
+namespace {
+
+// Rate-change boundary for a degradation-window list under the cursor scheme
+// used by MemoryTraceStream / SltFileStream: event 2k is window k's start
+// (factor becomes windows[k].factor), event 2k+1 its end (factor back to 1).
+bool rate_boundary(const std::vector<SamplingDegradation>& windows, std::size_t idx,
+                   Seconds& time, std::uint32_t& factor) {
+  const std::size_t w = idx / 2;
+  if (w >= windows.size()) return false;
+  if (idx % 2 == 0) {
+    time = windows[w].start;
+    factor = windows[w].factor;
+  } else {
+    time = windows[w].end;
+    factor = 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // MemoryTraceStream
 
 StreamEvent MemoryTraceStream::next() {
   const auto& snaps = trace_->snapshots();
   const auto& gaps = trace_->gaps();
+  // A rate change goes out before the first snapshot at or past its time,
+  // and before any gap at or past it (boundaries and gaps never interleave
+  // ambiguously: the crawler closes degradation windows at gap edges).
+  Seconds rate_time = 0.0;
+  std::uint32_t rate_factor = 1;
+  const bool have_rate = rate_boundary(trace_->degradations(), rate_next_, rate_time, rate_factor);
+  if (have_rate &&
+      (snap_next_ >= snaps.size() || rate_time <= snaps[snap_next_].time) &&
+      (gap_next_ >= gaps.size() || rate_time <= gaps[gap_next_].start)) {
+    ++rate_next_;
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kRateChange;
+    ev.time = rate_time;
+    ev.factor = rate_factor;
+    return ev;
+  }
   // A gap goes out before the first snapshot at or past its start (the
   // ordering contract in the header comment).
   if (gap_next_ < gaps.size() &&
@@ -101,6 +163,16 @@ StreamEvent MemoryTraceStream::next() {
     StreamEvent ev;
     ev.kind = StreamEventKind::kSnapshot;
     ev.snapshot = &snaps[snap_next_++];
+    return ev;
+  }
+  if (have_rate) {
+    // Trailing boundaries (window ends past the last snapshot) still go out
+    // so every opened window is closed before kEnd.
+    ++rate_next_;
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kRateChange;
+    ev.time = rate_time;
+    ev.factor = rate_factor;
     return ev;
   }
   return {};
@@ -130,7 +202,7 @@ SltFileStream::SltFileStream(const std::string& path) : path_(path) {
     ByteReader r(std::span{buf_}.subspan(4, 2));
     version = r.u16();
   }
-  if (version != 1 && version != 2) {
+  if (version < 1 || version > 3) {
     throw DecodeError("decode_trace: unsupported version");
   }
   read_exact(2);
@@ -197,6 +269,31 @@ SltFileStream::SltFileStream(const std::string& path) : path_(path) {
       gaps_.push_back({start, end});
     }
   }
+  if (version >= 3) {
+    read_exact(4);
+    std::uint32_t degr_count = 0;
+    {
+      ByteReader r(buf_);
+      degr_count = r.u32();
+    }
+    degradations_.reserve(degr_count);
+    for (std::uint32_t i = 0; i < degr_count; ++i) {
+      read_exact(20);
+      ByteReader r(buf_);
+      const Seconds start = r.f64();
+      const Seconds end = r.f64();
+      const std::uint32_t factor = r.u32();
+      // Same validation Trace::add_degradation applies during decode_trace.
+      if (!(start < end) || factor < 2) {
+        throw std::invalid_argument("Trace::add_degradation: window must have start < end");
+      }
+      if (!degradations_.empty() && start < degradations_.back().end) {
+        throw std::invalid_argument(
+            "Trace::add_degradation: windows must be ordered and disjoint");
+      }
+      degradations_.push_back({start, end, factor});
+    }
+  }
   if (std::ftell(file_) != file_size) {
     throw DecodeError("decode_trace: trailing bytes");
   }
@@ -234,6 +331,18 @@ StreamEvent SltFileStream::next() {
   if (!have_pending_ && snaps_emitted_ < snap_count_) {
     decode_next_snapshot();
     have_pending_ = true;
+  }
+  Seconds rate_time = 0.0;
+  std::uint32_t rate_factor = 1;
+  const bool have_rate = rate_boundary(degradations_, rate_next_, rate_time, rate_factor);
+  if (have_rate && (!have_pending_ || rate_time <= current_.time) &&
+      (gap_next_ >= gaps_.size() || rate_time <= gaps_[gap_next_].start)) {
+    ++rate_next_;
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kRateChange;
+    ev.time = rate_time;
+    ev.factor = rate_factor;
+    return ev;
   }
   if (gap_next_ < gaps_.size() &&
       (!have_pending_ || gaps_[gap_next_].start <= current_.time)) {
@@ -350,7 +459,23 @@ StreamEvent JournalFileStream::finalize() {
       }
       trailing_gap_ = {start, end};
       have_trailing_gap_ = true;
+      // Same closure salvage applies: a degradation window still open at the
+      // tear ends at the censoring boundary, and the rate change back to 1
+      // precedes the trailing gap.
+      if (degrade_pending_ && degrade_pending_start_ < start) {
+        trailing_rate_time_ = start;
+        have_trailing_rate_ = true;
+        degrade_pending_ = false;
+      }
     }
+  }
+  if (have_trailing_rate_) {
+    have_trailing_rate_ = false;
+    StreamEvent ev;
+    ev.kind = StreamEventKind::kRateChange;
+    ev.time = trailing_rate_time_;
+    ev.factor = 1;
+    return ev;
   }
   if (have_trailing_gap_) {
     have_trailing_gap_ = false;
@@ -424,6 +549,38 @@ StreamEvent JournalFileStream::next() {
           ev.time = r.remaining() >= 8 ? r.f64() : 0.0;
           have_event = true;
           break;
+        case JournalRecord::kDegradeOpen: {
+          const Seconds start = r.f64();
+          const std::uint32_t factor = r.u32();
+          if (factor < 2) {
+            frame_ok = false;
+            break;
+          }
+          degrade_pending_ = true;
+          degrade_pending_start_ = start;
+          ev.kind = StreamEventKind::kRateChange;
+          ev.time = start;
+          ev.factor = factor;
+          have_event = true;
+          break;
+        }
+        case JournalRecord::kDegradeClose: {
+          const Seconds start = r.f64();
+          const Seconds end = r.f64();
+          const std::uint32_t factor = r.u32();
+          // Trace::add_degradation validation; a violating frame is the tear.
+          if (!(start < end) || factor < 2 || start < last_degrade_end_) {
+            frame_ok = false;
+            break;
+          }
+          last_degrade_end_ = end;
+          degrade_pending_ = false;
+          ev.kind = StreamEventKind::kRateChange;
+          ev.time = end;
+          ev.factor = 1;
+          have_event = true;
+          break;
+        }
         case JournalRecord::kEnd:
           clean_end_ = true;
           break;
@@ -473,6 +630,9 @@ void drive_stream(TraceStream& stream, LiveTraceSink& sink) {
         break;
       case StreamEventKind::kGap:
         sink.on_gap(ev.gap.start, ev.gap.end);
+        break;
+      case StreamEventKind::kRateChange:
+        sink.on_rate_change(ev.time, ev.factor);
         break;
       case StreamEventKind::kSessionEvent:
         break;

@@ -10,6 +10,14 @@
 //
 //   a gap [start, end) is emitted before any snapshot with time >= start.
 //
+// Sampling-degradation windows are delivered as *rate-change* events under
+// the analogous contract: a change of the effective sampling factor at time
+// t is emitted before any snapshot with time >= t. A consumer that applies
+// each change as it arrives therefore knows the exact factor in force for
+// every snapshot it processes, and reconstructs the same closed windows the
+// batch Trace carries (every stream closes its last window — with a change
+// back to factor 1 — before kEnd).
+//
 // With that contract, censoring decisions made from the gaps seen so far
 // (GapTracker) are identical to decisions made with the complete gap list
 // in hand: when a snapshot at time t is processed, every gap that could
@@ -33,6 +41,7 @@ enum class StreamEventKind : std::uint8_t {
   kGap = 1,
   kSessionEvent = 2,
   kEnd = 3,
+  kRateChange = 4,
 };
 
 struct StreamEvent {
@@ -41,7 +50,8 @@ struct StreamEvent {
   // the next call to next().
   const Snapshot* snapshot{nullptr};
   CoverageGap gap{};   // kGap
-  Seconds time{0.0};   // kSessionEvent
+  Seconds time{0.0};   // kSessionEvent / kRateChange
+  std::uint32_t factor{1};  // kRateChange: effective sampling factor from `time` on
 };
 
 // Pull-based trace reader. next() returns kEnd forever once exhausted.
@@ -75,6 +85,29 @@ class GapTracker {
   std::vector<CoverageGap> gaps_;
 };
 
+// Incrementally collected sampling-degradation windows, fed by rate-change
+// events. current_factor() answers the factor in force for the snapshot
+// being processed (per the rate-change ordering contract); windows() equals
+// Trace::degradations() once the stream has closed its last window.
+class DegradationTracker {
+ public:
+  // Same validation as Trace::add_degradation via the window it closes;
+  // throws std::invalid_argument on out-of-order changes.
+  void set_factor(Seconds time, std::uint32_t factor);
+
+  [[nodiscard]] bool any() const { return !windows_.empty() || factor_ > 1; }
+  [[nodiscard]] std::uint32_t current_factor() const { return factor_; }
+  [[nodiscard]] const std::vector<SamplingDegradation>& windows() const {
+    return windows_;
+  }
+  [[nodiscard]] Seconds degraded_seconds() const;
+
+ private:
+  std::vector<SamplingDegradation> windows_;
+  std::uint32_t factor_{1};
+  Seconds open_start_{0.0};
+};
+
 // Push-based consumer of a live capture: the crawler (or drive_stream)
 // forwards each snapshot and gap as it is recorded. on_begin is called once,
 // before any other callback.
@@ -84,6 +117,13 @@ class LiveTraceSink {
   virtual void on_begin(const std::string& land_name, Seconds sampling_interval) = 0;
   virtual void on_snapshot(const Snapshot& snapshot) = 0;
   virtual void on_gap(Seconds start, Seconds end) = 0;
+  // Effective sampling factor changes to `factor` at `time` (overload
+  // degradation ladder). Default no-op: sinks that ignore rate changes see
+  // the historical callback set unchanged.
+  virtual void on_rate_change(Seconds time, std::uint32_t factor) {
+    (void)time;
+    (void)factor;
+  }
 };
 
 // Streams an in-memory Trace (snapshots and gaps merge-ordered per the gap
@@ -108,6 +148,8 @@ class MemoryTraceStream final : public TraceStream {
   const Trace* trace_;
   std::size_t snap_next_{0};
   std::size_t gap_next_{0};
+  // Rate-change boundary cursor: event 2k is window k's start, 2k+1 its end.
+  std::size_t rate_next_{0};
 };
 
 // Streams a binary .slt trace file without materialising it. The gap block
@@ -139,6 +181,8 @@ class SltFileStream final : public TraceStream {
   std::uint32_t snaps_emitted_{0};
   std::vector<CoverageGap> gaps_;
   std::size_t gap_next_{0};
+  std::vector<SamplingDegradation> degradations_;
+  std::size_t rate_next_{0};  // boundary cursor, same scheme as MemoryTraceStream
   Snapshot current_;
   bool have_pending_{false};
   bool done_{false};
@@ -192,12 +236,19 @@ class JournalFileStream final : public TraceStream {
   bool have_gap_{false};
   bool gap_pending_{false};
   Seconds gap_pending_start_{0.0};
+  bool degrade_pending_{false};
+  Seconds degrade_pending_start_{0.0};
+  Seconds last_degrade_end_{0.0};
   bool clean_end_{false};
   bool torn_{false};
   bool finalized_{false};
   bool end_emitted_{false};
   CoverageGap trailing_gap_{};
   bool have_trailing_gap_{false};
+  // A degradation window left open at the tear closes at the censoring
+  // boundary; the rate change back to 1 goes out before the trailing gap.
+  Seconds trailing_rate_time_{0.0};
+  bool have_trailing_rate_{false};
   std::size_t frames_read_{0};
   std::size_t snapshot_frames_{0};
   std::size_t session_events_{0};

@@ -30,6 +30,34 @@ void Trace::add_gap(Seconds start, Seconds end) {
   gaps_.push_back({start, end});
 }
 
+void Trace::add_degradation(Seconds start, Seconds end, std::uint32_t factor) {
+  if (!(start < end)) {
+    throw std::invalid_argument("Trace::add_degradation: window must have start < end");
+  }
+  if (factor < 2) {
+    throw std::invalid_argument("Trace::add_degradation: factor must be >= 2");
+  }
+  if (!degradations_.empty() && start < degradations_.back().end) {
+    throw std::invalid_argument(
+        "Trace::add_degradation: windows must be ordered and disjoint");
+  }
+  degradations_.push_back({start, end, factor});
+}
+
+std::uint32_t Trace::degradation_factor_at(Seconds t) const {
+  for (const auto& d : degradations_) {
+    if (d.contains(t)) return d.factor;
+    if (d.start > t) break;  // windows are ordered
+  }
+  return 1;
+}
+
+Seconds Trace::degraded_seconds() const {
+  Seconds total = 0.0;
+  for (const auto& d : degradations_) total += d.length();
+  return total;
+}
+
 bool Trace::covered_at(Seconds t) const {
   for (const auto& gap : gaps_) {
     if (gap.contains(t)) return false;
@@ -57,6 +85,8 @@ TraceSummary Trace::summary() const {
   s.snapshot_count = snapshots_.size();
   s.gap_count = gaps_.size();
   s.gap_seconds = gap_seconds();
+  s.degradation_count = degradations_.size();
+  s.degraded_seconds = degraded_seconds();
   if (snapshots_.empty()) return s;
   std::set<AvatarId> unique;
   std::size_t total_fixes = 0;
@@ -88,6 +118,11 @@ Trace Trace::slice(Seconds t0, Seconds t1) const {
     const Seconds start = std::max(gap.start, t0);
     const Seconds end = std::min(gap.end, t1);
     if (start < end) out.add_gap(start, end);
+  }
+  for (const auto& d : degradations_) {
+    const Seconds start = std::max(d.start, t0);
+    const Seconds end = std::min(d.end, t1);
+    if (start < end) out.add_degradation(start, end, d.factor);
   }
   return out;
 }

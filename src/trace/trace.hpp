@@ -6,6 +6,7 @@
 // methodology (snapshot every tau = 10 s of all users on the land).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +45,23 @@ struct CoverageGap {
   friend bool operator==(const CoverageGap&, const CoverageGap&) = default;
 };
 
+// A half-open interval [start, end) during which the crawler deliberately
+// sampled slower than the nominal interval (overload protection halved the
+// snapshot rate instead of dropping data). Unlike a CoverageGap the land WAS
+// observed — just at `factor` times the nominal interval — so analyses must
+// rate-correct time-weighted quantities rather than censor the window.
+struct SamplingDegradation {
+  Seconds start{0.0};
+  Seconds end{0.0};
+  // Effective-interval multiplier (2 = half rate, 4 = quarter rate). Always
+  // an integer >= 2; stored as u32 on the wire.
+  std::uint32_t factor{2};
+
+  [[nodiscard]] Seconds length() const { return end - start; }
+  [[nodiscard]] bool contains(Seconds t) const { return t >= start && t < end; }
+  friend bool operator==(const SamplingDegradation&, const SamplingDegradation&) = default;
+};
+
 struct TraceSummary {
   std::size_t unique_users{0};
   double avg_concurrent{0.0};
@@ -52,6 +70,8 @@ struct TraceSummary {
   std::size_t snapshot_count{0};
   std::size_t gap_count{0};
   Seconds gap_seconds{0.0};
+  std::size_t degradation_count{0};
+  Seconds degraded_seconds{0.0};
 };
 
 class Trace {
@@ -68,6 +88,22 @@ class Trace {
   // (start < end) and arrive in order, non-overlapping (throws
   // std::invalid_argument otherwise).
   void add_gap(Seconds start, Seconds end);
+
+  // Records a sampling-degradation window [start, end) with the given
+  // effective-interval factor. Windows must be well-formed (start < end,
+  // factor >= 2) and arrive in order, non-overlapping (throws
+  // std::invalid_argument otherwise). Degradations may overlap coverage
+  // gaps: a crawler can degrade, then lose the land entirely.
+  void add_degradation(Seconds start, Seconds end, std::uint32_t factor);
+
+  [[nodiscard]] const std::vector<SamplingDegradation>& degradations() const {
+    return degradations_;
+  }
+  // Effective-interval multiplier at `t`: the factor of the covering
+  // degradation window, or 1 when sampling ran at the nominal rate.
+  [[nodiscard]] std::uint32_t degradation_factor_at(Seconds t) const;
+  // Total degraded time.
+  [[nodiscard]] Seconds degraded_seconds() const;
 
   [[nodiscard]] const std::vector<CoverageGap>& gaps() const { return gaps_; }
   // True iff `t` does not fall inside any recorded gap.
@@ -103,6 +139,7 @@ class Trace {
   Seconds sampling_interval_{10.0};
   std::vector<Snapshot> snapshots_;
   std::vector<CoverageGap> gaps_;  // ordered, non-overlapping
+  std::vector<SamplingDegradation> degradations_;  // ordered, non-overlapping
 };
 
 }  // namespace slmob

@@ -74,7 +74,13 @@ void World::tick(Seconds now, Seconds dt) {
 }
 
 void World::process_arrivals(Seconds now, Seconds dt) {
-  const std::size_t n = population_.arrivals(now, dt, rng_);
+  std::size_t n = population_.arrivals(now, dt, rng_);
+  // Flash-crowd boost multiplies the admitted count, not the Poisson rate:
+  // the draw above is identical with or without a boost, so the RNG sequence
+  // of every unboosted tick — and of entire fault-free runs — is unchanged.
+  if (arrival_boost_ > 1.0) {
+    n = static_cast<std::size_t>(std::floor(static_cast<double>(n) * arrival_boost_));
+  }
   for (std::size_t i = 0; i < n; ++i) admit_arrival(now);
 }
 

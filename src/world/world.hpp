@@ -96,6 +96,13 @@ class World {
   void set_curiosity(CuriosityParams params) { curiosity_ = params; }
   [[nodiscard]] const CuriosityParams& curiosity() const { return curiosity_; }
 
+  // Flash-crowd control (kFlashCrowd fault windows): multiplies the *count*
+  // of arrivals admitted per tick, leaving the underlying Poisson draw — and
+  // therefore the RNG draw sequence of unboosted runs — untouched. 1.0 =
+  // nominal arrivals.
+  void set_arrival_boost(double factor) { arrival_boost_ = factor < 1.0 ? 1.0 : factor; }
+  [[nodiscard]] double arrival_boost() const { return arrival_boost_; }
+
   // Test hook: force-inject a synthetic avatar with a fixed session.
   AvatarId debug_add_synthetic(Seconds now, Vec3 pos, Seconds logout_at);
   // Bench hook: admits `n` immediate logins at `now` through the organic
@@ -137,6 +144,7 @@ class World {
   std::vector<DepartedUser> departed_pool_;
   std::map<AvatarId, Seconds> last_social_activity_;
   std::uint32_t next_id_{1};
+  double arrival_boost_{1.0};
   CuriosityParams curiosity_;
   WorldStats stats_;
   std::vector<VisitRecord> visit_log_;

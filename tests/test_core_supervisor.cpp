@@ -218,6 +218,39 @@ TEST(Supervisor, CorruptCheckpointFallsBackAndStillCompletes) {
   EXPECT_EQ(digests(run.shards), reference);
 }
 
+TEST(Supervisor, BothCheckpointGenerationsCorruptColdRestartsAndCompletes) {
+  auto one = three_lands("none");
+  one.resize(1);
+  one[0].testbed.faults.add({FaultKind::kShardCrash, 450.0, 451.0, 1.0, {}});
+
+  ShardRunOptions plain;
+  plain.threads = 1;
+  const auto reference = digests(run_sharded(one, plain));
+
+  const std::string dir = fresh_dir("supervisor-both-corrupt");
+  const std::string shard_dir = dir + "/" + shard_dir_name(0, one[0].archetype);
+  std::filesystem::create_directories(shard_dir);
+  for (const char* name : {kCheckpointFileName, kCheckpointPrevFileName}) {
+    std::FILE* f = std::fopen((shard_dir + "/" + name).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage, both generations", f);
+    std::fclose(f);
+  }
+
+  SupervisorOptions opt = test_options(dir);
+  opt.threads = 1;
+  // No real checkpoint ever lands (segments longer than the run), so the
+  // restart after the 450 s crash finds only the two pre-planted corpses:
+  // the fallback chain exhausts both generations and the shard must cold-
+  // restart from zero — and still reproduce the uninterrupted trace.
+  opt.checkpoint_every = 1e9;
+  const SupervisedRun run = run_supervised(one, opt);
+
+  ASSERT_TRUE(run.all_completed());
+  EXPECT_EQ(digests(run.shards), reference);
+  EXPECT_GE(run.health[0].cold_restarts, 1u);
+}
+
 TEST(Supervisor, RequiresCheckpointDir) {
   EXPECT_THROW(run_supervised(three_lands(), SupervisorOptions{}),
                std::invalid_argument);

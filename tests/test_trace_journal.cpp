@@ -173,6 +173,43 @@ TEST(TraceJournal, MissingFileThrows) {
   EXPECT_THROW(salvage_journal(temp_path("does_not_exist.sltj")), std::runtime_error);
 }
 
+TEST(TraceJournal, HeaderOnlyZeroFrameFileRejected) {
+  // Exactly the 6-byte header, zero frames: the writer was constructed and
+  // the process died before begin() ever ran. The file is structurally
+  // valid, but it never held a single complete record — salvage must refuse
+  // rather than invent an empty trace with no land name or interval.
+  const std::vector<std::uint8_t> header{'S', 'L', 'T', 'J', 1, 0};
+  EXPECT_THROW(salvage_journal_bytes(header), DecodeError);
+
+  // Same bytes on disk, through the file path.
+  const std::string path = temp_path("journal_headeronly.sltj");
+  { TraceJournalWriter writer(path, 100.0); }
+  EXPECT_EQ(read_file_bytes(path).size(), 6u);
+  EXPECT_THROW(salvage_journal(path), DecodeError);
+}
+
+TEST(TraceJournal, BeginOnlyJournalSalvagesToEmptyTrace) {
+  // One intact kBegin frame and nothing else: killed right after start-up.
+  // This is the smallest salvageable journal — an empty trace with the
+  // run's identity, no snapshots, and (per the crawler's convention that
+  // outages before the first snapshot are a later trace start) no trailing
+  // censoring gap either.
+  const std::string path = temp_path("journal_beginonly.sltj");
+  {
+    TraceJournalWriter writer(path, 150.0);
+    writer.begin("Isle of View", 10.0);
+  }
+  const JournalSalvage s = salvage_journal(path);
+  EXPECT_FALSE(s.clean_end);
+  EXPECT_FALSE(s.torn);
+  EXPECT_EQ(s.frames_read, 1u);
+  EXPECT_EQ(s.snapshots, 0u);
+  EXPECT_EQ(s.trace.land_name(), "Isle of View");
+  EXPECT_DOUBLE_EQ(s.trace.sampling_interval(), 10.0);
+  EXPECT_EQ(s.trace.size(), 0u);
+  EXPECT_TRUE(s.trace.gaps().empty());
+}
+
 TEST(TraceJournal, OffsetTracksFileSize) {
   const std::string path = temp_path("journal_offset.sltj");
   std::uint64_t final_offset = 0;

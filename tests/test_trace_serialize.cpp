@@ -112,15 +112,29 @@ TEST(Serialize, GapsRoundTripCsv) {
 }
 
 TEST(Serialize, Version1BytesStillDecode) {
-  // A v1 file is a v2 file minus the trailing gap block; old traces must
-  // keep loading (as gap-free) forever.
+  // A v1 file is a v3 file minus the trailing gap and degradation blocks;
+  // old traces must keep loading (as gap-free) forever.
   const Trace original = make_random_trace(13, 8);
   auto bytes = encode_trace(original);
-  bytes.resize(bytes.size() - 4);  // drop the u32 gap count (0)
+  bytes.resize(bytes.size() - 8);  // drop the u32 gap + degradation counts (0)
   bytes[4] = 1;                    // patch version u16 (little-endian) to 1
   const Trace decoded = decode_trace(bytes);
   expect_traces_equal(original, decoded, 1e-4);
   EXPECT_TRUE(decoded.gaps().empty());
+}
+
+TEST(Serialize, Version2BytesStillDecode) {
+  // A v2 file is a v3 file minus the trailing degradation block; traces
+  // written before sampling degradation existed must keep loading.
+  Trace original = make_random_trace(13, 8);
+  original.add_gap(12.0, 30.0);
+  auto bytes = encode_trace(original);
+  bytes.resize(bytes.size() - 4);  // drop the u32 degradation count (0)
+  bytes[4] = 2;                    // patch version u16 (little-endian) to 2
+  const Trace decoded = decode_trace(bytes);
+  expect_traces_equal(original, decoded, 1e-4);
+  ASSERT_EQ(decoded.gaps().size(), 1u);
+  EXPECT_TRUE(decoded.degradations().empty());
 }
 
 TEST(Serialize, TruncatedGapBlockThrows) {

@@ -41,7 +41,8 @@ int usage() {
                "  slmob run --land <apfel|dance|isle>[,<land>...] [--hours H] [--seed S]\n"
                "            [--jobs J]\n"
                "            [--faults none|blackouts|burst-loss|region-flaps|\n"
-               "                      collector-crash|chaos|shard-chaos] [--fault-seed S]\n"
+               "                      collector-crash|overload|chaos|shard-chaos]\n"
+               "            [--fault-seed S]\n"
                "            [--journal J.sltj | --checkpoint DIR [--checkpoint-every SEC]]\n"
                "            [--supervise [--max-restarts N] [--watchdog-timeout SEC]]\n"
                "            [--stats-csv F.csv] --out T.slt\n"
@@ -105,6 +106,24 @@ std::string expand_out_path(std::string path, LandArchetype land, std::uint64_t 
   return path;
 }
 
+// Up-front writability probe for a run-output path: a 24 h crawl must not
+// discover an unwritable --stats-csv only when it tries to save results.
+// Opens the file for append (creating it if absent) and removes it again if
+// this probe created it, so a failed run leaves no empty artefact behind.
+bool probe_writable(const std::string& path) {
+  const bool existed = [&] {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+  }();
+  FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  if (!existed) std::remove(path.c_str());
+  return true;
+}
+
 bool has_suffix(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
@@ -155,7 +174,31 @@ int finish_run(Trace trace, const CrawlerStats& crawler_stats, const std::string
                 static_cast<std::size_t>(crawler_stats.relogins),
                 static_cast<std::size_t>(crawler_stats.backoff_resets));
   }
+  if (s.degradation_count > 0) {
+    std::printf("degradation: %zu windows, %.0f s at reduced sampling rate "
+                "(%zu escalations, %zu recoveries)\n",
+                s.degradation_count, s.degraded_seconds,
+                static_cast<std::size_t>(crawler_stats.degrade_escalations),
+                static_cast<std::size_t>(crawler_stats.degrade_recoveries));
+  }
   return 0;
+}
+
+// One line of shed/reject counters, printed only when the run actually hit
+// overload protection — fault-free recaps stay byte-identical.
+void print_overload_recap(const SimServerStats& server, const NetworkStats& net,
+                          const CircuitStats& circuit) {
+  const std::uint64_t total = server.logins_rejected_overload + server.messages_shed +
+                              net.shed_session + net.shed_snapshot +
+                              circuit.deferred_sends;
+  if (total == 0) return;
+  std::printf("overload: %llu logins rejected, %llu messages shed, "
+              "%llu/%llu datagrams shed (session/snapshot), %llu sends deferred\n",
+              static_cast<unsigned long long>(server.logins_rejected_overload),
+              static_cast<unsigned long long>(server.messages_shed),
+              static_cast<unsigned long long>(net.shed_session),
+              static_cast<unsigned long long>(net.shed_snapshot),
+              static_cast<unsigned long long>(circuit.deferred_sends));
 }
 
 int cmd_run(const std::vector<std::string>& args) {
@@ -240,6 +283,13 @@ int cmd_run(const std::vector<std::string>& args) {
                  "error: --stats-csv needs a sharded (multi-land) or --supervise run\n");
     return 2;
   }
+  if (!stats_csv.empty() && !probe_writable(stats_csv)) {
+    std::fprintf(stderr,
+                 "error: --stats-csv %s is not writable (missing directory or "
+                 "permissions?); fix the path before starting the run\n",
+                 stats_csv.c_str());
+    return 2;
+  }
 
   if (supervise) {
     // Self-healing run: every shard executes behind the supervisor's crash
@@ -297,6 +347,12 @@ int cmd_run(const std::vector<std::string>& args) {
     SupervisedRun run = run_supervised(shards, options);
 
     int rc = 0;
+    // CSV before the recap loop: finish_run moves each trace out, and the
+    // CSV reads trace-derived columns (degraded seconds) too.
+    if (!stats_csv.empty()) {
+      write_shard_stats_csv(run.shards, stats_csv);
+      std::printf("wrote %s\n", stats_csv.c_str());
+    }
     for (std::size_t i = 0; i < run.shards.size(); ++i) {
       auto& res = run.shards[i];
       const ShardHealth& h = run.health[i];
@@ -320,11 +376,8 @@ int cmd_run(const std::vector<std::string>& args) {
                   static_cast<unsigned long long>(c.retransmits),
                   static_cast<unsigned long long>(c.rto_backoffs),
                   static_cast<unsigned long long>(res.network_stats.fault_dropped));
+      print_overload_recap(res.server_stats, res.network_stats, res.circuit_stats);
       rc |= finish_run(std::move(res.trace), res.crawler_stats, outs[i]);
-    }
-    if (!stats_csv.empty()) {
-      write_shard_stats_csv(run.shards, stats_csv);
-      std::printf("wrote %s\n", stats_csv.c_str());
     }
     if (run.any_failed_partial()) {
       std::fprintf(stderr,
@@ -388,6 +441,14 @@ int cmd_run(const std::vector<std::string>& args) {
           static_cast<std::size_t>(res.crawler_stats.relogins),
           static_cast<std::size_t>(res.crawler_stats.backoff_resets));
     }
+    if (res.summary.degradation_count > 0) {
+      std::printf("degradation: %zu windows, %.0f s at reduced sampling rate "
+                  "(%zu escalations, %zu recoveries)\n",
+                  res.summary.degradation_count, res.summary.degraded_seconds,
+                  static_cast<std::size_t>(res.crawler_stats.degrade_escalations),
+                  static_cast<std::size_t>(res.crawler_stats.degrade_recoveries));
+    }
+    print_overload_recap(res.server_stats, res.network_stats, res.circuit_stats);
     return 0;
   }
 
@@ -436,6 +497,12 @@ int cmd_run(const std::vector<std::string>& args) {
               threads);
   auto results = run_sharded(shards, options);
   int rc = 0;
+  // CSV first: finish_run moves each trace out, and the CSV reads
+  // trace-derived columns (degraded seconds) alongside the counters.
+  if (!stats_csv.empty()) {
+    write_shard_stats_csv(results, stats_csv);
+    std::printf("wrote %s\n", stats_csv.c_str());
+  }
   for (std::size_t i = 0; i < results.size(); ++i) {
     auto& res = results[i];
     std::printf("%s (seed %llu)", archetype_name(res.archetype).c_str(),
@@ -445,10 +512,7 @@ int cmd_run(const std::vector<std::string>& args) {
     }
     std::printf(": ");
     rc |= finish_run(std::move(res.trace), res.crawler_stats, outs[i]);
-  }
-  if (!stats_csv.empty()) {
-    write_shard_stats_csv(results, stats_csv);
-    std::printf("wrote %s\n", stats_csv.c_str());
+    print_overload_recap(res.server_stats, res.network_stats, res.circuit_stats);
   }
   return rc;
 }
@@ -503,6 +567,10 @@ void print_summary(const std::string& land, Seconds sampling, const TraceSummary
   std::printf("avg concurrent:  %.1f\n", s.avg_concurrent);
   std::printf("max concurrent:  %zu\n", s.max_concurrent);
   std::printf("coverage gaps:   %zu (%.0f s uncovered)\n", s.gap_count, s.gap_seconds);
+  if (s.degradation_count > 0) {
+    std::printf("degradation:     %zu windows (%.0f s at reduced sampling rate)\n",
+                s.degradation_count, s.degraded_seconds);
+  }
 }
 
 int cmd_summary(const std::vector<std::string>& args) {
@@ -535,6 +603,7 @@ int cmd_summary(const std::vector<std::string>& args) {
   bool have_first = false;
   Seconds first_time = 0.0;
   Seconds last_time = 0.0;
+  Seconds degrade_open_at = -1.0;
   for (;;) {
     const StreamEvent ev = reader->next();
     if (ev.kind == StreamEventKind::kEnd) break;
@@ -551,6 +620,18 @@ int cmd_summary(const std::vector<std::string>& args) {
     } else if (ev.kind == StreamEventKind::kGap) {
       ++s.gap_count;
       s.gap_seconds += ev.gap.length();
+    } else if (ev.kind == StreamEventKind::kRateChange) {
+      // A factor > 1 opens a degraded window (closing any open one first —
+      // an escalation 2 -> 4 is two windows, matching the batch trace);
+      // factor 1 closes the open window.
+      if (degrade_open_at >= 0.0) {
+        s.degraded_seconds += ev.time - degrade_open_at;
+        degrade_open_at = -1.0;
+      }
+      if (ev.factor > 1) {
+        ++s.degradation_count;
+        degrade_open_at = ev.time;
+      }
     }
   }
   if (s.snapshot_count > 0) {
