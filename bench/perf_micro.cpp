@@ -6,6 +6,7 @@
 #include "alloc_counter.hpp"
 #include "analysis/contacts.hpp"
 #include "analysis/graphs.hpp"
+#include "analysis/pair_kernel.hpp"
 #include "analysis/spatial_index.hpp"
 #include "client/metaverse_client.hpp"
 #include "lsl/interpreter.hpp"
@@ -65,6 +66,49 @@ void BM_SpatialGridPairs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpatialGridPairs)->Arg(50)->Arg(100)->Arg(400);
+
+// The batched kernel on the same snapshots, reusing one kernel across
+// iterations (the ProximityCache warm path). items = pairs found;
+// allocs_per_run must sit at zero once the scratch is warm.
+void BM_PairKernelPairs(benchmark::State& state) {
+  Rng rng(1);
+  const Snapshot snap = random_snapshot(static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<Vec3> positions;
+  for (const auto& f : snap.fixes) positions.push_back(f.pos);
+  PairKernel kernel;
+  kernel.run(positions, 10.0);  // warm
+  const std::size_t pairs = kernel.hits().size();
+  const std::size_t allocs_before = bench::allocation_count();
+  for (auto _ : state) {
+    kernel.run(positions, 10.0);
+    benchmark::DoNotOptimize(kernel.hits().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(pairs));
+  state.counters["allocs_per_run"] =
+      static_cast<double>(bench::allocation_count() - allocs_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PairKernelPairs)->Arg(50)->Arg(100)->Arg(400);
+
+// One enumeration at the WiFi range plus single-pass classification into
+// the Bluetooth and WiFi lists — the exact ProximityCache build step.
+void BM_PairKernelClassify(benchmark::State& state) {
+  Rng rng(1);
+  const Snapshot snap = random_snapshot(static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<Vec3> positions;
+  for (const auto& f : snap.fixes) positions.push_back(f.pos);
+  const std::vector<double> ranges{10.0, 80.0};
+  PairKernel kernel;
+  std::vector<PairKernel::PairList> lists(ranges.size());
+  for (auto _ : state) {
+    kernel.run(positions, ranges.back());
+    for (auto& l : lists) l.clear();
+    kernel.classify(ranges, lists.data());
+    benchmark::DoNotOptimize(lists.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PairKernelClassify)->Arg(100)->Arg(400);
 
 void BM_ContactExtraction(benchmark::State& state) {
   // A 1 h Dance Island ground-truth trace.

@@ -57,6 +57,10 @@ struct PipelineResult {
   double seconds{0.0};
   double rss_mib{0.0};
   std::size_t snapshots{0};
+  // IncrementalProximity path statistics (streaming pipelines only): how
+  // many snapshots needed a full kernel rebuild vs a delta update.
+  std::size_t proximity_rebuilds{0};
+  std::size_t proximity_delta_updates{0};
   bool ok{false};
 };
 
@@ -89,6 +93,8 @@ PipelineResult run_pipeline(const std::string& trace_path, std::size_t threads) 
     StreamingProgress progress;
     const AnalysisReport report = analyze_stream_file(trace_path, options, &progress);
     out.snapshots = progress.snapshots;
+    out.proximity_rebuilds = progress.proximity_rebuilds;
+    out.proximity_delta_updates = progress.proximity_delta_updates;
     out.seconds = seconds_since(t0);
     out.rss_mib = peak_rss_mib();
     out.digest = analysis_fingerprint(report);
@@ -166,8 +172,11 @@ PipelineResult run_pipeline_forked(const std::string& trace_path, std::size_t th
     const PipelineResult r = run_pipeline(trace_path, threads);
     std::FILE* f = std::fopen(result_path.c_str(), "wb");
     if (f != nullptr) {
-      std::fprintf(f, "digest=%u\nseconds=%.9f\nrss_mib=%.6f\nsnapshots=%zu\n",
-                   r.digest, r.seconds, r.rss_mib, r.snapshots);
+      std::fprintf(f,
+                   "digest=%u\nseconds=%.9f\nrss_mib=%.6f\nsnapshots=%zu\n"
+                   "proximity_rebuilds=%zu\nproximity_delta_updates=%zu\n",
+                   r.digest, r.seconds, r.rss_mib, r.snapshots, r.proximity_rebuilds,
+                   r.proximity_delta_updates);
       std::fclose(f);
     }
     std::_Exit(f != nullptr ? 0 : 1);
@@ -192,6 +201,8 @@ PipelineResult run_pipeline_forked(const std::string& trace_path, std::size_t th
     std::sscanf(line, "seconds=%lf", &out.seconds);
     std::sscanf(line, "rss_mib=%lf", &out.rss_mib);
     std::sscanf(line, "snapshots=%zu", &out.snapshots);
+    std::sscanf(line, "proximity_rebuilds=%zu", &out.proximity_rebuilds);
+    std::sscanf(line, "proximity_delta_updates=%zu", &out.proximity_delta_updates);
   }
   std::fclose(f);
   std::remove(result_path.c_str());
@@ -338,10 +349,12 @@ int main(int argc, char** argv) {
     const auto& s = streaming[i];
     appendf(body,
             "      {\"threads\": %zu, \"seconds\": %.6f, "
-            "\"snapshots_per_second\": %.1f, \"peak_rss_mib\": %.2f}%s\n",
+            "\"snapshots_per_second\": %.1f, \"peak_rss_mib\": %.2f, "
+            "\"proximity_rebuilds\": %zu, \"proximity_delta_updates\": %zu}%s\n",
             stream_threads[i], s.seconds,
             s.seconds > 0.0 ? static_cast<double>(s.snapshots) / s.seconds : 0.0,
-            s.rss_mib, i + 1 == streaming.size() ? "" : ",");
+            s.rss_mib, s.proximity_rebuilds, s.proximity_delta_updates,
+            i + 1 == streaming.size() ? "" : ",");
   }
   appendf(body, "    ],\n");
   appendf(body, "    \"identical_across_modes\": %s,\n", identical ? "true" : "false");

@@ -80,8 +80,8 @@ void IncrementalProximity::advance(const Snapshot& snapshot) {
   }
   if (duplicate_ids) {
     // Two fixes sharing an id cannot live in the id-keyed slot state; answer
-    // this snapshot from a throwaway grid and reseed on the next one.
-    transient_snapshot(snapshot);
+    // this snapshot from a one-off kernel pass and reseed on the next one.
+    transient_snapshot();
     reset_state();
     ++rebuilds_;
     return;
@@ -140,21 +140,12 @@ void IncrementalProximity::full_rebuild(const Snapshot& snapshot) {
     fix_slot_[i] = i;
     active_[i] = i;
   }
-  // Same traversal as SpatialGrid::for_each_pair: each unordered pair found
-  // once (j > i), distance computed lowest-index-first.
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const Slot& a = slots_[i];
-    for (std::int32_t dx = -1; dx <= 1; ++dx) {
-      for (std::int32_t dy = -1; dy <= 1; ++dy) {
-        const auto it = cells_.find(pack(a.cx + dx, a.cy + dy));
-        if (it == cells_.end()) continue;
-        for (const std::uint32_t j : it->second) {
-          if (j <= i) continue;
-          const double d = a.pos.distance2d_to(slots_[j].pos);
-          if (d <= cell_) add_edge(i, j, d);
-        }
-      }
-    }
+  // Slot index == fix index after a rebuild, so the kernel's hits map
+  // straight onto edges. std::sqrt of the recorded dist² is bit-identical to
+  // the distance2d_to value the cell rescan on the delta path computes.
+  kernel_.run(positions_, cell_);
+  for (const PairKernel::Hit& h : kernel_.hits()) {
+    add_edge(h.i, h.j, std::sqrt(h.d2));
   }
   valid_ = true;
 }
@@ -308,35 +299,12 @@ void IncrementalProximity::emit_lists(const Snapshot& snapshot) {
   }
 }
 
-void IncrementalProximity::transient_snapshot(const Snapshot& snapshot) {
-  // SpatialGrid replica over the raw fix list; handles duplicate ids because
-  // it never keys by id.
-  const auto& fixes = snapshot.fixes;
-  const std::uint32_t n = static_cast<std::uint32_t>(fixes.size());
+void IncrementalProximity::transient_snapshot() {
+  // One kernel pass over the raw fix list; handles duplicate ids because it
+  // never keys by id. positions_ was already filled by advance().
   for (auto& list : lists_) list.clear();
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid;
-  std::vector<std::pair<std::int32_t, std::int32_t>> coords(n);
-  grid.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    coords[i] = {cell_of(fixes[i].pos.x), cell_of(fixes[i].pos.y)};
-    grid[pack(coords[i].first, coords[i].second)].push_back(i);
-  }
-  for (std::uint32_t i = 0; i < n; ++i) {
-    for (std::int32_t dx = -1; dx <= 1; ++dx) {
-      for (std::int32_t dy = -1; dy <= 1; ++dy) {
-        const auto it = grid.find(pack(coords[i].first + dx, coords[i].second + dy));
-        if (it == grid.end()) continue;
-        for (const std::uint32_t j : it->second) {
-          if (j <= i) continue;
-          const double d = fixes[i].pos.distance2d_to(fixes[j].pos);
-          if (d > cell_) continue;
-          for (std::size_t ri = 0; ri < ranges_.size(); ++ri) {
-            if (d <= ranges_[ri]) lists_[ri].emplace_back(i, j);
-          }
-        }
-      }
-    }
-  }
+  kernel_.run(positions_, cell_);
+  kernel_.classify(ranges_, lists_.data());
 }
 
 }  // namespace slmob

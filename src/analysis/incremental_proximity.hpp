@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/pair_kernel.hpp"
 #include "trace/trace.hpp"
 #include "util/vec3.hpp"
 
@@ -95,7 +96,7 @@ class IncrementalProximity {
 
   void full_rebuild(const Snapshot& snapshot);
   void delta_update(const Snapshot& snapshot);
-  void transient_snapshot(const Snapshot& snapshot);
+  void transient_snapshot();
   void reset_state();
   void emit_lists(const Snapshot& snapshot);
   void add_edge(std::uint32_t a, std::uint32_t b, double distance);
@@ -125,6 +126,10 @@ class IncrementalProximity {
   std::vector<std::uint32_t> dirty_;
   std::vector<std::uint32_t> fix_slot_;     // fix index -> slot
   std::vector<std::uint32_t> fix_of_slot_;  // slot -> fix index
+
+  // Batched kernel answering full rebuilds and duplicate-id transient
+  // snapshots; persistent so its scratch survives across snapshots.
+  PairKernel kernel_;
 
   // Current snapshot's answer.
   std::vector<Vec3> positions_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "analysis/spatial_index.hpp"
+#include "analysis/pair_kernel.hpp"
 
 namespace slmob {
 
@@ -30,23 +30,15 @@ ProximityCache::ProximityCache(const Trace& trace, const std::vector<double>& ra
     lists.resize(ranges_.size());
     if (ranges_.empty() || pos.empty()) return;
 
-    // One grid at the largest radius answers every radius: a pair within a
-    // smaller r is necessarily within r_max, so filtering by the recorded
-    // distance reproduces exactly the <= r predicate the grid would apply.
-    const SpatialGrid grid(pos, ranges_.back());
-    const auto all = grid.pairs_within_distance();
-    for (std::size_t ri = 0; ri < ranges_.size(); ++ri) {
-      const double r = ranges_[ri];
-      auto& list = lists[ri];
-      if (ri + 1 == ranges_.size()) {
-        list.reserve(all.size());
-        for (const auto& p : all) list.emplace_back(p.i, p.j);
-      } else {
-        for (const auto& p : all) {
-          if (p.distance <= r) list.emplace_back(p.i, p.j);
-        }
-      }
-    }
+    // One kernel pass at the largest radius answers every radius: a pair
+    // within a smaller r is necessarily within r_max, and classify() fans
+    // each hit into the per-radius lists from its recorded dist² — exactly
+    // the <= r predicate a per-radius grid would apply. The kernel is
+    // per-worker persistent scratch: after the first few snapshots the warm
+    // path stops allocating.
+    thread_local PairKernel kernel;
+    kernel.run(pos, ranges_.back());
+    kernel.classify(ranges_, lists.data());
   };
 
   if (pool != nullptr && pool->concurrency() > 1) {

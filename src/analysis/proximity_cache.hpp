@@ -2,16 +2,17 @@
 //
 // Every §3 analysis needs, per snapshot, "all avatar pairs within r" for one
 // or more radii (10 m Bluetooth and 80 m WiFi in the paper). Building a
-// SpatialGrid per (snapshot, range, analysis) repeats the same work four
-// times per snapshot; the cache instead builds ONE grid per snapshot at the
-// largest requested radius, records each in-range pair with its distance,
-// and derives the pair list of every smaller radius by filtering — pairs
-// within 10 m are a subset of pairs within 80 m.
+// spatial index per (snapshot, range, analysis) repeats the same work four
+// times per snapshot; the cache instead runs ONE PairKernel pass per
+// snapshot at the largest requested radius and classifies every radius from
+// the recorded dist² in a single sweep — pairs within 10 m are a subset of
+// pairs within 80 m.
 //
 // The cache is immutable after construction, so any number of analysis
 // threads can read it concurrently; construction itself fans per-snapshot
-// grid builds across a ThreadPool when one is supplied. Pair lists preserve
-// the grid's emission order, so analyses consuming the cache are
+// kernel runs across a ThreadPool when one is supplied, each worker reusing
+// a thread_local kernel (allocation-free once warm). Pair lists preserve
+// the kernel's cell-traversal order, so analyses consuming the cache are
 // deterministic for any thread count.
 #pragma once
 

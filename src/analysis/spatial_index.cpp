@@ -6,58 +6,33 @@
 namespace slmob {
 
 SpatialGrid::SpatialGrid(const std::vector<Vec3>& positions, double radius)
-    : positions_(positions), radius_(radius), cell_(radius) {
+    : positions_(positions), radius_(radius) {
   if (radius <= 0.0) throw std::invalid_argument("SpatialGrid: radius must be positive");
-  coords_.reserve(positions_.size());
-  cells_.reserve(positions_.size());
-  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
-    const CellCoord c = coord_for(positions_[i]);
-    coords_.push_back(c);
-    cells_[pack(c.cx, c.cy)].push_back(i);
-  }
+  kernel_.build(positions_, radius_);
 }
 
-SpatialGrid::CellKey SpatialGrid::pack(std::int32_t cx, std::int32_t cy) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
-         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
-}
-
-SpatialGrid::CellCoord SpatialGrid::coord_for(const Vec3& p) const {
-  return {static_cast<std::int32_t>(std::floor(p.x / cell_)),
-          static_cast<std::int32_t>(std::floor(p.y / cell_))};
-}
-
-template <typename Emit>
-void SpatialGrid::for_each_pair(Emit&& emit) const {
-  for (std::uint32_t i = 0; i < positions_.size(); ++i) {
-    const CellCoord c = coords_[i];
-    for (std::int32_t dx = -1; dx <= 1; ++dx) {
-      for (std::int32_t dy = -1; dy <= 1; ++dy) {
-        const auto it = cells_.find(pack(c.cx + dx, c.cy + dy));
-        if (it == cells_.end()) continue;
-        for (const std::uint32_t j : it->second) {
-          if (j <= i) continue;
-          const double d = positions_[i].distance2d_to(positions_[j]);
-          if (d <= radius_) emit(i, j, d);
-        }
-      }
-    }
+void SpatialGrid::ensure_enumerated() const {
+  if (!enumerated_) {
+    kernel_.enumerate();
+    enumerated_ = true;
   }
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> SpatialGrid::pairs_within() const {
+  ensure_enumerated();
   std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
-  out.reserve(positions_.size());
-  for_each_pair([&](std::uint32_t i, std::uint32_t j, double) { out.emplace_back(i, j); });
+  out.reserve(kernel_.hits().size());
+  for (const PairKernel::Hit& h : kernel_.hits()) out.emplace_back(h.i, h.j);
   return out;
 }
 
 std::vector<IndexPairDistance> SpatialGrid::pairs_within_distance() const {
+  ensure_enumerated();
   std::vector<IndexPairDistance> out;
-  out.reserve(positions_.size());
-  for_each_pair([&](std::uint32_t i, std::uint32_t j, double d) {
-    out.push_back({i, j, d});
-  });
+  out.reserve(kernel_.hits().size());
+  for (const PairKernel::Hit& h : kernel_.hits()) {
+    out.push_back({h.i, h.j, std::sqrt(h.d2)});
+  }
   return out;
 }
 
@@ -68,33 +43,16 @@ std::vector<std::uint32_t> SpatialGrid::near_point(const Vec3& p) const {
 }
 
 void SpatialGrid::near_point(const Vec3& p, std::vector<std::uint32_t>& out) const {
-  const CellCoord c = coord_for(p);
-  for (std::int32_t dx = -1; dx <= 1; ++dx) {
-    for (std::int32_t dy = -1; dy <= 1; ++dy) {
-      const auto it = cells_.find(pack(c.cx + dx, c.cy + dy));
-      if (it == cells_.end()) continue;
-      for (const std::uint32_t j : it->second) {
-        if (p.distance2d_to(positions_[j]) <= radius_) out.push_back(j);
-      }
-    }
-  }
+  kernel_.near(p, out);
 }
 
 std::vector<std::uint32_t> SpatialGrid::neighbors_of(std::uint32_t i) const {
-  std::vector<std::uint32_t> out;
   if (i >= positions_.size()) throw std::out_of_range("SpatialGrid::neighbors_of");
-  const CellCoord c = coords_[i];
-  for (std::int32_t dx = -1; dx <= 1; ++dx) {
-    for (std::int32_t dy = -1; dy <= 1; ++dy) {
-      const auto it = cells_.find(pack(c.cx + dx, c.cy + dy));
-      if (it == cells_.end()) continue;
-      for (const std::uint32_t j : it->second) {
-        if (j != i && positions_[i].distance2d_to(positions_[j]) <= radius_) {
-          out.push_back(j);
-        }
-      }
-    }
-  }
+  std::vector<std::uint32_t> out;
+  kernel_.near(positions_[i], out);
+  // A point is within radius of itself; drop the query index (duplicate
+  // positions at other indices legitimately stay).
+  std::erase(out, i);
   return out;
 }
 

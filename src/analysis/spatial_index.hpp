@@ -3,14 +3,20 @@
 // Contact extraction and graph construction both need "all pairs within r";
 // the grid reduces that from O(n^2) distance checks to neighbours of the
 // 3x3 cell block around each point. Cell size equals the query radius.
-// Per-point cell coordinates are derived once at construction and reused by
-// every query.
+//
+// Since PR 9 the storage is a cell-sorted SoA layout (PairKernel) instead of
+// an unordered_map of per-cell index vectors: construction counting-sorts the
+// points once, pair queries stream contiguous lanes with auto-vectorized
+// dx*dx + dy*dy comparisons, and point queries scan at most three contiguous
+// lane ranges. Results are bit-identical to the historical hash-grid (same
+// pairs, same distances — see pair_kernel.hpp for the threshold argument);
+// only the emission order changed, which no caller depends on.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "analysis/pair_kernel.hpp"
 #include "util/vec3.hpp"
 
 namespace slmob {
@@ -27,7 +33,9 @@ struct IndexPairDistance {
 class SpatialGrid {
  public:
   // `radius` is the query radius the grid is built for; `positions` indexes
-  // are preserved in query results.
+  // are preserved in query results. Construction cell-sorts the points; pair
+  // enumeration runs lazily on the first pairs_* call (near_point-only users
+  // such as World::within never pay for it).
   SpatialGrid(const std::vector<Vec3>& positions, double radius);
 
   // All index pairs (i < j) with planar distance <= radius.
@@ -48,22 +56,15 @@ class SpatialGrid {
   void near_point(const Vec3& p, std::vector<std::uint32_t>& out) const;
 
  private:
-  using CellKey = std::uint64_t;
-  struct CellCoord {
-    std::int32_t cx{0};
-    std::int32_t cy{0};
-  };
-  [[nodiscard]] CellCoord coord_for(const Vec3& p) const;
-  [[nodiscard]] static CellKey pack(std::int32_t cx, std::int32_t cy);
-
-  template <typename Emit>
-  void for_each_pair(Emit&& emit) const;
+  // Runs the deferred pair enumeration once. Not safe to race from multiple
+  // threads on a shared grid; every current caller builds and queries its
+  // grid on one worker (near_point alone never enumerates and stays safe).
+  void ensure_enumerated() const;
 
   const std::vector<Vec3>& positions_;
   double radius_;
-  double cell_;
-  std::vector<CellCoord> coords_;  // cell coordinates of positions_[i]
-  std::unordered_map<CellKey, std::vector<std::uint32_t>> cells_;
+  mutable PairKernel kernel_;
+  mutable bool enumerated_{false};
 };
 
 }  // namespace slmob

@@ -19,7 +19,8 @@ class DecodeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`,
+// computed slice-by-8 (eight table lookups per eight input bytes).
 // Used to frame journal records and checkpoint files so a torn or
 // bit-flipped tail is detected instead of decoded as garbage.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);

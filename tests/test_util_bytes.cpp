@@ -2,8 +2,58 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <random>
+#include <string_view>
+
 namespace slmob {
 namespace {
+
+// Bytewise reference implementation (the pre-slice-by-8 production code),
+// kept here so the fast path is checked against it on arbitrary buffers.
+std::uint32_t crc32_bytewise(std::span<const std::uint8_t> bytes) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_of(std::string_view s) {
+  return crc32({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+TEST(Bytes, Crc32KnownVectors) {
+  // The standard CRC-32/ISO-HDLC check values.
+  EXPECT_EQ(crc32_of(""), 0x00000000u);
+  EXPECT_EQ(crc32_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32_of("abc"), 0x352441C2u);
+  EXPECT_EQ(crc32_of("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+  const std::array<std::uint8_t, 4> zeros{0, 0, 0, 0};
+  EXPECT_EQ(crc32(zeros), 0x2144DF1Cu);
+}
+
+TEST(Bytes, Crc32MatchesBytewiseOnRandomBuffers) {
+  std::mt19937 rng(2026);
+  std::uniform_int_distribution<int> byte(0, 255);
+  // Lengths straddle the 8-byte slicing boundary and every tail residue.
+  for (const std::size_t len :
+       {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{15}, std::size_t{16}, std::size_t{17}, std::size_t{63},
+        std::size_t{255}, std::size_t{1024}, std::size_t{65537}}) {
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(byte(rng));
+    EXPECT_EQ(crc32(buf), crc32_bytewise(buf)) << "len=" << len;
+  }
+}
 
 TEST(Bytes, RoundTripScalars) {
   ByteWriter w;
