@@ -122,6 +122,7 @@ std::string slurp(const std::string& path) {
   char buf[65536];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
   return text;
 }
@@ -261,7 +262,11 @@ void update_bench_json(const std::string& path, const std::string& section,
                  sections[i].second.c_str(), i + 1 < sections.size() ? "," : "");
   }
   std::fprintf(f, "}\n");
-  std::fclose(f);
+  // CI gates parse this JSON; a silently truncated write must fail loudly.
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    std::exit(1);
+  }
 }
 
 void print_title(const std::string& title, const std::string& paper_ref) {

@@ -73,6 +73,7 @@ std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   std::uint8_t buf[65536];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
   return bytes;
 }
@@ -179,7 +180,11 @@ void write_json(const std::vector<CellScore>& scores, double hours, std::uint64_
                  i + 1 < scores.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  // CI gates parse this JSON; a silently truncated write must fail loudly.
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    std::fprintf(stderr, "error writing %s\n", path);
+    std::exit(1);
+  }
 }
 
 }  // namespace

@@ -133,12 +133,14 @@ TraceStats generate_trace_forked(const BenchOptions& options,
   if (pid == 0) {
     const TraceStats st = generate_trace(options, trace_path);
     std::FILE* f = std::fopen(stats_path.c_str(), "wb");
+    bool wrote = false;
     if (f != nullptr) {
       std::fprintf(f, "snapshots=%zu\nunique_users=%zu\ngaps=%zu\n", st.snapshots,
                    st.unique_users, st.gaps);
-      std::fclose(f);
+      // The parent parses this file; a truncated write must fail the child.
+      wrote = std::fflush(f) == 0 && std::fclose(f) == 0;
     }
-    std::_Exit(st.ok && f != nullptr ? 0 : 1);
+    std::_Exit(st.ok && wrote ? 0 : 1);
   }
   if (pid < 0) {
     std::perror("fork");
@@ -158,6 +160,7 @@ TraceStats generate_trace_forked(const BenchOptions& options,
     std::sscanf(line, "unique_users=%zu", &out.unique_users);
     std::sscanf(line, "gaps=%zu", &out.gaps);
   }
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
   std::remove(stats_path.c_str());
   out.ok = true;
@@ -171,15 +174,17 @@ PipelineResult run_pipeline_forked(const std::string& trace_path, std::size_t th
   if (pid == 0) {
     const PipelineResult r = run_pipeline(trace_path, threads);
     std::FILE* f = std::fopen(result_path.c_str(), "wb");
+    bool wrote = false;
     if (f != nullptr) {
       std::fprintf(f,
                    "digest=%u\nseconds=%.9f\nrss_mib=%.6f\nsnapshots=%zu\n"
                    "proximity_rebuilds=%zu\nproximity_delta_updates=%zu\n",
                    r.digest, r.seconds, r.rss_mib, r.snapshots, r.proximity_rebuilds,
                    r.proximity_delta_updates);
-      std::fclose(f);
+      // The parent parses this file; a truncated write must fail the child.
+      wrote = std::fflush(f) == 0 && std::fclose(f) == 0;
     }
-    std::_Exit(f != nullptr ? 0 : 1);
+    std::_Exit(wrote ? 0 : 1);
   }
   PipelineResult out;
   if (pid < 0) {
@@ -204,6 +209,7 @@ PipelineResult run_pipeline_forked(const std::string& trace_path, std::size_t th
     std::sscanf(line, "proximity_rebuilds=%zu", &out.proximity_rebuilds);
     std::sscanf(line, "proximity_delta_updates=%zu", &out.proximity_delta_updates);
   }
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
   std::remove(result_path.c_str());
   out.ok = true;

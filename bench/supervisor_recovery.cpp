@@ -249,7 +249,11 @@ void write_json(const std::vector<CellScore>& scores, double hours, std::uint64_
                  i + 1 < scores.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  // CI gates parse this JSON; a silently truncated write must fail loudly.
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    std::fprintf(stderr, "error writing %s\n", path);
+    std::exit(1);
+  }
 }
 
 }  // namespace

@@ -67,6 +67,7 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
   const auto censor_at_gap = [&](Seconds cap) {
     std::vector<PairKey> keys;
     keys.reserve(open.size());
+    // slmob-lint: allow(ordered-iteration) -- collects keys only; sorted on the next line before any consumer
     for (const auto& [key, contact] : open) keys.push_back(key);
     std::sort(keys.begin(), keys.end());
     for (const PairKey key : keys) close_contact(key, open.at(key), cap);
@@ -142,6 +143,7 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
   if (gap_aware && have_prev && !trace.covered_at(prev_time + tau)) {
     final_cap = next_gap_start(prev_time);
   }
+  // slmob-lint: allow(ordered-iteration) -- intervals are re-sorted just below; Ecdf samples are order-invisible (every reader sorts)
   for (const auto& [key, contact] : open) close_contact(key, contact, final_cap);
 
   std::sort(out.intervals.begin(), out.intervals.end(),
@@ -154,6 +156,7 @@ ContactAnalysis analyze_contacts(const Trace& trace, const ProximityCache& cache
   out.users_with_contact = first_contact.size();
   std::vector<Seconds> first_contact_samples;
   first_contact_samples.reserve(first_contact.size());
+  // slmob-lint: allow(ordered-iteration) -- FT samples are sorted below before entering the Ecdf
   for (const auto& [id, t_contact] : first_contact) {
     const Seconds t_seen = first_seen.at(id);
     // FT = 0 would vanish on the paper's log axis; credit half a sampling

@@ -32,6 +32,7 @@ RelationGraph::RelationGraph(const std::vector<ContactInterval>& intervals,
   }
 
   std::size_t acquaintances = 0;
+  // slmob-lint: allow(ordered-iteration) -- relations_ is sorted canonically right after this loop; degree_ is an ordered map
   for (auto& [key, rel] : pairs) {
     if (rel.encounters >= options.min_encounters) {
       ++acquaintances;

@@ -190,6 +190,7 @@ std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
   std::uint8_t buf[4096];
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
   return bytes;
 }

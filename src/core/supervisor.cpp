@@ -13,6 +13,7 @@
 
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wallclock.hpp"
 
 namespace slmob {
 
@@ -30,17 +31,14 @@ const char* shard_phase_name(ShardPhase phase) {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
-
-void sleep_ms(double ms) {
-  if (ms > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
-  }
-}
+// Watchdog/backoff timing measures the host, not the simulation, and goes
+// through the sanctioned wall-clock seam so tests can mock it.
+struct Clock {
+  using time_point = slmob::wallclock::TimePoint;
+  static time_point now() { return slmob::wallclock::now(); }
+};
+using slmob::wallclock::ms_since;
+using slmob::wallclock::sleep_ms;
 
 // Interrupts that unwind a shard's run loop to its crash barrier. They model
 // process death, so they deliberately skip all trace/journal finalization —

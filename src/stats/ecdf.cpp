@@ -88,6 +88,12 @@ double Ecdf::max() const {
 
 double Ecdf::mean() const {
   if (samples_.empty()) throw std::logic_error("Ecdf::mean on empty distribution");
+  // Sum in sorted order: ensure_sorted() reorders samples_ lazily, so
+  // summing insertion order would make mean() depend on whether a sorting
+  // accessor (median/cdf/sorted) happened to run first — float addition is
+  // not associative, and call order must never change a reported metric.
+  ensure_sorted();
+  // slmob-lint: allow(float-determinism/accumulate) -- summed in sorted (canonical) order, see comment above
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
          static_cast<double>(samples_.size());
 }

@@ -13,6 +13,7 @@ Summary summarize(std::span<const double> samples) {
   std::vector<double> v(samples.begin(), samples.end());
   std::sort(v.begin(), v.end());
   s.count = v.size();
+  // slmob-lint: allow(float-determinism/accumulate) -- v was sorted two lines up; the sum order is canonical
   s.mean = std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
   double var = 0.0;
   for (const double x : v) var += (x - s.mean) * (x - s.mean);

@@ -162,6 +162,10 @@ void save_trace(const Trace& trace, const std::string& path) {
   write_file_atomic(path, encode_trace(trace));
 }
 
+void save_trace_csv(const Trace& trace, const std::string& path) {
+  write_file_atomic(path, trace_to_csv(trace));
+}
+
 Trace load_trace(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_trace: cannot open " + path);

@@ -40,4 +40,9 @@ Trace trace_from_csv(std::string_view text, std::string land_name,
 void save_trace(const Trace& trace, const std::string& path);
 Trace load_trace(const std::string& path);
 
+// CSV export with the same durability contract as save_trace: written
+// atomically (tmp + rename), throws on any I/O failure — a full disk must
+// never leave a silently truncated CSV behind with a success exit.
+void save_trace_csv(const Trace& trace, const std::string& path);
+
 }  // namespace slmob

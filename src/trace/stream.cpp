@@ -303,6 +303,7 @@ SltFileStream::SltFileStream(const std::string& path) : path_(path) {
 }
 
 SltFileStream::~SltFileStream() {
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   if (file_ != nullptr) std::fclose(file_);
 }
 
@@ -405,6 +406,7 @@ JournalFileStream::JournalFileStream(const std::string& path) : path_(path) {
 }
 
 JournalFileStream::~JournalFileStream() {
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   if (file_ != nullptr) std::fclose(file_);
 }
 

@@ -22,6 +22,7 @@ std::uint64_t peak_rss_bytes() {
       break;
     }
   }
+  // slmob-lint: allow(checked-durability) -- read-only /proc stream; close failure cannot lose data
   std::fclose(f);
   return kib * 1024;
 #else

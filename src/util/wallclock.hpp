@@ -1,0 +1,60 @@
+// The only sanctioned wall-clock entry point in the tree (enforced by
+// slmob-lint's determinism/wall-clock rule — this file is the allowlist
+// anchor, see DESIGN.md §16).
+//
+// Simulation time is tick-driven and replayable; real time may leak into
+// exactly two kinds of code: the supervisor's watchdog/backoff machinery
+// (which measures the host, not the simulation) and bench timing harnesses.
+// Both go through this seam. Tests swap the clock with a deterministic mock
+// via exchange_now_for_test(), so watchdog logic is testable without
+// sleeping.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace slmob::wallclock {
+
+using Duration = std::chrono::steady_clock::duration;
+
+// Opaque monotonic timestamp. Arithmetic mirrors std::chrono time_points.
+using TimePoint = std::chrono::steady_clock::time_point;
+
+using NowFn = TimePoint (*)();
+
+namespace detail {
+inline TimePoint real_now() { return std::chrono::steady_clock::now(); }
+inline std::atomic<NowFn>& now_fn() {
+  static std::atomic<NowFn> fn{&real_now};
+  return fn;
+}
+}  // namespace detail
+
+// Current monotonic wall-clock reading (or the installed test mock).
+inline TimePoint now() { return detail::now_fn().load(std::memory_order_relaxed)(); }
+
+// Milliseconds elapsed since `t0`.
+inline double ms_since(TimePoint t0) {
+  return std::chrono::duration<double, std::milli>(now() - t0).count();
+}
+
+// Seconds elapsed since `t0`.
+inline double seconds_since(TimePoint t0) {
+  return std::chrono::duration<double>(now() - t0).count();
+}
+
+// Real-time sleep; not mocked (tests that mock the clock should not sleep).
+inline void sleep_ms(double ms) {
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+// Installs a replacement clock for tests and returns the previous one.
+// Callers must restore the returned function before the test exits.
+inline NowFn exchange_now_for_test(NowFn fn) {
+  return detail::now_fn().exchange(fn != nullptr ? fn : &detail::real_now);
+}
+
+}  // namespace slmob::wallclock

@@ -1,0 +1,11 @@
+// Fixture: an annotated region with no allocation idioms is clean.
+#include <cstddef>
+
+struct FixtureClean {
+  double acc = 0.0;
+
+  // slmob:alloc-free -- pure arithmetic over caller-owned storage
+  void hot(const double* xs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) acc += xs[i] * xs[i];
+  }
+};

@@ -1,0 +1,20 @@
+// Fixture: allocation idioms inside an annotated region must fire.
+#include <functional>
+#include <memory>
+#include <vector>
+
+struct FixtureKernel {
+  std::vector<int> out;
+
+  // slmob:alloc-free -- fixture hot path
+  void hot(int n) {
+    out.push_back(n);                       // alloc-free/allocation
+    auto p = std::make_unique<int>(n);      // alloc-free/allocation
+    std::function<int()> fn = [n] { return n; };  // alloc-free/allocation
+    (void)p;
+    (void)fn;
+  }
+
+  // No annotation: the same idioms are fine outside alloc-free regions.
+  void cold(int n) { out.push_back(n); }
+};

@@ -1,0 +1,12 @@
+// Fixture: amortized growth inside an alloc-free region is justified.
+#include <vector>
+
+struct FixtureAmortized {
+  std::vector<double> buf;
+
+  // slmob:alloc-free -- fixture hot path with retained capacity
+  void hot(std::size_t m) {
+    // slmob-lint: allow(alloc-free) -- buf keeps its capacity across calls; warm calls never allocate
+    if (buf.size() < m) buf.resize(m);
+  }
+};

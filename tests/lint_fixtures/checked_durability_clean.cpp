@@ -1,0 +1,10 @@
+// Fixture: checked durability I/O produces no findings.
+#include <cstdio>
+#include <stdexcept>
+
+void fixture_checked_durability_clean(const char* path, const char* data, std::size_t n) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) throw std::runtime_error("open failed");
+  if (std::fwrite(data, 1, n, f) != n) throw std::runtime_error("short write");
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) throw std::runtime_error("close failed");
+}

@@ -1,0 +1,10 @@
+// Fixture: discarded durability-I/O results must fire.
+#include <cstdio>
+
+void fixture_checked_durability(const char* path, const char* data, std::size_t n) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return;
+  std::fwrite(data, 1, n, f);  // checked-durability/discarded-result
+  std::fflush(f);              // checked-durability/discarded-result
+  std::fclose(f);              // checked-durability/discarded-result
+}

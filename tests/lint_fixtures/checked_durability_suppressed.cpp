@@ -1,0 +1,12 @@
+// Fixture: a read-side close carries a justified suppression.
+#include <cstdio>
+
+long fixture_checked_durability_suppressed(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
+  std::fclose(f);
+  return size;
+}

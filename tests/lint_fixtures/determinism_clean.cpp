@@ -1,0 +1,14 @@
+// Fixture: seeded RNG and tick-driven time produce no determinism findings.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ull + 1442695040888963407ull; }
+};
+
+std::uint64_t fixture_determinism_clean() {
+  Rng rng{42};
+  double sim_time = 0.0;
+  sim_time += 10.0;  // tick-driven, not wall-clock
+  return rng.next() + static_cast<std::uint64_t>(sim_time);
+}

@@ -1,0 +1,20 @@
+// Fixture: every determinism check must fire. This file is excluded from
+// real scans (should_scan skips lint_fixtures/) and is fed to the engine by
+// test_tools_lint.cpp under a src/-style virtual path.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int fixture_determinism() {
+  std::random_device rd;              // determinism/random-device
+  std::srand(42);                     // determinism/libc-rand
+  int a = std::rand();                // determinism/libc-rand
+  auto t = std::chrono::steady_clock::now();        // determinism/wall-clock
+  auto w = std::chrono::system_clock::now();        // determinism/wall-clock
+  auto u = std::time(nullptr);        // determinism/wall-clock
+  (void)rd;
+  (void)t;
+  (void)w;
+  (void)u;
+  return a;
+}

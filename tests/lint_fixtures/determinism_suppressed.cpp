@@ -1,0 +1,11 @@
+// Fixture: justified suppressions silence determinism findings.
+#include <chrono>
+#include <cstdlib>
+
+int fixture_determinism_suppressed() {
+  // slmob-lint: allow(determinism/libc-rand) -- fixture exercising the suppression path
+  int a = std::rand();
+  auto t = std::chrono::steady_clock::now();  // slmob-lint: allow(determinism) -- family-prefix suppression on the same line
+  (void)t;
+  return a;
+}

@@ -1,0 +1,7 @@
+// Fixture: integer accumulation is order-insensitive — no findings.
+#include <numeric>
+#include <vector>
+
+long fixture_float_determinism_clean(const std::vector<int>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0L);
+}

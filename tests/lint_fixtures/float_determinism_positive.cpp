@@ -1,0 +1,9 @@
+// Fixture: order-sensitive float reductions must fire (src/-scoped).
+#include <numeric>
+#include <vector>
+
+double fixture_float_determinism(const std::vector<double>& xs) {
+  double mean = std::accumulate(xs.begin(), xs.end(), 0.0);  // float-determinism/accumulate
+  double alt = std::reduce(xs.begin(), xs.end());            // float-determinism/unordered-reduce
+  return mean + alt;
+}

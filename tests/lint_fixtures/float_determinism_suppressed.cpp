@@ -1,0 +1,10 @@
+// Fixture: a sorted-order sum carries a justified suppression.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+double fixture_float_determinism_suppressed(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  // slmob-lint: allow(float-determinism/accumulate) -- summed in sorted (canonical) order
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

@@ -1,0 +1,8 @@
+// Fixture header: guarded, namespaced — no findings.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+inline std::string header_hygiene_clean() { return "clean header"; }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture header: no #pragma once / include guard, and a using-namespace.
+// header-hygiene/missing-include-guard fires at line 1;
+// header-hygiene/using-namespace-header fires below.
+#include <string>
+
+using namespace std;  // header-hygiene/using-namespace-header
+
+inline string fixture_header_hygiene() { return "bad header"; }

@@ -1,0 +1,8 @@
+// slmob-lint: allow(header-hygiene/missing-include-guard) -- fixture exercising the suppression path
+// Fixture header: findings silenced by justified suppressions.
+#include <string>
+
+// slmob-lint: allow(header-hygiene/using-namespace-header) -- fixture exercising the suppression path
+using namespace std;
+
+inline string fixture_header_hygiene_suppressed() { return "suppressed"; }

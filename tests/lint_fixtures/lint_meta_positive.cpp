@@ -1,0 +1,12 @@
+// Fixture: the meta rules — a suppression without justification does NOT
+// silence the underlying finding and is itself flagged; unknown rule names
+// are flagged too.
+#include <cstdlib>
+
+int fixture_lint_meta() {
+  // slmob-lint: allow(determinism/libc-rand)
+  int a = std::rand();  // still fires: the allow above has no justification
+  // slmob-lint: allow(no-such-rule) -- the rule name is bogus
+  int b = 1;
+  return a + b;
+}

@@ -1,0 +1,12 @@
+// Fixture: ordered containers iterate deterministically — no findings.
+#include <map>
+#include <vector>
+
+int fixture_ordered_iteration_clean() {
+  std::map<int, double> scores;
+  std::vector<double> values;
+  int n = 0;
+  for (const auto& [id, score] : scores) n += id + static_cast<int>(score);
+  for (const double v : values) n += static_cast<int>(v);
+  return n;
+}

@@ -1,0 +1,19 @@
+// Fixture: range-for over unordered containers must fire in src/-scoped
+// paths (the test feeds this file as src/fixture.cpp).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int fixture_ordered_iteration() {
+  std::unordered_map<int, double> scores;
+  std::unordered_set<std::string> names;
+  int n = 0;
+  for (const auto& [id, score] : scores) {  // ordered-iteration/unordered-range-for
+    n += id;
+    (void)score;
+  }
+  for (const auto& name : names) {  // ordered-iteration/unordered-range-for
+    n += static_cast<int>(name.size());
+  }
+  return n;
+}

@@ -1,0 +1,13 @@
+// Fixture: a sorted-after iteration carries a justified suppression.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+int fixture_ordered_iteration_suppressed() {
+  std::unordered_map<int, double> scores;
+  std::vector<int> keys;
+  // slmob-lint: allow(ordered-iteration) -- keys are sorted on the next line before any consumer
+  for (const auto& [id, score] : scores) keys.push_back(id);
+  std::sort(keys.begin(), keys.end());
+  return static_cast<int>(keys.size());
+}

@@ -191,6 +191,7 @@ TEST(StreamingEquivalence, SalvagedTornJournal) {
   ASSERT_NE(f, nullptr);
   std::fseek(f, 0, SEEK_END);
   const long full = std::ftell(f);
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
   ASSERT_EQ(truncate(path.c_str(), full - 31), 0);
 

@@ -134,8 +134,8 @@ TEST(Checkpoint, CorruptNewestGenerationFallsBackToPrevious) {
   {
     std::FILE* f = std::fopen(main_path.c_str(), "wb");
     ASSERT_NE(f, nullptr);
-    std::fwrite(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    ASSERT_EQ(std::fclose(f), 0);
   }
 
   const CheckpointLoadResult loaded = try_load_checkpoint(dir);
@@ -154,7 +154,7 @@ TEST(Checkpoint, AllGenerationsCorruptReportsBothAndYieldsNothing) {
     std::FILE* f = std::fopen((dir + "/" + name).c_str(), "wb");
     ASSERT_NE(f, nullptr);
     std::fputs("garbage", f);
-    std::fclose(f);
+    ASSERT_EQ(std::fclose(f), 0);
   }
   const CheckpointLoadResult loaded = try_load_checkpoint(dir);
   EXPECT_FALSE(loaded.state.has_value());

@@ -207,7 +207,7 @@ TEST(Supervisor, CorruptCheckpointFallsBackAndStillCompletes) {
     std::FILE* f = std::fopen((shard_dir + "/" + kCheckpointFileName).c_str(), "wb");
     ASSERT_NE(f, nullptr);
     std::fputs("not a checkpoint", f);
-    std::fclose(f);
+    ASSERT_EQ(std::fclose(f), 0);
   }
 
   SupervisorOptions opt = test_options(dir);
@@ -234,7 +234,7 @@ TEST(Supervisor, BothCheckpointGenerationsCorruptColdRestartsAndCompletes) {
     std::FILE* f = std::fopen((shard_dir + "/" + name).c_str(), "wb");
     ASSERT_NE(f, nullptr);
     std::fputs("garbage, both generations", f);
-    std::fclose(f);
+    ASSERT_EQ(std::fclose(f), 0);
   }
 
   SupervisorOptions opt = test_options(dir);

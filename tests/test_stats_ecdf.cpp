@@ -51,6 +51,27 @@ TEST(Ecdf, MinMaxMean) {
   EXPECT_DOUBLE_EQ(e.mean(), 5.0);
 }
 
+// Regression: mean() used to sum in insertion order, but ensure_sorted()
+// reorders samples_ in place lazily — so calling median() (or any sorting
+// accessor) first changed mean()'s float sum. With catastrophic
+// cancellation the difference is not just ULPs: summing {1e16, -1e16, 1.0}
+// in insertion order gives 1.0, in sorted order 0.0. mean() must give the
+// same bits regardless of accessor call order.
+TEST(Ecdf, MeanIndependentOfAccessorCallOrder) {
+  const std::vector<double> adversarial{1e16, -1e16, 1.0};
+
+  Ecdf fresh;
+  for (const double x : adversarial) fresh.add(x);
+  const double mean_before_sort = fresh.mean();
+
+  Ecdf sorted_first;
+  for (const double x : adversarial) sorted_first.add(x);
+  (void)sorted_first.median();  // forces the lazy in-place sort
+  const double mean_after_sort = sorted_first.mean();
+
+  EXPECT_EQ(mean_before_sort, mean_after_sort);  // bitwise, not NEAR
+}
+
 TEST(Ecdf, CdfIsMonotone) {
   Rng rng(1);
   Ecdf e;

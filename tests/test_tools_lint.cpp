@@ -1,0 +1,364 @@
+// Tests for slmob-lint (tools/lint/): every rule family has a positive
+// fixture (the violation is caught), a suppressed fixture (a justified
+// allow() silences it) and a clean fixture (no false positive). Fixture
+// files live in tests/lint_fixtures/ — excluded from real scans by
+// should_scan() — and are fed to the engine under virtual src/-style paths
+// because path prefixes drive rule scoping.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using slmob::lint::Finding;
+using slmob::lint::LintResult;
+using slmob::lint::lint_source;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(SLMOB_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+LintResult lint_fixture(const std::string& name, const std::string& virtual_path) {
+  return lint_source(virtual_path, read_fixture(name));
+}
+
+std::size_t count_rule(const LintResult& r, const std::string& rule) {
+  std::size_t n = 0;
+  for (const auto& f : r.findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+TEST(LintDeterminism, PositiveFixtureCatchesEveryCheck) {
+  const LintResult r = lint_fixture("determinism_positive.cpp", "src/fixture.cpp");
+  EXPECT_EQ(count_rule(r, "determinism/random-device"), 1u);
+  EXPECT_EQ(count_rule(r, "determinism/libc-rand"), 2u);
+  EXPECT_EQ(count_rule(r, "determinism/wall-clock"), 3u);
+  EXPECT_EQ(r.unsuppressed(), 6u);
+}
+
+TEST(LintDeterminism, SuppressedFixtureIsJustified) {
+  const LintResult r = lint_fixture("determinism_suppressed.cpp", "src/fixture.cpp");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  std::size_t suppressed = 0;
+  for (const auto& f : r.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      EXPECT_FALSE(f.justification.empty());
+    }
+  }
+  EXPECT_EQ(suppressed, 2u);
+}
+
+TEST(LintDeterminism, CleanFixtureHasNoFindings) {
+  const LintResult r = lint_fixture("determinism_clean.cpp", "src/fixture.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintDeterminism, WallClockAllowlistedInSeamAndBench) {
+  const std::string text = read_fixture("determinism_positive.cpp");
+  // The seam itself may name steady_clock; RNG rules still apply there.
+  const LintResult seam = lint_source("src/util/wallclock.hpp", text);
+  EXPECT_EQ(count_rule(seam, "determinism/wall-clock"), 0u);
+  EXPECT_EQ(count_rule(seam, "determinism/random-device"), 1u);
+  // Bench timing harnesses measure real elapsed time by design.
+  const LintResult bench = lint_source("bench/fixture.cpp", text);
+  EXPECT_EQ(count_rule(bench, "determinism/wall-clock"), 0u);
+}
+
+TEST(LintDeterminism, IgnoresNamesInStringsAndComments) {
+  const LintResult r = lint_source("src/x.cpp",
+                                   "// std::rand() in a comment\n"
+                                   "const char* s = \"std::random_device\";\n"
+                                   "/* steady_clock::now() */\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// ordered-iteration
+// ---------------------------------------------------------------------------
+
+TEST(LintOrderedIteration, PositiveFixtureCatchesBothContainers) {
+  const LintResult r = lint_fixture("ordered_iteration_positive.cpp", "src/fixture.cpp");
+  EXPECT_EQ(count_rule(r, "ordered-iteration/unordered-range-for"), 2u);
+}
+
+TEST(LintOrderedIteration, ScopedToSrcAndTools) {
+  const std::string text = read_fixture("ordered_iteration_positive.cpp");
+  EXPECT_GT(lint_source("tools/fixture.cpp", text).unsuppressed(), 0u);
+  // Test scaffolding may iterate unordered containers freely.
+  EXPECT_EQ(lint_source("tests/fixture.cpp", text).unsuppressed(), 0u);
+}
+
+TEST(LintOrderedIteration, SuppressedFixtureIsJustified) {
+  const LintResult r = lint_fixture("ordered_iteration_suppressed.cpp", "src/fixture.cpp");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].suppressed);
+}
+
+TEST(LintOrderedIteration, CleanFixtureHasNoFindings) {
+  const LintResult r = lint_fixture("ordered_iteration_clean.cpp", "src/fixture.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// checked-durability
+// ---------------------------------------------------------------------------
+
+TEST(LintCheckedDurability, PositiveFixtureCatchesAllThreeCalls) {
+  const LintResult r = lint_fixture("checked_durability_positive.cpp", "src/fixture.cpp");
+  EXPECT_EQ(count_rule(r, "checked-durability/discarded-result"), 3u);
+}
+
+TEST(LintCheckedDurability, SuppressedFixtureIsJustified) {
+  const LintResult r =
+      lint_fixture("checked_durability_suppressed.cpp", "src/fixture.cpp");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].suppressed);
+  EXPECT_NE(r.findings[0].justification.find("read-only"), std::string::npos);
+}
+
+TEST(LintCheckedDurability, CleanFixtureHasNoFindings) {
+  const LintResult r = lint_fixture("checked_durability_clean.cpp", "src/fixture.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintCheckedDurability, UsedResultsAreNotFlagged) {
+  const LintResult r = lint_source("src/x.cpp",
+                                   "bool ok(std::FILE* f, const char* d, size_t n) {\n"
+                                   "  if (std::fwrite(d, 1, n, f) != n) return false;\n"
+                                   "  return std::fclose(f) == 0;\n"
+                                   "}\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// alloc-free
+// ---------------------------------------------------------------------------
+
+TEST(LintAllocFree, PositiveFixtureCatchesAllocationsOnlyInsideRegion) {
+  const LintResult r = lint_fixture("alloc_free_positive.cpp", "src/fixture.cpp");
+  // push_back + make_unique + std::function inside hot(); cold() is exempt.
+  EXPECT_EQ(count_rule(r, "alloc-free/allocation"), 3u);
+}
+
+TEST(LintAllocFree, SuppressedFixtureIsJustified) {
+  const LintResult r = lint_fixture("alloc_free_suppressed.cpp", "src/fixture.cpp");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].suppressed);
+}
+
+TEST(LintAllocFree, CleanFixtureHasNoFindings) {
+  const LintResult r = lint_fixture("alloc_free_clean.cpp", "src/fixture.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// float-determinism
+// ---------------------------------------------------------------------------
+
+TEST(LintFloatDeterminism, PositiveFixtureCatchesAccumulateAndReduce) {
+  const LintResult r = lint_fixture("float_determinism_positive.cpp", "src/fixture.cpp");
+  EXPECT_EQ(count_rule(r, "float-determinism/accumulate"), 1u);
+  EXPECT_EQ(count_rule(r, "float-determinism/unordered-reduce"), 1u);
+}
+
+TEST(LintFloatDeterminism, ScopedToSrc) {
+  const std::string text = read_fixture("float_determinism_positive.cpp");
+  EXPECT_EQ(lint_source("bench/fixture.cpp", text).unsuppressed(), 0u);
+}
+
+TEST(LintFloatDeterminism, SuppressedFixtureIsJustified) {
+  const LintResult r =
+      lint_fixture("float_determinism_suppressed.cpp", "src/fixture.cpp");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].suppressed);
+}
+
+TEST(LintFloatDeterminism, IntegerAccumulateIsClean) {
+  const LintResult r = lint_fixture("float_determinism_clean.cpp", "src/fixture.cpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// header-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintHeaderHygiene, PositiveFixtureCatchesGuardAndUsingNamespace) {
+  const LintResult r = lint_fixture("header_hygiene_positive.hpp", "src/fixture.hpp");
+  EXPECT_EQ(count_rule(r, "header-hygiene/missing-include-guard"), 1u);
+  EXPECT_EQ(count_rule(r, "header-hygiene/using-namespace-header"), 1u);
+}
+
+TEST(LintHeaderHygiene, SuppressedFixtureIsJustified) {
+  const LintResult r = lint_fixture("header_hygiene_suppressed.hpp", "src/fixture.hpp");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(LintHeaderHygiene, CleanFixtureHasNoFindings) {
+  const LintResult r = lint_fixture("header_hygiene_clean.hpp", "src/fixture.hpp");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintHeaderHygiene, SourceFilesAreExemptFromHeaderRules) {
+  const std::string text = read_fixture("header_hygiene_positive.hpp");
+  const LintResult r = lint_source("src/fixture.cpp", text);
+  EXPECT_EQ(count_rule(r, "header-hygiene/missing-include-guard"), 0u);
+  EXPECT_EQ(count_rule(r, "header-hygiene/using-namespace-header"), 0u);
+}
+
+TEST(LintHeaderHygiene, IncludeGuardCountsAsGuarded) {
+  const LintResult r = lint_source("src/x.hpp",
+                                   "#ifndef SLMOB_X_HPP\n"
+                                   "#define SLMOB_X_HPP\n"
+                                   "int x();\n"
+                                   "#endif\n");
+  EXPECT_EQ(count_rule(r, "header-hygiene/missing-include-guard"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// lint (meta rules: the suppression protocol itself)
+// ---------------------------------------------------------------------------
+
+TEST(LintMeta, UnjustifiedAllowDoesNotSuppressAndIsFlagged) {
+  const LintResult r = lint_fixture("lint_meta_positive.cpp", "src/fixture.cpp");
+  EXPECT_EQ(count_rule(r, "lint/missing-justification"), 1u);
+  EXPECT_EQ(count_rule(r, "lint/unknown-rule"), 1u);
+  // The bare allow() must NOT silence the rand() it hovers over.
+  EXPECT_EQ(count_rule(r, "determinism/libc-rand"), 1u);
+  for (const auto& f : r.findings) EXPECT_FALSE(f.suppressed);
+}
+
+TEST(LintMeta, TrailingCommentOnPreviousLineDoesNotSuppressNextLine) {
+  const LintResult r =
+      lint_source("src/x.cpp",
+                  "int x = 0;  // slmob-lint: allow(determinism) -- misplaced trailer\n"
+                  "int y = std::rand();\n");
+  EXPECT_EQ(r.unsuppressed(), 1u);
+  EXPECT_EQ(count_rule(r, "determinism/libc-rand"), 1u);
+}
+
+TEST(LintMeta, LoneCommentOnPreviousLineSuppressesNextLine) {
+  const LintResult r =
+      lint_source("src/x.cpp",
+                  "// slmob-lint: allow(determinism/libc-rand) -- exercised on purpose\n"
+                  "int y = std::rand();\n");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].suppressed);
+  EXPECT_EQ(r.findings[0].justification, "exercised on purpose");
+}
+
+TEST(LintMeta, FamilyPrefixMatchesAnyCheckInFamily) {
+  const LintResult r = lint_source(
+      "src/x.cpp",
+      "int y = std::rand();  // slmob-lint: allow(determinism) -- family prefix\n");
+  EXPECT_EQ(r.unsuppressed(), 0u);
+}
+
+TEST(LintMeta, SuppressionForWrongRuleDoesNotApply) {
+  const LintResult r = lint_source(
+      "src/x.cpp",
+      "int y = std::rand();  // slmob-lint: allow(header-hygiene) -- wrong family\n");
+  EXPECT_EQ(count_rule(r, "determinism/libc-rand"), 1u);
+  for (const auto& f : r.findings) {
+    if (f.rule == "determinism/libc-rand") {
+      EXPECT_FALSE(f.suppressed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// infrastructure: should_scan, JSON report, known_rules
+// ---------------------------------------------------------------------------
+
+TEST(LintInfra, ShouldScanFiltersExtensionsAndFixtures) {
+  EXPECT_TRUE(slmob::lint::should_scan("src/stats/ecdf.cpp"));
+  EXPECT_TRUE(slmob::lint::should_scan("src/util/wallclock.hpp"));
+  EXPECT_FALSE(slmob::lint::should_scan("README.md"));
+  EXPECT_FALSE(slmob::lint::should_scan("tests/lint_fixtures/determinism_positive.cpp"));
+  EXPECT_FALSE(slmob::lint::should_scan("build/generated.cpp"));
+}
+
+TEST(LintInfra, KnownRulesAreSortedAndNamespaced) {
+  const auto& rules = slmob::lint::known_rules();
+  EXPECT_TRUE(std::is_sorted(rules.begin(), rules.end()));
+  for (const auto& r : rules) {
+    EXPECT_NE(r.find('/'), std::string::npos) << r;
+  }
+}
+
+TEST(LintInfra, JsonReportCarriesFindingsAndEscapes) {
+  const LintResult r =
+      lint_source("src/x.cpp", "int y = std::rand();  // path with \"quotes\"\n");
+  const std::string json = slmob::lint::findings_to_json(r);
+  EXPECT_NE(json.find("\"rule\": \"determinism/libc-rand\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/x.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"unsuppressed\": 1"), std::string::npos);
+}
+
+TEST(LintInfra, FindingsAreSortedByPathLineCol) {
+  const LintResult r = slmob::lint::lint_sources(
+      {{"src/b.cpp", "int y = std::rand();\n"},
+       {"src/a.cpp", "int x = std::rand();\nint z = std::rand();\n"}});
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].path, "src/a.cpp");
+  EXPECT_EQ(r.findings[0].line, 1);
+  EXPECT_EQ(r.findings[1].path, "src/a.cpp");
+  EXPECT_EQ(r.findings[1].line, 2);
+  EXPECT_EQ(r.findings[2].path, "src/b.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// the gate itself: the real tree must be clean
+// ---------------------------------------------------------------------------
+
+TEST(LintGate, RepoTreeHasNoUnsuppressedFindings) {
+  namespace fs = std::filesystem;
+  const fs::path root{SLMOB_REPO_ROOT};
+  ASSERT_TRUE(fs::exists(root));
+  std::vector<slmob::lint::SourceFile> sources;
+  for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (!slmob::lint::should_scan(rel)) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream os;
+      os << in.rdbuf();
+      sources.push_back({rel, os.str()});
+    }
+  }
+  ASSERT_GT(sources.size(), 100u);  // sanity: the walk found the real tree
+  const LintResult r = slmob::lint::lint_sources(sources);
+  for (const auto& f : r.findings) {
+    EXPECT_TRUE(f.suppressed) << f.path << ":" << f.line << " [" << f.rule << "] "
+                              << f.message;
+  }
+}
+
+}  // namespace

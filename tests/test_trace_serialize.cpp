@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
@@ -162,6 +163,26 @@ TEST(Serialize, FileRoundTrip) {
 
 TEST(Serialize, LoadMissingFileThrows) {
   EXPECT_THROW((void)load_trace("/nonexistent/dir/file.slt"), std::runtime_error);
+}
+
+// Regression: the CLI convert path used to fopen/fwrite the CSV without
+// checking results, so a failed write still exited 0 with a truncated file.
+// save_trace_csv shares write_file_atomic's contract instead.
+TEST(Serialize, SaveTraceCsvRoundTrips) {
+  const Trace original = make_random_trace(91, 9);
+  const std::string path = ::testing::TempDir() + "/slmob_trace_test.csv";
+  save_trace_csv(original, path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  const std::string written{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+  EXPECT_EQ(written, trace_to_csv(original));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveTraceCsvUnwritablePathThrows) {
+  const Trace original = make_random_trace(91, 3);
+  EXPECT_THROW(save_trace_csv(original, "/nonexistent/dir/out.csv"), std::runtime_error);
 }
 
 TEST(Serialize, CsvMalformedRowThrows) {

@@ -58,6 +58,7 @@ std::vector<Recorded> drain(TraceStream& stream) {
         r.gap_end = ev.gap.end;
         break;
       case StreamEventKind::kSessionEvent:
+      case StreamEventKind::kRateChange:
         r.time = ev.time;
         break;
       case StreamEventKind::kEnd:
@@ -181,7 +182,7 @@ TEST(SltFileStream, RejectsMissingAndCorruptFiles) {
   std::FILE* f = std::fopen(tmp.path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
   std::fputs("not a trace", f);
-  std::fclose(f);
+  ASSERT_EQ(std::fclose(f), 0);
   EXPECT_ANY_THROW(SltFileStream{tmp.path});
 }
 
@@ -237,6 +238,7 @@ TEST(JournalFileStream, TornTailMatchesSalvageAtEveryTruncation) {
   ASSERT_NE(f, nullptr);
   std::fseek(f, 0, SEEK_END);
   const long full = std::ftell(f);
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
 
   // Truncate at a spread of offsets (every 7 bytes); the streamed events must
@@ -245,6 +247,7 @@ TEST(JournalFileStream, TornTailMatchesSalvageAtEveryTruncation) {
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(full));
   f = std::fopen(tmp.path.c_str(), "rb");
   ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
   std::fclose(f);
   // A file truncated inside the header or kBegin frame is rejected by both
   // salvage and streaming (never held one complete record); start tearing
@@ -257,7 +260,7 @@ TEST(JournalFileStream, TornTailMatchesSalvageAtEveryTruncation) {
     ASSERT_NE(out, nullptr);
     ASSERT_EQ(std::fwrite(bytes.data(), 1, static_cast<std::size_t>(len), out),
               static_cast<std::size_t>(len));
-    std::fclose(out);
+    ASSERT_EQ(std::fclose(out), 0);
 
     const JournalSalvage salvage = salvage_journal(cut.path);
     JournalFileStream stream(cut.path);
@@ -320,8 +323,8 @@ TEST(OpenTraceStream, DispatchesOnExtension) {
   std::FILE* f = std::fopen(csv.path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
   const std::string text = trace_to_csv(trace);
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+  ASSERT_EQ(std::fclose(f), 0);
   auto b = open_trace_stream(csv.path);
   EXPECT_NE(dynamic_cast<MemoryTraceStream*>(b.get()), nullptr);
 

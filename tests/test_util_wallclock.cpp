@@ -1,0 +1,61 @@
+// util/wallclock.hpp is the only sanctioned wall-clock entry point
+// (slmob-lint's determinism/wall-clock allowlist anchor). These tests pin
+// the seam's contract: monotonic real readings by default, and a swappable
+// deterministic mock so watchdog/backoff logic is testable without sleeping.
+#include "util/wallclock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace {
+
+using slmob::wallclock::TimePoint;
+
+// The mock advances 1 ms per call so elapsed-time logic sees motion.
+TimePoint fake_now() {
+  static int calls = 0;
+  return TimePoint{} + std::chrono::milliseconds(++calls);
+}
+
+TEST(Wallclock, RealClockIsMonotonic) {
+  const TimePoint a = slmob::wallclock::now();
+  const TimePoint b = slmob::wallclock::now();
+  EXPECT_LE(a, b);
+  EXPECT_GE(slmob::wallclock::ms_since(a), 0.0);
+  EXPECT_GE(slmob::wallclock::seconds_since(a), 0.0);
+}
+
+TEST(Wallclock, MsSinceMeasuresElapsedTime) {
+  const TimePoint t0 = slmob::wallclock::now();
+  slmob::wallclock::sleep_ms(5.0);
+  EXPECT_GE(slmob::wallclock::ms_since(t0), 4.0);  // scheduler slop tolerated
+}
+
+TEST(Wallclock, MockReplacesAndRestores) {
+  const auto prev = slmob::wallclock::exchange_now_for_test(&fake_now);
+  const TimePoint a = slmob::wallclock::now();
+  const TimePoint b = slmob::wallclock::now();
+  // Deterministic motion: exactly 1 ms per reading, no real time involved.
+  EXPECT_EQ(std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count(), 1);
+  EXPECT_DOUBLE_EQ(slmob::wallclock::ms_since(a), 2.0);  // one more reading
+
+  slmob::wallclock::exchange_now_for_test(prev);
+  // Restored: readings are real again (comfortably past the tiny mock epoch).
+  EXPECT_GT(slmob::wallclock::now(), TimePoint{} + std::chrono::seconds(1));
+}
+
+TEST(Wallclock, ExchangeNullptrRestoresRealClock) {
+  slmob::wallclock::exchange_now_for_test(&fake_now);
+  slmob::wallclock::exchange_now_for_test(nullptr);
+  EXPECT_GT(slmob::wallclock::now(), TimePoint{} + std::chrono::seconds(1));
+}
+
+TEST(Wallclock, SleepIgnoresNonPositive) {
+  const TimePoint t0 = slmob::wallclock::now();
+  slmob::wallclock::sleep_ms(0.0);
+  slmob::wallclock::sleep_ms(-3.0);
+  EXPECT_LT(slmob::wallclock::ms_since(t0), 100.0);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// slmob-lint — project-specific static analysis for the slmob tree.
+//
+// Every headline guarantee of this reproduction — bit-identical traces at
+// any thread count, gap-censored analysis, crash-safe journals — is enforced
+// at runtime by sanitizer jobs, replay witnesses and bench gates. This tool
+// is the static layer in front of them: it stops invariant-breaking code
+// from compiling into the tree at all, by scanning source text for the
+// idioms that have historically broken those guarantees.
+//
+// The scanner is deliberately token-level (no libclang, no compile flags):
+// it tokenizes C++ well enough to skip comments, strings and raw strings,
+// then runs a fixed set of rule families over the token stream. False
+// positives are expected and cheap — any finding can be suppressed in place
+// with a justified comment:
+//
+//   // slmob-lint: allow(<rule>[, <rule>...]) -- <why this site is safe>
+//
+// placed on the offending line or alone on the line above it. The
+// justification text after `--` is mandatory; a bare allow() is itself a
+// finding. Rule names may be a full check ("determinism/wall-clock") or a
+// family prefix ("determinism").
+//
+// Rule families (see DESIGN.md §16 for rationale):
+//   determinism        unseeded RNG and wall-clock reads in simulation code
+//   ordered-iteration  range-for over unordered containers in src/ + tools/
+//   checked-durability discarded fwrite/fflush/fsync/fclose results
+//   alloc-free         allocation idioms inside `// slmob:alloc-free` regions
+//   float-determinism  order-sensitive float reductions in analysis kernels
+//   header-hygiene     missing #pragma once / include guard, using namespace
+//   lint               meta findings (unjustified or unknown suppressions)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slmob::lint {
+
+// One scanned source file: `path` is repo-relative with forward slashes
+// (path prefixes drive rule scoping), `text` is the full file contents.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct Finding {
+  std::string path;
+  int line{0};
+  int col{0};
+  std::string rule;     // "family/check"
+  std::string message;
+  bool suppressed{false};          // matched a justified allow()
+  std::string justification;       // the text after `--` when suppressed
+};
+
+struct LintResult {
+  std::vector<Finding> findings;   // in (path, line, col) order
+  std::size_t files_scanned{0};
+
+  [[nodiscard]] std::size_t unsuppressed() const {
+    std::size_t n = 0;
+    for (const auto& f : findings) {
+      if (!f.suppressed) ++n;
+    }
+    return n;
+  }
+};
+
+// Runs every rule family over the given sources. Pure function of its
+// input: no filesystem access, so tests feed fixture strings directly.
+LintResult lint_sources(const std::vector<SourceFile>& sources);
+
+// Convenience: lint one in-memory file.
+LintResult lint_source(const std::string& path, const std::string& text);
+
+// The rule identifiers this build knows, sorted — allow() names are
+// validated against this list (family prefixes are accepted too).
+const std::vector<std::string>& known_rules();
+
+// True when `path` should be scanned at all (extension and skip-list
+// check; lint fixtures with intentional violations are excluded).
+bool should_scan(const std::string& path);
+
+// Renders findings as a JSON report (machine-readable gate output).
+std::string findings_to_json(const LintResult& result);
+
+}  // namespace slmob::lint

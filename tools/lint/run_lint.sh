@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# One-command lint gate: builds slmob-lint and runs it over the tree.
+# Usage: tools/lint/run_lint.sh [--list] [extra slmob-lint args...]
+# Exits nonzero when any unsuppressed finding remains.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+BUILD="${SLMOB_LINT_BUILD:-$ROOT/build}"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+fi
+cmake --build "$BUILD" --target slmob_lint -j >/dev/null
+
+exec "$BUILD/tools/lint/slmob-lint" --root "$ROOT" --json "$BUILD/lint_findings.json" "$@"

@@ -1,0 +1,119 @@
+// slmob-lint driver: walks the repo tree, runs the rule engine over every
+// scannable source file, prints clickable file:line findings and exits
+// nonzero when any unsuppressed finding remains. See lint.hpp for the rule
+// families and the suppression protocol.
+//
+// Usage:
+//   slmob-lint [--root DIR] [--json FILE] [--list]
+//
+//   --root DIR   repository root to scan (default: current directory)
+//   --json FILE  also write the machine-readable findings report to FILE
+//   --list       list every finding including suppressed ones, with the
+//                written justification for each suppression (review mode)
+
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::vector<std::string> kScanDirs = {"src", "tools", "bench", "tests", "examples"};
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::string s = fs::relative(p, root).generic_string();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string json_out;
+  bool list_all = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg == "--list") {
+      list_all = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: slmob-lint [--root DIR] [--json FILE] [--list]\n";
+      return 0;
+    } else {
+      std::cerr << "slmob-lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (!fs::exists(root)) {
+    std::cerr << "slmob-lint: root '" << root.string() << "' does not exist\n";
+    return 2;
+  }
+
+  // Collect files in sorted path order so the report is stable.
+  std::vector<std::string> paths;
+  for (const auto& dir : kScanDirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel = rel_path(entry.path(), root);
+      if (slmob::lint::should_scan(rel)) paths.push_back(rel);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<slmob::lint::SourceFile> sources;
+  sources.reserve(paths.size());
+  for (const auto& rel : paths) {
+    sources.push_back({rel, read_file(root / rel)});
+  }
+
+  const slmob::lint::LintResult result = slmob::lint::lint_sources(sources);
+
+  std::size_t suppressed = 0;
+  for (const auto& f : result.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (list_all) {
+        std::cout << f.path << ":" << f.line << ":" << f.col << ": allowed [" << f.rule
+                  << "] -- " << f.justification << "\n";
+      }
+      continue;
+    }
+    std::cout << f.path << ":" << f.line << ":" << f.col << ": error [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    out << slmob::lint::findings_to_json(result);
+    out.flush();
+    if (!out) {
+      std::cerr << "slmob-lint: failed to write report to '" << json_out << "'\n";
+      return 2;
+    }
+  }
+
+  const std::size_t bad = result.unsuppressed();
+  std::cout << "slmob-lint: " << result.files_scanned << " files, " << bad
+            << " unsuppressed finding" << (bad == 1 ? "" : "s") << ", " << suppressed
+            << " justified suppression" << (suppressed == 1 ? "" : "s") << "\n";
+  return bad == 0 ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 #include "trace/stream.hpp"
 #include "util/bytes.hpp"
 #include "util/sysinfo.hpp"
+#include "util/wallclock.hpp"
 
 namespace {
 
@@ -114,11 +115,13 @@ bool probe_writable(const std::string& path) {
   const bool existed = [&] {
     FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) return false;
+    // slmob-lint: allow(checked-durability) -- existence probe on a read-only handle; nothing written
     std::fclose(f);
     return true;
   }();
   FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) return false;
+  // slmob-lint: allow(checked-durability) -- writability probe, zero bytes written; the real save is checked
   std::fclose(f);
   if (!existed) std::remove(path.c_str());
   return true;
@@ -151,6 +154,7 @@ Trace read_any(const std::string& path) {
       char buf[65536];
       std::size_t n = 0;
       while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+      // slmob-lint: allow(checked-durability) -- read-only stream; close failure cannot lose data
       std::fclose(f);
       return trace_from_csv(text, path, 10.0);
     }
@@ -595,7 +599,7 @@ int cmd_summary(const std::vector<std::string>& args) {
 
   // Single bounded-memory pass: no Trace is materialised, so this works on
   // traces far larger than RAM and doubles as a footprint/throughput probe.
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = wallclock::now();
   const auto reader = open_trace_stream(path);
   TraceSummary s;
   std::set<AvatarId> users;
@@ -641,7 +645,7 @@ int cmd_summary(const std::vector<std::string>& args) {
     s.duration = last_time - first_time;
   }
   const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      wallclock::seconds_since(t0);
   warn_if_torn(reader.get(), path);
   print_summary(reader->land_name(), reader->sampling_interval(), s);
   std::printf("pass:            %.2f s (%.0f snapshots/s)\n", secs,
@@ -696,13 +700,13 @@ int cmd_analyze(const std::vector<std::string>& args) {
     StreamingOptions options;
     options.ranges = ranges;
     options.threads = threads;
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = wallclock::now();
     const auto reader = open_trace_stream(args[0]);
     StreamingAnalyzer analyzer(options);
     drive_stream(*reader, analyzer);
     const AnalysisReport report = analyzer.finish();
     const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        wallclock::seconds_since(t0);
     warn_if_torn(reader.get(), args[0]);
     print_report(report);
     const StreamingProgress p = analyzer.progress();
@@ -790,14 +794,9 @@ int cmd_convert(const std::vector<std::string>& args) {
   const Trace trace = read_any(args[0]);
   const std::string& out = args[1];
   if (out.size() > 4 && out.substr(out.size() - 4) == ".csv") {
-    const std::string csv = trace_to_csv(trace);
-    FILE* f = std::fopen(out.c_str(), "wb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", out.c_str());
-      return 1;
-    }
-    std::fwrite(csv.data(), 1, csv.size(), f);
-    std::fclose(f);
+    // Atomic + checked: the old fopen/fwrite path returned success even
+    // when a full disk truncated the CSV mid-write.
+    save_trace_csv(trace, out);
   } else {
     save_trace(trace, out);
   }
